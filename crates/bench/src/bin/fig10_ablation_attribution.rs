@@ -1,0 +1,66 @@
+//! **Ablation 5** — regret attribution (the DESIGN.md deviation).
+//!
+//! The paper's "distributed uniformly to every physical structure" admits
+//! two readings: an equal *split* of the plan's regret, or *full* credit
+//! to each structure (each was individually necessary — Definition 2).
+//! This sweep shows why the reproduction defaults to full credit: under
+//! the split reading the per-structure signal races the `a · CR`
+//! threshold of eq. 3 and investment can freeze at 2.5 TB scale.
+//!
+//! Usage: `cargo run --release -p bench --bin fig10_ablation_attribution [sf] [queries]`
+
+use bench::{cli_scale, print_header, run_cells, write_csv};
+use econ::RegretAttribution;
+use simulator::{Scheme, SimConfig};
+
+fn main() {
+    let (sf, n) = cli_scale();
+    print_header(
+        "Ablation 5 (regret attribution)",
+        "econ-cheap at 1 s and 10 s inter-arrival",
+        sf,
+        n,
+    );
+    let variants = [
+        ("share-1s", RegretAttribution::UniformShare, 1.0),
+        ("full-1s", RegretAttribution::FullValue, 1.0),
+        ("share-10s", RegretAttribution::UniformShare, 10.0),
+        ("full-10s", RegretAttribution::FullValue, 10.0),
+    ];
+    let cells: Vec<SimConfig> = variants
+        .iter()
+        .map(|&(_, attribution, interval)| {
+            let mut cfg = SimConfig::paper_cell(Scheme::EconCheap, interval, sf, n);
+            cfg.econ.regret_attribution = attribution;
+            cfg
+        })
+        .collect();
+    let results = run_cells(cells);
+    println!(
+        "{:<12} {:>12} {:>12} {:>8} {:>8}",
+        "variant", "cost ($)", "resp (s)", "hits %", "builds"
+    );
+    let mut rows = Vec::new();
+    for ((name, _, _), r) in variants.iter().zip(&results) {
+        println!(
+            "{:<12} {:>12.2} {:>12.3} {:>7.1}% {:>8}",
+            name,
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate() * 100.0,
+            r.investments
+        );
+        rows.push(format!(
+            "{name},{:.4},{:.4},{:.4},{}",
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate(),
+            r.investments
+        ));
+    }
+    write_csv(
+        "fig10_ablation_attribution",
+        "variant,total_cost_usd,mean_response_s,hit_rate,builds",
+        &rows,
+    );
+}

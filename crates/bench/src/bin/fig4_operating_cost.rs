@@ -1,0 +1,63 @@
+//! **Figure 4** — "Comparison of operating costs for caching schemes".
+//!
+//! Regenerates the paper's cost bars: total operating cost of the caching
+//! infrastructure (execution resources + disk rent + node uptime +
+//! structure builds) for each scheme at inter-arrival intervals of
+//! 1 / 10 / 30 / 60 seconds.
+//!
+//! Usage: `cargo run --release -p bench --bin fig4_operating_cost [sf] [queries]`
+
+use bench::{cli_scale, grid_csv_rows, print_header, run_paper_grid, write_csv};
+
+fn main() {
+    let (sf, n) = cli_scale();
+    print_header(
+        "Figure 4",
+        "operating cost ($) per caching scheme vs query inter-arrival time",
+        sf,
+        n,
+    );
+    let grid = run_paper_grid(sf, n);
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "interval", "bypass", "econ-col", "econ-cheap", "econ-fast"
+    );
+    for (interval, results) in &grid {
+        print!("{:<14}", format!("{interval}s"));
+        for r in results {
+            print!(" {:>12.2}", r.total_operating_cost().as_dollars());
+        }
+        println!();
+    }
+    println!();
+    println!("cost decomposition (cpu/disk/network/io/builds), per cell:");
+    for (interval, results) in &grid {
+        for r in results {
+            println!(
+                "  {interval:>4}s {:<11} cpu ${:>8.2}  disk ${:>8.2}  net ${:>8.2}  io ${:>8.2}  builds ${:>7.2}",
+                r.scheme,
+                r.operating.cpu.as_dollars(),
+                r.operating.disk.as_dollars(),
+                r.operating.network.as_dollars(),
+                r.operating.io.as_dollars(),
+                r.build_spend.as_dollars(),
+            );
+        }
+    }
+    let rows = grid_csv_rows(&grid, |r| {
+        format!(
+            "{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            r.total_operating_cost().as_dollars(),
+            r.operating.cpu.as_dollars(),
+            r.operating.disk.as_dollars(),
+            r.operating.network.as_dollars(),
+            r.operating.io.as_dollars(),
+            r.build_spend.as_dollars()
+        )
+    });
+    write_csv(
+        "fig4_operating_cost",
+        "interval_s,scheme,total_cost_usd,cpu_usd,disk_usd,network_usd,io_usd,builds_usd",
+        &rows,
+    );
+}

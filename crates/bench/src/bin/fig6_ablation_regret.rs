@@ -1,0 +1,60 @@
+//! **Ablation 1** — the investment threshold fraction `a` of eq. 3.
+//!
+//! The paper fixes `0 < a < 1` without choosing a value. This sweep shows
+//! the trade-off at the moderate 10 s inter-arrival point: small `a`
+//! invests eagerly (fast warm-up, more wasted builds under drift), large
+//! `a` invests late (cheap but slow).
+//!
+//! Usage: `cargo run --release -p bench --bin fig6_ablation_regret [sf] [queries]`
+
+use bench::{cli_scale, print_header, run_cells, write_csv};
+use simulator::{Scheme, SimConfig};
+
+fn main() {
+    let (sf, n) = cli_scale();
+    print_header(
+        "Ablation 1 (regret threshold a, eq. 3)",
+        "econ-cheap at 10 s inter-arrival",
+        sf,
+        n,
+    );
+    let fractions = [0.02, 0.05, 0.1, 0.2, 0.4];
+    let cells: Vec<SimConfig> = fractions
+        .iter()
+        .map(|&a| {
+            let mut cfg = SimConfig::paper_cell(Scheme::EconCheap, 10.0, sf, n);
+            cfg.econ.investment.regret_fraction = a;
+            cfg
+        })
+        .collect();
+    let results = run_cells(cells);
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "a", "cost ($)", "resp (s)", "hits %", "builds", "evicts"
+    );
+    let mut rows = Vec::new();
+    for (a, r) in fractions.iter().zip(&results) {
+        println!(
+            "{:<8} {:>12.2} {:>12.3} {:>7.1}% {:>8} {:>8}",
+            a,
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate() * 100.0,
+            r.investments,
+            r.evictions
+        );
+        rows.push(format!(
+            "{a},{:.4},{:.4},{:.4},{},{}",
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate(),
+            r.investments,
+            r.evictions
+        ));
+    }
+    write_csv(
+        "fig6_ablation_regret",
+        "a,total_cost_usd,mean_response_s,hit_rate,builds,evicts",
+        &rows,
+    );
+}

@@ -1,0 +1,72 @@
+//! **Ablation 2** — the amortisation horizon `n` of eq. 7.
+//!
+//! The paper defers "selecting n" to future work. This sweep compares
+//! fixed horizons against the adaptive policy (n = expected queries in a
+//! 30-day window) at the moderate 10 s point. Small fixed `n` makes the
+//! `Build/n` installments swamp per-query prices and freezes investment —
+//! the failure mode that motivated the adaptive default.
+//!
+//! Usage: `cargo run --release -p bench --bin fig7_ablation_amortization [sf] [queries]`
+
+use bench::{cli_scale, print_header, run_cells, write_csv};
+use econ::AmortizationPolicy;
+use simulator::{Scheme, SimConfig};
+
+fn main() {
+    let (sf, n) = cli_scale();
+    print_header(
+        "Ablation 2 (amortisation horizon n, eq. 7)",
+        "econ-cheap at 10 s inter-arrival",
+        sf,
+        n,
+    );
+    let policies: Vec<(&str, AmortizationPolicy)> = vec![
+        ("fixed-1k", AmortizationPolicy::Fixed(1_000)),
+        ("fixed-10k", AmortizationPolicy::Fixed(10_000)),
+        ("fixed-100k", AmortizationPolicy::Fixed(100_000)),
+        (
+            "adaptive-30d",
+            AmortizationPolicy::Adaptive {
+                window_secs: 30.0 * 86_400.0,
+                min_n: 1_000,
+                max_n: 500_000,
+            },
+        ),
+    ];
+    let cells: Vec<SimConfig> = policies
+        .iter()
+        .map(|(_, p)| {
+            let mut cfg = SimConfig::paper_cell(Scheme::EconCheap, 10.0, sf, n);
+            cfg.econ.amortization = *p;
+            cfg
+        })
+        .collect();
+    let results = run_cells(cells);
+    println!(
+        "{:<14} {:>12} {:>12} {:>8} {:>8}",
+        "policy", "cost ($)", "resp (s)", "hits %", "builds"
+    );
+    let mut rows = Vec::new();
+    for ((name, _), r) in policies.iter().zip(&results) {
+        println!(
+            "{:<14} {:>12.2} {:>12.3} {:>7.1}% {:>8}",
+            name,
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate() * 100.0,
+            r.investments
+        );
+        rows.push(format!(
+            "{name},{:.4},{:.4},{:.4},{}",
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate(),
+            r.investments
+        ));
+    }
+    write_csv(
+        "fig7_ablation_amortization",
+        "policy,total_cost_usd,mean_response_s,hit_rate,builds",
+        &rows,
+    );
+}

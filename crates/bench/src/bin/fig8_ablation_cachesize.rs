@@ -1,0 +1,58 @@
+//! **Ablation 3** — the bypass cache-size cap.
+//!
+//! The paper adopts 30 % of the database as "the ideal cache size for
+//! net-only" from Malik et al. This sweep verifies the claim under our
+//! workload: below the knee the cap forces evictions; above it extra
+//! capacity buys nothing (the working set fits).
+//!
+//! Usage: `cargo run --release -p bench --bin fig8_ablation_cachesize [sf] [queries]`
+
+use bench::{cli_scale, print_header, run_cells, write_csv};
+use simulator::{Scheme, SimConfig};
+
+fn main() {
+    let (sf, n) = cli_scale();
+    print_header(
+        "Ablation 3 (bypass cache cap)",
+        "bypass at 10 s inter-arrival, cap as fraction of the database",
+        sf,
+        n,
+    );
+    let fractions = [0.0002, 0.001, 0.05, 0.30, 0.60, 1.0];
+    let cells: Vec<SimConfig> = fractions
+        .iter()
+        .map(|&f| {
+            SimConfig::paper_cell(Scheme::Bypass { cache_fraction: f }, 10.0, sf, n)
+        })
+        .collect();
+    let results = run_cells(cells);
+    println!(
+        "{:<10} {:>12} {:>12} {:>8} {:>8} {:>10}",
+        "cap", "cost ($)", "resp (s)", "hits %", "evicts", "disk (GB)"
+    );
+    let mut rows = Vec::new();
+    for (f, r) in fractions.iter().zip(&results) {
+        println!(
+            "{:<10} {:>12.2} {:>12.3} {:>7.1}% {:>8} {:>10.0}",
+            format!("{:.2}%", f * 100.0),
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate() * 100.0,
+            r.evictions,
+            r.final_disk_bytes as f64 / 1e9
+        );
+        rows.push(format!(
+            "{f},{:.4},{:.4},{:.4},{},{}",
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate(),
+            r.evictions,
+            r.final_disk_bytes
+        ));
+    }
+    write_csv(
+        "fig8_ablation_cachesize",
+        "cache_fraction,total_cost_usd,mean_response_s,hit_rate,evicts,final_disk_bytes",
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! **Ablation 4** — budget-function shape (Fig. 1 of the paper).
+//!
+//! The experiments use step budgets ("the user defines a step preference
+//! function"). This sweep swaps in the convex and concave shapes of
+//! Fig. 1: decaying budgets shrink the affordable plan set (more Case C),
+//! which throttles both profit and investment.
+//!
+//! Usage: `cargo run --release -p bench --bin fig9_ablation_budget [sf] [queries]`
+
+use bench::{cli_scale, print_header, run_cells, write_csv};
+use econ::BudgetShape;
+use simulator::{Scheme, SimConfig};
+
+fn main() {
+    let (sf, n) = cli_scale();
+    print_header(
+        "Ablation 4 (budget shape, Fig. 1)",
+        "econ-cheap at 10 s inter-arrival",
+        sf,
+        n,
+    );
+    let shapes = [
+        ("step", BudgetShape::Step),
+        ("convex", BudgetShape::Convex),
+        ("concave", BudgetShape::Concave),
+    ];
+    let cells: Vec<SimConfig> = shapes
+        .iter()
+        .map(|&(_, shape)| {
+            let mut cfg = SimConfig::paper_cell(Scheme::EconCheap, 10.0, sf, n);
+            cfg.econ.budget_shape = shape;
+            cfg
+        })
+        .collect();
+    let results = run_cells(cells);
+    println!(
+        "{:<10} {:>12} {:>12} {:>8} {:>12} {:>12}",
+        "shape", "cost ($)", "resp (s)", "hits %", "payments ($)", "profit ($)"
+    );
+    let mut rows = Vec::new();
+    for ((name, _), r) in shapes.iter().zip(&results) {
+        println!(
+            "{:<10} {:>12.2} {:>12.3} {:>7.1}% {:>12.2} {:>12.2}",
+            name,
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate() * 100.0,
+            r.payments.as_dollars(),
+            r.profit.as_dollars()
+        );
+        rows.push(format!(
+            "{name},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate(),
+            r.payments.as_dollars(),
+            r.profit.as_dollars()
+        ));
+    }
+    write_csv(
+        "fig9_ablation_budget",
+        "shape,total_cost_usd,mean_response_s,hit_rate,payments_usd,profit_usd",
+        &rows,
+    );
+}

@@ -1,0 +1,22 @@
+//! Quick pilot of the Fig. 4/5 grid for calibration (not a shipped figure).
+
+use simulator::{run_simulation, Scheme, SimConfig};
+
+fn main() {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2500.0);
+    let n: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    for interval in [1.0, 10.0, 30.0, 60.0] {
+        println!("== inter-arrival {interval}s  (SF {sf}, {n} queries) ==");
+        for scheme in Scheme::paper_schemes() {
+            let cfg = SimConfig::paper_cell(scheme, interval, sf, n);
+            let r = run_simulation(cfg);
+            println!("  {}", r.table_row());
+        }
+    }
+}

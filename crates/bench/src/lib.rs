@@ -1,0 +1,127 @@
+//! # bench — the experiment harness
+//!
+//! One binary per figure of the paper (see DESIGN.md's experiment index):
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `fig4_operating_cost` | Fig. 4 — operating cost vs inter-arrival interval |
+//! | `fig5_response_time`  | Fig. 5 — mean response time vs inter-arrival interval |
+//! | `fig6_ablation_regret` | eq. 3 threshold fraction `a` sweep |
+//! | `fig7_ablation_amortization` | eq. 7 horizon `n` sweep (fixed vs adaptive) |
+//! | `fig8_ablation_cachesize` | bypass cache-cap sweep (the paper's "ideal 30 %") |
+//! | `fig9_ablation_budget` | budget-shape sweep (Fig. 1 shapes) |
+//! | `fig10_ablation_attribution` | regret attribution: uniform share vs full value |
+//! | `pilot`, `probe_paper` | calibration tools (not shipped figures) |
+//!
+//! Every binary accepts `[scale_factor] [num_queries]` positional
+//! arguments (defaults: SF 2500 — the paper's 2.5 TB — and a query count
+//! sized so the run finishes in about a minute), prints the paper-style
+//! table, and drops a CSV under `results/`.
+//!
+//! Criterion micro-benches live in `benches/`.
+
+use simulator::{run_simulation, RunResult, Scheme, SimConfig};
+use std::io::Write;
+use std::path::Path;
+
+/// The paper's inter-arrival grid (seconds), Figures 4 and 5.
+pub const PAPER_INTERVALS: [f64; 4] = [1.0, 10.0, 30.0, 60.0];
+
+/// Default scale factor for shipped figures: the paper's 2.5 TB backend.
+pub const DEFAULT_SF: f64 = 2500.0;
+
+/// Default query count for shipped figures. The paper simulates 10⁶
+/// queries; 5 × 10⁵ reproduces the same post-warm-up regime in about a
+/// minute of harness time.
+pub const DEFAULT_QUERIES: u64 = 500_000;
+
+/// Parses the common `[sf] [num_queries]` CLI arguments.
+#[must_use]
+pub fn cli_scale() -> (f64, u64) {
+    let sf = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SF);
+    let n = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_QUERIES);
+    (sf, n)
+}
+
+/// Runs a set of independent cells in parallel threads.
+///
+/// # Panics
+/// Panics if any cell's config is invalid.
+#[must_use]
+pub fn run_cells(cells: Vec<SimConfig>) -> Vec<RunResult> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .into_iter()
+            .map(|cfg| scope.spawn(move || run_simulation(cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation thread panicked"))
+            .collect()
+    })
+}
+
+/// Runs the full paper grid: every scheme × every interval.
+#[must_use]
+pub fn run_paper_grid(sf: f64, n: u64) -> Vec<(f64, Vec<RunResult>)> {
+    PAPER_INTERVALS
+        .iter()
+        .map(|&interval| {
+            let cells: Vec<SimConfig> = Scheme::paper_schemes()
+                .into_iter()
+                .map(|scheme| SimConfig::paper_cell(scheme, interval, sf, n))
+                .collect();
+            (interval, run_cells(cells))
+        })
+        .collect()
+}
+
+/// Prints a figure header.
+pub fn print_header(figure: &str, caption: &str, sf: f64, n: u64) {
+    println!("================================================================");
+    println!("{figure}: {caption}");
+    println!("(TPC-H SF {sf} ≈ {:.1} TB backend, {n} queries, 25 Mbps, EC2-2009 prices)", sf / 1000.0);
+    println!("================================================================");
+}
+
+/// Writes rows as CSV under `results/<name>.csv`; ignores I/O errors after
+/// warning (figures must still print when the directory is read-only).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{header}");
+            for row in rows {
+                let _ = writeln!(f, "{row}");
+            }
+            println!("(wrote {})", path.display());
+        }
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Formats one grid for CSV: `interval,scheme,value`.
+#[must_use]
+pub fn grid_csv_rows<F: Fn(&RunResult) -> String>(
+    grid: &[(f64, Vec<RunResult>)],
+    value: F,
+) -> Vec<String> {
+    let mut rows = Vec::new();
+    for (interval, results) in grid {
+        for r in results {
+            rows.push(format!("{interval},{},{}", r.scheme, value(r)));
+        }
+    }
+    rows
+}

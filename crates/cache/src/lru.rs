@@ -1,0 +1,139 @@
+//! Least-recently-used bookkeeping.
+//!
+//! Section IV-B of the paper: "These structures are garbage collected
+//! using LRU policy, so that the structure cache can be searched and
+//! processed efficiently for each incoming query plan." [`LruSet`] tracks
+//! last-touch order for an arbitrary key type and evicts the stalest
+//! entries when the set exceeds its capacity.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A capacity-bounded set with LRU eviction.
+///
+/// Implementation: a `HashMap<K, u64>` of logical touch stamps plus a
+/// monotone counter. Eviction scans for the minimum stamp — O(n), which is
+/// fine for the pool sizes here (≤ a few hundred candidate structures);
+/// the constant factor beats a linked-list LRU at this scale.
+#[derive(Debug, Clone)]
+pub struct LruSet<K: Eq + Hash + Clone> {
+    stamps: HashMap<K, u64>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone> LruSet<K> {
+    /// Creates a set that holds at most `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruSet {
+            stamps: HashMap::with_capacity(capacity + 1),
+            clock: 0,
+            capacity,
+        }
+    }
+
+    /// Number of keys currently tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// True if `key` is tracked.
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.stamps.contains_key(key)
+    }
+
+    /// Touches `key` (inserting it if new); returns the key evicted to make
+    /// room, if any.
+    pub fn touch(&mut self, key: K) -> Option<K> {
+        self.clock += 1;
+        self.stamps.insert(key, self.clock);
+        if self.stamps.len() > self.capacity {
+            let victim = self
+                .stamps
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            self.stamps.remove(&victim);
+            Some(victim)
+        } else {
+            None
+        }
+    }
+
+    /// Removes a key explicitly.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.stamps.remove(key).is_some()
+    }
+
+    /// Keys ordered least-recently-used first.
+    #[must_use]
+    pub fn keys_lru_first(&self) -> Vec<K> {
+        let mut entries: Vec<(&K, &u64)> = self.stamps.iter().collect();
+        entries.sort_by_key(|(_, &stamp)| stamp);
+        entries.into_iter().map(|(k, _)| k.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_touched() {
+        let mut lru = LruSet::new(2);
+        assert!(lru.touch("a").is_none());
+        assert!(lru.touch("b").is_none());
+        assert_eq!(lru.touch("c"), Some("a"));
+        assert!(lru.contains(&"b") && lru.contains(&"c"));
+    }
+
+    #[test]
+    fn touching_refreshes_recency() {
+        let mut lru = LruSet::new(2);
+        lru.touch("a");
+        lru.touch("b");
+        lru.touch("a"); // refresh a; b is now stalest
+        assert_eq!(lru.touch("c"), Some("b"));
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut lru = LruSet::new(1);
+        lru.touch("a");
+        assert!(lru.remove(&"a"));
+        assert!(!lru.remove(&"a"));
+        assert!(lru.touch("b").is_none());
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn lru_order_listing() {
+        let mut lru = LruSet::new(10);
+        lru.touch(1);
+        lru.touch(2);
+        lru.touch(3);
+        lru.touch(1);
+        assert_eq!(lru.keys_lru_first(), vec![2, 3, 1]);
+        assert!(!lru.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: LruSet<u8> = LruSet::new(0);
+    }
+}

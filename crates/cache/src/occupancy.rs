@@ -1,0 +1,132 @@
+//! Exact disk-occupancy integral.
+//!
+//! The Fig. 4 operating cost charges cache disk at `c_d` dollars per byte
+//! per second (eq. 13/15). Occupancy changes at discrete instants (build,
+//! evict), so the byte-seconds integral is exact: between changes the
+//! integrand is constant.
+
+use simcore::SimTime;
+
+/// Piecewise-constant `bytes(t)` with an exact running `∫ bytes dt`.
+#[derive(Debug, Clone)]
+pub struct Occupancy {
+    bytes: u64,
+    last_change: SimTime,
+    byte_seconds: f64,
+}
+
+impl Default for Occupancy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Occupancy {
+    /// Empty occupancy starting at t = 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Occupancy {
+            bytes: 0,
+            last_change: SimTime::ZERO,
+            byte_seconds: 0.0,
+        }
+    }
+
+    /// Current bytes occupied.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Accrues the integral up to `now` without changing the level.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the last recorded change.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = (now - self.last_change).as_secs();
+        self.byte_seconds += self.bytes as f64 * dt;
+        self.last_change = now;
+    }
+
+    /// Adds `delta` bytes at `now` (accrues first).
+    pub fn add(&mut self, now: SimTime, delta: u64) {
+        self.advance(now);
+        self.bytes = self.bytes.saturating_add(delta);
+    }
+
+    /// Removes `delta` bytes at `now` (accrues first).
+    ///
+    /// # Panics
+    /// Panics if removing more than present — occupancy accounting must
+    /// never go negative silently.
+    pub fn remove(&mut self, now: SimTime, delta: u64) {
+        self.advance(now);
+        assert!(
+            delta <= self.bytes,
+            "removing {delta} bytes from occupancy of {}",
+            self.bytes
+        );
+        self.bytes -= delta;
+    }
+
+    /// The byte-seconds integral accrued so far (up to the last
+    /// `advance`/`add`/`remove` call).
+    #[must_use]
+    pub fn byte_seconds(&self) -> f64 {
+        self.byte_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn integral_of_constant_level() {
+        let mut o = Occupancy::new();
+        o.add(t(0.0), 100);
+        o.advance(t(10.0));
+        assert_eq!(o.byte_seconds(), 1000.0);
+        assert_eq!(o.bytes(), 100);
+    }
+
+    #[test]
+    fn integral_of_step_changes() {
+        let mut o = Occupancy::new();
+        o.add(t(0.0), 100); // 100 B over [0, 5) = 500
+        o.add(t(5.0), 100); // 200 B over [5, 10) = 1000
+        o.remove(t(10.0), 150); // 50 B over [10, 20) = 500
+        o.advance(t(20.0));
+        assert_eq!(o.byte_seconds(), 2000.0);
+        assert_eq!(o.bytes(), 50);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let mut o = Occupancy::new();
+        o.add(t(0.0), 10);
+        o.advance(t(5.0));
+        o.advance(t(5.0));
+        assert_eq!(o.byte_seconds(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn time_going_backwards_panics() {
+        let mut o = Occupancy::new();
+        o.advance(t(10.0));
+        o.advance(t(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "removing")]
+    fn removing_too_much_panics() {
+        let mut o = Occupancy::new();
+        o.add(t(0.0), 10);
+        o.remove(t(1.0), 11);
+    }
+}

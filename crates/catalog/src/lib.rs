@@ -1,0 +1,35 @@
+//! # catalog — relational schemas and statistics for the simulated cloud
+//!
+//! The paper's experiments run "a TPCH-based workload … against a 2.5 TB
+//! back-end database" that "simulates the query evolution of a million
+//! SDSS-like queries" (Section VII-A). This crate provides the static data
+//! model those experiments need:
+//!
+//! * [`types::DataType`] — column types with on-disk byte widths.
+//! * [`schema::Schema`] / [`schema::Table`] / [`column::Column`] — the
+//!   relational catalog, including per-column sizes (the cache stores and
+//!   prices *columns*, eq. 12/13 of the paper).
+//! * [`tpch`] — the full 8-table TPC-H schema at an arbitrary scale factor
+//!   (`SF 2500 ≈ 2.5 TB` reproduces the paper's backend).
+//! * [`sdss`] — an SDSS-like astronomical schema (`PhotoObj`, `SpecObj`,
+//!   `Neighbors`) used by the survey example.
+//! * [`stats`] / [`selectivity`] — per-column statistics and the
+//!   selectivity model the plan cost estimator consumes.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod column;
+pub mod ids;
+pub mod schema;
+pub mod sdss;
+pub mod selectivity;
+pub mod stats;
+pub mod tpch;
+pub mod types;
+
+pub use column::Column;
+pub use ids::{ColumnId, TableId};
+pub use schema::{Schema, Table};
+pub use stats::ColumnStats;
+pub use types::DataType;

@@ -1,0 +1,221 @@
+//! The regret ledger — the paper's `regretS` array.
+//!
+//! Definition 2: *"The regret for a structure S that is possible new
+//! inventory of the cloud represents the accumulated value of the missed
+//! chances to provide better quality query services in terms of either
+//! performance or cost."*
+//!
+//! Section IV-C: *"Once the regret of a plan is computed, it is
+//! distributed uniformly to every physical structure used by the plan"*,
+//! and Section IV-B: the pool of tracked structures is *"garbage collected
+//! using LRU policy"*.
+
+use cache::{LruSet, StructureKey};
+use pricing::Money;
+use serde::{Deserialize, Serialize};
+
+/// How a rejected plan's regret is attributed to its structures.
+///
+/// The paper's wording — "distributed uniformly to every physical
+/// structure used by the plan" — reads as an equal *split*; but
+/// Definition 2 ("the accumulated value of the missed chances") supports
+/// crediting each absent structure with the *full* missed value, since
+/// every one of them was individually necessary for the plan. The split
+/// reading divides the signal by the plan width and, combined with the
+/// `a · CR` threshold of eq. 3, can freeze investment entirely at the
+/// paper's 2.5 TB scale; [`RegretAttribution::FullValue`] is therefore the
+/// default, and the ablation harness measures both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegretAttribution {
+    /// Equal split: each structure receives `regret / |uses|`.
+    UniformShare,
+    /// Full credit: each structure receives the entire regret.
+    FullValue,
+}
+
+/// Accumulated regret per candidate structure, LRU-bounded.
+#[derive(Debug, Clone)]
+pub struct RegretLedger {
+    regrets: std::collections::HashMap<StructureKey, Money>,
+    lru: LruSet<StructureKey>,
+}
+
+impl RegretLedger {
+    /// Creates a ledger tracking at most `pool_capacity` structures.
+    ///
+    /// # Panics
+    /// Panics if `pool_capacity == 0`.
+    #[must_use]
+    pub fn new(pool_capacity: usize) -> Self {
+        RegretLedger {
+            regrets: std::collections::HashMap::with_capacity(pool_capacity),
+            lru: LruSet::new(pool_capacity),
+        }
+    }
+
+    /// Distributes a rejected plan's regret over the structures it uses,
+    /// per the chosen attribution.
+    ///
+    /// Touches the structures in the LRU pool; if the pool overflows, the
+    /// least-recently-relevant structure is forgotten along with its
+    /// accumulated regret (the paper's GC).
+    pub fn distribute(
+        &mut self,
+        uses: &[StructureKey],
+        regret: Money,
+        attribution: RegretAttribution,
+    ) {
+        if uses.is_empty() || !regret.is_positive() {
+            return;
+        }
+        let share = match attribution {
+            RegretAttribution::UniformShare => regret.amortize_over(uses.len() as u64),
+            RegretAttribution::FullValue => regret,
+        };
+        for &key in uses {
+            *self.regrets.entry(key).or_insert(Money::ZERO) += share;
+            if let Some(evicted) = self.lru.touch(key) {
+                self.regrets.remove(&evicted);
+            }
+        }
+    }
+
+    /// Current regret for a structure (zero if untracked).
+    #[must_use]
+    pub fn regret_of(&self, key: StructureKey) -> Money {
+        self.regrets.get(&key).copied().unwrap_or(Money::ZERO)
+    }
+
+    /// Structures whose regret is at least `threshold`, highest first.
+    #[must_use]
+    pub fn over_threshold(&self, threshold: Money) -> Vec<(StructureKey, Money)> {
+        let mut hits: Vec<(StructureKey, Money)> = self
+            .regrets
+            .iter()
+            .filter(|&(_, &r)| r >= threshold && r.is_positive())
+            .map(|(&k, &r)| (k, r))
+            .collect();
+        hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits
+    }
+
+    /// Clears a structure's regret (after investing in it).
+    pub fn reset(&mut self, key: StructureKey) {
+        self.regrets.remove(&key);
+        self.lru.remove(&key);
+    }
+
+    /// Number of structures tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regrets.len()
+    }
+
+    /// True if nothing is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regrets.is_empty()
+    }
+
+    /// Total regret across the pool (diagnostic).
+    #[must_use]
+    pub fn total(&self) -> Money {
+        self.regrets.values().copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalog::ColumnId;
+
+    fn col(i: u32) -> StructureKey {
+        StructureKey::Column(ColumnId(i))
+    }
+
+    fn m(x: f64) -> Money {
+        Money::from_dollars(x)
+    }
+
+    #[test]
+    fn distributes_uniformly() {
+        let mut r = RegretLedger::new(16);
+        r.distribute(&[col(1), col(2), col(3)], m(9.0), RegretAttribution::UniformShare);
+        assert_eq!(r.regret_of(col(1)), m(3.0));
+        assert_eq!(r.regret_of(col(2)), m(3.0));
+        assert_eq!(r.regret_of(col(3)), m(3.0));
+        assert_eq!(r.total(), m(9.0));
+    }
+
+    #[test]
+    fn accumulates_across_plans() {
+        let mut r = RegretLedger::new(16);
+        r.distribute(&[col(1), col(2)], m(4.0), RegretAttribution::UniformShare);
+        r.distribute(&[col(1)], m(1.0), RegretAttribution::UniformShare);
+        assert_eq!(r.regret_of(col(1)), m(3.0));
+        assert_eq!(r.regret_of(col(2)), m(2.0));
+    }
+
+    #[test]
+    fn zero_and_negative_regret_ignored() {
+        let mut r = RegretLedger::new(16);
+        r.distribute(&[col(1)], Money::ZERO, RegretAttribution::UniformShare);
+        r.distribute(&[col(1)], m(-5.0), RegretAttribution::UniformShare);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn threshold_query_sorted_descending() {
+        let mut r = RegretLedger::new(16);
+        r.distribute(&[col(1)], m(5.0), RegretAttribution::UniformShare);
+        r.distribute(&[col(2)], m(10.0), RegretAttribution::UniformShare);
+        r.distribute(&[col(3)], m(1.0), RegretAttribution::UniformShare);
+        let hits = r.over_threshold(m(5.0));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], (col(2), m(10.0)));
+        assert_eq!(hits[1], (col(1), m(5.0)));
+    }
+
+    #[test]
+    fn reset_clears_after_investment() {
+        let mut r = RegretLedger::new(16);
+        r.distribute(&[col(1)], m(5.0), RegretAttribution::UniformShare);
+        r.reset(col(1));
+        assert_eq!(r.regret_of(col(1)), Money::ZERO);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn lru_gc_forgets_cold_structures() {
+        let mut r = RegretLedger::new(2);
+        r.distribute(&[col(1)], m(1.0), RegretAttribution::UniformShare);
+        r.distribute(&[col(2)], m(1.0), RegretAttribution::UniformShare);
+        r.distribute(&[col(3)], m(1.0), RegretAttribution::UniformShare); // evicts col(1)
+        assert_eq!(r.regret_of(col(1)), Money::ZERO, "GC dropped it");
+        assert_eq!(r.len(), 2);
+        assert!(r.regret_of(col(3)).is_positive());
+    }
+
+    #[test]
+    fn full_value_credits_everyone_entirely() {
+        let mut r = RegretLedger::new(16);
+        r.distribute(&[col(1), col(2)], m(3.0), RegretAttribution::FullValue);
+        assert_eq!(r.regret_of(col(1)), m(3.0));
+        assert_eq!(r.regret_of(col(2)), m(3.0));
+    }
+
+    #[test]
+    fn empty_uses_is_a_noop() {
+        let mut r = RegretLedger::new(4);
+        r.distribute(&[], m(100.0), RegretAttribution::FullValue);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn remainder_lost_to_rounding_is_bounded() {
+        let mut r = RegretLedger::new(16);
+        // 10 nano-dollars over 3 structures: 3 each, 1 nano lost.
+        r.distribute(&[col(1), col(2), col(3)], Money::from_nanos(10), RegretAttribution::UniformShare);
+        assert_eq!(r.total(), Money::from_nanos(9));
+    }
+}

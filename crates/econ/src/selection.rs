@@ -1,0 +1,333 @@
+//! Plan selection — the case analysis of Section IV-C (Fig. 2).
+//!
+//! Given the skyline plan set `P_Q` and the user budget `B_Q`:
+//!
+//! * **Case A** — `B_Q(t) < B_PQ(t)` everywhere: no plan is affordable.
+//!   The user is presented with the existing plans and picks one (we model
+//!   the paper's criterion — "minimization of user charge" — by picking
+//!   the cheapest existing plan); she pays its *price*. Regret (eq. 1) for
+//!   each possible plan cheaper than the chosen one.
+//! * **Case B** — the budget covers every plan: pick the existing plan
+//!   minimising cloud profit `B_Q(t) − B_PQ(t)`; the user pays `B_Q(t)`
+//!   and the profit is credited. Regret (eq. 2) for each possible plan
+//!   more expensive than the chosen one.
+//! * **Case C** — mixed: Case B restricted to the affordable subset `P_QS`.
+//!
+//! The three *policies* of Section VII-A reuse this machinery with a
+//! different tie-break objective among affordable existing plans:
+//! econ-cheap picks the cheapest, econ-fast the fastest, and the
+//! altruistic default minimises profit.
+
+use planner::QueryPlan;
+use pricing::Money;
+use serde::{Deserialize, Serialize};
+
+use crate::budget::BudgetFunction;
+use crate::outcome::SelectionCase;
+
+/// How to choose among affordable existing plans (cases B/C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionObjective {
+    /// The altruistic default of Section IV-C: minimise
+    /// `B_Q(t) − B_PQ(t)` (take as little profit as possible).
+    MinProfit,
+    /// econ-cheap: "the plan with the least cost is chosen".
+    Cheapest,
+    /// econ-fast: "selects the query plan with the fastest response time".
+    Fastest,
+}
+
+/// Result of the case analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Which case applied.
+    pub case: SelectionCase,
+    /// Index (into the input slice) of the plan to execute.
+    pub selected: usize,
+    /// What the user pays: the plan price in Case A, `B_Q(t)` in B/C.
+    pub payment: Money,
+    /// `payment − price` (zero in Case A).
+    pub profit: Money,
+    /// Regret per *possible* plan: `(plan index, regret)` (eqs. 1–2).
+    pub regrets: Vec<(usize, Money)>,
+}
+
+/// Runs the case analysis over the skyline `plans`.
+///
+/// `plans` must be the skyline set (existing and possible mixed); at least
+/// one existing plan must be present (the backend plan guarantees this).
+///
+/// # Panics
+/// Panics if no existing plan is present.
+#[must_use]
+pub fn select_plan(
+    plans: &[QueryPlan],
+    budget: &BudgetFunction,
+    objective: SelectionObjective,
+) -> Selection {
+    assert!(
+        plans.iter().any(QueryPlan::is_existing),
+        "P_exist must not be empty (the backend plan always exists)"
+    );
+
+    let affordable = |p: &QueryPlan| budget.affords(p.exec_time, p.price);
+    let n_affordable = plans.iter().filter(|p| affordable(p)).count();
+
+    if n_affordable == 0 {
+        return case_a(plans);
+    }
+    let case = if n_affordable == plans.len() {
+        SelectionCase::B
+    } else {
+        SelectionCase::C
+    };
+    case_bc(plans, budget, objective, case)
+}
+
+/// Case A: nothing affordable. The user picks (and pays the price of) the
+/// cheapest existing plan; eq. 1 regret for cheaper possible plans.
+fn case_a(plans: &[QueryPlan]) -> Selection {
+    let selected = plans
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_existing())
+        .min_by(|(_, a), (_, b)| a.price.cmp(&b.price).then(a.exec_time.cmp(&b.exec_time)))
+        .map(|(i, _)| i)
+        .expect("checked: P_exist non-empty");
+    let chosen_price = plans[selected].price;
+    let regrets = plans
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| *i != selected && !p.is_existing() && p.price <= chosen_price)
+        .map(|(i, p)| (i, chosen_price - p.price))
+        .filter(|(_, r)| r.is_positive())
+        .collect();
+    Selection {
+        case: SelectionCase::A,
+        selected,
+        payment: chosen_price,
+        profit: Money::ZERO,
+        regrets,
+    }
+}
+
+/// Cases B and C: select among affordable *existing* plans by the
+/// objective; eq. 2 regret for affordable possible plans more expensive
+/// than the chosen one.
+fn case_bc(
+    plans: &[QueryPlan],
+    budget: &BudgetFunction,
+    objective: SelectionObjective,
+    case: SelectionCase,
+) -> Selection {
+    let affordable = |p: &QueryPlan| budget.affords(p.exec_time, p.price);
+    let candidates = plans
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_existing() && affordable(p));
+
+    // If every affordable plan is possible-only (needs builds), the query
+    // still has to run now: fall back to Case A semantics on P_exist.
+    let Some(selected) = (match objective {
+        SelectionObjective::MinProfit => candidates
+            .min_by(|(_, a), (_, b)| {
+                let pa = budget.value_at(a.exec_time) - a.price;
+                let pb = budget.value_at(b.exec_time) - b.price;
+                pa.cmp(&pb).then(a.exec_time.cmp(&b.exec_time))
+            })
+            .map(|(i, _)| i),
+        SelectionObjective::Cheapest => candidates
+            .min_by(|(_, a), (_, b)| a.price.cmp(&b.price).then(a.exec_time.cmp(&b.exec_time)))
+            .map(|(i, _)| i),
+        SelectionObjective::Fastest => candidates
+            .min_by(|(_, a), (_, b)| a.exec_time.cmp(&b.exec_time).then(a.price.cmp(&b.price)))
+            .map(|(i, _)| i),
+    }) else {
+        return case_a(plans);
+    };
+
+    let chosen = &plans[selected];
+    let payment = budget.value_at(chosen.exec_time);
+    let profit = payment - chosen.price;
+    debug_assert!(!profit.is_negative(), "affordable ⇒ non-negative profit");
+
+    // Regret for every rejected possible plan (Section IV-C: "we compute
+    // and distribute regret of all plans"):
+    //  * plans at least as expensive as the chosen one, if affordable, use
+    //    eq. 2 — the profit `B_Q(t_j) − B_PQ(t_j)` the cloud passed up;
+    //  * cheaper plans use the eq. 1 value — the cost reduction
+    //    `B_PQ(t_i) − B_PQ(t_j)` the cloud failed to offer. This is what
+    //    lets a cheaper-but-unbuilt column set accumulate regret even
+    //    though the budget comfortably covers the backend.
+    let regrets = plans
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| *i != selected && !p.is_existing())
+        .filter_map(|(i, p)| {
+            let r = if p.price >= chosen.price {
+                if affordable(p) {
+                    budget.value_at(p.exec_time) - p.price
+                } else {
+                    return None;
+                }
+            } else {
+                chosen.price - p.price
+            };
+            r.is_positive().then_some((i, r))
+        })
+        .collect();
+
+    Selection {
+        case,
+        selected,
+        payment,
+        profit,
+        regrets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::BudgetShape;
+    use metrics::CostBreakdown;
+    use planner::plan::PlanShape;
+    use simcore::SimDuration;
+
+    fn plan(time: f64, price: f64, existing: bool) -> QueryPlan {
+        QueryPlan {
+            shape: PlanShape::Backend,
+            exec_time: SimDuration::from_secs(time),
+            exec_cost: Money::from_dollars(price),
+            exec_breakdown: CostBreakdown::ZERO,
+            uses: vec![],
+            missing: if existing {
+                vec![]
+            } else {
+                vec![cache::StructureKey::Node(0)]
+            },
+            build_cost: Money::ZERO,
+            build_time: SimDuration::ZERO,
+            amortized_cost: Money::ZERO,
+            maintenance_cost: Money::ZERO,
+            price: Money::from_dollars(price),
+        }
+    }
+
+    fn step(amount: f64, t_max: f64) -> BudgetFunction {
+        BudgetFunction::of_shape(
+            BudgetShape::Step,
+            Money::from_dollars(amount),
+            SimDuration::from_secs(t_max),
+        )
+    }
+
+    #[test]
+    fn case_a_when_budget_below_everything() {
+        // Skyline: (1s, $10 possible), (5s, $6 existing).
+        let plans = vec![plan(1.0, 10.0, false), plan(5.0, 6.0, true)];
+        let sel = select_plan(&plans, &step(1.0, 10.0), SelectionObjective::MinProfit);
+        assert_eq!(sel.case, SelectionCase::A);
+        assert_eq!(sel.selected, 1, "cheapest existing plan");
+        assert_eq!(sel.payment, Money::from_dollars(6.0), "pays the price");
+        assert_eq!(sel.profit, Money::ZERO);
+    }
+
+    #[test]
+    fn case_a_regret_for_cheaper_possible_plans() {
+        // Chosen existing costs $6; a possible plan at $2 ⇒ regret $4 (eq. 1).
+        let plans = vec![plan(2.0, 2.0, false), plan(5.0, 6.0, true)];
+        let sel = select_plan(&plans, &step(0.5, 10.0), SelectionObjective::MinProfit);
+        assert_eq!(sel.case, SelectionCase::A);
+        assert_eq!(sel.regrets, vec![(0, Money::from_dollars(4.0))]);
+    }
+
+    #[test]
+    fn case_b_minprofit_credits_smallest_profit() {
+        // Budget $10 flat. Existing plans: (1s, $9) profit 1; (4s, $5) profit 5.
+        let plans = vec![plan(1.0, 9.0, true), plan(4.0, 5.0, true)];
+        let sel = select_plan(&plans, &step(10.0, 10.0), SelectionObjective::MinProfit);
+        assert_eq!(sel.case, SelectionCase::B);
+        assert_eq!(sel.selected, 0);
+        assert_eq!(sel.payment, Money::from_dollars(10.0), "pays B_Q(t)");
+        assert_eq!(sel.profit, Money::from_dollars(1.0));
+    }
+
+    #[test]
+    fn case_b_cheapest_objective() {
+        let plans = vec![plan(1.0, 9.0, true), plan(4.0, 5.0, true)];
+        let sel = select_plan(&plans, &step(10.0, 10.0), SelectionObjective::Cheapest);
+        assert_eq!(sel.selected, 1, "econ-cheap takes the $5 plan");
+        assert_eq!(sel.profit, Money::from_dollars(5.0));
+    }
+
+    #[test]
+    fn case_b_fastest_objective() {
+        let plans = vec![plan(1.0, 9.0, true), plan(4.0, 5.0, true)];
+        let sel = select_plan(&plans, &step(10.0, 10.0), SelectionObjective::Fastest);
+        assert_eq!(sel.selected, 0, "econ-fast takes the 1 s plan");
+    }
+
+    #[test]
+    fn case_b_regret_for_pricier_possible_plans() {
+        // Chosen existing: (4s, $5). Possible: (1s, $8): regret = B(1s)−8 = $2 (eq. 2).
+        let plans = vec![plan(1.0, 8.0, false), plan(4.0, 5.0, true)];
+        let sel = select_plan(&plans, &step(10.0, 10.0), SelectionObjective::Cheapest);
+        assert_eq!(sel.case, SelectionCase::B);
+        assert_eq!(sel.regrets, vec![(0, Money::from_dollars(2.0))]);
+    }
+
+    #[test]
+    fn case_c_restricts_to_affordable_subset() {
+        // Convex budget: $10 at t=0 decaying to 0 at t=10.
+        let budget = BudgetFunction::of_shape(
+            BudgetShape::Convex,
+            Money::from_dollars(10.0),
+            SimDuration::from_secs(10.0),
+        );
+        // (2s, $7 existing): B(2)=8 ≥ 7 affordable.
+        // (8s, $4 existing): B(8)=2 < 4 unaffordable.
+        let plans = vec![plan(2.0, 7.0, true), plan(8.0, 4.0, true)];
+        let sel = select_plan(&plans, &budget, SelectionObjective::Cheapest);
+        assert_eq!(sel.case, SelectionCase::C);
+        assert_eq!(sel.selected, 0, "cheapest *affordable*");
+        assert_eq!(sel.payment, Money::from_dollars(8.0));
+        assert_eq!(sel.profit, Money::from_dollars(1.0));
+    }
+
+    #[test]
+    fn case_c_with_only_possible_affordable_falls_back_to_a() {
+        // The affordable plan needs builds; the existing one is out of
+        // budget. The query must still run: Case-A semantics.
+        let plans = vec![plan(1.0, 2.0, false), plan(5.0, 6.0, true)];
+        let sel = select_plan(&plans, &step(3.0, 10.0), SelectionObjective::MinProfit);
+        assert_eq!(sel.case, SelectionCase::A);
+        assert_eq!(sel.selected, 1);
+        assert_eq!(sel.payment, Money::from_dollars(6.0));
+        // eq. 1 regret for the cheaper possible plan.
+        assert_eq!(sel.regrets, vec![(0, Money::from_dollars(4.0))]);
+    }
+
+    #[test]
+    fn deadline_excludes_slow_plans() {
+        // Both plans cost $1, but the slow one exceeds t_max ⇒ Case C.
+        let plans = vec![plan(1.0, 1.0, true), plan(20.0, 1.0, true)];
+        let sel = select_plan(&plans, &step(5.0, 10.0), SelectionObjective::Cheapest);
+        assert_eq!(sel.case, SelectionCase::C);
+        assert_eq!(sel.selected, 0);
+    }
+
+    #[test]
+    fn no_regret_without_possible_plans() {
+        let plans = vec![plan(1.0, 3.0, true), plan(2.0, 2.0, true)];
+        let sel = select_plan(&plans, &step(5.0, 10.0), SelectionObjective::MinProfit);
+        assert!(sel.regrets.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "P_exist must not be empty")]
+    fn all_possible_plans_rejected() {
+        let plans = vec![plan(1.0, 1.0, false)];
+        let _ = select_plan(&plans, &step(5.0, 10.0), SelectionObjective::MinProfit);
+    }
+}

@@ -1,0 +1,185 @@
+//! Log-bucketed histogram with percentile queries.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with logarithmically spaced buckets, suitable for latencies
+/// spanning milliseconds to hours.
+///
+/// Buckets cover `[min_value, max_value)` with `buckets_per_decade` buckets
+/// per factor of 10; values outside the range clamp to the edge buckets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    min_value: f64,
+    buckets_per_decade: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[min_value, max_value)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_value < max_value` and
+    /// `buckets_per_decade > 0`.
+    #[must_use]
+    pub fn new(min_value: f64, max_value: f64, buckets_per_decade: u32) -> Self {
+        assert!(
+            min_value > 0.0 && max_value > min_value,
+            "need 0 < min < max, got [{min_value}, {max_value})"
+        );
+        assert!(buckets_per_decade > 0, "need at least one bucket per decade");
+        let decades = (max_value / min_value).log10();
+        let n = (decades * f64::from(buckets_per_decade)).ceil() as usize + 1;
+        LogHistogram {
+            min_value,
+            buckets_per_decade: f64::from(buckets_per_decade),
+            counts: vec![0; n],
+            total: 0,
+            underflow: 0,
+        }
+    }
+
+    /// Default latency histogram: 1 ms .. 10⁵ s, 20 buckets per decade.
+    #[must_use]
+    pub fn latency() -> Self {
+        Self::new(1e-3, 1e5, 20)
+    }
+
+    fn bucket_of(&self, x: f64) -> Option<usize> {
+        if x < self.min_value {
+            return None;
+        }
+        let idx = ((x / self.min_value).log10() * self.buckets_per_decade) as usize;
+        Some(idx.min(self.counts.len() - 1))
+    }
+
+    /// Records an observation.
+    ///
+    /// # Panics
+    /// Panics on NaN or negative values.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite() && x >= 0.0, "bad observation {x}");
+        self.total += 1;
+        match self.bucket_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None => self.underflow += 1,
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate `q`-quantile (`q ∈ [0, 1]`); `None` if empty.
+    ///
+    /// Returns the geometric midpoint of the bucket containing the
+    /// quantile, so the error is bounded by the bucket width.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.min_value / 2.0);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let lo = self.min_value * 10f64.powf(i as f64 / self.buckets_per_decade);
+                let hi = self.min_value * 10f64.powf((i + 1) as f64 / self.buckets_per_decade);
+                return Some((lo * hi).sqrt());
+            }
+        }
+        // Rounding left the target unreached; report the top bucket.
+        Some(self.min_value * 10f64.powf(self.counts.len() as f64 / self.buckets_per_decade))
+    }
+
+    /// Median shorthand.
+    #[must_use]
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if geometries differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.min_value, other.min_value, "geometry mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "geometry mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.underflow += other.underflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let mut h = LogHistogram::new(0.01, 1000.0, 40);
+        for i in 1..=1000 {
+            h.record(f64::from(i) / 10.0); // 0.1 .. 100.0 uniformly
+        }
+        assert_eq!(h.count(), 1000);
+        let med = h.median().unwrap();
+        assert!((40.0..63.0).contains(&med), "median {med}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((90.0..110.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let h = LogHistogram::latency();
+        assert!(h.median().is_none());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn extremes_clamp_without_losing_counts() {
+        let mut h = LogHistogram::new(1.0, 10.0, 10);
+        h.record(0.0001); // underflow
+        h.record(1e9); // clamps into top bucket
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.01).unwrap() < 1.0);
+        assert!(h.quantile(1.0).unwrap() >= 10.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LogHistogram::new(0.1, 100.0, 10);
+        let mut b = LogHistogram::new(0.1, 100.0, 10);
+        for _ in 0..100 {
+            a.record(1.0);
+            b.record(10.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        let med = a.median().unwrap();
+        assert!((0.5..15.0).contains(&med));
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_different_geometry() {
+        let mut a = LogHistogram::new(0.1, 100.0, 10);
+        let b = LogHistogram::new(1.0, 100.0, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad observation")]
+    fn negative_rejected() {
+        LogHistogram::latency().record(-1.0);
+    }
+}

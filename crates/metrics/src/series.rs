@@ -1,0 +1,109 @@
+//! Bounded-memory time series for run plots.
+
+use serde::{Deserialize, Serialize};
+
+/// A `(time, value)` series that decimates itself to stay under a point
+/// budget: when full, every other point is dropped and the sampling stride
+/// doubles. Plots keep their shape; memory stays O(budget).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+    budget: usize,
+    stride: u64,
+    seen: u64,
+}
+
+impl TimeSeries {
+    /// Creates a series that holds at most `budget` points (min 16).
+    #[must_use]
+    pub fn new(budget: usize) -> Self {
+        TimeSeries {
+            points: Vec::new(),
+            budget: budget.max(16),
+            stride: 1,
+            seen: 0,
+        }
+    }
+
+    /// Records a point; may be dropped by decimation.
+    ///
+    /// # Panics
+    /// Panics on NaN coordinates.
+    pub fn record(&mut self, t: f64, v: f64) {
+        assert!(!t.is_nan() && !v.is_nan(), "NaN point");
+        let keep = self.seen.is_multiple_of(self.stride);
+        self.seen += 1;
+        if !keep {
+            return;
+        }
+        if self.points.len() >= self.budget {
+            // Drop every other retained point and double the stride.
+            let mut i = 0;
+            self.points.retain(|_| {
+                let keep = i % 2 == 0;
+                i += 1;
+                keep
+            });
+            self.stride *= 2;
+            if !(self.seen - 1).is_multiple_of(self.stride) {
+                return; // current point no longer on the coarser grid
+            }
+        }
+        self.points.push((t, v));
+    }
+
+    /// Retained points, in arrival order.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Total points offered (including decimated ones).
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_series_keeps_everything() {
+        let mut s = TimeSeries::new(100);
+        for i in 0..50 {
+            s.record(f64::from(i), f64::from(i) * 2.0);
+        }
+        assert_eq!(s.points().len(), 50);
+        assert_eq!(s.seen(), 50);
+    }
+
+    #[test]
+    fn decimation_bounds_memory() {
+        let mut s = TimeSeries::new(64);
+        for i in 0..100_000 {
+            s.record(f64::from(i), 1.0);
+        }
+        assert!(s.points().len() <= 64, "kept {}", s.points().len());
+        assert_eq!(s.seen(), 100_000);
+    }
+
+    #[test]
+    fn decimated_series_preserves_time_order_and_span() {
+        let mut s = TimeSeries::new(32);
+        for i in 0..10_000 {
+            s.record(f64::from(i), f64::from(i));
+        }
+        let pts = s.points();
+        assert!(pts.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(pts[0].0, 0.0, "first point always kept");
+        assert!(pts.last().unwrap().0 > 8_000.0, "tail sampled");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        TimeSeries::new(16).record(f64::NAN, 0.0);
+    }
+}

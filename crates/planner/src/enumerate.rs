@@ -1,0 +1,553 @@
+//! Plan enumeration: building `P_Q = P_exist ∪ P_pos` for a query.
+//!
+//! Section IV-B of the paper: *"Upon receiving an incoming query Q, the
+//! cloud considers a set of plans `P_Q`. This set consists of two
+//! non-overlapping subsets: the set of plans that include only existing
+//! cache structures, `P_exist`, and the set of plans that include also
+//! possible new cache structures, `P_pos`."*
+//!
+//! The enumerator emits:
+//!
+//! * the backend plan (always existing — the paper's users "accept query
+//!   execution in the back-end");
+//! * cache scan plans (columns only) at each node count;
+//! * cache index plans (best applicable candidate per table access) at
+//!   each node count.
+//!
+//! Any plan whose structures are not all available *now* carries them in
+//! `missing` with their build cost/time — those plans are `P_pos` and feed
+//! the regret ledger.
+
+use cache::{CacheState, IndexDef, StructureKey};
+use catalog::{ColumnId, Schema};
+use pricing::Money;
+use simcore::{SimDuration, SimTime};
+use workload::{Query, TableAccess};
+
+use crate::estimator::Estimator;
+use crate::plan::{PlanShape, QueryPlan};
+
+/// What the active caching policy lets the enumerator consider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerationOptions {
+    /// Consider index plans (econ-cheap / econ-fast; econ-col and the
+    /// net-only baseline forbid them — Section VII-A).
+    pub allow_indexes: bool,
+    /// Consider multi-node parallel plans (econ-fast's lever).
+    pub allow_extra_nodes: bool,
+    /// Amortisation horizon `n` (eq. 7) applied to newly built structures.
+    pub amortize_n: u64,
+    /// Per-plan maintenance backlog cap: a selected plan pays for at most
+    /// this much accrual per structure (older backlog is written off —
+    /// see `cache::CacheState::settle_maintenance`).
+    pub maint_window: SimDuration,
+}
+
+impl Default for EnumerationOptions {
+    fn default() -> Self {
+        EnumerationOptions {
+            allow_indexes: true,
+            allow_extra_nodes: true,
+            amortize_n: 500,
+            maint_window: SimDuration::from_secs(600.0),
+        }
+    }
+}
+
+/// Everything enumeration needs that outlives a single query.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerContext<'a> {
+    /// The backend schema.
+    pub schema: &'a Schema,
+    /// Candidate indexes (the "65 from DB2" set).
+    pub candidates: &'a [IndexDef],
+    /// The cost model.
+    pub estimator: &'a Estimator,
+}
+
+/// Picks the candidate index that minimises the access's read volume, if
+/// any candidate serves one of its predicates.
+fn best_index_for<'a>(
+    ctx: &PlannerContext<'a>,
+    access: &TableAccess,
+) -> Option<&'a IndexDef> {
+    let mut best: Option<(&IndexDef, f64)> = None;
+    for idx in ctx.candidates {
+        if idx.table != access.table {
+            continue;
+        }
+        if !access.predicate_columns.iter().any(|&p| idx.serves_predicate(p)) {
+            continue;
+        }
+        // Score: bytes read through this index (entry + uncovered fetch).
+        let rows = ctx.schema.table(access.table).row_count as f64;
+        let entry: u64 = idx
+            .key_columns
+            .iter()
+            .map(|&c| ctx.schema.column(c).byte_width())
+            .sum::<u64>()
+            + cache::ROW_LOCATOR_BYTES;
+        let uncovered: u64 = access
+            .columns
+            .iter()
+            .filter(|c| !idx.key_columns.contains(c))
+            .map(|&c| ctx.schema.column(c).byte_width())
+            .sum();
+        let bytes = rows * access.selectivity * (entry + uncovered) as f64;
+        match best {
+            Some((_, b)) if b <= bytes => {}
+            _ => best = Some((idx, bytes)),
+        }
+    }
+    best.map(|(idx, _)| idx)
+}
+
+/// Enumerates all plans for `query` against the current cache state.
+///
+/// Returned plans are *not* yet skyline-filtered; the economy applies
+/// [`crate::skyline_filter`] after the policy's own filtering.
+#[must_use]
+pub fn enumerate_plans(
+    ctx: &PlannerContext<'_>,
+    query: &Query,
+    cache: &CacheState,
+    now: SimTime,
+    opts: EnumerationOptions,
+) -> Vec<QueryPlan> {
+    assert!(opts.amortize_n > 0, "amortization horizon must be positive");
+    let mut plans = Vec::with_capacity(2 * ctx.estimator.params().node_options.len() + 1);
+
+    // --- Backend plan (always P_exist). ---
+    let backend_est = ctx.estimator.backend_execution(ctx.schema, query);
+    let (backend_cost, backend_breakdown) = ctx.estimator.price_execution(&backend_est);
+    plans.push(QueryPlan {
+        shape: PlanShape::Backend,
+        exec_time: backend_est.time,
+        exec_cost: backend_cost,
+        exec_breakdown: backend_breakdown,
+        uses: vec![],
+        missing: vec![],
+        build_cost: Money::ZERO,
+        build_time: SimDuration::ZERO,
+        amortized_cost: Money::ZERO,
+        maintenance_cost: Money::ZERO,
+        price: backend_cost,
+    });
+
+    // --- Cache plans. ---
+    let index_variants: Vec<Vec<Option<&IndexDef>>> = {
+        let scan_only: Vec<Option<&IndexDef>> = vec![None; query.accesses.len()];
+        let mut variants = vec![scan_only];
+        if opts.allow_indexes {
+            let indexed: Vec<Option<&IndexDef>> = query
+                .accesses
+                .iter()
+                .map(|a| best_index_for(ctx, a))
+                .collect();
+            if indexed.iter().any(Option::is_some) {
+                variants.push(indexed);
+            }
+        }
+        variants
+    };
+
+    for indexes in &index_variants {
+        for &k in &ctx.estimator.params().node_options {
+            if k > 1 && !opts.allow_extra_nodes {
+                continue;
+            }
+            plans.push(cache_plan(ctx, query, cache, now, opts, indexes, k));
+        }
+    }
+    plans
+}
+
+/// Builds one fully costed cache plan.
+fn cache_plan(
+    ctx: &PlannerContext<'_>,
+    query: &Query,
+    cache: &CacheState,
+    now: SimTime,
+    opts: EnumerationOptions,
+    indexes: &[Option<&IndexDef>],
+    nodes: u32,
+) -> QueryPlan {
+    let est = ctx.estimator.cache_execution(ctx.schema, query, indexes, nodes);
+    let (exec_cost, exec_breakdown) = ctx.estimator.price_execution(&est);
+
+    // Structures employed: every accessed column, each assigned index, and
+    // the extra nodes beyond the base one.
+    let mut uses: Vec<StructureKey> = Vec::new();
+    let mut seen_cols: Vec<ColumnId> = Vec::new();
+    for access in &query.accesses {
+        for &c in &access.columns {
+            if !seen_cols.contains(&c) {
+                seen_cols.push(c);
+                uses.push(StructureKey::Column(c));
+            }
+        }
+    }
+    for idx in indexes.iter().flatten() {
+        uses.push(StructureKey::Index(idx.id));
+        // Index keys that are not projected still need... nothing: the
+        // index itself materialises them. (Covered columns read from it.)
+    }
+    for ordinal in 0..nodes.saturating_sub(1) {
+        uses.push(StructureKey::Node(ordinal));
+    }
+
+    // Split into existing (available now) vs missing.
+    let mut missing: Vec<StructureKey> = Vec::new();
+    for &key in &uses {
+        if !cache.is_available(key, now) {
+            missing.push(key);
+        }
+    }
+
+    // Build cost/time for the missing set. Builds run concurrently, so the
+    // build time is the max; index builds treat columns that are being
+    // fetched by this same plan as present (no double fetch charge).
+    let missing_cols: Vec<ColumnId> = missing
+        .iter()
+        .filter_map(|k| match k {
+            StructureKey::Column(c) => Some(*c),
+            _ => None,
+        })
+        .collect();
+    let mut build_cost = Money::ZERO;
+    let mut build_time = SimDuration::ZERO;
+    for &key in &missing {
+        let (cost, time) = match key {
+            StructureKey::Column(c) => ctx.estimator.build_column(ctx.schema, c),
+            StructureKey::Index(id) => {
+                let def = &ctx.candidates[id.index()];
+                ctx.estimator.build_index(ctx.schema, def, |c| {
+                    cache.contains(StructureKey::Column(c)) || missing_cols.contains(&c)
+                })
+            }
+            StructureKey::Node(_) => ctx.estimator.build_node(),
+        };
+        build_cost += cost;
+        if time > build_time {
+            build_time = time;
+        }
+    }
+
+    // Amortisation: existing structures charge their pending installment;
+    // missing ones would charge their first installment (build / n).
+    let mut amortized = Money::ZERO;
+    for &key in &uses {
+        if let Some(s) = cache.get(key) {
+            if s.is_available(now) {
+                amortized += s.amortization_due();
+            }
+        }
+    }
+    for &key in &missing {
+        let this_build = match key {
+            StructureKey::Column(c) => ctx.estimator.build_column(ctx.schema, c).0,
+            StructureKey::Index(id) => {
+                let def = &ctx.candidates[id.index()];
+                ctx.estimator
+                    .build_index(ctx.schema, def, |c| {
+                        cache.contains(StructureKey::Column(c)) || missing_cols.contains(&c)
+                    })
+                    .0
+            }
+            StructureKey::Node(_) => ctx.estimator.build_node().0,
+        };
+        amortized += this_build.amortize_over(opts.amortize_n);
+    }
+
+    // Maintenance accrued since each used existing structure last paid
+    // (footnote 3), capped at the backlog window — must quote exactly what
+    // `CacheState::settle_maintenance` will charge. Missing structures owe
+    // none yet.
+    let mut maintenance = Money::ZERO;
+    for &key in &uses {
+        if let Some(s) = cache.get(key) {
+            if s.is_available(now) {
+                let span = now.saturating_since(s.maint_paid_until).min(opts.maint_window);
+                maintenance += ctx.estimator.maintenance(s, span);
+            }
+        }
+    }
+
+    let price = exec_cost + amortized + maintenance;
+    QueryPlan {
+        shape: PlanShape::Cache {
+            indexes: indexes.iter().map(|o| o.map(|i| i.id)).collect(),
+            nodes,
+        },
+        exec_time: est.time,
+        exec_cost,
+        exec_breakdown,
+        uses,
+        missing,
+        build_cost,
+        build_time,
+        amortized_cost: amortized,
+        maintenance_cost: maintenance,
+        price,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::generate_candidates;
+    use crate::estimator::CostParams;
+    use catalog::tpch::{tpch_schema, ScaleFactor};
+    use pricing::PriceCatalog;
+    use simcore::NetworkModel;
+    use std::sync::Arc;
+    use workload::{paper_templates, WorkloadConfig, WorkloadGenerator};
+
+    struct Fixture {
+        schema: Arc<Schema>,
+        candidates: Vec<IndexDef>,
+        estimator: Estimator,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let schema = Arc::new(tpch_schema(ScaleFactor(10.0)));
+            let templates = paper_templates(&schema);
+            let candidates = generate_candidates(&schema, &templates, 65);
+            let estimator = Estimator::new(
+                CostParams::default(),
+                PriceCatalog::ec2_2009(),
+                NetworkModel::paper_sdss(),
+            );
+            Fixture {
+                schema,
+                candidates,
+                estimator,
+            }
+        }
+
+        fn ctx(&self) -> PlannerContext<'_> {
+            PlannerContext {
+                schema: &self.schema,
+                candidates: &self.candidates,
+                estimator: &self.estimator,
+            }
+        }
+
+        fn query(&self, seed: u64) -> Query {
+            WorkloadGenerator::new(Arc::clone(&self.schema), WorkloadConfig::default(), seed)
+                .next_query()
+        }
+    }
+
+    #[test]
+    fn backend_plan_always_present_and_existing() {
+        let f = Fixture::new();
+        let q = f.query(1);
+        let plans = enumerate_plans(
+            &f.ctx(),
+            &q,
+            &CacheState::new(),
+            SimTime::ZERO,
+            EnumerationOptions::default(),
+        );
+        let backend: Vec<&QueryPlan> = plans
+            .iter()
+            .filter(|p| p.shape == PlanShape::Backend)
+            .collect();
+        assert_eq!(backend.len(), 1);
+        assert!(backend[0].is_existing());
+        assert!(backend[0].price.is_positive());
+    }
+
+    #[test]
+    fn cold_cache_makes_cache_plans_possible_not_existing() {
+        let f = Fixture::new();
+        let q = f.query(2);
+        let plans = enumerate_plans(
+            &f.ctx(),
+            &q,
+            &CacheState::new(),
+            SimTime::ZERO,
+            EnumerationOptions::default(),
+        );
+        for p in plans.iter().filter(|p| p.shape != PlanShape::Backend) {
+            assert!(!p.is_existing(), "cold cache: {:?}", p.shape);
+            assert!(p.build_cost.is_positive());
+            assert!(!p.build_time.is_zero());
+        }
+    }
+
+    #[test]
+    fn node_counts_follow_options() {
+        let f = Fixture::new();
+        let q = f.query(3);
+        let all = enumerate_plans(
+            &f.ctx(),
+            &q,
+            &CacheState::new(),
+            SimTime::ZERO,
+            EnumerationOptions::default(),
+        );
+        let max_nodes = all.iter().map(|p| p.shape.cache_nodes()).max().unwrap();
+        assert_eq!(max_nodes, 5, "node_options = [1,3,5]");
+
+        let no_parallel = enumerate_plans(
+            &f.ctx(),
+            &q,
+            &CacheState::new(),
+            SimTime::ZERO,
+            EnumerationOptions {
+                allow_extra_nodes: false,
+                ..EnumerationOptions::default()
+            },
+        );
+        assert!(no_parallel.iter().all(|p| p.shape.cache_nodes() <= 1));
+    }
+
+    #[test]
+    fn index_plans_obey_the_policy_switch() {
+        let f = Fixture::new();
+        let q = f.query(4);
+        let with = enumerate_plans(
+            &f.ctx(),
+            &q,
+            &CacheState::new(),
+            SimTime::ZERO,
+            EnumerationOptions::default(),
+        );
+        assert!(with.iter().any(|p| p.shape.uses_indexes()));
+        let without = enumerate_plans(
+            &f.ctx(),
+            &q,
+            &CacheState::new(),
+            SimTime::ZERO,
+            EnumerationOptions {
+                allow_indexes: false,
+                ..EnumerationOptions::default()
+            },
+        );
+        assert!(without.iter().all(|p| !p.shape.uses_indexes()));
+    }
+
+    #[test]
+    fn warm_cache_moves_plans_to_exist() {
+        let f = Fixture::new();
+        let q = f.query(5);
+        let mut cache = CacheState::new();
+        let now = SimTime::from_secs(100.0);
+        for c in q.all_columns() {
+            let size = f.schema.column_bytes(c);
+            cache.install(
+                StructureKey::Column(c),
+                size,
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                Money::from_dollars(1.0),
+                100,
+            );
+        }
+        let plans = enumerate_plans(&f.ctx(), &q, &cache, now, EnumerationOptions::default());
+        let scan_1 = plans
+            .iter()
+            .find(|p| {
+                matches!(&p.shape, PlanShape::Cache { indexes, nodes: 1 }
+                    if indexes.iter().all(Option::is_none))
+            })
+            .expect("scan plan");
+        assert!(scan_1.is_existing(), "all columns cached");
+        assert!(
+            scan_1.amortized_cost.is_positive(),
+            "installments due on fresh structures"
+        );
+        assert!(
+            scan_1.maintenance_cost.is_positive(),
+            "100 s of disk maintenance accrued"
+        );
+        assert_eq!(
+            scan_1.price,
+            scan_1.exec_cost + scan_1.amortized_cost + scan_1.maintenance_cost
+        );
+    }
+
+    #[test]
+    fn structures_still_building_stay_missing() {
+        let f = Fixture::new();
+        let q = f.query(6);
+        let mut cache = CacheState::new();
+        let col = q.all_columns().next().unwrap();
+        cache.install(
+            StructureKey::Column(col),
+            100,
+            SimTime::ZERO,
+            SimDuration::from_secs(1_000.0), // becomes available at t=1000
+            Money::ZERO,
+            10,
+        );
+        let plans = enumerate_plans(
+            &f.ctx(),
+            &q,
+            &cache,
+            SimTime::from_secs(10.0),
+            EnumerationOptions::default(),
+        );
+        for p in plans.iter().filter(|p| p.shape != PlanShape::Backend) {
+            assert!(
+                p.missing.contains(&StructureKey::Column(col)),
+                "in-flight builds are not usable"
+            );
+        }
+    }
+
+    #[test]
+    fn faster_plans_cost_more_cpu_money() {
+        let f = Fixture::new();
+        let q = f.query(7);
+        let plans = enumerate_plans(
+            &f.ctx(),
+            &q,
+            &CacheState::new(),
+            SimTime::ZERO,
+            EnumerationOptions::default(),
+        );
+        let scan = |k: u32| {
+            plans
+                .iter()
+                .find(|p| {
+                    matches!(&p.shape, PlanShape::Cache { indexes, nodes }
+                        if *nodes == k && indexes.iter().all(Option::is_none))
+                })
+                .unwrap()
+        };
+        let (s1, s3) = (scan(1), scan(3));
+        assert!(s3.exec_time < s1.exec_time, "3 nodes are faster");
+        assert!(
+            s3.exec_breakdown.cpu > s1.exec_breakdown.cpu,
+            "parallel overhead costs CPU money"
+        );
+    }
+
+    #[test]
+    fn uses_lists_are_duplicate_free() {
+        let f = Fixture::new();
+        for seed in 0..20 {
+            let q = f.query(seed);
+            let plans = enumerate_plans(
+                &f.ctx(),
+                &q,
+                &CacheState::new(),
+                SimTime::ZERO,
+                EnumerationOptions::default(),
+            );
+            for p in &plans {
+                let mut u = p.uses.clone();
+                u.sort();
+                u.dedup();
+                assert_eq!(u.len(), p.uses.len(), "duplicate in uses: {:?}", p.uses);
+                for m in &p.missing {
+                    assert!(p.uses.contains(m), "missing ⊆ uses violated");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # planner — plan enumeration and the full resource cost model
+//!
+//! This crate plays the role of the paper's query optimizer plus its cost
+//! model (Sections IV-D and V):
+//!
+//! * [`estimator`] — eq. 8 (cache execution), eq. 9 (backend + network
+//!   execution) and eqs. 10–15 (structure build & maintenance costs), all
+//!   parameterised by [`estimator::CostParams`] whose defaults reproduce
+//!   the paper's setup (`l_cpu = 1`, `f_n = 1`, `l = 0`, 25 Mbps,
+//!   `f_cpu = 0.014`).
+//! * [`scaling`] — the multi-node speed-up law calibrated to the paper's
+//!   SDSS measurement: "a query can be sped up 2× using only 25 % extra
+//!   CPU overhead using 3 CPU nodes in parallel".
+//! * [`candidates`] — the candidate-index generator standing in for DB2's
+//!   "recommend indexes" mode (the paper uses its top 65 candidates).
+//! * [`enumerate`] — produces the plan set `P_Q = P_exist ∪ P_pos` for a
+//!   query against the current cache state.
+//! * [`skyline`] — keeps only the (time, price)-Pareto plans, as the
+//!   paper's footnote 2 prescribes.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod candidates;
+pub mod enumerate;
+pub mod estimator;
+pub mod plan;
+pub mod skyline;
+pub mod scaling;
+
+pub use candidates::generate_candidates;
+pub use enumerate::{enumerate_plans, EnumerationOptions, PlannerContext};
+pub use estimator::{CostParams, Estimator};
+pub use plan::{PlanShape, QueryPlan};
+pub use scaling::ParallelModel;
+pub use skyline::skyline_filter;

@@ -1,0 +1,120 @@
+//! Skyline (Pareto) filtering of plans.
+//!
+//! Footnote 2 of the paper: *"We assume that `P_Q` holds only the skyline
+//! query plans (w.r.t. execution time and overall cost); i.e. if there are
+//! two plans with the same execution time, only the cheapest one is
+//! encompassed."* A plan is kept iff no other plan is at least as fast
+//! *and* at least as cheap (with one strict).
+
+use crate::plan::QueryPlan;
+
+/// Reduces `plans` to its (time, price) skyline.
+///
+/// Ties: among plans with equal time and equal price, the earlier one in
+/// the input is kept (stable), so enumeration order breaks ties
+/// deterministically. The result is sorted by ascending execution time
+/// (hence strictly descending price), which is exactly the discrete
+/// `B_PQ(t)` budget function of Section IV-C.
+#[must_use]
+pub fn skyline_filter(mut plans: Vec<QueryPlan>) -> Vec<QueryPlan> {
+    if plans.is_empty() {
+        return plans;
+    }
+    // Sort by time asc, then price asc, preserving input order on full ties.
+    plans.sort_by(|a, b| {
+        a.exec_time
+            .cmp(&b.exec_time)
+            .then(a.price.cmp(&b.price))
+    });
+    let mut out: Vec<QueryPlan> = Vec::with_capacity(plans.len());
+    for plan in plans {
+        match out.last() {
+            // Strictly cheaper than everything faster-or-equal so far.
+            Some(last) if plan.price >= last.price => {}
+            _ => out.push(plan),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanShape;
+    use metrics::CostBreakdown;
+    use pricing::Money;
+    use simcore::SimDuration;
+
+    fn plan(time: f64, price: f64) -> QueryPlan {
+        QueryPlan {
+            shape: PlanShape::Backend,
+            exec_time: SimDuration::from_secs(time),
+            exec_cost: Money::from_dollars(price),
+            exec_breakdown: CostBreakdown::ZERO,
+            uses: vec![],
+            missing: vec![],
+            build_cost: Money::ZERO,
+            build_time: SimDuration::ZERO,
+            amortized_cost: Money::ZERO,
+            maintenance_cost: Money::ZERO,
+            price: Money::from_dollars(price),
+        }
+    }
+
+    fn shape(plans: &[QueryPlan]) -> Vec<(f64, f64)> {
+        plans
+            .iter()
+            .map(|p| (p.exec_time.as_secs(), p.price.as_dollars()))
+            .collect()
+    }
+
+    #[test]
+    fn dominated_plans_removed() {
+        let out = skyline_filter(vec![
+            plan(1.0, 10.0),
+            plan(2.0, 12.0), // dominated: slower AND pricier
+            plan(3.0, 5.0),
+        ]);
+        assert_eq!(shape(&out), vec![(1.0, 10.0), (3.0, 5.0)]);
+    }
+
+    #[test]
+    fn equal_time_keeps_cheapest() {
+        let out = skyline_filter(vec![plan(1.0, 10.0), plan(1.0, 8.0), plan(1.0, 9.0)]);
+        assert_eq!(shape(&out), vec![(1.0, 8.0)]);
+    }
+
+    #[test]
+    fn equal_price_keeps_fastest() {
+        let out = skyline_filter(vec![plan(2.0, 5.0), plan(1.0, 5.0)]);
+        assert_eq!(shape(&out), vec![(1.0, 5.0)]);
+    }
+
+    #[test]
+    fn skyline_is_time_sorted_and_price_descending() {
+        let out = skyline_filter(vec![
+            plan(5.0, 1.0),
+            plan(1.0, 9.0),
+            plan(3.0, 4.0),
+            plan(2.0, 6.0),
+            plan(4.0, 2.0),
+        ]);
+        let s = shape(&out);
+        assert!(s.windows(2).all(|w| w[0].0 < w[1].0), "time ascending");
+        assert!(s.windows(2).all(|w| w[0].1 > w[1].1), "price descending");
+        assert_eq!(s.len(), 5, "a proper staircase survives intact");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(skyline_filter(vec![]).is_empty());
+        let out = skyline_filter(vec![plan(1.0, 1.0)]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn single_dominating_plan_wins() {
+        let out = skyline_filter(vec![plan(2.0, 2.0), plan(1.0, 1.0), plan(3.0, 3.0)]);
+        assert_eq!(shape(&out), vec![(1.0, 1.0)]);
+    }
+}

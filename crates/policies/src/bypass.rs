@@ -1,0 +1,399 @@
+//! The net-only baseline: bypass-yield caching.
+//!
+//! Section VII-A: *"The proposed economic model is compared with
+//! bypass-yield cache. The latter is emulated by associating cost only
+//! with network bandwidth, therefore setting costs for CPU, disk and I/O
+//! to zero. This cache, denoted as net-only, tries to reduce the network
+//! bandwidth and caches only table columns. The experiments employ the
+//! ideal cache size for net-only, which is 30 % of the total database
+//! size. The net-only cache avoids using indexes."*
+//!
+//! Mechanism (after Malik, Burns & Chaudhary, ICDE 2005): every query
+//! answered at the back-end ships its result over the WAN; each column
+//! the query *would have needed* in the cache accrues that shipped volume
+//! as **yield credit**. Once a column's credit exceeds its own size,
+//! loading it is cheaper (in network bytes) than continuing to bypass, so
+//! the column is fetched — subject to the 30 % capacity cap, evicting the
+//! lowest credit-per-byte columns when full.
+//!
+//! Decisions use network bytes only; the *simulator* still books the real
+//! CPU/disk/I/O the executions consume — that asymmetry is precisely the
+//! comparison Fig. 4 draws.
+
+use std::collections::HashMap;
+
+use cache::Occupancy;
+use catalog::ColumnId;
+use planner::PlannerContext;
+use pricing::Money;
+use simcore::{SimDuration, SimTime};
+use workload::Query;
+
+use crate::policy::{CachePolicy, PolicyOutcome};
+
+/// State of one cached column.
+#[derive(Debug, Clone)]
+struct CachedColumn {
+    size: u64,
+    available_at: SimTime,
+    credit: f64,
+}
+
+/// The bypass-yield (net-only) baseline policy.
+#[derive(Debug)]
+pub struct BypassYieldPolicy {
+    capacity: u64,
+    cached: HashMap<ColumnId, CachedColumn>,
+    credit: HashMap<ColumnId, f64>,
+    occupancy: Occupancy,
+    evictions_pending: u32,
+}
+
+impl BypassYieldPolicy {
+    /// Creates a bypass cache capped at `cache_fraction` of the database
+    /// (the paper uses 0.30).
+    ///
+    /// # Panics
+    /// Panics unless `0 < cache_fraction <= 1`.
+    #[must_use]
+    pub fn new(schema: &catalog::Schema, cache_fraction: f64) -> Self {
+        assert!(
+            cache_fraction > 0.0 && cache_fraction <= 1.0,
+            "cache fraction {cache_fraction} out of (0, 1]"
+        );
+        let capacity = (schema.total_bytes() as f64 * cache_fraction) as u64;
+        BypassYieldPolicy {
+            capacity,
+            cached: HashMap::new(),
+            credit: HashMap::new(),
+            occupancy: Occupancy::new(),
+            evictions_pending: 0,
+        }
+    }
+
+    /// The paper's configuration: 30 % of the database.
+    #[must_use]
+    pub fn paper(schema: &catalog::Schema) -> Self {
+        Self::new(schema, 0.30)
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of columns currently cached (including in-flight loads).
+    #[must_use]
+    pub fn cached_columns(&self) -> usize {
+        self.cached.len()
+    }
+
+    fn all_available(&self, query: &Query, now: SimTime) -> bool {
+        query.all_columns().all(|c| {
+            self.cached
+                .get(&c)
+                .is_some_and(|col| col.available_at <= now)
+        })
+    }
+
+    /// Considers loading `column`; returns bytes transferred if loaded.
+    fn maybe_load(
+        &mut self,
+        ctx: &PlannerContext<'_>,
+        column: ColumnId,
+        now: SimTime,
+    ) -> u64 {
+        if self.cached.contains_key(&column) {
+            return 0;
+        }
+        let size = ctx.schema.column_bytes(column);
+        let credit = self.credit.get(&column).copied().unwrap_or(0.0);
+        if credit < size as f64 || size > self.capacity {
+            return 0;
+        }
+        // Evict lowest credit-per-byte columns until the newcomer fits —
+        // but never evict anything *denser* than the newcomer.
+        let new_density = credit / size as f64;
+        while self.occupancy.bytes() + size > self.capacity {
+            let victim = self
+                .cached
+                .iter()
+                .map(|(&c, col)| (c, col.credit / col.size as f64))
+                .filter(|&(_, density)| density <= new_density)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .map(|(c, _)| c);
+            match victim {
+                Some(c) => {
+                    let col = self.cached.remove(&c).expect("present");
+                    self.occupancy.remove(now, col.size);
+                    self.evictions_pending += 1;
+                    // The evicted column keeps half its credit: it was
+                    // useful recently and may earn its way back.
+                    self.credit.insert(c, col.credit * 0.5);
+                }
+                None => return 0, // newcomer is the least dense — bypass
+            }
+        }
+        let transfer = ctx.estimator.network().transfer_time(size);
+        self.occupancy.add(now, size);
+        self.cached.insert(
+            column,
+            CachedColumn {
+                size,
+                available_at: now + transfer,
+                credit,
+            },
+        );
+        self.credit.remove(&column);
+        size
+    }
+}
+
+impl CachePolicy for BypassYieldPolicy {
+    fn name(&self) -> &'static str {
+        "bypass"
+    }
+
+    fn process_query(
+        &mut self,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        now: SimTime,
+    ) -> PolicyOutcome {
+        self.occupancy.advance(now);
+        let evictions = std::mem::take(&mut self.evictions_pending);
+
+        if self.all_available(query, now) {
+            // Answer in the cache: single node, column scans only.
+            let est = ctx.estimator.cache_execution(
+                ctx.schema,
+                query,
+                &vec![None; query.accesses.len()],
+                1,
+            );
+            for c in query.all_columns() {
+                if let Some(col) = self.cached.get_mut(&c) {
+                    col.credit += query.result_bytes as f64 / query.column_count() as f64;
+                }
+            }
+            let (exec_cost, exec_breakdown) = ctx.estimator.price_execution(&est);
+            return PolicyOutcome {
+                response_time: est.time,
+                ran_in_cache: true,
+                exec_breakdown,
+                build_spend: Money::ZERO,
+                payment: exec_cost,
+                profit: Money::ZERO,
+                investments: 0,
+                evictions,
+            };
+        }
+
+        // Bypass: answer at the back-end, ship the result. Each needed
+        // column accrues the shipped bytes as yield credit.
+        let est = ctx.estimator.backend_execution(ctx.schema, query);
+        let share = query.result_bytes as f64 / query.column_count().max(1) as f64;
+        let columns: Vec<ColumnId> = query.all_columns().collect();
+        for &c in &columns {
+            if !self.cached.contains_key(&c) {
+                *self.credit.entry(c).or_insert(0.0) += share;
+            }
+        }
+        // Load any column whose credit now covers its size.
+        let mut build_bytes = 0u64;
+        let mut investments = 0u32;
+        for &c in &columns {
+            let loaded = self.maybe_load(ctx, c, now);
+            if loaded > 0 {
+                build_bytes += loaded;
+                investments += 1;
+            }
+        }
+        let (exec_cost, exec_breakdown) = ctx.estimator.price_execution(&est);
+        // Column loads are network transfers the cloud pays for now.
+        let build_spend = ctx.estimator.prices().rates.transfer_cost(build_bytes);
+        let evictions_total = evictions + std::mem::take(&mut self.evictions_pending);
+        PolicyOutcome {
+            response_time: est.time,
+            ran_in_cache: false,
+            exec_breakdown,
+            build_spend,
+            payment: exec_cost,
+            profit: Money::ZERO,
+            investments,
+            evictions: evictions_total,
+        }
+    }
+
+    fn disk_used(&self) -> u64 {
+        self.occupancy.bytes()
+    }
+
+    fn disk_byte_seconds(&self) -> f64 {
+        self.occupancy.byte_seconds()
+    }
+
+    fn active_extra_nodes(&self, _now: SimTime) -> u32 {
+        0 // bypass never boots extra nodes
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.occupancy.advance(now);
+    }
+}
+
+/// Convenience: response time the bypass cache would deliver for a fully
+/// cached query (used by tests).
+#[must_use]
+pub fn cached_response(ctx: &PlannerContext<'_>, query: &Query) -> SimDuration {
+    ctx.estimator
+        .cache_execution(ctx.schema, query, &vec![None; query.accesses.len()], 1)
+        .time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalog::tpch::{tpch_schema, ScaleFactor};
+    use planner::{generate_candidates, CostParams, Estimator};
+    use pricing::PriceCatalog;
+    use simcore::NetworkModel;
+    use std::sync::Arc;
+    use workload::{paper_templates, WorkloadConfig, WorkloadGenerator};
+
+    struct Fx {
+        schema: Arc<catalog::Schema>,
+        candidates: Vec<cache::IndexDef>,
+        estimator: Estimator,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            let schema = Arc::new(tpch_schema(ScaleFactor(1.0)));
+            let templates = paper_templates(&schema);
+            let candidates = generate_candidates(&schema, &templates, 65);
+            let estimator = Estimator::new(
+                CostParams::default(),
+                PriceCatalog::network_only(),
+                NetworkModel::paper_sdss(),
+            );
+            Fx {
+                schema,
+                candidates,
+                estimator,
+            }
+        }
+        fn ctx(&self) -> PlannerContext<'_> {
+            PlannerContext {
+                schema: &self.schema,
+                candidates: &self.candidates,
+                estimator: &self.estimator,
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_30_percent_of_db() {
+        let fx = Fx::new();
+        let p = BypassYieldPolicy::paper(&fx.schema);
+        let expected = (fx.schema.total_bytes() as f64 * 0.30) as u64;
+        assert_eq!(p.capacity(), expected);
+    }
+
+    #[test]
+    fn cold_cache_bypasses_to_backend() {
+        let fx = Fx::new();
+        let mut p = BypassYieldPolicy::paper(&fx.schema);
+        let mut gen =
+            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 1);
+        let q = gen.next_query();
+        let o = p.process_query(&fx.ctx(), &q, SimTime::from_secs(1.0));
+        assert!(!o.ran_in_cache);
+        assert!(o.exec_breakdown.network.is_positive(), "result shipped");
+    }
+
+    #[test]
+    fn repeated_queries_eventually_load_columns() {
+        let fx = Fx::new();
+        let mut p = BypassYieldPolicy::paper(&fx.schema);
+        let ctx = fx.ctx();
+        let mut gen =
+            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 2);
+        let mut loaded = 0u32;
+        for i in 0..5000 {
+            let q = gen.next_query();
+            let o = p.process_query(&ctx, &q, SimTime::from_secs((i + 1) as f64));
+            loaded += o.investments;
+        }
+        assert!(loaded > 0, "yield credits must eventually load columns");
+        assert!(p.disk_used() > 0);
+        assert!(p.disk_used() <= p.capacity(), "cap respected");
+    }
+
+    #[test]
+    fn cache_hits_after_warmup() {
+        let fx = Fx::new();
+        let mut p = BypassYieldPolicy::paper(&fx.schema);
+        let ctx = fx.ctx();
+        let mut gen =
+            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 3);
+        let mut hits_late = 0;
+        for i in 0..8000 {
+            let q = gen.next_query();
+            let o = p.process_query(&ctx, &q, SimTime::from_secs((i + 1) as f64));
+            if i >= 6000 && o.ran_in_cache {
+                hits_late += 1;
+            }
+        }
+        assert!(hits_late > 0, "warm bypass cache must serve hits");
+    }
+
+    #[test]
+    fn in_flight_loads_are_not_usable() {
+        let fx = Fx::new();
+        let mut p = BypassYieldPolicy::new(&fx.schema, 1.0);
+        let ctx = fx.ctx();
+        // Force-load a column by seeding massive credit, then check the
+        // very next query at the same instant still bypasses.
+        let mut gen =
+            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 4);
+        let q = gen.next_query();
+        for c in q.all_columns() {
+            p.credit.insert(c, f64::MAX / 4.0);
+        }
+        let o = p.process_query(&ctx, &q, SimTime::from_secs(1.0));
+        assert!(!o.ran_in_cache);
+        assert!(o.investments > 0, "loads kicked off");
+        let o2 = p.process_query(&ctx, &q, SimTime::from_secs(1.0));
+        assert!(!o2.ran_in_cache, "transfer still in flight");
+        // After the transfer window the cache serves it.
+        let o3 = p.process_query(&ctx, &q, SimTime::from_secs(1e7));
+        assert!(o3.ran_in_cache);
+    }
+
+    #[test]
+    fn eviction_respects_density_order() {
+        let fx = Fx::new();
+        // Tiny cache: only one small column fits at a time.
+        let mut p = BypassYieldPolicy::new(&fx.schema, 0.001);
+        assert_eq!(p.cached_columns(), 0);
+        assert!(p.capacity() > 0);
+        // The policy must never exceed its cap no matter the workload.
+        let ctx = fx.ctx();
+        let mut gen =
+            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 5);
+        for i in 0..3000 {
+            let q = gen.next_query();
+            let _ = p.process_query(&ctx, &q, SimTime::from_secs((i + 1) as f64));
+            assert!(p.disk_used() <= p.capacity());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn zero_fraction_rejected() {
+        let fx = Fx::new();
+        let _ = BypassYieldPolicy::new(&fx.schema, 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # policies — the four caching schemes of Section VII-A
+//!
+//! The paper's evaluation compares:
+//!
+//! * **bypass / net-only** ([`bypass::BypassYieldPolicy`]) — an emulation
+//!   of bypass-yield caching (Malik et al., ICDE 2005): decisions consider
+//!   *only network bandwidth* ("setting costs for CPU, disk and I/O to
+//!   zero"), only table columns are cached, the cache is capped at 30 % of
+//!   the database ("the ideal cache size for net-only"), and no indexes or
+//!   extra nodes are used.
+//! * **econ-col** ([`econ_policy::EconPolicy::econ_col`]) — the economic
+//!   model restricted to cached columns (no indexes, no extra nodes).
+//! * **econ-cheap** ([`econ_policy::EconPolicy::econ_cheap`]) — full
+//!   economy, picks the cheapest affordable plan.
+//! * **econ-fast** ([`econ_policy::EconPolicy::econ_fast`]) — full
+//!   economy, picks the fastest affordable plan.
+//!
+//! All four implement [`policy::CachePolicy`], which the simulator drives;
+//! *decisions* may ignore resources (bypass), but the simulator books the
+//! *actual* resource consumption of whatever ran — that distinction is
+//! exactly what Fig. 4 measures.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bypass;
+pub mod econ_policy;
+pub mod policy;
+
+pub use bypass::BypassYieldPolicy;
+pub use econ_policy::EconPolicy;
+pub use policy::{CachePolicy, PolicyOutcome};

@@ -1,0 +1,60 @@
+//! The policy interface the simulator drives.
+
+use metrics::CostBreakdown;
+use planner::PlannerContext;
+use pricing::Money;
+use simcore::{SimDuration, SimTime};
+use workload::Query;
+
+/// What one query did, as far as the simulator's accounting cares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyOutcome {
+    /// Wall-clock response time delivered to the user.
+    pub response_time: SimDuration,
+    /// True if the query ran in the cache (vs the back-end).
+    pub ran_in_cache: bool,
+    /// Resource cost of the execution itself (CPU / I/O / network),
+    /// booked by the simulator into the operating cost.
+    pub exec_breakdown: CostBreakdown,
+    /// Money spent right now building structures (column transfers, index
+    /// sorts, node boots) — the investment side of the operating cost.
+    pub build_spend: Money,
+    /// What the user paid (cost recovery for bypass; `B_Q(t)` for the
+    /// economic schemes).
+    pub payment: Money,
+    /// Cloud profit on this query (zero for bypass).
+    pub profit: Money,
+    /// Structures built following this query.
+    pub investments: u32,
+    /// Structures evicted before this query.
+    pub evictions: u32,
+}
+
+/// A caching scheme the simulator can operate.
+pub trait CachePolicy {
+    /// Scheme name as it appears in the figures (`bypass`, `econ-col`, …).
+    fn name(&self) -> &'static str;
+
+    /// Serves one query arriving at `now`.
+    fn process_query(
+        &mut self,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        now: SimTime,
+    ) -> PolicyOutcome;
+
+    /// Cache disk currently occupied (bytes).
+    fn disk_used(&self) -> u64;
+
+    /// Cumulative disk byte-seconds integral (the simulator charges
+    /// `c_d ×` the delta each step — eq. 13/15 as operating cost).
+    fn disk_byte_seconds(&self) -> f64;
+
+    /// Extra CPU nodes currently up (beyond the base node), whose uptime
+    /// the simulator charges at `c` per second (eq. 11).
+    fn active_extra_nodes(&self, now: SimTime) -> u32;
+
+    /// Accrues time-based state to `now` (called once more at the end of
+    /// a run so integrals cover the full horizon).
+    fn advance(&mut self, now: SimTime);
+}

@@ -1,0 +1,26 @@
+//! # pricing — money arithmetic and cloud resource price catalogs
+//!
+//! The paper's economy prices *every* resource — CPU time, disk storage,
+//! disk I/O and network bandwidth (Section V) — with constants "imported
+//! from Amazon EC2" (Section VII-A). This crate provides:
+//!
+//! * [`money::Money`] — exact fixed-point money (`i128` nano-dollars).
+//!   A simulated year of per-query micro-charges must sum without drift and
+//!   the cloud ledger must balance to the nano-dollar.
+//! * [`rates::ResourceRates`] — per-resource unit prices in the units the
+//!   cost model consumes (per node-second, per byte-second, per byte moved,
+//!   per I/O operation).
+//! * [`catalog`] — named catalogs: the 2009 Amazon EC2 list prices used by
+//!   the paper, a GoGrid-like catalog (free bandwidth — the pricing regime
+//!   the introduction cites as motivation), and a builder for ablations.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod money;
+pub mod rates;
+
+pub use catalog::PriceCatalog;
+pub use money::Money;
+pub use rates::ResourceRates;

@@ -1,0 +1,288 @@
+//! Exact fixed-point money.
+//!
+//! `Money` wraps an `i128` count of **nano-dollars** (10⁻⁹ $). Why not
+//! `f64`: the Fig. 4 experiment accumulates on the order of 10⁶–10⁸
+//! individual charges, and the economy's invariants ("the ledger balances",
+//! "profit = payment − cost") are asserted *exactly* in tests. Why not a
+//! decimal crate: the operations needed are tiny (add/sub/scale/compare)
+//! and an `i128` of nano-dollars holds ±1.7 × 10²⁰ dollars — overflow is
+//! unreachable for any simulation this side of hyperinflation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Nano-dollars per dollar.
+const NANOS_PER_DOLLAR: i128 = 1_000_000_000;
+
+/// An exact amount of money in nano-dollars. May be negative (debts,
+/// deltas); the economy layer decides where negativity is legal.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(i128);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// Constructs from whole nano-dollars.
+    #[must_use]
+    pub const fn from_nanos(nanos: i128) -> Self {
+        Money(nanos)
+    }
+
+    /// Constructs from a dollar amount, rounding to the nearest nano-dollar.
+    ///
+    /// # Panics
+    /// Panics if `dollars` is NaN or infinite.
+    #[must_use]
+    pub fn from_dollars(dollars: f64) -> Self {
+        assert!(dollars.is_finite(), "money must be finite, got {dollars}");
+        Money((dollars * NANOS_PER_DOLLAR as f64).round() as i128)
+    }
+
+    /// Constructs from whole cents.
+    #[must_use]
+    pub const fn from_cents(cents: i128) -> Self {
+        Money(cents * (NANOS_PER_DOLLAR / 100))
+    }
+
+    /// The raw nano-dollar count.
+    #[must_use]
+    pub const fn as_nanos(self) -> i128 {
+        self.0
+    }
+
+    /// Approximate dollar value (for display and plotting only — never for
+    /// accounting decisions).
+    #[must_use]
+    pub fn as_dollars(self) -> f64 {
+        self.0 as f64 / NANOS_PER_DOLLAR as f64
+    }
+
+    /// True if the amount is exactly zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if strictly positive.
+    #[must_use]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// True if strictly negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Scales by a non-negative real factor, rounding to nearest.
+    ///
+    /// # Panics
+    /// Panics if `factor` is NaN, infinite or negative (scaling money by a
+    /// negative factor is always an accounting bug; use [`Neg`] explicitly).
+    #[must_use]
+    pub fn scale(self, factor: f64) -> Money {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        Money((self.0 as f64 * factor).round() as i128)
+    }
+
+    /// Divides evenly among `n` parts, rounding toward zero.
+    ///
+    /// Used for eq. 7 of the paper (`f_S(n, Build) = Build / n`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn amortize_over(self, n: u64) -> Money {
+        assert!(n > 0, "cannot amortize over zero queries");
+        Money(self.0 / n as i128)
+    }
+
+    /// The larger of two amounts.
+    #[must_use]
+    pub fn max(self, other: Money) -> Money {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two amounts.
+    #[must_use]
+    pub fn min(self, other: Money) -> Money {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps negative amounts to zero.
+    #[must_use]
+    pub fn clamp_non_negative(self) -> Money {
+        self.max(Money::ZERO)
+    }
+
+    /// Saturating subtraction: `max(self - other, 0)`.
+    #[must_use]
+    pub fn saturating_sub(self, other: Money) -> Money {
+        (self - other).clamp_non_negative()
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0.checked_add(rhs.0).expect("money overflow"))
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0.checked_sub(rhs.0).expect("money underflow"))
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<u64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: u64) -> Money {
+        Money(self.0.checked_mul(rhs as i128).expect("money overflow"))
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        let dollars = abs / NANOS_PER_DOLLAR as u128;
+        let frac = abs % NANOS_PER_DOLLAR as u128;
+        // Show 4 decimal places: enough to see per-query charges.
+        write!(f, "{sign}${dollars}.{:04}", frac / 100_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dollars_round_trip() {
+        let m = Money::from_dollars(1.25);
+        assert_eq!(m.as_nanos(), 1_250_000_000);
+        assert!((m.as_dollars() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cents_constructor() {
+        assert_eq!(Money::from_cents(10), Money::from_dollars(0.10));
+        assert_eq!(Money::from_cents(-5).as_dollars(), -0.05);
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        // 0.1 + 0.2 == 0.3 exactly, unlike f64.
+        let sum = Money::from_dollars(0.1) + Money::from_dollars(0.2);
+        assert_eq!(sum, Money::from_dollars(0.3));
+    }
+
+    #[test]
+    fn million_micro_charges_sum_exactly() {
+        let tick = Money::from_nanos(123);
+        let total: Money = (0..1_000_000).map(|_| tick).sum();
+        assert_eq!(total.as_nanos(), 123_000_000);
+    }
+
+    #[test]
+    fn amortize_divides_toward_zero() {
+        let build = Money::from_dollars(10.0);
+        assert_eq!(build.amortize_over(4), Money::from_dollars(2.5));
+        let odd = Money::from_nanos(10);
+        assert_eq!(odd.amortize_over(3).as_nanos(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero queries")]
+    fn amortize_over_zero_panics() {
+        let _ = Money::from_dollars(1.0).amortize_over(0);
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        let m = Money::from_nanos(10);
+        assert_eq!(m.scale(0.25).as_nanos(), 3); // 2.5 rounds to 3
+        assert_eq!(m.scale(0.0), Money::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scale_panics() {
+        let _ = Money::from_dollars(1.0).scale(-1.0);
+    }
+
+    #[test]
+    fn ordering_and_clamps() {
+        let a = Money::from_dollars(1.0);
+        let b = Money::from_dollars(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((a - b).clamp_non_negative(), Money::ZERO);
+        assert_eq!(a.saturating_sub(b), Money::ZERO);
+        assert_eq!(b.saturating_sub(a), a);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Money::ZERO.is_zero());
+        assert!(Money::from_dollars(0.5).is_positive());
+        assert!((-Money::from_dollars(0.5)).is_negative());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Money::from_dollars(1.25).to_string(), "$1.2500");
+        assert_eq!((-Money::from_dollars(0.5)).to_string(), "-$0.5000");
+        assert_eq!(Money::ZERO.to_string(), "$0.0000");
+        assert_eq!(Money::from_dollars(1234.5678).to_string(), "$1234.5678");
+    }
+
+    #[test]
+    fn mul_by_count() {
+        assert_eq!(Money::from_cents(3) * 100, Money::from_dollars(3.0));
+    }
+}

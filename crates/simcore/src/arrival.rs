@@ -1,0 +1,276 @@
+//! Query arrival processes.
+//!
+//! The paper's experiments sweep the *query inter-arrival time* over
+//! {1, 10, 30, 60} seconds (Figures 4 and 5) with deterministic spacing;
+//! [`FixedInterval`] models exactly that. [`PoissonProcess`] and
+//! [`OnOffBursty`] are provided for the sensitivity studies, and
+//! [`TraceArrivals`] replays an explicit timestamp list.
+
+use crate::rng::SimRng;
+use crate::sample::Exponential;
+use crate::time::{SimDuration, SimTime};
+
+/// A source of successive arrival instants.
+///
+/// Implementations must be monotone: each call returns a time
+/// `>= ` the previously returned time.
+pub trait ArrivalProcess {
+    /// Returns the next arrival instant, or `None` when the process is
+    /// exhausted (only [`TraceArrivals`] ever exhausts).
+    fn next_arrival(&mut self, rng: &mut SimRng) -> Option<SimTime>;
+
+    /// Mean inter-arrival gap if the process has one (for reporting).
+    fn mean_gap(&self) -> Option<SimDuration> {
+        None
+    }
+}
+
+/// Deterministic arrivals every `interval` seconds: `t = i * interval`.
+#[derive(Debug, Clone)]
+pub struct FixedInterval {
+    interval: SimDuration,
+    next: SimTime,
+}
+
+impl FixedInterval {
+    /// Creates a fixed-interval process starting at `interval` (the first
+    /// query arrives one interval after simulation start).
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "interval must be positive");
+        FixedInterval {
+            interval,
+            next: SimTime::ZERO + interval,
+        }
+    }
+}
+
+impl ArrivalProcess for FixedInterval {
+    fn next_arrival(&mut self, _rng: &mut SimRng) -> Option<SimTime> {
+        let at = self.next;
+        self.next = at + self.interval;
+        Some(at)
+    }
+
+    fn mean_gap(&self) -> Option<SimDuration> {
+        Some(self.interval)
+    }
+}
+
+/// Poisson arrivals with the given mean inter-arrival gap.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    gap: Exponential,
+    mean: SimDuration,
+    last: SimTime,
+}
+
+impl PoissonProcess {
+    /// Creates a Poisson process with mean gap `mean_gap`.
+    ///
+    /// # Panics
+    /// Panics if `mean_gap` is zero.
+    #[must_use]
+    pub fn new(mean_gap: SimDuration) -> Self {
+        assert!(!mean_gap.is_zero(), "mean gap must be positive");
+        PoissonProcess {
+            gap: Exponential::new(1.0 / mean_gap.as_secs()),
+            mean: mean_gap,
+            last: SimTime::ZERO,
+        }
+    }
+}
+
+impl ArrivalProcess for PoissonProcess {
+    fn next_arrival(&mut self, rng: &mut SimRng) -> Option<SimTime> {
+        let gap = SimDuration::from_secs(self.gap.sample(rng));
+        self.last += gap;
+        Some(self.last)
+    }
+
+    fn mean_gap(&self) -> Option<SimDuration> {
+        Some(self.mean)
+    }
+}
+
+/// A two-state Markov-modulated process: bursts of closely spaced queries
+/// ("on") separated by quiet periods ("off").
+///
+/// Exercises the economy's adaptivity: during bursts the amortisation of
+/// structure build cost pays off quickly; during lulls maintenance cost
+/// accrues unpaid (Section IV-D footnote 3 of the paper).
+#[derive(Debug, Clone)]
+pub struct OnOffBursty {
+    on_gap: Exponential,
+    burst_len: u64,
+    off_gap: Exponential,
+    remaining_in_burst: u64,
+    last: SimTime,
+}
+
+impl OnOffBursty {
+    /// Creates a bursty process.
+    ///
+    /// * `on_gap` — mean gap between queries inside a burst;
+    /// * `burst_len` — mean number of queries per burst (geometric);
+    /// * `off_gap` — mean gap between bursts.
+    ///
+    /// # Panics
+    /// Panics if any mean is zero.
+    #[must_use]
+    pub fn new(on_gap: SimDuration, burst_len: u64, off_gap: SimDuration) -> Self {
+        assert!(!on_gap.is_zero() && !off_gap.is_zero(), "gaps must be positive");
+        assert!(burst_len > 0, "burst length must be positive");
+        OnOffBursty {
+            on_gap: Exponential::new(1.0 / on_gap.as_secs()),
+            burst_len,
+            off_gap: Exponential::new(1.0 / off_gap.as_secs()),
+            remaining_in_burst: 0,
+            last: SimTime::ZERO,
+        }
+    }
+}
+
+impl ArrivalProcess for OnOffBursty {
+    fn next_arrival(&mut self, rng: &mut SimRng) -> Option<SimTime> {
+        if self.remaining_in_burst == 0 {
+            // Enter a new burst after an off period.
+            self.remaining_in_burst = 1 + rng.next_below(2 * self.burst_len);
+            let off = SimDuration::from_secs(self.off_gap.sample(rng));
+            self.last += off;
+        } else {
+            let gap = SimDuration::from_secs(self.on_gap.sample(rng));
+            self.last += gap;
+        }
+        self.remaining_in_burst -= 1;
+        Some(self.last)
+    }
+}
+
+/// Replays an explicit, pre-sorted list of arrival instants.
+#[derive(Debug, Clone)]
+pub struct TraceArrivals {
+    times: Vec<SimTime>,
+    cursor: usize,
+}
+
+impl TraceArrivals {
+    /// Creates a trace replay.
+    ///
+    /// # Panics
+    /// Panics if `times` is not sorted ascending.
+    #[must_use]
+    pub fn new(times: Vec<SimTime>) -> Self {
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "trace must be sorted ascending"
+        );
+        TraceArrivals { times, cursor: 0 }
+    }
+
+    /// Number of arrivals left to replay.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.times.len() - self.cursor
+    }
+}
+
+impl ArrivalProcess for TraceArrivals {
+    fn next_arrival(&mut self, _rng: &mut SimRng) -> Option<SimTime> {
+        let at = self.times.get(self.cursor).copied()?;
+        self.cursor += 1;
+        Some(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_interval_is_exact() {
+        let mut p = FixedInterval::new(SimDuration::from_secs(10.0));
+        let mut rng = SimRng::new(0);
+        let times: Vec<f64> = (0..5)
+            .map(|_| p.next_arrival(&mut rng).unwrap().as_secs())
+            .collect();
+        assert_eq!(times, vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(p.mean_gap().unwrap().as_secs(), 10.0);
+    }
+
+    #[test]
+    fn poisson_mean_gap_converges() {
+        let mut p = PoissonProcess::new(SimDuration::from_secs(2.0));
+        let mut rng = SimRng::new(17);
+        let n = 50_000;
+        let mut last = SimTime::ZERO;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let at = p.next_arrival(&mut rng).unwrap();
+            total += (at - last).as_secs();
+            last = at;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean gap {mean}");
+    }
+
+    #[test]
+    fn poisson_is_monotone() {
+        let mut p = PoissonProcess::new(SimDuration::from_secs(1.0));
+        let mut rng = SimRng::new(4);
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            let at = p.next_arrival(&mut rng).unwrap();
+            assert!(at >= last);
+            last = at;
+        }
+    }
+
+    #[test]
+    fn bursty_is_monotone_and_bursty() {
+        let mut p = OnOffBursty::new(
+            SimDuration::from_secs(0.1),
+            20,
+            SimDuration::from_secs(100.0),
+        );
+        let mut rng = SimRng::new(5);
+        let mut gaps = Vec::new();
+        let mut last = SimTime::ZERO;
+        for _ in 0..2000 {
+            let at = p.next_arrival(&mut rng).unwrap();
+            gaps.push((at - last).as_secs());
+            last = at;
+        }
+        let long = gaps.iter().filter(|&&g| g > 10.0).count();
+        let short = gaps.iter().filter(|&&g| g < 1.0).count();
+        assert!(long > 10, "expected off periods, saw {long}");
+        assert!(short > 1000, "expected bursts, saw {short}");
+    }
+
+    #[test]
+    fn trace_replays_and_exhausts() {
+        let ts: Vec<SimTime> = [1.0, 2.0, 2.0, 5.0]
+            .iter()
+            .map(|&s| SimTime::from_secs(s))
+            .collect();
+        let mut p = TraceArrivals::new(ts);
+        let mut rng = SimRng::new(0);
+        assert_eq!(p.remaining(), 4);
+        let mut seen = Vec::new();
+        while let Some(t) = p.next_arrival(&mut rng) {
+            seen.push(t.as_secs());
+        }
+        assert_eq!(seen, vec![1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(p.remaining(), 0);
+        assert!(p.next_arrival(&mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_rejected() {
+        let _ = TraceArrivals::new(vec![SimTime::from_secs(2.0), SimTime::from_secs(1.0)]);
+    }
+}

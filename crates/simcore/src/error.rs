@@ -1,0 +1,61 @@
+//! Error type shared by the simulation substrate.
+
+use std::fmt;
+
+/// Errors surfaced by simulation components.
+///
+/// The kernel itself treats programmer errors (scheduling into the past,
+/// NaN times) as panics; `SimError` is for *configuration* problems that a
+/// caller can reasonably be handed back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A configuration value was out of its legal range.
+    InvalidConfig {
+        /// Which field was invalid.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A named entity was not found.
+    NotFound {
+        /// Entity kind, e.g. `"table"`.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            SimError::NotFound { kind, name } => write!(f, "{kind} `{name}` not found"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InvalidConfig {
+            field: "interval",
+            reason: "must be positive".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for `interval`: must be positive"
+        );
+        let e = SimError::NotFound {
+            kind: "table",
+            name: "lineitem".into(),
+        };
+        assert_eq!(e.to_string(), "table `lineitem` not found");
+    }
+}

@@ -1,0 +1,227 @@
+//! Experiment-cell configuration.
+
+use econ::EconConfig;
+use planner::CostParams;
+use pricing::PriceCatalog;
+use serde::{Deserialize, Serialize};
+use workload::WorkloadConfig;
+
+/// Which caching scheme operates the cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// The net-only bypass-yield baseline, with its cache-size fraction
+    /// (the paper's ideal is 0.30).
+    Bypass {
+        /// Cache capacity as a fraction of the database size.
+        cache_fraction: f64,
+    },
+    /// Economic model, columns only.
+    EconCol,
+    /// Economic model, cheapest affordable plan.
+    EconCheap,
+    /// Economic model, fastest affordable plan.
+    EconFast,
+    /// Economic model, minimum-profit (Definition 1) objective.
+    Altruistic,
+}
+
+impl Scheme {
+    /// Display name used in figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Bypass { .. } => "bypass",
+            Scheme::EconCol => "econ-col",
+            Scheme::EconCheap => "econ-cheap",
+            Scheme::EconFast => "econ-fast",
+            Scheme::Altruistic => "econ-altruistic",
+        }
+    }
+
+    /// The paper's four measured schemes.
+    #[must_use]
+    pub fn paper_schemes() -> Vec<Scheme> {
+        vec![
+            Scheme::Bypass {
+                cache_fraction: 0.30,
+            },
+            Scheme::EconCol,
+            Scheme::EconCheap,
+            Scheme::EconFast,
+        ]
+    }
+}
+
+/// Query arrival process selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalKind {
+    /// Deterministic gaps — the paper's inter-arrival grid.
+    Fixed {
+        /// Seconds between queries.
+        interval_secs: f64,
+    },
+    /// Poisson arrivals with the given mean gap.
+    Poisson {
+        /// Mean seconds between queries.
+        mean_gap_secs: f64,
+    },
+    /// Markov-modulated bursts.
+    Bursty {
+        /// Mean in-burst gap (seconds).
+        on_gap_secs: f64,
+        /// Mean queries per burst.
+        burst_len: u64,
+        /// Mean gap between bursts (seconds).
+        off_gap_secs: f64,
+    },
+}
+
+/// Full description of one simulation cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// TPC-H scale factor (the paper's backend is SF ≈ 2500 = 2.5 TB).
+    pub scale_factor: f64,
+    /// Number of queries to serve.
+    pub num_queries: u64,
+    /// Arrival process.
+    pub arrival: ArrivalKind,
+    /// The scheme under test.
+    pub scheme: Scheme,
+    /// Workload knobs.
+    pub workload: WorkloadConfig,
+    /// Cost-model calibration.
+    pub cost_params: CostParams,
+    /// Resource prices.
+    pub prices: PriceCatalog,
+    /// Economy configuration (ignored by the bypass scheme).
+    pub econ: EconConfig,
+    /// Candidate-index budget (the paper's 65).
+    pub candidate_indexes: usize,
+    /// Master RNG seed — two runs with equal config and seed are
+    /// bit-identical.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's experimental cell for a scheme at an inter-arrival
+    /// interval, scaled down to `sf` / `num_queries` (the full paper cell
+    /// is `sf = 2500`, `num_queries = 1_000_000`).
+    #[must_use]
+    pub fn paper_cell(scheme: Scheme, interval_secs: f64, sf: f64, num_queries: u64) -> Self {
+        SimConfig {
+            scale_factor: sf,
+            num_queries,
+            arrival: ArrivalKind::Fixed { interval_secs },
+            scheme,
+            workload: WorkloadConfig::default(),
+            cost_params: CostParams::default(),
+            prices: PriceCatalog::ec2_2009(),
+            econ: EconConfig::default(),
+            candidate_indexes: 65,
+            seed: 0xC10D_CA5E,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns a human-readable message for the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.scale_factor.is_finite() || self.scale_factor <= 0.0 {
+            return Err("scale_factor must be positive".into());
+        }
+        if self.num_queries == 0 {
+            return Err("num_queries must be positive".into());
+        }
+        match self.arrival {
+            ArrivalKind::Fixed { interval_secs } if interval_secs <= 0.0 => {
+                return Err("fixed interval must be positive".into());
+            }
+            ArrivalKind::Poisson { mean_gap_secs } if mean_gap_secs <= 0.0 => {
+                return Err("poisson mean gap must be positive".into());
+            }
+            ArrivalKind::Bursty {
+                on_gap_secs,
+                burst_len,
+                off_gap_secs,
+            } if on_gap_secs <= 0.0 || off_gap_secs <= 0.0 || burst_len == 0 => {
+                return Err("bursty parameters must be positive".into());
+            }
+            _ => {}
+        }
+        if let Scheme::Bypass { cache_fraction } = self.scheme {
+            if !(cache_fraction > 0.0 && cache_fraction <= 1.0) {
+                return Err("bypass cache_fraction must be in (0, 1]".into());
+            }
+        }
+        self.workload
+            .validate()
+            .map_err(|(f, r)| format!("workload.{f}: {r}"))?;
+        self.cost_params
+            .validate()
+            .map_err(|f| format!("cost_params.{f} invalid"))?;
+        self.econ.validate().map_err(|m| format!("econ: {m}"))?;
+        if self.candidate_indexes == 0 {
+            return Err("candidate_indexes must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cell_validates() {
+        for scheme in Scheme::paper_schemes() {
+            let cfg = SimConfig::paper_cell(scheme, 10.0, 10.0, 1000);
+            assert!(cfg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(
+            Scheme::paper_schemes()
+                .iter()
+                .map(Scheme::name)
+                .collect::<Vec<_>>(),
+            vec!["bypass", "econ-col", "econ-cheap", "econ-fast"]
+        );
+    }
+
+    #[test]
+    fn invalid_fields_rejected() {
+        let mut cfg = SimConfig::paper_cell(Scheme::EconCheap, 10.0, 10.0, 1000);
+        cfg.num_queries = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_cell(Scheme::EconCheap, 10.0, 10.0, 1000);
+        cfg.arrival = ArrivalKind::Fixed { interval_secs: 0.0 };
+        assert!(cfg.validate().is_err());
+
+        let cfg = SimConfig::paper_cell(
+            Scheme::Bypass {
+                cache_fraction: 1.5,
+            },
+            10.0,
+            10.0,
+            1000,
+        );
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_cell(Scheme::EconCheap, 10.0, 10.0, 1000);
+        cfg.scale_factor = -1.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_roundtrips_serde() {
+        let cfg = SimConfig::paper_cell(Scheme::EconFast, 30.0, 100.0, 5000);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_queries, 5000);
+        assert_eq!(back.scheme.name(), "econ-fast");
+    }
+}

@@ -1,0 +1,30 @@
+//! # simulator — the cloud-cache simulator (Fig. 3's architecture)
+//!
+//! Wires the workload generator, the planner, the economy/policies and
+//! the metrics into one deterministic run:
+//!
+//! ```text
+//!  user ──query+budget──▶ Coordinator ──▶ CachePolicy (bypass | econ-*)
+//!                             │                  │
+//!                             ▼                  ▼
+//!                        back-end DB        CPU nodes + shared FS
+//! ```
+//!
+//! [`SimConfig`] describes an experiment cell (scheme × inter-arrival ×
+//! workload × prices); [`run_simulation`] executes it and returns a
+//! [`RunResult`] with exactly the measurements Figures 4 and 5 plot:
+//! total operating cost and mean response time, plus the per-resource
+//! decomposition Section VII-B reasons with.
+//!
+//! Runs are pure functions of `(SimConfig, seed)`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod results;
+pub mod run;
+
+pub use config::{ArrivalKind, Scheme, SimConfig};
+pub use results::RunResult;
+pub use run::{run_simulation, Simulation};

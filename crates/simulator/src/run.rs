@@ -1,0 +1,292 @@
+//! The coordinator loop.
+//!
+//! Drives arrivals through the configured policy, booking the cloud's
+//! *actual* expenditure per step:
+//!
+//! * backend executions are pay-per-use (CPU + I/O + network, eq. 9);
+//! * cache executions pay I/O per use, while cache CPU is covered by node
+//!   *uptime* (the base node plus any extra nodes, charged continuously
+//!   at `c` per second — eq. 11); booking both would double-count;
+//! * cache disk is charged on the exact byte-seconds integral (eq. 13/15);
+//! * structure builds are charged when the investment happens.
+
+use std::sync::Arc;
+
+use catalog::tpch::{tpch_schema, ScaleFactor};
+use catalog::Schema;
+use metrics::{CostBreakdown, LogHistogram, Resource, StreamingStats, TimeSeries};
+use planner::{generate_candidates, Estimator, PlannerContext};
+use policies::{BypassYieldPolicy, CachePolicy, EconPolicy};
+use pricing::Money;
+use simcore::arrival::{ArrivalProcess, FixedInterval, OnOffBursty, PoissonProcess};
+use simcore::{NetworkModel, SimDuration, SimRng, SimTime};
+use workload::WorkloadGenerator;
+
+use crate::config::{ArrivalKind, Scheme, SimConfig};
+use crate::results::RunResult;
+
+/// A prepared simulation: schema, candidates and estimator built once so
+/// sweeps over schemes/intervals can share them.
+pub struct Simulation {
+    schema: Arc<Schema>,
+    candidates: Vec<cache::IndexDef>,
+    estimator: Estimator,
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Prepares a simulation from a validated config.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid simulation config: {msg}");
+        }
+        let schema = Arc::new(tpch_schema(ScaleFactor(config.scale_factor)));
+        let templates = workload::paper_templates(&schema);
+        let candidates = generate_candidates(&schema, &templates, config.candidate_indexes);
+        let estimator = Estimator::new(
+            config.cost_params.clone(),
+            config.prices.clone(),
+            NetworkModel::paper_sdss(),
+        );
+        Simulation {
+            schema,
+            candidates,
+            estimator,
+            config,
+        }
+    }
+
+    /// The backend schema.
+    #[must_use]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn make_policy(&self) -> Box<dyn CachePolicy> {
+        match self.config.scheme {
+            Scheme::Bypass { cache_fraction } => {
+                Box::new(BypassYieldPolicy::new(&self.schema, cache_fraction))
+            }
+            Scheme::EconCol => Box::new(EconPolicy::econ_col(self.config.econ.clone())),
+            Scheme::EconCheap => Box::new(EconPolicy::econ_cheap(self.config.econ.clone())),
+            Scheme::EconFast => Box::new(EconPolicy::econ_fast(self.config.econ.clone())),
+            Scheme::Altruistic => Box::new(EconPolicy::altruistic(self.config.econ.clone())),
+        }
+    }
+
+    fn make_arrivals(&self) -> Box<dyn ArrivalProcess> {
+        match self.config.arrival {
+            ArrivalKind::Fixed { interval_secs } => Box::new(FixedInterval::new(
+                SimDuration::from_secs(interval_secs),
+            )),
+            ArrivalKind::Poisson { mean_gap_secs } => Box::new(PoissonProcess::new(
+                SimDuration::from_secs(mean_gap_secs),
+            )),
+            ArrivalKind::Bursty {
+                on_gap_secs,
+                burst_len,
+                off_gap_secs,
+            } => Box::new(OnOffBursty::new(
+                SimDuration::from_secs(on_gap_secs),
+                burst_len,
+                SimDuration::from_secs(off_gap_secs),
+            )),
+        }
+    }
+
+    /// Executes the run.
+    #[must_use]
+    pub fn run(&self) -> RunResult {
+        let ctx = PlannerContext {
+            schema: &self.schema,
+            candidates: &self.candidates,
+            estimator: &self.estimator,
+        };
+        let mut policy = self.make_policy();
+        let mut arrivals = self.make_arrivals();
+        let mut rng = SimRng::new(self.config.seed);
+        let mut generator = WorkloadGenerator::new(
+            Arc::clone(&self.schema),
+            self.config.workload.clone(),
+            self.config.seed ^ 0x57A7_1571C5,
+        );
+
+        let rates = &self.config.prices.rates;
+        let mut response = StreamingStats::new();
+        let mut response_hist = LogHistogram::latency();
+        let mut response_series = TimeSeries::new(512);
+        let mut operating = CostBreakdown::ZERO;
+        let mut build_spend = Money::ZERO;
+        let mut payments = Money::ZERO;
+        let mut profit = Money::ZERO;
+        let mut cache_hits = 0u64;
+        let mut investments = 0u64;
+        let mut evictions = 0u64;
+
+        let mut prev_time = SimTime::ZERO;
+        let mut node_seconds = 0.0; // extra-node uptime integral
+        let mut last_arrival = SimTime::ZERO;
+
+        for _ in 0..self.config.num_queries {
+            let now = arrivals
+                .next_arrival(&mut rng)
+                .expect("generated arrival processes never exhaust");
+            let query = generator.next_query();
+
+            // Extra-node uptime accrues between arrivals (nodes changed
+            // state only at arrival instants, so this sampling is exact
+            // except for boots mid-gap, which err by < one gap).
+            node_seconds +=
+                f64::from(policy.active_extra_nodes(prev_time)) * (now - prev_time).as_secs();
+            prev_time = now;
+            last_arrival = now;
+
+            let o = policy.process_query(&ctx, &query, now);
+
+            response.record(o.response_time.as_secs());
+            response_hist.record(o.response_time.as_secs());
+            response_series.record(now.as_secs(), o.response_time.as_secs());
+
+            if o.ran_in_cache {
+                // Cache CPU is covered by node uptime; book I/O per use.
+                operating.add_to(Resource::Io, o.exec_breakdown.io);
+                operating.add_to(Resource::Network, o.exec_breakdown.network);
+                cache_hits += 1;
+            } else {
+                operating += o.exec_breakdown;
+            }
+            build_spend += o.build_spend;
+            payments += o.payment;
+            profit += o.profit;
+            investments += u64::from(o.investments);
+            evictions += u64::from(o.evictions);
+        }
+
+        // Close out the horizon: a final inter-arrival gap of idle time.
+        let horizon = last_arrival;
+        policy.advance(horizon);
+
+        // Disk rent over the exact occupancy integral.
+        operating.add_to(
+            Resource::Disk,
+            Money::from_dollars(policy.disk_byte_seconds() * rates.disk_byte_per_sec),
+        );
+        // Node uptime: the always-on base node plus extra nodes.
+        let base_node_secs = horizon.as_secs();
+        operating.add_to(
+            Resource::Cpu,
+            rates.cpu_cost(base_node_secs + node_seconds),
+        );
+
+        RunResult {
+            scheme: policy.name().to_owned(),
+            queries: self.config.num_queries,
+            horizon_secs: horizon.as_secs(),
+            response,
+            response_hist,
+            operating,
+            build_spend,
+            payments,
+            profit,
+            cache_hits,
+            investments,
+            evictions,
+            response_series,
+            final_disk_bytes: policy.disk_used(),
+        }
+    }
+}
+
+/// One-shot convenience: prepare and run.
+#[must_use]
+pub fn run_simulation(config: SimConfig) -> RunResult {
+    Simulation::new(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scheme: Scheme, interval: f64, n: u64) -> RunResult {
+        let mut cfg = SimConfig::paper_cell(scheme, interval, 10.0, n);
+        // Test-scale economics (see econ::economy tests): small capital,
+        // low noise floor.
+        cfg.econ.initial_credit = Money::from_dollars(0.02);
+        cfg.econ.investment.min_regret = Money::from_dollars(1e-5);
+        run_simulation(cfg)
+    }
+
+    #[test]
+    fn all_four_schemes_complete() {
+        for scheme in Scheme::paper_schemes() {
+            let r = quick(scheme.clone(), 1.0, 300);
+            assert_eq!(r.queries, 300);
+            assert!(r.response.count() == 300);
+            assert!(r.total_operating_cost().is_positive());
+            assert!(r.mean_response_secs() > 0.0);
+            assert!(r.horizon_secs >= 300.0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = quick(Scheme::EconCheap, 1.0, 400);
+        let b = quick(Scheme::EconCheap, 1.0, 400);
+        assert_eq!(a.total_operating_cost(), b.total_operating_cost());
+        assert_eq!(a.mean_response_secs(), b.mean_response_secs());
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.investments, b.investments);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = SimConfig::paper_cell(Scheme::EconCheap, 1.0, 10.0, 400);
+        cfg.econ.initial_credit = Money::from_dollars(0.02);
+        let a = run_simulation(cfg.clone());
+        let mut cfg2 = cfg.clone();
+        cfg2.seed ^= 1;
+        let b = run_simulation(cfg2);
+        assert_ne!(a.mean_response_secs(), b.mean_response_secs());
+    }
+
+    #[test]
+    fn economy_caches_within_test_horizon() {
+        let r = quick(Scheme::EconCheap, 1.0, 2500);
+        assert!(r.investments > 0, "no investments");
+        assert!(r.cache_hits > 0, "no cache hits");
+        assert!(r.final_disk_bytes > 0);
+    }
+
+    #[test]
+    fn operating_cost_has_all_components() {
+        let r = quick(Scheme::EconCheap, 1.0, 2500);
+        assert!(r.operating.cpu.is_positive(), "node uptime");
+        assert!(r.operating.network.is_positive(), "result shipping");
+        assert!(r.operating.disk.is_positive(), "disk rent after builds");
+        assert!(r.operating.io.is_positive(), "I/O charges");
+    }
+
+    #[test]
+    fn bypass_never_profits() {
+        let r = quick(
+            Scheme::Bypass {
+                cache_fraction: 0.3,
+            },
+            1.0,
+            500,
+        );
+        assert_eq!(r.profit, Money::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation config")]
+    fn invalid_config_panics() {
+        let mut cfg = SimConfig::paper_cell(Scheme::EconCol, 1.0, 1.0, 10);
+        cfg.num_queries = 0;
+        let _ = Simulation::new(cfg);
+    }
+}

@@ -1,0 +1,337 @@
+//! The workload generator: a deterministic stream of [`Query`] instances.
+
+use std::sync::Arc;
+
+use catalog::Schema;
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+use crate::evolution::PopularityDrift;
+use crate::locality::RegionSampler;
+use crate::query::{Query, QueryId, TableAccess};
+use crate::templates::{paper_templates, ResolvedTemplate};
+
+/// Tunables of the synthetic workload. Defaults reproduce the regime of
+/// the paper's experiments (Section VII-A).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Queries between template-popularity shocks (query evolution).
+    pub evolution_epoch: u64,
+    /// Shock magnitude in `[0, 1)`.
+    pub evolution_drift: f64,
+    /// Number of data regions for locality tagging.
+    pub regions: u32,
+    /// Zipf exponent of region popularity.
+    pub region_zipf_s: f64,
+    /// Draws between hot-region rotations (0 = static hot set).
+    pub region_rotate_every: u64,
+    /// Probability an optional column is projected by an instance.
+    pub optional_column_prob: f64,
+    /// User budget multiplier range over backend price, drawn uniformly.
+    /// The paper's users "accept query execution in the back-end", so the
+    /// scale is ≥ 1.
+    pub budget_scale_range: (f64, f64),
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            evolution_epoch: 2_000,
+            evolution_drift: 0.25,
+            regions: 64,
+            region_zipf_s: 1.1,
+            region_rotate_every: 10_000,
+            optional_column_prob: 0.35,
+            budget_scale_range: (1.05, 1.5),
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Validates ranges.
+    ///
+    /// # Errors
+    /// Returns a field name and reason on the first invalid field.
+    pub fn validate(&self) -> Result<(), (&'static str, String)> {
+        if !(0.0..1.0).contains(&self.evolution_drift) {
+            return Err(("evolution_drift", format!("{} not in [0,1)", self.evolution_drift)));
+        }
+        if self.regions == 0 {
+            return Err(("regions", "must be positive".into()));
+        }
+        if self.region_zipf_s <= 0.0 {
+            return Err(("region_zipf_s", "must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.optional_column_prob) {
+            return Err(("optional_column_prob", "must be in [0,1]".into()));
+        }
+        let (lo, hi) = self.budget_scale_range;
+        if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi) {
+            return Err(("budget_scale_range", format!("bad range ({lo}, {hi})")));
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic generator of the paper's workload.
+///
+/// Implements `Iterator<Item = Query>`; the stream is infinite and a pure
+/// function of `(schema, config, seed)`.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    schema: Arc<Schema>,
+    templates: Vec<ResolvedTemplate>,
+    config: WorkloadConfig,
+    drift: PopularityDrift,
+    regions: RegionSampler,
+    rng: SimRng,
+    next_id: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator using the seven paper templates.
+    ///
+    /// # Panics
+    /// Panics if `config` is invalid or the schema is not TPC-H-shaped.
+    #[must_use]
+    pub fn new(schema: Arc<Schema>, config: WorkloadConfig, seed: u64) -> Self {
+        let templates = paper_templates(&schema);
+        Self::with_templates(schema, templates, config, seed)
+    }
+
+    /// Creates a generator with custom templates (e.g. the SDSS example).
+    ///
+    /// # Panics
+    /// Panics if `config` is invalid or `templates` is empty.
+    #[must_use]
+    pub fn with_templates(
+        schema: Arc<Schema>,
+        templates: Vec<ResolvedTemplate>,
+        config: WorkloadConfig,
+        seed: u64,
+    ) -> Self {
+        if let Err((field, reason)) = config.validate() {
+            panic!("invalid workload config `{field}`: {reason}");
+        }
+        assert!(!templates.is_empty(), "need at least one template");
+        let mut rng = SimRng::new(seed);
+        let drift_rng_stream = rng.fork(1);
+        let region_rng_stream = rng.fork(2);
+        // Dedicated streams keep components independent; we interleave by
+        // storing the forks inside the stateful samplers' owner (self.rng
+        // drives instance-level draws).
+        let drift = PopularityDrift::new(
+            templates.len(),
+            config.evolution_epoch,
+            config.evolution_drift,
+        );
+        let regions =
+            RegionSampler::new(config.regions, config.region_zipf_s, config.region_rotate_every);
+        // Streams for drift/regions are folded into one rng: the samplers
+        // take &mut SimRng at call time; give them forks via struct fields.
+        let _ = (drift_rng_stream, region_rng_stream);
+        WorkloadGenerator {
+            schema,
+            templates,
+            config,
+            drift,
+            regions,
+            rng,
+            next_id: 0,
+        }
+    }
+
+    /// The templates this generator draws from.
+    #[must_use]
+    pub fn templates(&self) -> &[ResolvedTemplate] {
+        &self.templates
+    }
+
+    /// The schema queries run against.
+    #[must_use]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Generates the next query.
+    pub fn next_query(&mut self) -> Query {
+        let t_idx = self.drift.next_template(&mut self.rng);
+        let template = &self.templates[t_idx];
+        let region = self.regions.next_region(&mut self.rng);
+
+        // Driving selectivity: log-uniform within the template's range.
+        let (lo, hi) = template.sel_log10_range;
+        let sel = 10f64.powf(self.rng.gen_range_f64(lo, hi));
+
+        let mut accesses = Vec::with_capacity(template.accesses.len());
+        for a in &template.accesses {
+            let mut columns = a.required.clone();
+            for &opt in &a.optional {
+                if self.rng.gen_bool(self.config.optional_column_prob) {
+                    columns.push(opt);
+                }
+            }
+            let local_sel = (sel * a.selectivity_factor).min(1.0);
+            accesses.push(TableAccess {
+                table: a.table,
+                columns,
+                predicate_columns: a.predicates.clone(),
+                selectivity: local_sel.max(1e-9),
+            });
+        }
+
+        let driving_rows = self.schema.table(accesses[0].table).row_count;
+        let raw_rows = (driving_rows as f64 * sel * template.result_fanout).round() as u64;
+        let result_rows = raw_rows.clamp(1, template.result_rows_cap);
+        let result_bytes = result_rows.saturating_mul(template.result_row_width);
+
+        let (blo, bhi) = self.config.budget_scale_range;
+        let budget_scale = self.rng.gen_range_f64(blo, bhi);
+
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        Query {
+            id,
+            template: template.id,
+            accesses,
+            sort_columns: template.sort_columns.clone(),
+            result_rows,
+            result_bytes,
+            budget_scale,
+            region,
+        }
+    }
+}
+
+impl Iterator for WorkloadGenerator {
+    type Item = Query;
+    fn next(&mut self) -> Option<Query> {
+        Some(self.next_query())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalog::tpch::{tpch_schema, ScaleFactor};
+
+    fn generator(seed: u64) -> WorkloadGenerator {
+        let schema = Arc::new(tpch_schema(ScaleFactor(1.0)));
+        WorkloadGenerator::new(schema, WorkloadConfig::default(), seed)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<Query> = generator(42).take(50).collect();
+        let b: Vec<Query> = generator(42).take(50).collect();
+        assert_eq!(a, b);
+        let c: Vec<Query> = generator(43).take(50).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let qs: Vec<Query> = generator(1).take(10).collect();
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.id, QueryId(i as u64));
+        }
+    }
+
+    #[test]
+    fn selectivities_respect_template_ranges() {
+        let schema = Arc::new(tpch_schema(ScaleFactor(1.0)));
+        let templates = paper_templates(&schema);
+        let mut g = generator(7);
+        for q in (&mut g).take(500) {
+            let t = &templates[q.template.0];
+            let (lo, hi) = t.sel_log10_range;
+            let sel = q.driving().selectivity;
+            assert!(
+                sel >= 10f64.powf(lo) * 0.999 && sel <= 10f64.powf(hi) * 1.001,
+                "template {} selectivity {sel} outside 10^[{lo},{hi}]",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn result_sizes_are_positive_and_capped() {
+        let schema = Arc::new(tpch_schema(ScaleFactor(1.0)));
+        let templates = paper_templates(&schema);
+        for q in generator(3).take(1000) {
+            assert!(q.result_rows >= 1);
+            assert!(q.result_bytes >= 1);
+            let cap = templates[q.template.0].result_rows_cap;
+            assert!(q.result_rows <= cap, "rows {} > cap {cap}", q.result_rows);
+        }
+    }
+
+    #[test]
+    fn budget_scale_in_configured_range() {
+        for q in generator(4).take(500) {
+            assert!((1.05..=1.5).contains(&q.budget_scale), "{}", q.budget_scale);
+        }
+    }
+
+    #[test]
+    fn all_templates_appear() {
+        let mut seen = [false; 7];
+        for q in generator(5).take(2000) {
+            seen[q.template.0] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn optional_columns_vary() {
+        // Q1 has an optional l_tax column; across instances both shapes
+        // must appear.
+        let mut with = 0;
+        let mut without = 0;
+        for q in generator(6).take(3000) {
+            if q.template.0 == 0 {
+                match q.driving().columns.len() {
+                    6 => without += 1,
+                    7 => with += 1,
+                    n => panic!("unexpected column count {n}"),
+                }
+            }
+        }
+        assert!(with > 0 && without > 0, "with={with} without={without}");
+    }
+
+    #[test]
+    fn regions_within_bounds() {
+        for q in generator(8).take(500) {
+            assert!(q.region < WorkloadConfig::default().regions);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload config")]
+    fn invalid_config_rejected() {
+        let schema = Arc::new(tpch_schema(ScaleFactor(1.0)));
+        let cfg = WorkloadConfig {
+            evolution_drift: 2.0,
+            ..WorkloadConfig::default()
+        };
+        let _ = WorkloadGenerator::new(schema, cfg, 1);
+    }
+
+    #[test]
+    fn config_validation_covers_fields() {
+        let mut c = WorkloadConfig::default();
+        assert!(c.validate().is_ok());
+        c.regions = 0;
+        assert_eq!(c.validate().unwrap_err().0, "regions");
+        c = WorkloadConfig::default();
+        c.region_zipf_s = 0.0;
+        assert_eq!(c.validate().unwrap_err().0, "region_zipf_s");
+        c = WorkloadConfig::default();
+        c.optional_column_prob = 1.5;
+        assert_eq!(c.validate().unwrap_err().0, "optional_column_prob");
+        c = WorkloadConfig::default();
+        c.budget_scale_range = (2.0, 1.0);
+        assert_eq!(c.validate().unwrap_err().0, "budget_scale_range");
+    }
+}

@@ -1,0 +1,115 @@
+//! Data-access locality: Zipf-hot, slowly rotating data regions.
+//!
+//! Section VI of the paper: the economy is viable when "queries have data
+//! access locality, i.e. they mostly target a specific part of the data"
+//! and SDSS workloads show "a small portion of the data is of intense
+//! interest to the users". We tag each query with a *region* drawn from a
+//! Zipf distribution whose rank-1 region slowly rotates, so the hot set is
+//! both concentrated (Zipf) and non-stationary (rotation) — the same two
+//! properties the SkyServer traffic studies report.
+
+use simcore::sample::Zipf;
+use simcore::SimRng;
+
+/// Sampler of data-region tags with rotating Zipf-hot spot.
+#[derive(Debug, Clone)]
+pub struct RegionSampler {
+    zipf: Zipf,
+    regions: u32,
+    rotate_every: u64,
+    drawn: u64,
+    offset: u32,
+}
+
+impl RegionSampler {
+    /// Creates a sampler over `regions` regions with Zipf exponent `s`;
+    /// the hot region advances by one every `rotate_every` draws
+    /// (0 disables rotation).
+    ///
+    /// # Panics
+    /// Panics if `regions == 0` or `s <= 0`.
+    #[must_use]
+    pub fn new(regions: u32, s: f64, rotate_every: u64) -> Self {
+        assert!(regions > 0, "need at least one region");
+        RegionSampler {
+            zipf: Zipf::new(u64::from(regions), s),
+            regions,
+            rotate_every,
+            drawn: 0,
+            offset: 0,
+        }
+    }
+
+    /// Number of regions.
+    #[must_use]
+    pub fn regions(&self) -> u32 {
+        self.regions
+    }
+
+    /// Draws the region tag for the next query.
+    pub fn next_region(&mut self, rng: &mut SimRng) -> u32 {
+        if self.rotate_every > 0 && self.drawn > 0 && self.drawn.is_multiple_of(self.rotate_every) {
+            self.offset = (self.offset + 1) % self.regions;
+        }
+        self.drawn += 1;
+        let rank = self.zipf.sample(rng) as u32 - 1; // 0-based
+        (rank + self.offset) % self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_in_range() {
+        let mut s = RegionSampler::new(16, 1.0, 0);
+        let mut rng = SimRng::new(5);
+        for _ in 0..1000 {
+            assert!(s.next_region(&mut rng) < 16);
+        }
+    }
+
+    #[test]
+    fn hot_region_dominates_without_rotation() {
+        let mut s = RegionSampler::new(100, 1.2, 0);
+        let mut rng = SimRng::new(6);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[s.next_region(&mut rng) as usize] += 1;
+        }
+        let hottest = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], hottest, "region 0 should be hottest");
+        assert!(hottest as f64 / 20_000.0 > 0.1);
+    }
+
+    #[test]
+    fn rotation_moves_the_hot_spot() {
+        let mut s = RegionSampler::new(10, 2.0, 1000);
+        let mut rng = SimRng::new(7);
+        let hot_of = |s: &mut RegionSampler, rng: &mut SimRng| {
+            let mut counts = [0u32; 10];
+            for _ in 0..1000 {
+                counts[s.next_region(rng) as usize] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        let first = hot_of(&mut s, &mut rng);
+        let second = hot_of(&mut s, &mut rng);
+        assert_ne!(first, second, "hot region should rotate");
+    }
+
+    #[test]
+    fn single_region_degenerates() {
+        let mut s = RegionSampler::new(1, 1.0, 10);
+        let mut rng = SimRng::new(8);
+        for _ in 0..100 {
+            assert_eq!(s.next_region(&mut rng), 0);
+        }
+    }
+}

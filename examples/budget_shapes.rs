@@ -1,0 +1,64 @@
+//! Figure 1 of the paper: the three canonical budget-function shapes.
+//!
+//! Renders `B_Q(t)` for the step, convex and concave shapes as ASCII
+//! curves — the same shapes [`econ::BudgetShape`] generates for users.
+//!
+//! Run with: `cargo run --example budget_shapes`
+
+use cloudcache::econ::{BudgetFunction, BudgetShape};
+use cloudcache::pricing::Money;
+use cloudcache::simcore::SimDuration;
+
+const WIDTH: usize = 60;
+const HEIGHT: usize = 12;
+
+fn plot(name: &str, budget: &BudgetFunction, amount: Money, t_max: f64) {
+    println!("\n{name}:  B_Q(t), amount ${:.2}, t_max {t_max}s", amount.as_dollars());
+    let mut rows = vec![vec![' '; WIDTH]; HEIGHT];
+    for (x, row_hits) in (0..WIDTH).map(|x| {
+        let t = t_max * 1.15 * x as f64 / WIDTH as f64;
+        let v = budget.value_at(SimDuration::from_secs(t));
+        let frac = v.as_dollars() / amount.as_dollars();
+        (x, (frac * (HEIGHT - 1) as f64).round() as usize)
+    }) {
+        let y = (HEIGHT - 1).saturating_sub(row_hits.min(HEIGHT - 1));
+        rows[y][x] = '*';
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let label = if i == 0 {
+            format!("${:>5.2} |", amount.as_dollars())
+        } else if i == HEIGHT - 1 {
+            "$ 0.00 |".to_owned()
+        } else {
+            "       |".to_owned()
+        };
+        println!("{label}{}", row.iter().collect::<String>());
+    }
+    println!("       +{}", "-".repeat(WIDTH));
+    println!("        0{:>width$}", format!("{t_max}s →"), width = WIDTH - 1);
+}
+
+fn main() {
+    let amount = Money::from_dollars(10.0);
+    let t_max = 20.0;
+    let deadline = SimDuration::from_secs(t_max);
+
+    println!("The paper's Fig. 1 — user budget functions (all non-increasing):");
+    for (name, shape) in [
+        ("(a) step     B_Q(t) = |a| up to t_max", BudgetShape::Step),
+        ("(b) convex   B_Q(t) = |a|(1 - t/t_max)", BudgetShape::Convex),
+        ("(c) concave  B_Q(t) = |a|(1 - (t/t_max)^2)", BudgetShape::Concave),
+    ] {
+        let b = BudgetFunction::of_shape(shape, amount, deadline);
+        plot(name, &b, amount, t_max);
+    }
+
+    // A tabulated budget, the fully general form the cloud accepts.
+    let table = BudgetFunction::table(vec![
+        (SimDuration::from_secs(0.0), Money::from_dollars(10.0)),
+        (SimDuration::from_secs(5.0), Money::from_dollars(8.0)),
+        (SimDuration::from_secs(12.0), Money::from_dollars(3.0)),
+        (SimDuration::from_secs(20.0), Money::from_dollars(1.0)),
+    ]);
+    plot("(d) tabulated (piecewise constant)", &table, amount, t_max);
+}

@@ -1,0 +1,98 @@
+//! Figure 2 of the paper: the three relationships between the user's
+//! budget `B_Q` and the plan-price function `B_PQ`, and what the economy
+//! does in each case.
+//!
+//! Builds a small synthetic skyline (a fast-but-pricey possible plan, a
+//! mid plan, and the backend plan) and walks it through budgets that
+//! trigger Case A, Case B and Case C.
+//!
+//! Run with: `cargo run --example case_walkthrough`
+
+use cloudcache::cache::StructureKey;
+use cloudcache::econ::{select_plan, BudgetFunction, BudgetShape, SelectionObjective};
+use cloudcache::metrics::CostBreakdown;
+use cloudcache::planner::plan::{PlanShape, QueryPlan};
+use cloudcache::pricing::Money;
+use cloudcache::simcore::SimDuration;
+
+fn plan(label: &str, time: f64, price: f64, existing: bool) -> (String, QueryPlan) {
+    let plan = QueryPlan {
+        shape: PlanShape::Backend, // shape is irrelevant to the case logic
+        exec_time: SimDuration::from_secs(time),
+        exec_cost: Money::from_dollars(price),
+        exec_breakdown: CostBreakdown::ZERO,
+        uses: if existing {
+            vec![]
+        } else {
+            vec![StructureKey::Node(0)]
+        },
+        missing: if existing {
+            vec![]
+        } else {
+            vec![StructureKey::Node(0)]
+        },
+        build_cost: Money::ZERO,
+        build_time: SimDuration::ZERO,
+        amortized_cost: Money::ZERO,
+        maintenance_cost: Money::ZERO,
+        price: Money::from_dollars(price),
+    };
+    (label.to_owned(), plan)
+}
+
+fn walkthrough(title: &str, budget_amount: f64, t_max: f64) {
+    // The skyline (footnote 2): faster plans cost more.
+    let labelled = vec![
+        plan("P1: cache+index (possible — needs builds)", 1.0, 6.0, false),
+        plan("P2: cache scan (existing)", 4.0, 3.0, true),
+        plan("P3: backend (existing)", 10.0, 1.0, true),
+        plan("P4: cache scan, off-peak (possible)", 12.0, 0.4, false),
+    ];
+    let plans: Vec<QueryPlan> = labelled.iter().map(|(_, p)| p.clone()).collect();
+    let budget = BudgetFunction::of_shape(
+        BudgetShape::Step,
+        Money::from_dollars(budget_amount),
+        SimDuration::from_secs(t_max),
+    );
+
+    println!("\n=== {title} ===");
+    println!("budget: ${budget_amount:.2} flat up to {t_max}s");
+    for (label, p) in &labelled {
+        let affordable = budget.affords(p.exec_time, p.price);
+        println!(
+            "  {label:<44} t={:>5.1}s  price=${:<5.2} {}",
+            p.exec_time.as_secs(),
+            p.price.as_dollars(),
+            if affordable { "affordable" } else { "over budget" }
+        );
+    }
+    let sel = select_plan(&plans, &budget, SelectionObjective::MinProfit);
+    println!(
+        "→ Case {:?}: executes {}, user pays {}, cloud profit {}",
+        sel.case,
+        labelled[sel.selected].0,
+        sel.payment,
+        sel.profit
+    );
+    for (idx, regret) in &sel.regrets {
+        println!(
+            "  regret {} for not having built the structures of {}",
+            regret, labelled[*idx].0
+        );
+    }
+    if sel.regrets.is_empty() {
+        println!("  (no possible plan earns regret in this case)");
+    }
+}
+
+fn main() {
+    println!("The paper's Fig. 2 — how B_Q relates to B_PQ decides the case:");
+    // Case A: budget below every plan → user picks cheapest existing, pays
+    // its price; cheaper possible plans accrue eq. 1 regret.
+    walkthrough("Case A — budget below every plan", 0.50, 20.0);
+    // Case B: budget covers all plans → min-profit plan executes, user
+    // pays B_Q(t); pricier possible plans accrue eq. 2 regret.
+    walkthrough("Case B — budget covers every plan", 8.0, 20.0);
+    // Case C: budget covers some plans → Case B over the affordable set.
+    walkthrough("Case C — budget covers some plans", 3.5, 20.0);
+}

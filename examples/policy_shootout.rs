@@ -1,0 +1,50 @@
+//! All five policies head-to-head on one configuration.
+//!
+//! Runs bypass, econ-col, econ-cheap, econ-fast and the altruistic
+//! (min-profit) cloud of Definition 1 over the same workload and prints a
+//! comparison table — a miniature of Figures 4 and 5 side by side.
+//!
+//! Run with: `cargo run --release --example policy_shootout [interval_secs]`
+
+use cloudcache::simulator::{run_simulation, Scheme, SimConfig};
+
+fn main() {
+    let interval: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let sf = 200.0;
+    let n = 150_000;
+
+    println!("policy shootout: SF {sf}, {n} queries, {interval}s inter-arrival\n");
+    let mut schemes = Scheme::paper_schemes();
+    schemes.push(Scheme::Altruistic);
+
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schemes
+            .iter()
+            .map(|scheme| {
+                let cfg = SimConfig::paper_cell(scheme.clone(), interval, sf, n);
+                scope.spawn(move || run_simulation(cfg))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for r in &results {
+        println!("{}", r.table_row());
+    }
+
+    let bypass_cost = results[0].total_operating_cost().as_dollars();
+    let bypass_resp = results[0].mean_response_secs();
+    println!("\nrelative to the bypass (net-only) baseline:");
+    for r in &results[1..] {
+        println!(
+            "  {:<16} cost {:>+6.1}%   response {:>+6.1}%   profit {}",
+            r.scheme,
+            (r.total_operating_cost().as_dollars() / bypass_cost - 1.0) * 100.0,
+            (r.mean_response_secs() / bypass_resp - 1.0) * 100.0,
+            r.profit,
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: run the paper's economy over the TPC-H/SDSS workload.
+//!
+//! Simulates the econ-cheap scheme against a scaled-down backend (SF 100
+//! ≈ 100 GB so the example finishes in seconds; pass `--sf 2500` flavoured
+//! args via the bench binaries for the full paper scale) and prints what
+//! Figures 4 and 5 would record for the cell.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cloudcache::simulator::{run_simulation, Scheme, SimConfig};
+
+fn main() {
+    // One experiment cell: scheme × inter-arrival × backend scale.
+    let config = SimConfig::paper_cell(
+        Scheme::EconCheap,
+        /* inter-arrival seconds */ 1.0,
+        /* TPC-H scale factor   */ 100.0,
+        /* queries              */ 100_000,
+    );
+
+    println!("simulating: econ-cheap, 1 s inter-arrival, SF 100 backend…");
+    let result = run_simulation(config);
+
+    println!("\n{}", result.table_row());
+    println!("\nwhere the money went:");
+    println!("  CPU (node uptime + backend use)  {}", result.operating.cpu);
+    println!("  disk rent (byte-seconds)         {}", result.operating.disk);
+    println!("  WAN transfers                    {}", result.operating.network);
+    println!("  I/O operations                   {}", result.operating.io);
+    println!("  structure builds                 {}", result.build_spend);
+    println!("\nand what came back:");
+    println!("  user payments                    {}", result.payments);
+    println!("  cloud profit                     {}", result.profit);
+    println!(
+        "\nself-tuning: {} structures built, {} evicted, {:.1}% of queries served from the cache",
+        result.investments,
+        result.evictions,
+        result.hit_rate() * 100.0
+    );
+}

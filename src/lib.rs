@@ -1,0 +1,21 @@
+//! # cloudcache — an economic model for self-tuned cloud caching
+//!
+//! Umbrella crate re-exporting the full reproduction of
+//! *"An Economic Model for Self-Tuned Cloud Caching"*
+//! (Dash, Kantere, Ailamaki — ICDE 2009).
+//!
+//! Start with [`simulator::run_simulation`] or the `quickstart` example.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use cache;
+pub use catalog;
+pub use econ;
+pub use metrics;
+pub use planner;
+pub use policies;
+pub use pricing;
+pub use simcore;
+pub use simulator;
+pub use workload;

@@ -1,0 +1,72 @@
+//! The simulator under non-deterministic arrival processes — the paper
+//! uses fixed intervals; Poisson and bursty arrivals probe the economy's
+//! sensitivity to arrival variance (Section VI's viability conditions).
+
+use cloudcache::simulator::{run_simulation, ArrivalKind, RunResult, Scheme, SimConfig};
+
+fn run(arrival: ArrivalKind) -> RunResult {
+    let mut cfg = SimConfig::paper_cell(Scheme::EconCheap, 1.0, 50.0, 30_000);
+    cfg.arrival = arrival;
+    run_simulation(cfg)
+}
+
+#[test]
+fn poisson_arrivals_preserve_the_economy() {
+    let fixed = run(ArrivalKind::Fixed { interval_secs: 1.0 });
+    let poisson = run(ArrivalKind::Poisson { mean_gap_secs: 1.0 });
+    assert!(poisson.investments > 0, "economy must still invest");
+    assert!(poisson.cache_hits > 0, "economy must still cache");
+    // Same mean load ⇒ same ballpark outcome.
+    let ratio = poisson.mean_response_secs() / fixed.mean_response_secs();
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "poisson/fixed response ratio {ratio:.2} out of ballpark"
+    );
+    let horizon_ratio = poisson.horizon_secs / fixed.horizon_secs;
+    assert!(
+        (0.9..1.1).contains(&horizon_ratio),
+        "mean rate should match: horizon ratio {horizon_ratio:.3}"
+    );
+}
+
+#[test]
+fn bursty_arrivals_complete_and_cache() {
+    let bursty = run(ArrivalKind::Bursty {
+        on_gap_secs: 0.2,
+        burst_len: 50,
+        off_gap_secs: 120.0,
+    });
+    assert_eq!(bursty.queries, 30_000);
+    assert!(bursty.investments > 0);
+    assert!(bursty.mean_response_secs() > 0.0);
+    assert!(bursty.total_operating_cost().is_positive());
+}
+
+#[test]
+fn bursty_arrivals_churn_more_than_fixed() {
+    // During off periods maintenance accrues unreimbursed (footnote 3), so
+    // bursty workloads should see at least as many structure failures as a
+    // steady stream of the same volume.
+    let fixed = run(ArrivalKind::Fixed { interval_secs: 1.0 });
+    let bursty = run(ArrivalKind::Bursty {
+        on_gap_secs: 0.1,
+        burst_len: 30,
+        off_gap_secs: 600.0,
+    });
+    assert!(
+        bursty.evictions >= fixed.evictions,
+        "bursty evictions {} < fixed {}",
+        bursty.evictions,
+        fixed.evictions
+    );
+}
+
+#[test]
+fn all_schemes_handle_poisson() {
+    for scheme in Scheme::paper_schemes() {
+        let mut cfg = SimConfig::paper_cell(scheme, 1.0, 50.0, 10_000);
+        cfg.arrival = ArrivalKind::Poisson { mean_gap_secs: 1.0 };
+        let r = run_simulation(cfg);
+        assert_eq!(r.response.count(), 10_000, "{}", r.scheme);
+    }
+}

@@ -1,0 +1,47 @@
+//! Whole-stack determinism: a run is a pure function of `(config, seed)`.
+
+use cloudcache::simulator::{run_simulation, Scheme, SimConfig};
+
+fn cell(scheme: Scheme, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_cell(scheme, 1.0, 50.0, 20_000);
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn identical_configs_are_bit_identical() {
+    for scheme in Scheme::paper_schemes() {
+        let a = run_simulation(cell(scheme.clone(), 7));
+        let b = run_simulation(cell(scheme.clone(), 7));
+        assert_eq!(a.total_operating_cost(), b.total_operating_cost(), "{}", a.scheme);
+        assert_eq!(a.payments, b.payments);
+        assert_eq!(a.profit, b.profit);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.investments, b.investments);
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.response.mean(), b.response.mean());
+        assert_eq!(a.final_disk_bytes, b.final_disk_bytes);
+    }
+}
+
+#[test]
+fn different_seeds_change_the_workload() {
+    let a = run_simulation(cell(Scheme::EconCheap, 1));
+    let b = run_simulation(cell(Scheme::EconCheap, 2));
+    assert_ne!(
+        (a.payments, a.response.mean().to_bits()),
+        (b.payments, b.response.mean().to_bits()),
+        "two seeds should not produce identical runs"
+    );
+}
+
+#[test]
+fn schemes_share_the_same_workload_per_seed() {
+    // The workload stream depends only on the seed, not the scheme — the
+    // paper's comparison is across schemes on the *same* queries. The
+    // horizon therefore matches exactly.
+    let a = run_simulation(cell(Scheme::Bypass { cache_fraction: 0.3 }, 9));
+    let b = run_simulation(cell(Scheme::EconFast, 9));
+    assert_eq!(a.horizon_secs, b.horizon_secs);
+    assert_eq!(a.queries, b.queries);
+}

@@ -1,0 +1,118 @@
+//! Contracts every caching policy must honour, checked through the
+//! simulator across all five schemes.
+
+use cloudcache::pricing::Money;
+use cloudcache::simulator::{run_simulation, RunResult, Scheme, SimConfig};
+
+fn run(scheme: Scheme) -> RunResult {
+    run_simulation(SimConfig::paper_cell(scheme, 1.0, 50.0, 25_000))
+}
+
+#[test]
+fn bypass_caches_columns_but_never_profits_or_boots_nodes() {
+    let r = run(Scheme::Bypass {
+        cache_fraction: 0.3,
+    });
+    assert_eq!(r.profit, Money::ZERO, "bypass has no pricing economy");
+    assert!(r.investments > 0, "yield rule must load columns");
+    assert!(r.final_disk_bytes > 0);
+}
+
+#[test]
+fn bypass_respects_its_capacity_cap() {
+    let tiny = run_simulation(SimConfig::paper_cell(
+        Scheme::Bypass {
+            cache_fraction: 0.001,
+        },
+        1.0,
+        50.0,
+        25_000,
+    ));
+    // 0.1% of a 50 GB database = 50 MB cap.
+    let cap = (50.0e9 * 0.001) as u64;
+    assert!(
+        tiny.final_disk_bytes <= cap + cap / 10,
+        "disk {} exceeds cap {cap}",
+        tiny.final_disk_bytes
+    );
+}
+
+#[test]
+fn econ_col_never_uses_indexes_or_extra_nodes() {
+    let r = run(Scheme::EconCol);
+    // No extra nodes ⇒ extra-node uptime is zero ⇒ the scheme's CPU cost
+    // equals base-node uptime + backend per-use CPU only. We can't see
+    // structures from the RunResult, but the invariant that *matters* —
+    // money — is visible: econ-col's build spend only ever buys columns,
+    // whose build cost is dominated by network transfer.
+    assert!(r.investments > 0);
+    assert!(
+        r.build_spend.is_positive(),
+        "column builds must be booked as spending"
+    );
+}
+
+#[test]
+fn all_schemes_answer_every_query() {
+    for scheme in Scheme::paper_schemes() {
+        let r = run(scheme);
+        assert_eq!(r.response.count(), 25_000, "{}: dropped queries", r.scheme);
+        assert!(r.mean_response_secs() > 0.0);
+        assert!(
+            r.response_hist.quantile(1.0).unwrap() < 3_600.0,
+            "{}: absurd worst-case response",
+            r.scheme
+        );
+    }
+}
+
+#[test]
+fn economic_schemes_collect_payments_covering_profit() {
+    for scheme in [Scheme::EconCol, Scheme::EconCheap, Scheme::EconFast, Scheme::Altruistic] {
+        let r = run(scheme);
+        assert!(r.payments.is_positive(), "{}: no revenue", r.scheme);
+        assert!(
+            r.payments >= r.profit,
+            "{}: profit {} exceeds payments {}",
+            r.scheme,
+            r.profit,
+            r.payments
+        );
+        assert!(!r.profit.is_negative(), "{}: negative profit", r.scheme);
+    }
+}
+
+#[test]
+fn altruistic_cloud_profits_less_than_econ_cheap() {
+    // Definition 1's min-profit objective takes the smallest margin the
+    // skyline offers; econ-cheap takes the widest (cheapest plan under a
+    // flat payment). Same workload, so profits must order accordingly.
+    let altruistic = run(Scheme::Altruistic);
+    let cheap = run(Scheme::EconCheap);
+    assert!(
+        altruistic.profit <= cheap.profit,
+        "altruistic {} should not out-profit econ-cheap {}",
+        altruistic.profit,
+        cheap.profit
+    );
+}
+
+#[test]
+fn operating_cost_components_are_nonnegative_and_complete() {
+    for scheme in Scheme::paper_schemes() {
+        let r = run(scheme);
+        for (name, v) in [
+            ("cpu", r.operating.cpu),
+            ("disk", r.operating.disk),
+            ("network", r.operating.network),
+            ("io", r.operating.io),
+            ("builds", r.build_spend),
+        ] {
+            assert!(!v.is_negative(), "{}: negative {name} cost", r.scheme);
+        }
+        assert_eq!(
+            r.total_operating_cost(),
+            r.operating.total() + r.build_spend
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Property-based tests over the core data structures and the economy's
+//! algebraic invariants.
+
+use cloudcache::cache::{CacheState, LruSet, Occupancy, StructureKey};
+use cloudcache::catalog::ColumnId;
+use cloudcache::econ::{select_plan, BudgetFunction, BudgetShape, SelectionObjective};
+use cloudcache::metrics::{CostBreakdown, StreamingStats};
+use cloudcache::planner::plan::{PlanShape, QueryPlan};
+use cloudcache::planner::skyline_filter;
+use cloudcache::pricing::Money;
+use cloudcache::simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn plan(time: f64, price: f64, existing: bool) -> QueryPlan {
+    QueryPlan {
+        shape: PlanShape::Backend,
+        exec_time: SimDuration::from_secs(time),
+        exec_cost: Money::from_dollars(price),
+        exec_breakdown: CostBreakdown::ZERO,
+        uses: vec![],
+        missing: if existing {
+            vec![]
+        } else {
+            vec![StructureKey::Node(0)]
+        },
+        build_cost: Money::ZERO,
+        build_time: SimDuration::ZERO,
+        amortized_cost: Money::ZERO,
+        maintenance_cost: Money::ZERO,
+        price: Money::from_dollars(price),
+    }
+}
+
+proptest! {
+    /// Skyline: output is exactly the non-dominated subset, time-sorted.
+    #[test]
+    fn skyline_is_the_pareto_frontier(
+        raw in prop::collection::vec((0.01f64..100.0, 0.001f64..10.0), 1..40)
+    ) {
+        let plans: Vec<QueryPlan> =
+            raw.iter().map(|&(t, p)| plan(t, p, true)).collect();
+        let skyline = skyline_filter(plans.clone());
+
+        // (1) Every survivor is non-dominated in the input.
+        for s in &skyline {
+            let dominated = plans.iter().any(|o| {
+                (o.exec_time < s.exec_time && o.price <= s.price)
+                    || (o.exec_time <= s.exec_time && o.price < s.price)
+            });
+            prop_assert!(!dominated, "dominated plan survived");
+        }
+        // (2) Every non-dominated (time, price) point appears.
+        for p in &plans {
+            let dominated = plans.iter().any(|o| {
+                (o.exec_time < p.exec_time && o.price <= p.price)
+                    || (o.exec_time <= p.exec_time && o.price < p.price)
+            });
+            if !dominated {
+                prop_assert!(
+                    skyline
+                        .iter()
+                        .any(|s| s.exec_time == p.exec_time && s.price == p.price),
+                    "non-dominated point missing from skyline"
+                );
+            }
+        }
+        // (3) Sorted by time, strictly descending price.
+        for w in skyline.windows(2) {
+            prop_assert!(w[0].exec_time < w[1].exec_time);
+            prop_assert!(w[0].price > w[1].price);
+        }
+    }
+
+    /// Budget functions are non-increasing and vanish beyond t_max.
+    #[test]
+    fn budgets_are_non_increasing(
+        amount in 0.01f64..1000.0,
+        t_max in 0.1f64..1000.0,
+        shape_idx in 0usize..3,
+        samples in prop::collection::vec(0.0f64..1.2, 2..20)
+    ) {
+        let shape = [BudgetShape::Step, BudgetShape::Convex, BudgetShape::Concave][shape_idx];
+        let b = BudgetFunction::of_shape(
+            shape,
+            Money::from_dollars(amount),
+            SimDuration::from_secs(t_max),
+        );
+        let mut ts: Vec<f64> = samples.iter().map(|f| f * t_max).collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = Money::from_dollars(amount + 1.0);
+        for t in ts {
+            let v = b.value_at(SimDuration::from_secs(t));
+            prop_assert!(v <= prev, "budget increased at t={t}");
+            prop_assert!(!v.is_negative());
+            prev = v;
+        }
+        prop_assert_eq!(b.value_at(SimDuration::from_secs(t_max * 1.2001)), Money::ZERO);
+    }
+
+    /// Selection: the payment always covers the executed plan's price, the
+    /// profit is exactly payment − price, and the plan is executable.
+    #[test]
+    fn selection_never_undercharges(
+        raw in prop::collection::vec((0.1f64..50.0, 0.01f64..5.0, prop::bool::ANY), 1..20),
+        budget_amount in 0.001f64..20.0,
+        patience in 1.0f64..4.0,
+        objective_idx in 0usize..3,
+    ) {
+        let mut plans: Vec<QueryPlan> = raw
+            .iter()
+            .map(|&(t, p, existing)| plan(t, p, existing))
+            .collect();
+        // Guarantee P_exist is non-empty (the backend plan always exists).
+        plans.push(plan(60.0, 0.005, true));
+        let budget = BudgetFunction::of_shape(
+            BudgetShape::Step,
+            Money::from_dollars(budget_amount),
+            SimDuration::from_secs(60.0 * patience),
+        );
+        let objective = [
+            SelectionObjective::MinProfit,
+            SelectionObjective::Cheapest,
+            SelectionObjective::Fastest,
+        ][objective_idx];
+        let sel = select_plan(&plans, &budget, objective);
+        let chosen = &plans[sel.selected];
+        prop_assert!(chosen.is_existing(), "selected a plan that needs builds");
+        prop_assert!(sel.payment >= chosen.price, "user underpays the price");
+        prop_assert_eq!(sel.profit, sel.payment - chosen.price);
+        prop_assert!(!sel.profit.is_negative());
+        for &(idx, r) in &sel.regrets {
+            prop_assert!(!plans[idx].is_existing(), "regret on an existing plan");
+            prop_assert!(r.is_positive());
+        }
+    }
+
+    /// Money: amortisation over n uses never recoups more than the build.
+    #[test]
+    fn amortization_never_overcharges(
+        build_nanos in 0i128..1_000_000_000_000,
+        n in 1u64..10_000,
+        uses in 0u64..30_000,
+    ) {
+        let build = Money::from_nanos(build_nanos);
+        let installment = build.amortize_over(n);
+        let mut remaining = build;
+        let mut collected = Money::ZERO;
+        for _ in 0..uses {
+            let due = installment.min(remaining);
+            collected += due;
+            remaining -= due;
+        }
+        prop_assert!(collected <= build);
+        prop_assert_eq!(collected + remaining, build);
+        if uses > n {
+            // One extra use absorbs the rounding remainder.
+            prop_assert!(remaining <= installment);
+        }
+    }
+
+    /// Occupancy: the byte-seconds integral equals the hand-computed sum
+    /// over an arbitrary add/remove schedule.
+    #[test]
+    fn occupancy_integral_matches_reference(
+        steps in prop::collection::vec((0.01f64..100.0, 0u64..1_000_000, prop::bool::ANY), 1..30)
+    ) {
+        let mut occ = Occupancy::new();
+        let mut t = 0.0;
+        let mut level: u64 = 0;
+        let mut reference = 0.0;
+        for &(dt, delta, add) in &steps {
+            let next = t + dt;
+            reference += level as f64 * dt;
+            if add {
+                occ.add(SimTime::from_secs(next), delta);
+                level += delta;
+            } else {
+                let d = delta.min(level);
+                occ.remove(SimTime::from_secs(next), d);
+                level -= d;
+            }
+            t = next;
+        }
+        occ.advance(SimTime::from_secs(t + 1.0));
+        reference += level as f64 * 1.0;
+        prop_assert!((occ.byte_seconds() - reference).abs() <= reference.abs() * 1e-9 + 1e-6);
+        prop_assert_eq!(occ.bytes(), level);
+    }
+
+    /// LRU set: never exceeds capacity; most recently touched keys survive.
+    #[test]
+    fn lru_respects_capacity_and_recency(
+        cap in 1usize..20,
+        touches in prop::collection::vec(0u32..50, 1..200)
+    ) {
+        let mut lru = LruSet::new(cap);
+        for &k in &touches {
+            lru.touch(k);
+            prop_assert!(lru.len() <= cap);
+        }
+        // The last min(cap, distinct-tail) touched keys must be present.
+        let mut tail: Vec<u32> = Vec::new();
+        for &k in touches.iter().rev() {
+            if !tail.contains(&k) {
+                tail.push(k);
+            }
+            if tail.len() == cap {
+                break;
+            }
+        }
+        for k in tail {
+            prop_assert!(lru.contains(&k), "recently touched {k} evicted");
+        }
+    }
+
+    /// Streaming stats: mean/min/max agree with the naive computation.
+    #[test]
+    fn streaming_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - naive_mean).abs() < 1e-6 * (1.0 + naive_mean.abs()));
+        prop_assert_eq!(s.min().unwrap(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max().unwrap(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    /// Cache state: install/evict sequences keep disk usage equal to the
+    /// sum of resident structure sizes.
+    #[test]
+    fn cache_disk_equals_sum_of_sizes(
+        ops in prop::collection::vec((0u32..30, 1u64..1_000_000, prop::bool::ANY), 1..60)
+    ) {
+        let mut cache = CacheState::new();
+        let mut t = 0.0;
+        let mut resident: std::collections::HashMap<u32, u64> = Default::default();
+        for &(id, size, install) in &ops {
+            t += 1.0;
+            let key = StructureKey::Column(ColumnId(id));
+            let now = SimTime::from_secs(t);
+            if install && !cache.contains(key) {
+                cache.install(key, size, now, SimDuration::ZERO, Money::ZERO, 1);
+                resident.insert(id, size);
+            } else if !install {
+                cache.evict(key, now);
+                resident.remove(&id);
+            }
+            let expected: u64 = resident.values().sum();
+            prop_assert_eq!(cache.disk_used(), expected);
+            prop_assert_eq!(cache.len(), resident.len());
+        }
+    }
+}
