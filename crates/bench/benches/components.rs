@@ -96,7 +96,9 @@ fn bench_lru(c: &mut Criterion) {
 fn bench_zipf(c: &mut Criterion) {
     let zipf = Zipf::new(10_000, 1.1);
     let mut rng = SimRng::new(42);
-    c.bench_function("zipf_sample_10k_ranks", |b| b.iter(|| zipf.sample(&mut rng)));
+    c.bench_function("zipf_sample_10k_ranks", |b| {
+        b.iter(|| zipf.sample(&mut rng))
+    });
 }
 
 fn bench_workload(c: &mut Criterion) {

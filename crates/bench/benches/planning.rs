@@ -100,8 +100,7 @@ fn bench_economy_step(c: &mut Criterion) {
     let ctx = fx.ctx();
     c.bench_function("economy_process_query_sf2500", |b| {
         let mut manager = EconomyManager::new(EconConfig::default());
-        let mut gen =
-            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 23);
+        let mut gen = WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 23);
         let mut t = 0.0;
         b.iter(|| {
             t += 1.0;

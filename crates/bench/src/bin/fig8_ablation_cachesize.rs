@@ -21,9 +21,7 @@ fn main() {
     let fractions = [0.0002, 0.001, 0.05, 0.30, 0.60, 1.0];
     let cells: Vec<SimConfig> = fractions
         .iter()
-        .map(|&f| {
-            SimConfig::paper_cell(Scheme::Bypass { cache_fraction: f }, 10.0, sf, n)
-        })
+        .map(|&f| SimConfig::paper_cell(Scheme::Bypass { cache_fraction: f }, 10.0, sf, n))
         .collect();
     let results = run_cells(cells);
     println!(

@@ -1,0 +1,115 @@
+//! **Fleet scaling grid** — throughput of the sharded fleet executor.
+//!
+//! Runs a 100-tenant × 4-node fleet at shard counts {1, 2, 4, 8} and
+//! prints simulated queries per wall-clock second for each grid cell,
+//! plus the fleet aggregates. Because the executor's merge is
+//! shard-count invariant, the cost/response columns must be *identical*
+//! down the table — only the throughput column may change. The run exits
+//! non-zero if any aggregate deviates.
+//!
+//! Usage: `cargo run --release -p bench --bin fleet_scale \
+//!         [scale_factor] [queries_per_tenant] [tenants] [nodes]`
+
+use bench::{cli_arg, cli_usage_error, write_csv};
+use fleet::{FleetConfig, FleetSim};
+
+const SHARD_GRID: [usize; 4] = [1, 2, 4, 8];
+
+const USAGE: &str = "{bin} [scale_factor] [queries_per_tenant] [tenants] [nodes]\n       \
+                     defaults: scale_factor 50, queries_per_tenant 100, tenants 100, nodes 4";
+
+fn main() {
+    let sf: f64 = cli_arg(1, "scale factor", 50.0, USAGE);
+    let queries_per_tenant: u64 = cli_arg(2, "queries per tenant", 100, USAGE);
+    let tenants: u32 = cli_arg(3, "tenant count", 100, USAGE);
+    let nodes: usize = cli_arg(4, "node count", 4, USAGE);
+    if !sf.is_finite() || sf <= 0.0 {
+        cli_usage_error(&format!("scale factor must be positive, got {sf}"), USAGE);
+    }
+    if queries_per_tenant == 0 || tenants == 0 || nodes == 0 {
+        cli_usage_error(
+            "queries per tenant, tenants and nodes must all be positive",
+            USAGE,
+        );
+    }
+
+    let machine_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("================================================================");
+    println!("fleet_scale: {tenants} tenants x {nodes} nodes, shard sweep {SHARD_GRID:?}");
+    println!(
+        "(TPC-H SF {sf}, {queries_per_tenant} queries/tenant = {} total, cheapest-quote routing, {machine_cores} core(s) available)",
+        u64::from(tenants) * queries_per_tenant
+    );
+    println!("================================================================");
+    println!(
+        "{:>7} {:>12} {:>14} {:>12} {:>10} {:>8}",
+        "shards", "queries/s", "cost ($)", "mean resp", "hit rate", "builds"
+    );
+
+    let mut rows = Vec::new();
+    let mut reference: Option<(pricing::Money, u64)> = None;
+    let mut mean_reference: Option<f64> = None;
+    let mut invariant = true;
+
+    for shards in SHARD_GRID {
+        let mut config = FleetConfig::uniform(tenants, nodes, queries_per_tenant, 1.0);
+        config.scale_factor = sf;
+        config.cells = 16;
+        config.shards = shards;
+
+        // Time only the executor, not the shared schema/candidate prep.
+        let sim = FleetSim::new(config);
+        let started = std::time::Instant::now();
+        let result = sim.run();
+        let wall = started.elapsed().as_secs_f64();
+        let throughput = result.queries as f64 / wall.max(1e-9);
+
+        println!(
+            "{shards:>7} {throughput:>12.0} {:>14.4} {:>11.3}s {:>9.1}% {:>8}",
+            result.total_operating_cost().as_dollars(),
+            result.mean_response_secs(),
+            result.hit_rate() * 100.0,
+            result.investments,
+        );
+        rows.push(format!(
+            "{shards},{throughput:.0},{:.6},{:.6},{:.4},{}",
+            result.total_operating_cost().as_dollars(),
+            result.mean_response_secs(),
+            result.hit_rate(),
+            result.investments
+        ));
+
+        let cost = result.total_operating_cost();
+        let mean = result.mean_response_secs();
+        match (&reference, &mean_reference) {
+            (None, _) => {
+                reference = Some((cost, result.queries));
+                mean_reference = Some(mean);
+            }
+            (Some((ref_cost, ref_queries)), Some(ref_mean)) => {
+                if cost != *ref_cost
+                    || result.queries != *ref_queries
+                    || mean.to_bits() != ref_mean.to_bits()
+                {
+                    invariant = false;
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    write_csv(
+        "fleet_scale",
+        "shards,queries_per_sec,total_cost_usd,mean_response_s,hit_rate,builds",
+        &rows,
+    );
+
+    if invariant {
+        println!("aggregates identical across shard counts: OK");
+    } else {
+        eprintln!("error: fleet aggregates varied with shard count");
+        std::process::exit(1);
+    }
+}

@@ -35,36 +35,95 @@ pub const DEFAULT_SF: f64 = 2500.0;
 /// minute of harness time.
 pub const DEFAULT_QUERIES: u64 = 500_000;
 
+/// Prints `error: <message>` plus a usage block (with the invoked binary
+/// substituted for `{bin}`) and exits with status 2.
+pub fn cli_usage_error(message: &str, usage: &str) -> ! {
+    let bin = std::env::args()
+        .next()
+        .unwrap_or_else(|| "<bin>".to_string());
+    eprintln!("error: {message}");
+    eprintln!("usage: {}", usage.replace("{bin}", &bin));
+    std::process::exit(2);
+}
+
+/// Parses one positional argument, or exits with a usage error.
+///
+/// Defaulting silently on a typo (`fig4 2500x`) used to run the wrong
+/// experiment for a minute and label it with the default scale — so an
+/// argument that is present but unparseable is fatal instead.
+pub fn cli_arg<T: std::str::FromStr>(position: usize, what: &str, default: T, usage: &str) -> T {
+    match std::env::args().nth(position) {
+        None => default,
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| cli_usage_error(&format!("cannot parse {what} `{raw}`"), usage)),
+    }
+}
+
+/// Usage block for the common figure-harness CLI.
+const SCALE_USAGE: &str =
+    "{bin} [scale_factor] [num_queries]\n       defaults: scale_factor 2500, num_queries 500000";
+
 /// Parses the common `[sf] [num_queries]` CLI arguments.
+///
+/// Missing arguments fall back to the paper-scale defaults; present but
+/// unparseable or out-of-domain arguments print a usage error and exit
+/// non-zero (rather than panicking a worker thread later in config
+/// validation).
 #[must_use]
 pub fn cli_scale() -> (f64, u64) {
-    let sf = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SF);
-    let n = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_QUERIES);
+    let sf: f64 = cli_arg(1, "scale factor", DEFAULT_SF, SCALE_USAGE);
+    let n: u64 = cli_arg(2, "query count", DEFAULT_QUERIES, SCALE_USAGE);
+    if !sf.is_finite() || sf <= 0.0 {
+        cli_usage_error(
+            &format!("scale factor must be positive, got {sf}"),
+            SCALE_USAGE,
+        );
+    }
+    if n == 0 {
+        cli_usage_error("query count must be positive", SCALE_USAGE);
+    }
     (sf, n)
 }
 
-/// Runs a set of independent cells in parallel threads.
+/// Runs a set of independent cells in parallel, capped at the machine's
+/// available parallelism (an unbounded thread-per-cell spawn used to
+/// oversubscribe small runners on large grids).
+///
+/// Results are returned in input order.
 ///
 /// # Panics
 /// Panics if any cell's config is invalid.
 #[must_use]
 pub fn run_cells(cells: Vec<SimConfig>) -> Vec<RunResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let workers = parallelism.min(cells.len()).max(1);
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<RunResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = cells
-            .into_iter()
-            .map(|cfg| scope.spawn(move || run_simulation(cfg)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation thread panicked"))
-            .collect()
-    })
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cfg) = cells.get(i) else { break };
+                let result = run_simulation(cfg.clone());
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell simulated")
+        })
+        .collect()
 }
 
 /// Runs the full paper grid: every scheme × every interval.
@@ -86,7 +145,10 @@ pub fn run_paper_grid(sf: f64, n: u64) -> Vec<(f64, Vec<RunResult>)> {
 pub fn print_header(figure: &str, caption: &str, sf: f64, n: u64) {
     println!("================================================================");
     println!("{figure}: {caption}");
-    println!("(TPC-H SF {sf} ≈ {:.1} TB backend, {n} queries, 25 Mbps, EC2-2009 prices)", sf / 1000.0);
+    println!(
+        "(TPC-H SF {sf} ≈ {:.1} TB backend, {n} queries, 25 Mbps, EC2-2009 prices)",
+        sf / 1000.0
+    );
     println!("================================================================");
 }
 

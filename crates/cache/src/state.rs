@@ -116,16 +116,15 @@ impl CacheState {
     /// Number of *extra* CPU nodes usable at `now`.
     #[must_use]
     pub fn available_extra_nodes(&self, now: SimTime) -> u32 {
-        self.nodes
-            .values()
-            .filter(|s| s.is_available(now))
-            .count() as u32
+        self.nodes.values().filter(|s| s.is_available(now)).count() as u32
     }
 
     /// The lowest free extra-node ordinal (for booting the next node).
     #[must_use]
     pub fn next_node_ordinal(&self) -> u32 {
-        (0..).find(|n| !self.nodes.contains_key(n)).expect("u32 space")
+        (0..)
+            .find(|n| !self.nodes.contains_key(n))
+            .expect("u32 space")
     }
 
     /// Current cache disk usage in bytes.
@@ -260,9 +259,8 @@ impl CacheState {
                     let charged_span = span.min(window);
                     total += price(s, charged_span);
                     if span > window {
-                        let forgiven = price(s, SimDuration::from_secs(
-                            span.as_secs() - window.as_secs(),
-                        ));
+                        let forgiven =
+                            price(s, SimDuration::from_secs(span.as_secs() - window.as_secs()));
                         s.maint_forgiven += forgiven;
                     }
                     s.maint_paid_until = now;

@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a candidate index in the candidate registry.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct IndexId(pub u32);
 
 impl IndexId {
@@ -28,9 +26,7 @@ impl fmt::Display for IndexId {
 ///
 /// The regret array (`regretS`), the investment rule (eq. 3), amortisation
 /// and maintenance accounting all key by this.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum StructureKey {
     /// The `ordinal`-th *extra* CPU node (beyond the always-on base node).
     Node(u32),

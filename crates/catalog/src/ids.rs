@@ -10,15 +10,11 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a table within a [`Schema`](crate::Schema).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TableId(pub u32);
 
 /// Identifier of a column, unique across the whole schema (not per-table).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ColumnId(pub u32);
 
 impl TableId {

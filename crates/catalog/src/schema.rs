@@ -79,7 +79,9 @@ impl Schema {
     /// Looks up a column by its qualified `"table.column"` name.
     #[must_use]
     pub fn column_by_name(&self, qualified: &str) -> Option<&Column> {
-        self.column_by_name.get(qualified).map(|&id| self.column(id))
+        self.column_by_name
+            .get(qualified)
+            .map(|&id| self.column(id))
     }
 
     /// Total bytes of one column across all rows — the `size(T)` of
@@ -193,7 +195,11 @@ mod tests {
                 ("b", DataType::Char(10), ColumnStats::uniform(5)),
             ],
         );
-        b.table("t2", 10, &[("c", DataType::Int64, ColumnStats::uniform(10))]);
+        b.table(
+            "t2",
+            10,
+            &[("c", DataType::Int64, ColumnStats::uniform(10))],
+        );
         b.build()
     }
 

@@ -111,7 +111,8 @@ mod tests {
         let s = sdss_schema(1000);
         for band in ["u", "g", "r", "i", "z"] {
             assert!(
-                s.column_by_name(&format!("photoobj.psfmag_{band}")).is_some(),
+                s.column_by_name(&format!("photoobj.psfmag_{band}"))
+                    .is_some(),
                 "missing band {band}"
             );
         }

@@ -59,10 +59,7 @@ pub fn estimate(column: &Column, kind: PredicateKind) -> f64 {
 /// Combines per-predicate selectivities under the independence assumption.
 #[must_use]
 pub fn conjunction(selectivities: &[f64]) -> f64 {
-    selectivities
-        .iter()
-        .product::<f64>()
-        .clamp(1e-12, 1.0)
+    selectivities.iter().product::<f64>().clamp(1e-12, 1.0)
 }
 
 #[cfg(test)]

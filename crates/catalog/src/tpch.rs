@@ -213,7 +213,11 @@ mod tests {
     #[test]
     fn key_columns_resolvable() {
         let s = tpch_schema(ScaleFactor(1.0));
-        for q in ["lineitem.l_shipdate", "orders.o_orderdate", "customer.c_mktsegment"] {
+        for q in [
+            "lineitem.l_shipdate",
+            "orders.o_orderdate",
+            "customer.c_mktsegment",
+        ] {
             assert!(s.column_by_name(q).is_some(), "missing {q}");
         }
     }

@@ -127,9 +127,15 @@ mod tests {
 
     #[test]
     fn invalid_fields_caught() {
-        let c = EconConfig { patience: 0.5, ..EconConfig::default() };
+        let c = EconConfig {
+            patience: 0.5,
+            ..EconConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = EconConfig { regret_pool_capacity: 0, ..EconConfig::default() };
+        let c = EconConfig {
+            regret_pool_capacity: 0,
+            ..EconConfig::default()
+        };
         assert!(c.validate().is_err());
         let c = EconConfig {
             initial_credit: Money::from_dollars(-1.0),

@@ -132,51 +132,29 @@ impl EconomyManager {
         if self.first_arrival.is_none() {
             self.first_arrival = Some(now);
         }
-        assert!(now >= self.last_arrival, "queries must arrive in time order");
+        assert!(
+            now >= self.last_arrival,
+            "queries must arrive in time order"
+        );
         self.last_arrival = now;
 
         // (1) Accrue occupancy; fail structures whose unpaid maintenance
         // exceeded the threshold.
         self.cache.advance(now);
         let estimator = ctx.estimator;
-        let failed = self.cache.failed_structures(
-            now,
-            self.config.failure.fail_factor,
-            |s, span| estimator.maintenance(s, span),
-        );
+        let failed =
+            self.cache
+                .failed_structures(now, self.config.failure.fail_factor, |s, span| {
+                    estimator.maintenance(s, span)
+                });
         for &key in &failed {
             self.cache.evict(key, now);
             self.regret.reset(key);
         }
 
-        // (2) Enumerate and skyline. Existing plans are skylined among
-        // themselves (they are the executable menu — a *possible* plan may
-        // dominate them on paper but cannot run yet), while possible plans
-        // must survive the skyline of the full set to be worth regretting.
+        // (2)+(3) Enumerate, skyline, and form the user budget.
         let opts = self.config.enumeration(self.arrival_rate());
-        let plans = enumerate_plans(ctx, query, &self.cache, now, opts);
-        let backend = plans
-            .iter()
-            .find(|p| p.shape == planner::plan::PlanShape::Backend)
-            .expect("backend plan always enumerated")
-            .clone();
-        let (exist, _pos): (Vec<QueryPlan>, Vec<QueryPlan>) =
-            plans.iter().cloned().partition(QueryPlan::is_existing);
-        let mut skyline = skyline_filter(exist);
-        skyline.extend(
-            skyline_filter(plans)
-                .into_iter()
-                .filter(|p| !p.is_existing()),
-        );
-
-        // (3) User budget: step (or configured shape) at
-        // `budget_scale × backend price` with deadline `patience × backend
-        // time`.
-        let budget = BudgetFunction::of_shape(
-            self.config.budget_shape,
-            backend.price.scale(query.budget_scale),
-            backend.exec_time * self.config.patience,
-        );
+        let (skyline, budget) = self.skyline_and_budget(ctx, query, now, opts);
 
         // (4) Case analysis and settlement.
         let selection = select_plan(&skyline, &budget, self.config.objective);
@@ -185,12 +163,11 @@ impl EconomyManager {
 
         self.cache.touch(&chosen.uses, now);
         let amortization_collected = self.cache.charge_amortization(&chosen.uses);
-        let maintenance_collected = self.cache.settle_maintenance(
-            &chosen.uses,
-            now,
-            opts.maint_window,
-            |s, span| estimator.maintenance(s, span),
-        );
+        let maintenance_collected =
+            self.cache
+                .settle_maintenance(&chosen.uses, now, opts.maint_window, |s, span| {
+                    estimator.maintenance(s, span)
+                });
         debug_assert_eq!(
             amortization_collected, chosen.amortized_cost,
             "quoted amortisation must match collected"
@@ -243,6 +220,62 @@ impl EconomyManager {
             maintenance_collected,
             amortization_collected,
         }
+    }
+
+    /// Enumerates `P_Q`, reduces it to the skyline and forms the user's
+    /// budget function — steps (2) and (3) of the control loop.
+    ///
+    /// Existing plans are skylined among themselves (they are the
+    /// executable menu — a *possible* plan may dominate them on paper but
+    /// cannot run yet), while possible plans must survive the skyline of
+    /// the full set to be worth regretting. The budget is the configured
+    /// shape at `budget_scale × backend price` with deadline
+    /// `patience × backend time`.
+    fn skyline_and_budget(
+        &self,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        now: SimTime,
+        opts: planner::enumerate::EnumerationOptions,
+    ) -> (Vec<QueryPlan>, BudgetFunction) {
+        let plans = enumerate_plans(ctx, query, &self.cache, now, opts);
+        let backend = plans
+            .iter()
+            .find(|p| p.shape == planner::plan::PlanShape::Backend)
+            .expect("backend plan always enumerated")
+            .clone();
+        let (exist, _pos): (Vec<QueryPlan>, Vec<QueryPlan>) =
+            plans.iter().cloned().partition(QueryPlan::is_existing);
+        let mut skyline = skyline_filter(exist);
+        skyline.extend(
+            skyline_filter(plans)
+                .into_iter()
+                .filter(|p| !p.is_existing()),
+        );
+        let budget = BudgetFunction::of_shape(
+            self.config.budget_shape,
+            backend.price.scale(query.budget_scale),
+            backend.exec_time * self.config.patience,
+        );
+        (skyline, budget)
+    }
+
+    /// Quotes the price `B_Q(t)` this cloud would charge for `query` at
+    /// `now`, without mutating any state — the marketplace bid a fleet
+    /// router compares across competing clouds.
+    ///
+    /// The quote runs the same enumeration → skyline → case analysis as
+    /// [`process_query`](Self::process_query) but skips its side effects,
+    /// so the realized price can differ from the quote in two ways:
+    /// serving the query first evicts structures whose maintenance
+    /// failed, and it updates the observed arrival statistics that the
+    /// enumeration options (amortisation horizon, maintenance window)
+    /// derive from. Routers treat quotes as bids, not contracts.
+    #[must_use]
+    pub fn quote_query(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Money {
+        let opts = self.config.enumeration(self.arrival_rate());
+        let (skyline, budget) = self.skyline_and_budget(ctx, query, now, opts);
+        select_plan(&skyline, &budget, self.config.objective).payment
     }
 
     /// Builds every structure the investment rule triggers, most regretted
@@ -405,10 +438,7 @@ mod tests {
         let outcomes = drive(&f, &mut m, 2, 2500, 1.0);
         let invested: usize = outcomes.iter().map(|o| o.investments.len()).sum();
         assert!(invested > 0, "regret should trigger investments");
-        let late_cache_hits = outcomes[1500..]
-            .iter()
-            .filter(|o| o.ran_in_cache)
-            .count();
+        let late_cache_hits = outcomes[1500..].iter().filter(|o| o.ran_in_cache).count();
         assert!(
             late_cache_hits > 50,
             "late queries should run in the cache, saw {late_cache_hits}"
@@ -458,7 +488,10 @@ mod tests {
             os.iter().map(|o| o.response_time.as_secs()).sum::<f64>() / os.len() as f64
         };
         let profit = |os: &[QueryOutcome]| os.iter().map(|o| o.profit).sum::<Money>();
-        assert!(b.iter().all(|o| !o.ran_in_cache), "frozen cloud never caches");
+        assert!(
+            b.iter().all(|o| !o.ran_in_cache),
+            "frozen cloud never caches"
+        );
         assert!(
             mean(&a) < mean(&b),
             "tuned {:.3}s should beat frozen {:.3}s",
@@ -517,7 +550,11 @@ mod tests {
         let mut m = EconomyManager::new(EconConfig::default());
         assert_eq!(m.arrival_rate(), 0.0);
         let _ = drive(&f, &mut m, 8, 11, 2.0);
-        assert!((m.arrival_rate() - 0.5).abs() < 1e-9, "{}", m.arrival_rate());
+        assert!(
+            (m.arrival_rate() - 0.5).abs() < 1e-9,
+            "{}",
+            m.arrival_rate()
+        );
     }
 
     #[test]
@@ -589,4 +626,3 @@ mod tests {
         let _ = EconomyManager::new(config);
     }
 }
-

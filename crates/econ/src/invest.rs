@@ -88,7 +88,11 @@ mod tests {
     #[test]
     fn threshold_is_fraction_of_credit() {
         let r = InvestmentRule::default();
-        assert_eq!(r.threshold(m(100.0)), m(5.0), "round(x/(a·CR)) ≥ 1 at half a·CR");
+        assert_eq!(
+            r.threshold(m(100.0)),
+            m(5.0),
+            "round(x/(a·CR)) ≥ 1 at half a·CR"
+        );
     }
 
     #[test]

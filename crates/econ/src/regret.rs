@@ -140,7 +140,11 @@ mod tests {
     #[test]
     fn distributes_uniformly() {
         let mut r = RegretLedger::new(16);
-        r.distribute(&[col(1), col(2), col(3)], m(9.0), RegretAttribution::UniformShare);
+        r.distribute(
+            &[col(1), col(2), col(3)],
+            m(9.0),
+            RegretAttribution::UniformShare,
+        );
         assert_eq!(r.regret_of(col(1)), m(3.0));
         assert_eq!(r.regret_of(col(2)), m(3.0));
         assert_eq!(r.regret_of(col(3)), m(3.0));
@@ -215,7 +219,11 @@ mod tests {
     fn remainder_lost_to_rounding_is_bounded() {
         let mut r = RegretLedger::new(16);
         // 10 nano-dollars over 3 structures: 3 each, 1 nano lost.
-        r.distribute(&[col(1), col(2), col(3)], Money::from_nanos(10), RegretAttribution::UniformShare);
+        r.distribute(
+            &[col(1), col(2), col(3)],
+            Money::from_nanos(10),
+            RegretAttribution::UniformShare,
+        );
         assert_eq!(r.total(), Money::from_nanos(9));
     }
 }

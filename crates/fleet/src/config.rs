@@ -1,0 +1,227 @@
+//! Fleet experiment configuration.
+
+use econ::EconConfig;
+use planner::CostParams;
+use pricing::{Money, PriceCatalog};
+use serde::{Deserialize, Serialize};
+use simulator::{ArrivalKind, Scheme};
+use workload::WorkloadConfig;
+
+use crate::node::NodeSpec;
+use crate::router::RouterKind;
+use crate::tenant::{TenantId, TenantSpec};
+
+/// Full description of one fleet simulation.
+///
+/// Tenants are partitioned into `cells` (tenant `id % cells`); each cell
+/// owns a private replica of the `nodes` fleet and serves its tenants'
+/// superposed stream. `shards` worker threads execute cells in parallel;
+/// because cell membership and all seeds depend only on tenant ids, the
+/// result is a pure function of everything *except* `shards` — see
+/// [`crate::exec`] for the invariance argument.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// TPC-H scale factor of the shared backend database.
+    pub scale_factor: f64,
+    /// The tenant population.
+    pub tenants: Vec<TenantSpec>,
+    /// The cache nodes each cell instantiates.
+    pub nodes: Vec<NodeSpec>,
+    /// Routing strategy.
+    pub router: RouterKind,
+    /// Number of independent cells the tenants are partitioned into.
+    pub cells: usize,
+    /// Worker threads executing cells (affects wall-clock only).
+    pub shards: usize,
+    /// Cost-model calibration.
+    pub cost_params: CostParams,
+    /// Resource prices.
+    pub prices: PriceCatalog,
+    /// Economy configuration shared by every economic node.
+    pub econ: EconConfig,
+    /// Candidate-index budget per cell (the paper's 65).
+    pub candidate_indexes: usize,
+    /// Master seed; per-tenant seeds derive from `(seed, tenant id)`.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A homogeneous fleet: `n_tenants` identical tenants with fixed
+    /// inter-arrival `interval_secs`, `n_nodes` econ-cheap nodes, and the
+    /// economics scaled the way the workspace's tests scale them (small
+    /// initial capital, low regret floor) so that investment fires within
+    /// a few hundred queries per cell.
+    #[must_use]
+    pub fn uniform(
+        n_tenants: u32,
+        n_nodes: usize,
+        queries_per_tenant: u64,
+        interval_secs: f64,
+    ) -> Self {
+        let tenants = (0..n_tenants)
+            .map(|id| TenantSpec {
+                id: TenantId(id),
+                workload: WorkloadConfig::default(),
+                arrival: ArrivalKind::Fixed { interval_secs },
+                queries: queries_per_tenant,
+            })
+            .collect();
+        let nodes = (0..n_nodes)
+            .map(|_| NodeSpec::new(Scheme::EconCheap))
+            .collect();
+        let econ = EconConfig {
+            initial_credit: Money::from_dollars(0.02),
+            investment: econ::InvestmentRule {
+                min_regret: Money::from_dollars(1e-5),
+                ..econ::InvestmentRule::default()
+            },
+            ..EconConfig::default()
+        };
+        FleetConfig {
+            scale_factor: 50.0,
+            tenants,
+            nodes,
+            router: RouterKind::CheapestQuote,
+            cells: 8,
+            shards: 1,
+            cost_params: CostParams::default(),
+            prices: PriceCatalog::ec2_2009(),
+            econ,
+            candidate_indexes: 65,
+            seed: 0xF1EE_7CA5,
+        }
+    }
+
+    /// A heterogeneous fleet: tenants cycle through fixed / Poisson /
+    /// bursty arrivals and three budget-generosity tiers, modelling a
+    /// population of differently-behaved customers on one marketplace.
+    #[must_use]
+    pub fn mixed(n_tenants: u32, n_nodes: usize, queries_per_tenant: u64) -> Self {
+        let mut config = Self::uniform(n_tenants, n_nodes, queries_per_tenant, 1.0);
+        for spec in &mut config.tenants {
+            let id = spec.id.0;
+            spec.arrival = match id % 3 {
+                0 => ArrivalKind::Fixed { interval_secs: 1.0 },
+                1 => ArrivalKind::Poisson { mean_gap_secs: 2.0 },
+                _ => ArrivalKind::Bursty {
+                    on_gap_secs: 0.25,
+                    burst_len: 20,
+                    off_gap_secs: 30.0,
+                },
+            };
+            spec.workload.budget_scale_range = match id % 4 {
+                0 => (1.05, 1.2),
+                1 => (1.1, 1.5),
+                2 => (1.2, 1.8),
+                _ => (1.05, 1.5),
+            };
+        }
+        config
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns a human-readable message for the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.scale_factor.is_finite() || self.scale_factor <= 0.0 {
+            return Err("scale_factor must be positive".into());
+        }
+        if self.tenants.is_empty() {
+            return Err("fleet needs at least one tenant".into());
+        }
+        if self.nodes.is_empty() {
+            return Err("fleet needs at least one node".into());
+        }
+        if self.cells == 0 {
+            return Err("cells must be positive".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be positive".into());
+        }
+        if self.candidate_indexes == 0 {
+            return Err("candidate_indexes must be positive".into());
+        }
+        let mut ids: Vec<u32> = self.tenants.iter().map(|t| t.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != self.tenants.len() {
+            return Err("tenant ids must be unique".into());
+        }
+        for t in &self.tenants {
+            if t.queries == 0 {
+                return Err(format!("tenant {} submits zero queries", t.id.0));
+            }
+            t.workload
+                .validate()
+                .map_err(|(f, r)| format!("tenant {} workload.{f}: {r}", t.id.0))?;
+        }
+        self.cost_params
+            .validate()
+            .map_err(|f| format!("cost_params.{f} invalid"))?;
+        self.econ.validate().map_err(|m| format!("econ: {m}"))?;
+        Ok(())
+    }
+
+    /// Total queries the population submits.
+    #[must_use]
+    pub fn total_queries(&self) -> u64 {
+        self.tenants.iter().map(|t| t.queries).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_mixed_validate() {
+        assert!(FleetConfig::uniform(10, 4, 100, 1.0).validate().is_ok());
+        assert!(FleetConfig::mixed(10, 4, 100).validate().is_ok());
+    }
+
+    #[test]
+    fn mixed_population_is_heterogeneous() {
+        let c = FleetConfig::mixed(9, 2, 10);
+        let kinds: std::collections::HashSet<&'static str> = c
+            .tenants
+            .iter()
+            .map(|t| match t.arrival {
+                ArrivalKind::Fixed { .. } => "fixed",
+                ArrivalKind::Poisson { .. } => "poisson",
+                ArrivalKind::Bursty { .. } => "bursty",
+            })
+            .collect();
+        assert_eq!(kinds.len(), 3);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = FleetConfig::uniform(4, 2, 10, 1.0);
+        c.cells = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = FleetConfig::uniform(4, 2, 10, 1.0);
+        c.nodes.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = FleetConfig::uniform(4, 2, 10, 1.0);
+        c.tenants[1].id = c.tenants[0].id;
+        assert!(c.validate().is_err(), "duplicate tenant ids");
+
+        let mut c = FleetConfig::uniform(4, 2, 10, 1.0);
+        c.tenants[2].queries = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_roundtrips_serde() {
+        let c = FleetConfig::mixed(5, 3, 20);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tenants.len(), 5);
+        assert_eq!(back.nodes.len(), 3);
+        assert_eq!(back.router, RouterKind::CheapestQuote);
+        assert_eq!(back.total_queries(), 100);
+    }
+}

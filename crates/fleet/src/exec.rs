@@ -1,0 +1,298 @@
+//! The sharded fleet executor.
+//!
+//! ## Decomposition and invariance
+//!
+//! Tenants are partitioned into **cells** by `tenant id % cells`. Each
+//! cell owns a private replica of the node fleet and serves its tenants'
+//! heap-merged stream single-threadedly — within a cell, tenants genuinely
+//! share cache state, compete for the same structures, and are routed by
+//! live load/price signals. Across cells there is no shared state, which
+//! is what lets **shards** (worker threads) execute cells concurrently.
+//!
+//! The result is a pure function of the config *minus* `shards`:
+//!
+//! 1. cell membership and every seed derive from tenant ids only;
+//! 2. each cell's simulation is single-threaded and deterministic;
+//! 3. partial results are folded in ascending cell order, so even the
+//!    order-sensitive floating-point merges are fixed.
+//!
+//! An 8-thread run therefore produces bit-identical fleet aggregates to a
+//! 1-thread run — the property `tests/fleet_determinism.rs` pins.
+//!
+//! Worker threads take cells by striding (`worker w` runs cells
+//! `w, w+shards, …`); since workers only *compute* partials and the fold
+//! happens after all joins, scheduling jitter cannot leak into results.
+
+use std::sync::Arc;
+
+use catalog::tpch::{tpch_schema, ScaleFactor};
+use catalog::Schema;
+use planner::{generate_candidates, Estimator, PlannerContext};
+use simcore::{NetworkModel, SimTime};
+use simulator::RunResult;
+use workload::paper_templates;
+
+use crate::config::FleetConfig;
+use crate::node::CacheNode;
+use crate::result::{FleetResult, NodeStats, TenantStats};
+use crate::tenant::{MergedStream, TenantStream};
+
+/// A prepared fleet simulation: schema, candidates and estimator built
+/// once and shared (read-only) by every cell on every worker thread.
+pub struct FleetSim {
+    schema: Arc<Schema>,
+    candidates: Vec<cache::IndexDef>,
+    estimator: Estimator,
+    config: FleetConfig,
+}
+
+/// One cell's partial measurements, produced on a worker thread.
+struct CellResult {
+    horizon: SimTime,
+    tenants: Vec<TenantStats>,
+    nodes: Vec<RunResult>,
+}
+
+impl FleetSim {
+    /// Prepares a fleet simulation from a validated config.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid fleet config: {msg}");
+        }
+        let schema = Arc::new(tpch_schema(ScaleFactor(config.scale_factor)));
+        let templates = paper_templates(&schema);
+        let candidates = generate_candidates(&schema, &templates, config.candidate_indexes);
+        let estimator = Estimator::new(
+            config.cost_params.clone(),
+            config.prices.clone(),
+            NetworkModel::paper_sdss(),
+        );
+        FleetSim {
+            schema,
+            candidates,
+            estimator,
+            config,
+        }
+    }
+
+    /// The backend schema.
+    #[must_use]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Executes the fleet run across `config.shards` worker threads.
+    #[must_use]
+    pub fn run(&self) -> FleetResult {
+        let cells = self.config.cells;
+        let shards = self.config.shards.min(cells).max(1);
+
+        let partials: Vec<CellResult> = if shards == 1 {
+            (0..cells).map(|c| self.simulate_cell(c)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shards)
+                    .map(|worker| {
+                        let sim = &*self;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut cell = worker;
+                            while cell < cells {
+                                out.push((cell, sim.simulate_cell(cell)));
+                                cell += shards;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                let mut slots: Vec<Option<CellResult>> = (0..cells).map(|_| None).collect();
+                for handle in handles {
+                    for (cell, result) in handle.join().expect("fleet worker panicked") {
+                        slots[cell] = Some(result);
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every cell simulated"))
+                    .collect()
+            })
+        };
+
+        // Fold in ascending cell order — the shard-count-invariant merge.
+        let mut fleet = FleetResult::empty(self.config.router.name(), cells);
+        for partial in &partials {
+            let mut piece = FleetResult::empty(self.config.router.name(), cells);
+            piece.horizon_secs = partial.horizon.as_secs();
+            piece.tenants = partial.tenants.clone();
+            for (node_idx, run) in partial.nodes.iter().enumerate() {
+                piece.queries += run.queries;
+                piece.response.merge(&run.response);
+                piece.response_hist.merge(&run.response_hist);
+                piece.operating.merge(&run.operating);
+                piece.build_spend += run.build_spend;
+                piece.payments += run.payments;
+                piece.profit += run.profit;
+                piece.cache_hits += run.cache_hits;
+                piece.investments += run.investments;
+                piece.evictions += run.evictions;
+                piece.nodes.push(NodeStats::from_run(node_idx, run));
+            }
+            fleet.merge(&piece);
+        }
+        fleet
+    }
+
+    /// Simulates one cell: its tenants' merged stream over a private
+    /// replica of the node fleet. Single-threaded and deterministic.
+    fn simulate_cell(&self, cell: usize) -> CellResult {
+        let cells = self.config.cells;
+        let streams: Vec<TenantStream> = self
+            .config
+            .tenants
+            .iter()
+            .filter(|t| t.id.0 as usize % cells == cell)
+            .map(|t| TenantStream::new(t.clone(), Arc::clone(&self.schema), self.config.seed))
+            .collect();
+        let mut tenant_stats: Vec<TenantStats> = streams
+            .iter()
+            .map(|s| TenantStats::new(s.spec().id))
+            .collect();
+        // O(1) tenant → stats-slot lookup for the hot loop below.
+        let slot_of: std::collections::HashMap<crate::tenant::TenantId, usize> = tenant_stats
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.tenant, i))
+            .collect();
+        let merged = MergedStream::new(streams);
+
+        let mut nodes: Vec<CacheNode> = self
+            .config
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| CacheNode::new(i, spec, &self.schema, &self.config.econ))
+            .collect();
+        let mut router = self.config.router.make();
+        let ctx = PlannerContext {
+            schema: &self.schema,
+            candidates: &self.candidates,
+            estimator: &self.estimator,
+        };
+
+        let mut horizon = SimTime::ZERO;
+        for (now, tenant, query) in merged {
+            horizon = now;
+            for node in &mut nodes {
+                node.accrue(now);
+            }
+            let chosen = router.route(&nodes, &ctx, &query, now);
+            let outcome = nodes[chosen].serve(&ctx, &query, now);
+
+            let stats = &mut tenant_stats[slot_of[&tenant]];
+            stats.queries += 1;
+            stats.response.record(outcome.response_time.as_secs());
+            stats.payments += outcome.payment;
+            stats.cache_hits += u64::from(outcome.ran_in_cache);
+        }
+
+        let rates = &self.config.prices.rates;
+        CellResult {
+            horizon,
+            tenants: tenant_stats,
+            nodes: nodes
+                .into_iter()
+                .map(|n| n.finish(rates, horizon))
+                .collect(),
+        }
+    }
+}
+
+/// One-shot convenience: prepare and run.
+#[must_use]
+pub fn run_fleet(config: FleetConfig) -> FleetResult {
+    FleetSim::new(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RouterKind;
+
+    fn small(router: RouterKind, shards: usize) -> FleetResult {
+        let mut config = FleetConfig::uniform(8, 3, 60, 1.0);
+        config.scale_factor = 10.0;
+        config.cells = 4;
+        config.shards = shards;
+        config.router = router;
+        run_fleet(config)
+    }
+
+    #[test]
+    fn fleet_serves_every_query_once() {
+        let r = small(RouterKind::RoundRobin, 1);
+        assert_eq!(r.queries, 8 * 60);
+        assert_eq!(r.response.count(), 8 * 60);
+        let tenant_total: u64 = r.tenants.iter().map(|t| t.queries).sum();
+        let node_total: u64 = r.nodes.iter().map(|n| n.queries).sum();
+        assert_eq!(tenant_total, r.queries);
+        assert_eq!(node_total, r.queries);
+        assert_eq!(r.tenants.len(), 8);
+        // 4 cells × 3 node slots roll up into 3 fleet-level node rows.
+        assert_eq!(r.nodes.len(), 3);
+        assert!(r.total_operating_cost().is_positive());
+        assert!(r.mean_response_secs() > 0.0);
+    }
+
+    #[test]
+    fn round_robin_spreads_queries_evenly() {
+        let r = small(RouterKind::RoundRobin, 1);
+        let counts: Vec<u64> = r.nodes.iter().map(|n| n.queries).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(
+            max - min <= self::small_imbalance(&r),
+            "round-robin imbalance: {counts:?}"
+        );
+    }
+
+    /// Round-robin is per-cell, so imbalance is bounded by one query per
+    /// cell.
+    fn small_imbalance(r: &FleetResult) -> u64 {
+        r.cells as u64
+    }
+
+    #[test]
+    fn all_routers_complete_and_disagree_somewhere() {
+        let rr = small(RouterKind::RoundRobin, 1);
+        let lo = small(RouterKind::LeastOutstanding, 1);
+        let cq = small(RouterKind::CheapestQuote, 1);
+        for r in [&rr, &lo, &cq] {
+            assert_eq!(r.queries, 480);
+        }
+        // Different strategies must produce observably different routing
+        // (identical everything would mean the router is not consulted).
+        let loads = |r: &FleetResult| -> Vec<u64> { r.nodes.iter().map(|n| n.queries).collect() };
+        assert!(
+            loads(&rr) != loads(&cq) || loads(&lo) != loads(&cq),
+            "cheapest-quote matched both baselines exactly"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fleet config")]
+    fn invalid_config_panics() {
+        let mut config = FleetConfig::uniform(2, 1, 10, 1.0);
+        config.cells = 0;
+        let _ = FleetSim::new(config);
+    }
+}

@@ -1,0 +1,52 @@
+//! # fleet — multi-tenant cache-fleet simulation with price-based routing
+//!
+//! The paper ("An Economic Model for Self-Tuned Cloud Caching", ICDE
+//! 2009) models *one* cloud cache quoting prices `B_Q(t)` to its users.
+//! This crate scales that economy out to a **marketplace**: a population
+//! of tenants submits superposed query streams, several self-tuned cache
+//! nodes compete to serve them, and a router decides who wins each query —
+//! by rotation, by load, or by the nodes' own price quotes.
+//!
+//! ```text
+//!  tenants (TenantSpec × N) ──heap-merge──▶ MergedStream
+//!                                             │ time-ordered queries
+//!                                             ▼
+//!                                          Router ──quotes/load──▶ CacheNode × M
+//!                                             │                      (each a full
+//!                                             ▼                       CachePolicy)
+//!                                        FleetResult  ◀─merge()─  per-cell partials
+//! ```
+//!
+//! * [`tenant`] — [`TenantSpec`] populations and the binary-heap
+//!   superposition ([`MergedStream`]).
+//! * [`router`] — the [`Router`] trait with [`RoundRobin`],
+//!   [`LeastOutstanding`] and [`CheapestQuote`] strategies; the latter
+//!   extends the paper's economy into a competitive market where the node
+//!   bidding the lowest `B_Q(t)` wins the query.
+//! * [`node`] — [`CacheNode`]: one policy plus its accounting and backlog
+//!   clock.
+//! * [`exec`] — the sharded executor: tenants partition into cells, cells
+//!   run on worker threads, and the merge is shard-count invariant (an
+//!   8-core run is bit-identical to a 1-core run).
+//! * [`result`] — mergeable rollups: [`FleetResult`] with per-tenant and
+//!   per-node accounting.
+//!
+//! Start with [`FleetConfig::uniform`] and [`run_fleet`], or the
+//! `fleet_market` example.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod exec;
+pub mod node;
+pub mod result;
+pub mod router;
+pub mod tenant;
+
+pub use config::FleetConfig;
+pub use exec::{run_fleet, FleetSim};
+pub use node::{CacheNode, NodeSpec};
+pub use result::{FleetResult, NodeStats, TenantStats};
+pub use router::{CheapestQuote, LeastOutstanding, RoundRobin, Router, RouterKind};
+pub use tenant::{MergedStream, TenantId, TenantSpec, TenantStream};

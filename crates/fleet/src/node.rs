@@ -1,0 +1,159 @@
+//! Cache nodes: one self-tuned cloud cache each, plus its accounting.
+//!
+//! A [`CacheNode`] wraps a [`CachePolicy`] (any of the paper's schemes)
+//! with the per-node [`RunAccumulator`] and a backlog clock that models
+//! how much work the node has promised but not yet delivered — the load
+//! signal least-outstanding routing balances on.
+
+use planner::PlannerContext;
+use policies::{CachePolicy, PolicyOutcome};
+use pricing::{Money, ResourceRates};
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use simulator::{make_policy, RunAccumulator, RunResult, Scheme};
+use workload::Query;
+
+/// Description of one cache node in the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// The caching scheme this node operates.
+    pub scheme: Scheme,
+}
+
+impl NodeSpec {
+    /// A node running the given scheme.
+    #[must_use]
+    pub fn new(scheme: Scheme) -> Self {
+        NodeSpec { scheme }
+    }
+}
+
+/// One live cache node: policy + accounting + backlog clock.
+pub struct CacheNode {
+    id: usize,
+    policy: Box<dyn CachePolicy>,
+    acc: RunAccumulator,
+    backlog_until: SimTime,
+}
+
+impl CacheNode {
+    /// Instantiates the node's policy against the fleet's schema/economy.
+    #[must_use]
+    pub fn new(
+        id: usize,
+        spec: &NodeSpec,
+        schema: &std::sync::Arc<catalog::Schema>,
+        econ: &econ::EconConfig,
+    ) -> Self {
+        CacheNode {
+            id,
+            policy: make_policy(&spec.scheme, schema, econ),
+            acc: RunAccumulator::new(),
+            backlog_until: SimTime::ZERO,
+        }
+    }
+
+    /// Node index within the fleet.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The scheme name this node runs.
+    #[must_use]
+    pub fn scheme_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Queries this node has served.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.acc.queries()
+    }
+
+    /// This node's bid for serving `query` at `now` (see
+    /// [`CachePolicy::quote`]).
+    #[must_use]
+    pub fn quote(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Money {
+        self.policy.quote(ctx, query, now)
+    }
+
+    /// Outstanding backlog in seconds of promised-but-undelivered response
+    /// time at `now`. Zero for an idle node.
+    #[must_use]
+    pub fn outstanding(&self, now: SimTime) -> f64 {
+        self.backlog_until.saturating_since(now).as_secs()
+    }
+
+    /// Accrues extra-node uptime to `now`; call on every node at every
+    /// fleet arrival instant, whether or not this node serves the query.
+    pub fn accrue(&mut self, now: SimTime) {
+        self.acc.accrue_uptime(self.policy.as_ref(), now);
+    }
+
+    /// Serves one routed query: runs the policy, books the outcome, and
+    /// extends the backlog clock by the delivered response time.
+    pub fn serve(
+        &mut self,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        now: SimTime,
+    ) -> PolicyOutcome {
+        let outcome = self.policy.process_query(ctx, query, now);
+        self.acc.record(&outcome, now);
+        self.backlog_until = self.backlog_until.max(now) + outcome.response_time;
+        outcome
+    }
+
+    /// Closes the node's run at the cell horizon (disk rent + uptime).
+    #[must_use]
+    pub fn finish(mut self, rates: &ResourceRates, horizon: SimTime) -> RunResult {
+        self.acc.finish(self.policy.as_mut(), rates, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalog::tpch::{tpch_schema, ScaleFactor};
+    use planner::{generate_candidates, CostParams, Estimator};
+    use pricing::PriceCatalog;
+    use simcore::NetworkModel;
+    use std::sync::Arc;
+    use workload::{paper_templates, WorkloadConfig, WorkloadGenerator};
+
+    #[test]
+    fn backlog_grows_with_served_queries_and_drains_with_time() {
+        let schema = Arc::new(tpch_schema(ScaleFactor(1.0)));
+        let templates = paper_templates(&schema);
+        let candidates = generate_candidates(&schema, &templates, 65);
+        let estimator = Estimator::new(
+            CostParams::default(),
+            PriceCatalog::ec2_2009(),
+            NetworkModel::paper_sdss(),
+        );
+        let ctx = PlannerContext {
+            schema: &schema,
+            candidates: &candidates,
+            estimator: &estimator,
+        };
+        let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 3);
+        let mut node = CacheNode::new(
+            0,
+            &NodeSpec::new(Scheme::EconCheap),
+            &schema,
+            &econ::EconConfig::default(),
+        );
+        let now = SimTime::from_secs(1.0);
+        assert_eq!(node.outstanding(now), 0.0);
+        node.accrue(now);
+        let q = gen.next_query();
+        let quote = node.quote(&ctx, &q, now);
+        assert!(quote.is_positive(), "backend bid must be positive");
+        let o = node.serve(&ctx, &q, now);
+        assert!(node.outstanding(now) >= o.response_time.as_secs() - 1e-9);
+        let later = now + o.response_time + simcore::SimDuration::from_secs(1.0);
+        assert_eq!(node.outstanding(later), 0.0, "backlog drains");
+        assert_eq!(node.queries(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Query routing across the fleet's cache nodes.
+//!
+//! The [`Router`] trait picks which node serves each arriving query.
+//! Three strategies ship:
+//!
+//! * [`RoundRobin`] — oblivious rotation, the classic load-spreading
+//!   baseline;
+//! * [`LeastOutstanding`] — joins the node with the smallest backlog of
+//!   promised-but-undelivered response time (join-the-shortest-queue);
+//! * [`CheapestQuote`] — the marketplace extension of the paper's economy:
+//!   every node's policy quotes its price `B_Q(t)` for the query
+//!   ([`policies::CachePolicy::quote`]) and the cheapest bid wins. Nodes
+//!   that invested well quote low and attract the traffic that amortizes
+//!   their structures — the self-tuning loop of Section IV-A, played as a
+//!   competition between clouds.
+//!
+//! All strategies break ties toward the lowest node index, so routing is
+//! a deterministic function of the (node states, query, time) tuple.
+
+use planner::PlannerContext;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use workload::Query;
+
+use crate::node::CacheNode;
+
+/// A routing strategy.
+pub trait Router {
+    /// Strategy name as it appears in reports.
+    fn name(&self) -> &'static str;
+
+    /// Picks the node (index into `nodes`) that serves `query` at `now`.
+    ///
+    /// # Panics
+    /// Implementations may panic if `nodes` is empty; fleet configs are
+    /// validated to have at least one node.
+    fn route(
+        &mut self,
+        nodes: &[CacheNode],
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        now: SimTime,
+    ) -> usize;
+}
+
+/// Oblivious rotation over the nodes.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(
+        &mut self,
+        nodes: &[CacheNode],
+        _ctx: &PlannerContext<'_>,
+        _query: &Query,
+        _now: SimTime,
+    ) -> usize {
+        let chosen = self.next % nodes.len();
+        self.next = (self.next + 1) % nodes.len();
+        chosen
+    }
+}
+
+/// Join-the-shortest-queue on outstanding backlog seconds.
+#[derive(Debug, Default)]
+pub struct LeastOutstanding;
+
+impl Router for LeastOutstanding {
+    fn name(&self) -> &'static str {
+        "least-outstanding"
+    }
+
+    fn route(
+        &mut self,
+        nodes: &[CacheNode],
+        _ctx: &PlannerContext<'_>,
+        _query: &Query,
+        now: SimTime,
+    ) -> usize {
+        let mut best = 0;
+        let mut best_load = f64::INFINITY;
+        for (i, node) in nodes.iter().enumerate() {
+            let load = node.outstanding(now);
+            if load < best_load {
+                best = i;
+                best_load = load;
+            }
+        }
+        best
+    }
+}
+
+/// Price-based routing: the node quoting the lowest `B_Q(t)` wins the bid.
+#[derive(Debug, Default)]
+pub struct CheapestQuote;
+
+impl Router for CheapestQuote {
+    fn name(&self) -> &'static str {
+        "cheapest-quote"
+    }
+
+    fn route(
+        &mut self,
+        nodes: &[CacheNode],
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        now: SimTime,
+    ) -> usize {
+        let mut best = 0;
+        let mut best_bid = None;
+        for (i, node) in nodes.iter().enumerate() {
+            let bid = node.quote(ctx, query, now);
+            if best_bid.is_none_or(|b| bid < b) {
+                best = i;
+                best_bid = Some(bid);
+            }
+        }
+        best
+    }
+}
+
+/// Serializable selector for the shipped routing strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastOutstanding`].
+    LeastOutstanding,
+    /// [`CheapestQuote`].
+    CheapestQuote,
+}
+
+impl RouterKind {
+    /// All shipped strategies, in comparison order.
+    #[must_use]
+    pub fn all() -> [RouterKind; 3] {
+        [
+            RouterKind::RoundRobin,
+            RouterKind::LeastOutstanding,
+            RouterKind::CheapestQuote,
+        ]
+    }
+
+    /// Display name (matches the instantiated router's
+    /// [`Router::name`]).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterKind::RoundRobin => "round-robin",
+            RouterKind::LeastOutstanding => "least-outstanding",
+            RouterKind::CheapestQuote => "cheapest-quote",
+        }
+    }
+
+    /// Instantiates a fresh router of this kind.
+    #[must_use]
+    pub fn make(&self) -> Box<dyn Router> {
+        match self {
+            RouterKind::RoundRobin => Box::<RoundRobin>::default(),
+            RouterKind::LeastOutstanding => Box::new(LeastOutstanding),
+            RouterKind::CheapestQuote => Box::new(CheapestQuote),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_names_line_up() {
+        for kind in RouterKind::all() {
+            assert_eq!(kind.make().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        // Routing choices that need no node state can be checked without
+        // building nodes by driving the counter directly.
+        let mut rr = RoundRobin::default();
+        assert_eq!(rr.next, 0);
+        rr.next = 3;
+        assert_eq!(rr.next % 4, 3);
+    }
+}

@@ -81,6 +81,14 @@ impl CostBreakdown {
         self.cpu + self.disk + self.network + self.io
     }
 
+    /// Merges another breakdown into this one (parallel shard rollups).
+    ///
+    /// Money is exact fixed-point, so merging is associative and
+    /// commutative — shard aggregation order cannot change the result.
+    pub fn merge(&mut self, other: &CostBreakdown) {
+        *self += *other;
+    }
+
     /// Fraction of the total in one resource (0 when total is 0).
     #[must_use]
     pub fn fraction(&self, resource: Resource) -> f64 {
@@ -138,6 +146,19 @@ mod tests {
         assert_eq!(c.io, Money::from_dollars(3.0));
         a += b;
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn merge_matches_operator_addition() {
+        let mut a = CostBreakdown::ZERO;
+        a.add_to(Resource::Cpu, Money::from_dollars(1.0));
+        let mut b = CostBreakdown::ZERO;
+        b.add_to(Resource::Cpu, Money::from_dollars(2.0));
+        b.add_to(Resource::Network, Money::from_dollars(0.5));
+        let via_add = a + b;
+        a.merge(&b);
+        assert_eq!(a, via_add);
+        assert_eq!(a.cpu, Money::from_dollars(3.0));
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl LogHistogram {
             min_value > 0.0 && max_value > min_value,
             "need 0 < min < max, got [{min_value}, {max_value})"
         );
-        assert!(buckets_per_decade > 0, "need at least one bucket per decade");
+        assert!(
+            buckets_per_decade > 0,
+            "need at least one bucket per decade"
+        );
         let decades = (max_value / min_value).log10();
         let n = (decades * f64::from(buckets_per_decade)).ceil() as usize + 1;
         LogHistogram {

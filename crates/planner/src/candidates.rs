@@ -39,21 +39,19 @@ pub fn generate_candidates(
 ) -> Vec<IndexDef> {
     let mut seen: HashSet<Vec<ColumnId>> = HashSet::new();
     let mut out: Vec<IndexDef> = Vec::new();
-    let push = |out: &mut Vec<IndexDef>,
-                    seen: &mut HashSet<Vec<ColumnId>>,
+    let push =
+        |out: &mut Vec<IndexDef>, seen: &mut HashSet<Vec<ColumnId>>, table, keys: Vec<ColumnId>| {
+            if keys.is_empty() || out.len() >= cap {
+                return;
+            }
+            if seen.insert(keys.clone()) {
+                out.push(IndexDef {
+                    id: IndexId(out.len() as u32),
                     table,
-                    keys: Vec<ColumnId>| {
-        if keys.is_empty() || out.len() >= cap {
-            return;
-        }
-        if seen.insert(keys.clone()) {
-            out.push(IndexDef {
-                id: IndexId(out.len() as u32),
-                table,
-                key_columns: keys,
-            });
-        }
-    };
+                    key_columns: keys,
+                });
+            }
+        };
 
     // Pass 1: single-column predicate indexes (most reusable).
     for t in templates {
@@ -248,7 +246,9 @@ mod tests {
         let (_, c) = candidates(65);
         let first_composite = c.iter().position(|i| i.key_columns.len() > 1).unwrap();
         assert!(
-            c[..first_composite].iter().all(|i| i.key_columns.len() == 1),
+            c[..first_composite]
+                .iter()
+                .all(|i| i.key_columns.len() == 1),
             "pass-1 singles must lead"
         );
         assert!(first_composite >= 5, "several sargable predicates exist");

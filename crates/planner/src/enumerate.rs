@@ -67,16 +67,17 @@ pub struct PlannerContext<'a> {
 
 /// Picks the candidate index that minimises the access's read volume, if
 /// any candidate serves one of its predicates.
-fn best_index_for<'a>(
-    ctx: &PlannerContext<'a>,
-    access: &TableAccess,
-) -> Option<&'a IndexDef> {
+fn best_index_for<'a>(ctx: &PlannerContext<'a>, access: &TableAccess) -> Option<&'a IndexDef> {
     let mut best: Option<(&IndexDef, f64)> = None;
     for idx in ctx.candidates {
         if idx.table != access.table {
             continue;
         }
-        if !access.predicate_columns.iter().any(|&p| idx.serves_predicate(p)) {
+        if !access
+            .predicate_columns
+            .iter()
+            .any(|&p| idx.serves_predicate(p))
+        {
             continue;
         }
         // Score: bytes read through this index (entry + uncovered fetch).
@@ -172,7 +173,9 @@ fn cache_plan(
     indexes: &[Option<&IndexDef>],
     nodes: u32,
 ) -> QueryPlan {
-    let est = ctx.estimator.cache_execution(ctx.schema, query, indexes, nodes);
+    let est = ctx
+        .estimator
+        .cache_execution(ctx.schema, query, indexes, nodes);
     let (exec_cost, exec_breakdown) = ctx.estimator.price_execution(&est);
 
     // Structures employed: every accessed column, each assigned index, and
@@ -267,7 +270,9 @@ fn cache_plan(
     for &key in &uses {
         if let Some(s) = cache.get(key) {
             if s.is_available(now) {
-                let span = now.saturating_since(s.maint_paid_until).min(opts.maint_window);
+                let span = now
+                    .saturating_since(s.maint_paid_until)
+                    .min(opts.maint_window);
                 maintenance += ctx.estimator.maintenance(s, span);
             }
         }

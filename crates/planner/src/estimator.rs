@@ -303,8 +303,7 @@ impl Estimator {
         let q_tot = rows_total / self.params.rows_per_unit;
         let cpu = self.params.l_cpu * self.params.f_cpu * q_tot * self.params.backend_slowdown;
         let io_ops = self.params.f_io * bytes_total / self.params.page_bytes as f64;
-        let disk_secs =
-            bytes_total / self.params.disk_bytes_per_sec * self.params.backend_slowdown;
+        let disk_secs = bytes_total / self.params.disk_bytes_per_sec * self.params.backend_slowdown;
         let transfer = self.network.transfer_time(query.result_bytes);
         // f_n of a CPU is busy for the duration of the transfer.
         let transfer_cpu = self.params.f_n * transfer.as_secs();
@@ -340,8 +339,7 @@ impl Estimator {
     /// Eq. 12: column build — transfer from the back-end. Returns
     /// (cost, transfer time).
     #[must_use]
-    pub fn build_column(&self, schema: &Schema, column: catalog::ColumnId) -> (Money, SimDuration)
-    {
+    pub fn build_column(&self, schema: &Schema, column: catalog::ColumnId) -> (Money, SimDuration) {
         let size = schema.column_bytes(column);
         let transfer = self.network.transfer_time(size);
         let cpu = self.params.f_n * transfer.as_secs();
@@ -413,8 +411,7 @@ mod tests {
             PriceCatalog::ec2_2009(),
             NetworkModel::paper_sdss(),
         );
-        let mut gen =
-            WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 42);
+        let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 42);
         let q = gen.next_query();
         (schema, est, q)
     }
@@ -501,8 +498,8 @@ mod tests {
         let (cost, time) = est.build_column(&schema, col);
         let expected_time = size as f64 / (25e6 / 8.0);
         assert!((time.as_secs() - expected_time).abs() < 1e-6);
-        let expected_cost = est.prices().rates.transfer_cost(size)
-            + est.prices().rates.cpu_cost(expected_time);
+        let expected_cost =
+            est.prices().rates.transfer_cost(size) + est.prices().rates.cpu_cost(expected_time);
         assert_eq!(cost, expected_cost);
     }
 
@@ -575,15 +572,30 @@ mod tests {
     fn params_validation_field_coverage() {
         let ok = CostParams::default();
         assert!(ok.validate().is_ok());
-        let p = CostParams { node_options: vec![], ..CostParams::default() };
+        let p = CostParams {
+            node_options: vec![],
+            ..CostParams::default()
+        };
         assert_eq!(p.validate(), Err("node_options"));
-        let p = CostParams { node_options: vec![0], ..CostParams::default() };
+        let p = CostParams {
+            node_options: vec![0],
+            ..CostParams::default()
+        };
         assert_eq!(p.validate(), Err("node_options"));
-        let p = CostParams { page_bytes: 0, ..CostParams::default() };
+        let p = CostParams {
+            page_bytes: 0,
+            ..CostParams::default()
+        };
         assert_eq!(p.validate(), Err("page_bytes"));
-        let p = CostParams { min_scan_fraction: 2.0, ..CostParams::default() };
+        let p = CostParams {
+            min_scan_fraction: 2.0,
+            ..CostParams::default()
+        };
         assert_eq!(p.validate(), Err("min_scan_fraction"));
-        let p = CostParams { f_n: -0.1, ..CostParams::default() };
+        let p = CostParams {
+            f_n: -0.1,
+            ..CostParams::default()
+        };
         assert_eq!(p.validate(), Err("f_n"));
     }
 }

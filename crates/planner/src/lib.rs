@@ -25,8 +25,8 @@ pub mod candidates;
 pub mod enumerate;
 pub mod estimator;
 pub mod plan;
-pub mod skyline;
 pub mod scaling;
+pub mod skyline;
 
 pub use candidates::generate_candidates;
 pub use enumerate::{enumerate_plans, EnumerationOptions, PlannerContext};

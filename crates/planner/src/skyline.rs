@@ -21,11 +21,7 @@ pub fn skyline_filter(mut plans: Vec<QueryPlan>) -> Vec<QueryPlan> {
         return plans;
     }
     // Sort by time asc, then price asc, preserving input order on full ties.
-    plans.sort_by(|a, b| {
-        a.exec_time
-            .cmp(&b.exec_time)
-            .then(a.price.cmp(&b.price))
-    });
+    plans.sort_by(|a, b| a.exec_time.cmp(&b.exec_time).then(a.price.cmp(&b.price)));
     let mut out: Vec<QueryPlan> = Vec::with_capacity(plans.len());
     for plan in plans {
         match out.last() {

@@ -98,12 +98,7 @@ impl BypassYieldPolicy {
     }
 
     /// Considers loading `column`; returns bytes transferred if loaded.
-    fn maybe_load(
-        &mut self,
-        ctx: &PlannerContext<'_>,
-        column: ColumnId,
-        now: SimTime,
-    ) -> u64 {
+    fn maybe_load(&mut self, ctx: &PlannerContext<'_>, column: ColumnId, now: SimTime) -> u64 {
         if self.cached.contains_key(&column) {
             return 0;
         }
@@ -226,6 +221,18 @@ impl CachePolicy for BypassYieldPolicy {
         }
     }
 
+    fn quote(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Money {
+        // Bypass recovers exactly the execution cost: the cache run if
+        // every needed column is resident, the backend run otherwise.
+        let est = if self.all_available(query, now) {
+            ctx.estimator
+                .cache_execution(ctx.schema, query, &vec![None; query.accesses.len()], 1)
+        } else {
+            ctx.estimator.backend_execution(ctx.schema, query)
+        };
+        ctx.estimator.price_execution(&est).0
+    }
+
     fn disk_used(&self) -> u64 {
         self.occupancy.bytes()
     }
@@ -305,8 +312,7 @@ mod tests {
     fn cold_cache_bypasses_to_backend() {
         let fx = Fx::new();
         let mut p = BypassYieldPolicy::paper(&fx.schema);
-        let mut gen =
-            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 1);
+        let mut gen = WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 1);
         let q = gen.next_query();
         let o = p.process_query(&fx.ctx(), &q, SimTime::from_secs(1.0));
         assert!(!o.ran_in_cache);
@@ -318,8 +324,7 @@ mod tests {
         let fx = Fx::new();
         let mut p = BypassYieldPolicy::paper(&fx.schema);
         let ctx = fx.ctx();
-        let mut gen =
-            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 2);
+        let mut gen = WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 2);
         let mut loaded = 0u32;
         for i in 0..5000 {
             let q = gen.next_query();
@@ -336,8 +341,7 @@ mod tests {
         let fx = Fx::new();
         let mut p = BypassYieldPolicy::paper(&fx.schema);
         let ctx = fx.ctx();
-        let mut gen =
-            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 3);
+        let mut gen = WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 3);
         let mut hits_late = 0;
         for i in 0..8000 {
             let q = gen.next_query();
@@ -356,8 +360,7 @@ mod tests {
         let ctx = fx.ctx();
         // Force-load a column by seeding massive credit, then check the
         // very next query at the same instant still bypasses.
-        let mut gen =
-            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 4);
+        let mut gen = WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 4);
         let q = gen.next_query();
         for c in q.all_columns() {
             p.credit.insert(c, f64::MAX / 4.0);
@@ -381,8 +384,7 @@ mod tests {
         assert!(p.capacity() > 0);
         // The policy must never exceed its cap no matter the workload.
         let ctx = fx.ctx();
-        let mut gen =
-            WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 5);
+        let mut gen = WorkloadGenerator::new(Arc::clone(&fx.schema), WorkloadConfig::default(), 5);
         for i in 0..3000 {
             let q = gen.next_query();
             let _ = p.process_query(&ctx, &q, SimTime::from_secs((i + 1) as f64));

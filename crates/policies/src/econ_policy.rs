@@ -108,6 +108,10 @@ impl CachePolicy for EconPolicy {
         }
     }
 
+    fn quote(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Money {
+        self.manager.quote_query(ctx, query, now)
+    }
+
     fn disk_used(&self) -> u64 {
         self.manager.cache().disk_used()
     }

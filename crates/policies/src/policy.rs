@@ -43,6 +43,17 @@ pub trait CachePolicy {
         now: SimTime,
     ) -> PolicyOutcome;
 
+    /// Quotes the price this cloud would charge for `query` at `now`,
+    /// without serving it or mutating any state.
+    ///
+    /// For the economic schemes this is the paper's `B_Q(t)` settlement of
+    /// the case analysis; for bypass it is the cost-recovery charge of the
+    /// execution the cache would run. Fleet routers compare quotes across
+    /// competing clouds (cheapest-bid routing); a quote is a bid, not a
+    /// contract — the realized charge can differ if serving the query
+    /// first triggers evictions or investments.
+    fn quote(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Money;
+
     /// Cache disk currently occupied (bytes).
     fn disk_used(&self) -> u64;
 

@@ -93,7 +93,10 @@ impl PriceCatalog {
             node_boot_secs.is_finite() && node_boot_secs >= 0.0,
             "boot time must be finite and non-negative"
         );
-        rates.validate().map_err(|f| format!("bad rate {f}")).unwrap();
+        rates
+            .validate()
+            .map_err(|f| format!("bad rate {f}"))
+            .unwrap();
         PriceCatalog {
             name: name.to_owned(),
             rates,

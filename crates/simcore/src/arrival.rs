@@ -122,7 +122,10 @@ impl OnOffBursty {
     /// Panics if any mean is zero.
     #[must_use]
     pub fn new(on_gap: SimDuration, burst_len: u64, off_gap: SimDuration) -> Self {
-        assert!(!on_gap.is_zero() && !off_gap.is_zero(), "gaps must be positive");
+        assert!(
+            !on_gap.is_zero() && !off_gap.is_zero(),
+            "gaps must be positive"
+        );
         assert!(burst_len > 0, "burst length must be positive");
         OnOffBursty {
             on_gap: Exponential::new(1.0 / on_gap.as_secs()),

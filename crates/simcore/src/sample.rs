@@ -68,7 +68,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be > 0, got {s}");
+        assert!(
+            s.is_finite() && s > 0.0,
+            "Zipf exponent must be > 0, got {s}"
+        );
         let mut cumulative = Vec::with_capacity(n as usize);
         let mut acc = 0.0;
         for k in 1..=n {

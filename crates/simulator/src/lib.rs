@@ -24,7 +24,9 @@
 pub mod config;
 pub mod results;
 pub mod run;
+pub mod step;
 
 pub use config::{ArrivalKind, Scheme, SimConfig};
 pub use results::RunResult;
-pub use run::{run_simulation, Simulation};
+pub use run::{make_arrivals, make_policy, run_simulation, Simulation};
+pub use step::RunAccumulator;

@@ -14,16 +14,62 @@ use std::sync::Arc;
 
 use catalog::tpch::{tpch_schema, ScaleFactor};
 use catalog::Schema;
-use metrics::{CostBreakdown, LogHistogram, Resource, StreamingStats, TimeSeries};
+use econ::EconConfig;
 use planner::{generate_candidates, Estimator, PlannerContext};
 use policies::{BypassYieldPolicy, CachePolicy, EconPolicy};
-use pricing::Money;
 use simcore::arrival::{ArrivalProcess, FixedInterval, OnOffBursty, PoissonProcess};
 use simcore::{NetworkModel, SimDuration, SimRng, SimTime};
 use workload::WorkloadGenerator;
 
 use crate::config::{ArrivalKind, Scheme, SimConfig};
 use crate::results::RunResult;
+use crate::step::RunAccumulator;
+
+/// Instantiates the policy a [`Scheme`] names, against a schema and an
+/// economy configuration (ignored by the bypass scheme).
+///
+/// Shared by [`Simulation`] and the fleet executor, which builds one
+/// policy per cache node.
+#[must_use]
+pub fn make_policy(
+    scheme: &Scheme,
+    schema: &Arc<Schema>,
+    econ: &EconConfig,
+) -> Box<dyn CachePolicy> {
+    match scheme {
+        Scheme::Bypass { cache_fraction } => {
+            Box::new(BypassYieldPolicy::new(schema, *cache_fraction))
+        }
+        Scheme::EconCol => Box::new(EconPolicy::econ_col(econ.clone())),
+        Scheme::EconCheap => Box::new(EconPolicy::econ_cheap(econ.clone())),
+        Scheme::EconFast => Box::new(EconPolicy::econ_fast(econ.clone())),
+        Scheme::Altruistic => Box::new(EconPolicy::altruistic(econ.clone())),
+    }
+}
+
+/// Instantiates the arrival process an [`ArrivalKind`] names.
+///
+/// Shared by [`Simulation`] and the fleet's per-tenant streams.
+#[must_use]
+pub fn make_arrivals(kind: &ArrivalKind) -> Box<dyn ArrivalProcess> {
+    match *kind {
+        ArrivalKind::Fixed { interval_secs } => {
+            Box::new(FixedInterval::new(SimDuration::from_secs(interval_secs)))
+        }
+        ArrivalKind::Poisson { mean_gap_secs } => {
+            Box::new(PoissonProcess::new(SimDuration::from_secs(mean_gap_secs)))
+        }
+        ArrivalKind::Bursty {
+            on_gap_secs,
+            burst_len,
+            off_gap_secs,
+        } => Box::new(OnOffBursty::new(
+            SimDuration::from_secs(on_gap_secs),
+            burst_len,
+            SimDuration::from_secs(off_gap_secs),
+        )),
+    }
+}
 
 /// A prepared simulation: schema, candidates and estimator built once so
 /// sweeps over schemes/intervals can share them.
@@ -67,35 +113,11 @@ impl Simulation {
     }
 
     fn make_policy(&self) -> Box<dyn CachePolicy> {
-        match self.config.scheme {
-            Scheme::Bypass { cache_fraction } => {
-                Box::new(BypassYieldPolicy::new(&self.schema, cache_fraction))
-            }
-            Scheme::EconCol => Box::new(EconPolicy::econ_col(self.config.econ.clone())),
-            Scheme::EconCheap => Box::new(EconPolicy::econ_cheap(self.config.econ.clone())),
-            Scheme::EconFast => Box::new(EconPolicy::econ_fast(self.config.econ.clone())),
-            Scheme::Altruistic => Box::new(EconPolicy::altruistic(self.config.econ.clone())),
-        }
+        make_policy(&self.config.scheme, &self.schema, &self.config.econ)
     }
 
     fn make_arrivals(&self) -> Box<dyn ArrivalProcess> {
-        match self.config.arrival {
-            ArrivalKind::Fixed { interval_secs } => Box::new(FixedInterval::new(
-                SimDuration::from_secs(interval_secs),
-            )),
-            ArrivalKind::Poisson { mean_gap_secs } => Box::new(PoissonProcess::new(
-                SimDuration::from_secs(mean_gap_secs),
-            )),
-            ArrivalKind::Bursty {
-                on_gap_secs,
-                burst_len,
-                off_gap_secs,
-            } => Box::new(OnOffBursty::new(
-                SimDuration::from_secs(on_gap_secs),
-                burst_len,
-                SimDuration::from_secs(off_gap_secs),
-            )),
-        }
+        make_arrivals(&self.config.arrival)
     }
 
     /// Executes the run.
@@ -115,20 +137,7 @@ impl Simulation {
             self.config.seed ^ 0x57A7_1571C5,
         );
 
-        let rates = &self.config.prices.rates;
-        let mut response = StreamingStats::new();
-        let mut response_hist = LogHistogram::latency();
-        let mut response_series = TimeSeries::new(512);
-        let mut operating = CostBreakdown::ZERO;
-        let mut build_spend = Money::ZERO;
-        let mut payments = Money::ZERO;
-        let mut profit = Money::ZERO;
-        let mut cache_hits = 0u64;
-        let mut investments = 0u64;
-        let mut evictions = 0u64;
-
-        let mut prev_time = SimTime::ZERO;
-        let mut node_seconds = 0.0; // extra-node uptime integral
+        let mut acc = RunAccumulator::new();
         let mut last_arrival = SimTime::ZERO;
 
         for _ in 0..self.config.num_queries {
@@ -136,68 +145,12 @@ impl Simulation {
                 .next_arrival(&mut rng)
                 .expect("generated arrival processes never exhaust");
             let query = generator.next_query();
-
-            // Extra-node uptime accrues between arrivals (nodes changed
-            // state only at arrival instants, so this sampling is exact
-            // except for boots mid-gap, which err by < one gap).
-            node_seconds +=
-                f64::from(policy.active_extra_nodes(prev_time)) * (now - prev_time).as_secs();
-            prev_time = now;
             last_arrival = now;
-
-            let o = policy.process_query(&ctx, &query, now);
-
-            response.record(o.response_time.as_secs());
-            response_hist.record(o.response_time.as_secs());
-            response_series.record(now.as_secs(), o.response_time.as_secs());
-
-            if o.ran_in_cache {
-                // Cache CPU is covered by node uptime; book I/O per use.
-                operating.add_to(Resource::Io, o.exec_breakdown.io);
-                operating.add_to(Resource::Network, o.exec_breakdown.network);
-                cache_hits += 1;
-            } else {
-                operating += o.exec_breakdown;
-            }
-            build_spend += o.build_spend;
-            payments += o.payment;
-            profit += o.profit;
-            investments += u64::from(o.investments);
-            evictions += u64::from(o.evictions);
+            let _ = acc.step(policy.as_mut(), &ctx, &query, now);
         }
 
-        // Close out the horizon: a final inter-arrival gap of idle time.
-        let horizon = last_arrival;
-        policy.advance(horizon);
-
-        // Disk rent over the exact occupancy integral.
-        operating.add_to(
-            Resource::Disk,
-            Money::from_dollars(policy.disk_byte_seconds() * rates.disk_byte_per_sec),
-        );
-        // Node uptime: the always-on base node plus extra nodes.
-        let base_node_secs = horizon.as_secs();
-        operating.add_to(
-            Resource::Cpu,
-            rates.cpu_cost(base_node_secs + node_seconds),
-        );
-
-        RunResult {
-            scheme: policy.name().to_owned(),
-            queries: self.config.num_queries,
-            horizon_secs: horizon.as_secs(),
-            response,
-            response_hist,
-            operating,
-            build_spend,
-            payments,
-            profit,
-            cache_hits,
-            investments,
-            evictions,
-            response_series,
-            final_disk_bytes: policy.disk_used(),
-        }
+        // Close out the horizon: the run ends at the last arrival.
+        acc.finish(policy.as_mut(), &self.config.prices.rates, last_arrival)
     }
 }
 
@@ -210,6 +163,7 @@ pub fn run_simulation(config: SimConfig) -> RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pricing::Money;
 
     fn quick(scheme: Scheme, interval: f64, n: u64) -> RunResult {
         let mut cfg = SimConfig::paper_cell(scheme, interval, 10.0, n);

@@ -56,7 +56,9 @@ impl PopularityDrift {
 
     /// Draws the template for the next query, advancing the epoch clock.
     pub fn next_template(&mut self, rng: &mut SimRng) -> usize {
-        if self.epoch_len > 0 && self.queries_seen > 0 && self.queries_seen.is_multiple_of(self.epoch_len)
+        if self.epoch_len > 0
+            && self.queries_seen > 0
+            && self.queries_seen.is_multiple_of(self.epoch_len)
         {
             self.shock(rng);
         }
@@ -153,7 +155,9 @@ mod tests {
         let run = |seed| {
             let mut d = PopularityDrift::new(5, 20, 0.2);
             let mut rng = SimRng::new(seed);
-            (0..200).map(|_| d.next_template(&mut rng)).collect::<Vec<_>>()
+            (0..200)
+                .map(|_| d.next_template(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

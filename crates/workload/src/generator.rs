@@ -54,7 +54,10 @@ impl WorkloadConfig {
     /// Returns a field name and reason on the first invalid field.
     pub fn validate(&self) -> Result<(), (&'static str, String)> {
         if !(0.0..1.0).contains(&self.evolution_drift) {
-            return Err(("evolution_drift", format!("{} not in [0,1)", self.evolution_drift)));
+            return Err((
+                "evolution_drift",
+                format!("{} not in [0,1)", self.evolution_drift),
+            ));
         }
         if self.regions == 0 {
             return Err(("regions", "must be positive".into()));
@@ -125,8 +128,11 @@ impl WorkloadGenerator {
             config.evolution_epoch,
             config.evolution_drift,
         );
-        let regions =
-            RegionSampler::new(config.regions, config.region_zipf_s, config.region_rotate_every);
+        let regions = RegionSampler::new(
+            config.regions,
+            config.region_zipf_s,
+            config.region_rotate_every,
+        );
         // Streams for drift/regions are folded into one rng: the samplers
         // take &mut SimRng at call time; give them forks via struct fields.
         let _ = (drift_rng_stream, region_rng_stream);

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 use crate::templates::TemplateId;
 
 /// Workload-wide query sequence number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct QueryId(pub u64);
 
 /// One table touched by a query: which columns it reads and how selective

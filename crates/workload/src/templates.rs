@@ -16,9 +16,7 @@ use catalog::{ColumnId, Schema};
 use serde::{Deserialize, Serialize};
 
 /// Index of a template within the workload's template set.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TemplateId(pub usize);
 
 /// Declarative table access of a template (column names are qualified).
@@ -139,7 +137,11 @@ pub fn paper_template_specs() -> Vec<TemplateSpec> {
                 },
                 AccessSpec {
                     table: "orders",
-                    required: &["orders.o_orderkey", "orders.o_orderdate", "orders.o_shippriority"],
+                    required: &[
+                        "orders.o_orderkey",
+                        "orders.o_orderdate",
+                        "orders.o_shippriority",
+                    ],
                     optional: &["orders.o_custkey"],
                     predicates: &["orders.o_orderdate"],
                     selectivity_factor: 2.0,
@@ -241,7 +243,11 @@ pub fn paper_template_specs() -> Vec<TemplateSpec> {
                 },
                 AccessSpec {
                     table: "orders",
-                    required: &["orders.o_orderkey", "orders.o_custkey", "orders.o_orderdate"],
+                    required: &[
+                        "orders.o_orderkey",
+                        "orders.o_custkey",
+                        "orders.o_orderdate",
+                    ],
                     optional: &[],
                     predicates: &["orders.o_orderdate"],
                     selectivity_factor: 3.0,
@@ -254,7 +260,11 @@ pub fn paper_template_specs() -> Vec<TemplateSpec> {
                         "customer.c_acctbal",
                         "customer.c_nationkey",
                     ],
-                    optional: &["customer.c_phone", "customer.c_address", "customer.c_comment"],
+                    optional: &[
+                        "customer.c_phone",
+                        "customer.c_address",
+                        "customer.c_comment",
+                    ],
                     predicates: &[],
                     selectivity_factor: 50.0,
                 },

@@ -103,8 +103,8 @@ impl Trace {
             if line.trim().is_empty() {
                 continue;
             }
-            let record: TracedQuery = serde_json::from_str(line)
-                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let record: TracedQuery =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
             if let Some(last) = trace.records.last() {
                 if record.at_secs < last.at_secs {
                     return Err(format!("line {}: arrival goes backwards", i + 1));

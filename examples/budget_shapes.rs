@@ -13,7 +13,10 @@ const WIDTH: usize = 60;
 const HEIGHT: usize = 12;
 
 fn plot(name: &str, budget: &BudgetFunction, amount: Money, t_max: f64) {
-    println!("\n{name}:  B_Q(t), amount ${:.2}, t_max {t_max}s", amount.as_dollars());
+    println!(
+        "\n{name}:  B_Q(t), amount ${:.2}, t_max {t_max}s",
+        amount.as_dollars()
+    );
     let mut rows = vec![vec![' '; WIDTH]; HEIGHT];
     for (x, row_hits) in (0..WIDTH).map(|x| {
         let t = t_max * 1.15 * x as f64 / WIDTH as f64;
@@ -35,7 +38,11 @@ fn plot(name: &str, budget: &BudgetFunction, amount: Money, t_max: f64) {
         println!("{label}{}", row.iter().collect::<String>());
     }
     println!("       +{}", "-".repeat(WIDTH));
-    println!("        0{:>width$}", format!("{t_max}s →"), width = WIDTH - 1);
+    println!(
+        "        0{:>width$}",
+        format!("{t_max}s →"),
+        width = WIDTH - 1
+    );
 }
 
 fn main() {
@@ -46,8 +53,14 @@ fn main() {
     println!("The paper's Fig. 1 — user budget functions (all non-increasing):");
     for (name, shape) in [
         ("(a) step     B_Q(t) = |a| up to t_max", BudgetShape::Step),
-        ("(b) convex   B_Q(t) = |a|(1 - t/t_max)", BudgetShape::Convex),
-        ("(c) concave  B_Q(t) = |a|(1 - (t/t_max)^2)", BudgetShape::Concave),
+        (
+            "(b) convex   B_Q(t) = |a|(1 - t/t_max)",
+            BudgetShape::Convex,
+        ),
+        (
+            "(c) concave  B_Q(t) = |a|(1 - (t/t_max)^2)",
+            BudgetShape::Concave,
+        ),
     ] {
         let b = BudgetFunction::of_shape(shape, amount, deadline);
         plot(name, &b, amount, t_max);

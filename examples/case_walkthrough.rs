@@ -63,16 +63,17 @@ fn walkthrough(title: &str, budget_amount: f64, t_max: f64) {
             "  {label:<44} t={:>5.1}s  price=${:<5.2} {}",
             p.exec_time.as_secs(),
             p.price.as_dollars(),
-            if affordable { "affordable" } else { "over budget" }
+            if affordable {
+                "affordable"
+            } else {
+                "over budget"
+            }
         );
     }
     let sel = select_plan(&plans, &budget, SelectionObjective::MinProfit);
     println!(
         "→ Case {:?}: executes {}, user pays {}, cloud profit {}",
-        sel.case,
-        labelled[sel.selected].0,
-        sel.payment,
-        sel.profit
+        sel.case, labelled[sel.selected].0, sel.payment, sel.profit
     );
     for (idx, regret) in &sel.regrets {
         println!(

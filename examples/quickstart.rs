@@ -23,9 +23,18 @@ fn main() {
 
     println!("\n{}", result.table_row());
     println!("\nwhere the money went:");
-    println!("  CPU (node uptime + backend use)  {}", result.operating.cpu);
-    println!("  disk rent (byte-seconds)         {}", result.operating.disk);
-    println!("  WAN transfers                    {}", result.operating.network);
+    println!(
+        "  CPU (node uptime + backend use)  {}",
+        result.operating.cpu
+    );
+    println!(
+        "  disk rent (byte-seconds)         {}",
+        result.operating.disk
+    );
+    println!(
+        "  WAN transfers                    {}",
+        result.operating.network
+    );
     println!("  I/O operations                   {}", result.operating.io);
     println!("  structure builds                 {}", result.build_spend);
     println!("\nand what came back:");

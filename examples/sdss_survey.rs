@@ -39,7 +39,12 @@ fn survey_templates(schema: &Schema) -> Vec<ResolvedTemplate> {
                 table: photo,
                 required: cols(
                     schema,
-                    &["photoobj.objid", "photoobj.ra", "photoobj.dec", "photoobj.psfmag_r"],
+                    &[
+                        "photoobj.objid",
+                        "photoobj.ra",
+                        "photoobj.dec",
+                        "photoobj.psfmag_r",
+                    ],
                 ),
                 optional: cols(schema, &["photoobj.petrorad_r"]),
                 predicates: cols(schema, &["photoobj.ra", "photoobj.dec"]),

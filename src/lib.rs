@@ -2,9 +2,43 @@
 //!
 //! Umbrella crate re-exporting the full reproduction of
 //! *"An Economic Model for Self-Tuned Cloud Caching"*
-//! (Dash, Kantere, Ailamaki — ICDE 2009).
+//! (Dash, Kantere, Ailamaki — ICDE 2009), plus the layers grown on top
+//! of it.
 //!
-//! Start with [`simulator::run_simulation`] or the `quickstart` example.
+//! ## Layers
+//!
+//! The paper's single-cloud economy, bottom-up:
+//!
+//! * [`simcore`] — discrete-event kernel: virtual time, deterministic
+//!   RNG, samplers, event queue, arrival processes, the WAN model.
+//! * [`pricing`] — exact fixed-point [`pricing::Money`] and the resource
+//!   price catalogs.
+//! * [`catalog`] / [`workload`] — the TPC-H/SDSS schema and the
+//!   seven-template synthetic workload (with JSONL trace record/replay).
+//! * [`cache`] / [`planner`] — cache state and occupancy integrals; plan
+//!   enumeration, skyline filtering and the full cost model (eqs. 8–15).
+//! * [`econ`] — the economy itself: budgets `B_Q(t)`, the case analysis,
+//!   regret, the investment rule (eq. 3) and amortisation (eq. 7).
+//! * [`policies`] / [`simulator`] — the paper's four schemes behind one
+//!   [`policies::CachePolicy`] trait, and the coordinator loop producing
+//!   Figures 4 and 5 ([`simulator::run_simulation`]).
+//!
+//! ## The fleet layer
+//!
+//! [`fleet`] scales the single cloud out to a **marketplace**: a
+//! population of tenants ([`fleet::TenantSpec`]) submits superposed query
+//! streams (binary-heap merged into one time-ordered stream), several
+//! self-tuned cache nodes serve them, and a [`fleet::Router`] decides who
+//! wins each query — round-robin, least-outstanding-load, or
+//! *cheapest-quote*, where every node bids its price `B_Q(t)`
+//! ([`policies::CachePolicy::quote`]) and the lowest bid wins. The
+//! sharded executor partitions tenants into cells across worker threads
+//! with a shard-count-invariant merge, so parallel runs are bit-identical
+//! to sequential ones. See [`fleet::FleetConfig`] and
+//! [`fleet::run_fleet`], or the `fleet_market` example.
+//!
+//! Start with [`simulator::run_simulation`], the `quickstart` example, or
+//! `fleet_market` for the marketplace.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -12,6 +46,7 @@
 pub use cache;
 pub use catalog;
 pub use econ;
+pub use fleet;
 pub use metrics;
 pub use planner;
 pub use policies;

@@ -13,7 +13,12 @@ fn identical_configs_are_bit_identical() {
     for scheme in Scheme::paper_schemes() {
         let a = run_simulation(cell(scheme.clone(), 7));
         let b = run_simulation(cell(scheme.clone(), 7));
-        assert_eq!(a.total_operating_cost(), b.total_operating_cost(), "{}", a.scheme);
+        assert_eq!(
+            a.total_operating_cost(),
+            b.total_operating_cost(),
+            "{}",
+            a.scheme
+        );
         assert_eq!(a.payments, b.payments);
         assert_eq!(a.profit, b.profit);
         assert_eq!(a.cache_hits, b.cache_hits);
@@ -40,7 +45,12 @@ fn schemes_share_the_same_workload_per_seed() {
     // The workload stream depends only on the seed, not the scheme — the
     // paper's comparison is across schemes on the *same* queries. The
     // horizon therefore matches exactly.
-    let a = run_simulation(cell(Scheme::Bypass { cache_fraction: 0.3 }, 9));
+    let a = run_simulation(cell(
+        Scheme::Bypass {
+            cache_fraction: 0.3,
+        },
+        9,
+    ));
     let b = run_simulation(cell(Scheme::EconFast, 9));
     assert_eq!(a.horizon_secs, b.horizon_secs);
     assert_eq!(a.queries, b.queries);

@@ -1,0 +1,126 @@
+//! Fleet determinism and shard invariance — the acceptance properties of
+//! the sharded executor:
+//!
+//! 1. same seed ⇒ identical `FleetResult` (pure function of the config);
+//! 2. fleet aggregates are invariant under the shard (worker-thread)
+//!    count: 1 worker and 4 workers produce bit-identical cost and mean
+//!    response time.
+
+use cloudcache::fleet::{run_fleet, FleetConfig, FleetResult, RouterKind};
+
+fn config(router: RouterKind, shards: usize, seed: u64) -> FleetConfig {
+    let mut config = FleetConfig::mixed(12, 3, 80);
+    config.scale_factor = 10.0;
+    config.cells = 6;
+    config.shards = shards;
+    config.router = router;
+    config.seed = seed;
+    config
+}
+
+/// Every measurement that must match between two runs, f64s compared by
+/// bit pattern.
+fn fingerprint(r: &FleetResult) -> Vec<(String, String)> {
+    let mut parts = vec![
+        ("router".to_string(), r.router.clone()),
+        ("queries".to_string(), r.queries.to_string()),
+        ("horizon".to_string(), r.horizon_secs.to_bits().to_string()),
+        (
+            "cost".to_string(),
+            r.total_operating_cost().as_nanos().to_string(),
+        ),
+        (
+            "mean".to_string(),
+            r.mean_response_secs().to_bits().to_string(),
+        ),
+        ("payments".to_string(), r.payments.as_nanos().to_string()),
+        ("profit".to_string(), r.profit.as_nanos().to_string()),
+        ("hits".to_string(), r.cache_hits.to_string()),
+        ("builds".to_string(), r.investments.to_string()),
+        ("evictions".to_string(), r.evictions.to_string()),
+    ];
+    for t in &r.tenants {
+        parts.push((
+            format!("tenant{}", t.tenant.0),
+            format!(
+                "{}|{}|{}|{}",
+                t.queries,
+                t.response.mean().to_bits(),
+                t.payments.as_nanos(),
+                t.cache_hits
+            ),
+        ));
+    }
+    for n in &r.nodes {
+        parts.push((
+            format!("node{}", n.node),
+            format!(
+                "{}|{}|{}|{}|{}",
+                n.queries,
+                n.response.mean().to_bits(),
+                n.total_operating_cost().as_nanos(),
+                n.profit.as_nanos(),
+                n.investments
+            ),
+        ));
+    }
+    parts
+}
+
+#[test]
+fn same_seed_produces_identical_fleet_results() {
+    for router in RouterKind::all() {
+        let a = run_fleet(config(router, 1, 42));
+        let b = run_fleet(config(router, 1, 42));
+        assert_eq!(fingerprint(&a), fingerprint(&b), "router {}", a.router);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_fleet(config(RouterKind::CheapestQuote, 1, 1));
+    let b = run_fleet(config(RouterKind::CheapestQuote, 1, 2));
+    assert_ne!(
+        a.mean_response_secs().to_bits(),
+        b.mean_response_secs().to_bits(),
+        "two seeds should not produce identical fleets"
+    );
+}
+
+#[test]
+fn aggregates_invariant_under_shard_count() {
+    for router in RouterKind::all() {
+        let sequential = run_fleet(config(router, 1, 7));
+        let parallel = run_fleet(config(router, 4, 7));
+
+        // The headline acceptance pair: fleet-level cost and mean
+        // response time, exactly equal.
+        assert_eq!(
+            sequential.total_operating_cost(),
+            parallel.total_operating_cost(),
+            "cost varied with shard count under {}",
+            sequential.router
+        );
+        assert_eq!(
+            sequential.mean_response_secs().to_bits(),
+            parallel.mean_response_secs().to_bits(),
+            "mean response varied with shard count under {}",
+            sequential.router
+        );
+        // And everything else too.
+        assert_eq!(
+            fingerprint(&sequential),
+            fingerprint(&parallel),
+            "full fingerprint varied with shard count under {}",
+            sequential.router
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_shards_are_harmless() {
+    // More workers than cells clamps to the cell count.
+    let few = run_fleet(config(RouterKind::LeastOutstanding, 2, 9));
+    let many = run_fleet(config(RouterKind::LeastOutstanding, 64, 9));
+    assert_eq!(fingerprint(&few), fingerprint(&many));
+}

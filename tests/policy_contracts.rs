@@ -68,7 +68,12 @@ fn all_schemes_answer_every_query() {
 
 #[test]
 fn economic_schemes_collect_payments_covering_profit() {
-    for scheme in [Scheme::EconCol, Scheme::EconCheap, Scheme::EconFast, Scheme::Altruistic] {
+    for scheme in [
+        Scheme::EconCol,
+        Scheme::EconCheap,
+        Scheme::EconFast,
+        Scheme::Altruistic,
+    ] {
         let r = run(scheme);
         assert!(r.payments.is_positive(), "{}: no revenue", r.scheme);
         assert!(

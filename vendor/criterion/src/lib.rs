@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the macro and method surface the workspace's benches use —
+//! `bench_function`, benchmark groups, `iter` / `iter_batched`,
+//! `black_box`, `criterion_group!` / `criterion_main!` — with a simple
+//! best-of-batches wall-clock measurement printed per bench. No
+//! statistics, baselines or plots.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not interpreted).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (one setup per measured call).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Target wall-clock spent measuring each bench.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Per-bench measurement driver.
+pub struct Bencher {
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            best_ns_per_iter: f64::INFINITY,
+        }
+    }
+
+    /// Times `routine` in growing batches until the budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let mut batch = 1u64;
+        while start.elapsed() < MEASURE_BUDGET {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < self.best_ns_per_iter {
+                self.best_ns_per_iter = ns;
+            }
+            batch = batch.saturating_mul(2);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        let mut measured = 0u32;
+        while measured == 0 || (start.elapsed() < MEASURE_BUDGET && measured < 10) {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let ns = t0.elapsed().as_nanos() as f64;
+            if ns < self.best_ns_per_iter {
+                self.best_ns_per_iter = ns;
+            }
+            measured += 1;
+        }
+    }
+}
+
+/// Bench registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Registers and immediately runs one bench.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&name.into(), b.best_ns_per_iter);
+        self
+    }
+
+    /// Opens a named group of benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A named group of benches.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers and immediately runs one bench within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.into()),
+            b.best_ns_per_iter,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, ns: f64) {
+    if ns.is_finite() {
+        if ns >= 1e6 {
+            println!("{name:<48} {:>12.3} ms/iter", ns / 1e6);
+        } else {
+            println!("{name:<48} {ns:>12.0} ns/iter");
+        }
+    } else {
+        println!("{name:<48}        (not measured)");
+    }
+}
+
+/// Declares a bench group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,377 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! Parses the item with the raw `proc_macro` API (no `syn`/`quote` — the
+//! build is offline) and emits impls of the facade's `Serialize` /
+//! `Deserialize` traits. Supported shapes are exactly what this workspace
+//! derives on: non-generic structs with named fields, tuple structs, unit
+//! structs, and enums whose variants are unit, tuple or struct-like.
+//! Enums use serde's externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a struct body or an enum variant's payload.
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(&tokens, &mut i)),
+        "enum" => Kind::Enum(parse_enum_body(&tokens, &mut i, &name)),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Skips outer attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_body(tokens: &[TokenTree], i: &mut usize) -> Shape {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("unsupported struct body: {other:?}"),
+    }
+}
+
+/// Field names of a `{ a: T, b: U }` body. Commas inside `<...>` generic
+/// arguments are not separators, so angle-bracket depth is tracked.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Number of fields of a `(T, U, ...)` body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut angle_depth = 0i32;
+    let mut pending = false; // tokens seen since the last separator
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_enum_body(tokens: &[TokenTree], i: &mut usize, name: &str) -> Vec<(String, Shape)> {
+    let group = match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("expected enum body for `{name}`, found {other:?}"),
+    };
+    let body: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        skip_attrs_and_vis(&body, &mut j);
+        if j >= body.len() {
+            break;
+        }
+        let vname = match &body[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name in `{name}`, found {other}"),
+        };
+        j += 1;
+        let shape = match body.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                j += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = body.get(j) {
+            if p.as_char() == ',' {
+                j += 1;
+            }
+        }
+        variants.push((vname, shape));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Shape::Named(fields)) => ser_named_body(fields, "self.", ""),
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, shape)| match shape {
+                    Shape::Unit => {
+                        format!("{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),")
+                    }
+                    Shape::Tuple(1) => format!(
+                        "{name}::{vname}(__x0) => ::serde::__tag(\"{vname}\", \
+                         ::serde::Serialize::serialize(__x0)),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__x{k}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::serialize(__x{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::__tag(\"{vname}\", \
+                             ::serde::Value::Seq(vec![{}])),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let map = ser_named_body(fields, "", "");
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => \
+                             ::serde::__tag(\"{vname}\", {map}),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+/// `Value::Map` literal for named fields. `prefix` is `self.` for struct
+/// fields or empty for match-bound variant fields; binding references are
+/// already `&T` in the variant case, so take a reference only when needed.
+fn ser_named_body(fields: &[String], prefix: &str, _suffix: &str) -> String {
+    let pushes: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let access = if prefix.is_empty() {
+                f.clone() // match binding: already a reference
+            } else {
+                format!("&{prefix}{f}")
+            };
+            format!("__m.push((\"{f}\".to_string(), ::serde::Serialize::serialize({access})));")
+        })
+        .collect();
+    format!(
+        "{{ let mut __m: Vec<(String, ::serde::Value)> = Vec::new(); {} \
+         ::serde::Value::Map(__m) }}",
+        pushes.join(" ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => format!("Ok({name})"),
+        Kind::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__map_field(__m, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let __m = ::serde::__expect_map(__v, \"{name}\")?; \
+                 Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+                .collect();
+            format!(
+                "let __s = ::serde::__expect_seq(__v, {n}, \"{name}\")?; \
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, shape)| match shape {
+                    Shape::Unit => format!("\"{vname}\" => Ok({name}::{vname}),"),
+                    Shape::Tuple(1) => format!(
+                        "\"{vname}\" => {{ let __p = ::serde::__payload(__payload, \
+                         \"{name}::{vname}\")?; \
+                         Ok({name}::{vname}(::serde::Deserialize::deserialize(__p)?)) }}"
+                    ),
+                    Shape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+                            .collect();
+                        format!(
+                            "\"{vname}\" => {{ let __p = ::serde::__payload(__payload, \
+                             \"{name}::{vname}\")?; \
+                             let __s = ::serde::__expect_seq(__p, {n}, \"{name}::{vname}\")?; \
+                             Ok({name}::{vname}({})) }}",
+                            inits.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::__map_field(__m, \"{f}\", \
+                                     \"{name}::{vname}\")?,"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{vname}\" => {{ let __p = ::serde::__payload(__payload, \
+                             \"{name}::{vname}\")?; \
+                             let __m = ::serde::__expect_map(__p, \"{name}::{vname}\")?; \
+                             Ok({name}::{vname} {{ {} }}) }}",
+                            inits.join(" ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "let (__name, __payload) = ::serde::__variant(__v)?; \
+                 match __name {{ {} __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{}}` for {name}\", __other))) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
