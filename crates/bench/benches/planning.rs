@@ -16,6 +16,7 @@ use workload::{paper_templates, Query, WorkloadConfig, WorkloadGenerator};
 struct Fx {
     schema: Arc<catalog::Schema>,
     candidates: Vec<cache::IndexDef>,
+    cand_index: planner::CandidateIndex,
     estimator: Estimator,
     queries: Vec<Query>,
 }
@@ -34,9 +35,11 @@ impl Fx {
             WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 11)
                 .take(256)
                 .collect();
+        let cand_index = planner::CandidateIndex::build(&schema, &candidates);
         Fx {
             schema,
             candidates,
+            cand_index,
             estimator,
             queries,
         }
@@ -46,6 +49,7 @@ impl Fx {
         PlannerContext {
             schema: &self.schema,
             candidates: &self.candidates,
+            cand_index: &self.cand_index,
             estimator: &self.estimator,
         }
     }

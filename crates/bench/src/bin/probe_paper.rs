@@ -30,9 +30,11 @@ fn main() {
         PriceCatalog::ec2_2009(),
         NetworkModel::paper_sdss(),
     );
+    let cand_index = planner::CandidateIndex::build(&schema, &candidates);
     let ctx = PlannerContext {
         schema: &schema,
         candidates: &candidates,
+        cand_index: &cand_index,
         estimator: &estimator,
     };
     let mut gen = WorkloadGenerator::new(

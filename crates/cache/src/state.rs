@@ -74,6 +74,19 @@ pub struct CacheState {
     indexes: HashMap<IndexId, CachedStructure>,
     nodes: HashMap<u32, CachedStructure>,
     occupancy: Occupancy,
+    /// Settled portion of the planning epoch: bumped on every install and
+    /// evict, and absorbs [`Self::pending`] entries as time passes them.
+    epoch_base: u64,
+    /// Availability instants of in-flight builds that have not yet been
+    /// folded into `epoch_base`, sorted ascending. A build completing is a
+    /// planning-relevant transition (a plan's `missing` set shrinks) even
+    /// though no install/evict happens at that instant, so each entry
+    /// crossed by the clock contributes +1 to [`Self::epoch`].
+    pending: Vec<SimTime>,
+    /// Bumped whenever a settlement mutates ledger state the planner
+    /// quotes (amortisation dues, maintenance checkpoints) without an
+    /// install/evict. See [`Self::settle_seq`].
+    settle_seq: u64,
 }
 
 impl CacheState {
@@ -120,11 +133,45 @@ impl CacheState {
     }
 
     /// The lowest free extra-node ordinal (for booting the next node).
+    ///
+    /// With `n` nodes present, the lowest free ordinal is at most `n` by
+    /// pigeonhole, so the probe is bounded by the node count.
     #[must_use]
     pub fn next_node_ordinal(&self) -> u32 {
-        (0..)
+        (0..=self.nodes.len() as u32)
             .find(|n| !self.nodes.contains_key(n))
-            .expect("u32 space")
+            .expect("pigeonhole: <= len nodes occupy [0, len]")
+    }
+
+    /// The planning epoch at `now`: a monotone counter that changes
+    /// whenever the cache state observable by the planner can have changed
+    /// — on every install, on every evict, and whenever an in-flight build
+    /// crosses its `available_at` instant (a `P_pos` plan's structure
+    /// becoming usable moves plans into `P_exist` without any install).
+    ///
+    /// Two calls with the same epoch (and non-decreasing `now`) are
+    /// guaranteed to see the same structure set, the same availability
+    /// partition, and the same per-structure amortisation state — which is
+    /// what makes "cache unchanged" an O(log n) check for the plan cache.
+    /// Per-structure *maintenance accrual* still grows with `now` between
+    /// epochs; consumers that quote maintenance must recompute it.
+    ///
+    /// Monotone as long as `now` is fed in non-decreasing order (the
+    /// simulator's arrival order).
+    #[must_use]
+    pub fn epoch(&self, now: SimTime) -> u64 {
+        let crossed = self.pending.partition_point(|&t| t <= now);
+        self.epoch_base + crossed as u64
+    }
+
+    /// Bumps the settled epoch and folds every pending availability
+    /// transition at or before `now`, keeping [`Self::epoch`] continuous:
+    /// callers at later instants see `epoch_base` grown by exactly the
+    /// entries they previously counted via `partition_point`.
+    fn bump_epoch(&mut self, now: SimTime) {
+        let crossed = self.pending.partition_point(|&t| t <= now);
+        self.pending.drain(..crossed);
+        self.epoch_base += crossed as u64 + 1;
     }
 
     /// Current cache disk usage in bytes.
@@ -139,9 +186,16 @@ impl CacheState {
         self.occupancy.byte_seconds()
     }
 
-    /// Accrues the occupancy integral up to `now`.
+    /// Accrues the occupancy integral up to `now` and folds pending
+    /// availability transitions into the settled epoch (keeping
+    /// [`Self::epoch`] values continuous while bounding the pending list).
     pub fn advance(&mut self, now: SimTime) {
         self.occupancy.advance(now);
+        let crossed = self.pending.partition_point(|&t| t <= now);
+        if crossed > 0 {
+            self.pending.drain(..crossed);
+            self.epoch_base += crossed as u64;
+        }
     }
 
     /// Installs a structure at `now` that becomes available after
@@ -177,6 +231,13 @@ impl CacheState {
         } else {
             self.occupancy.advance(now);
         }
+        self.bump_epoch(now);
+        if s.available_at > now {
+            // The build completing later is itself a planning transition;
+            // record it so `epoch` changes when the clock crosses it.
+            let at = self.pending.partition_point(|&t| t <= s.available_at);
+            self.pending.insert(at, s.available_at);
+        }
         match key {
             StructureKey::Column(c) => {
                 self.columns.insert(c, s);
@@ -205,8 +266,26 @@ impl CacheState {
             } else {
                 self.occupancy.advance(now);
             }
+            self.bump_epoch(now);
+            if s.available_at > now {
+                // Evicted while still building: drop its (not yet crossed)
+                // pending transition so it cannot fire spuriously later.
+                if let Some(pos) = self.pending.iter().position(|&t| t == s.available_at) {
+                    self.pending.remove(pos);
+                }
+            }
         }
         removed
+    }
+
+    /// Settlement counter: changes whenever amortisation installments are
+    /// collected or maintenance checkpoints move (mutations that shift
+    /// quoted plan prices but bump no [`Self::epoch`]). Plan memoization
+    /// re-quotes those components when this counter (or the clock) moved
+    /// since the memo was priced.
+    #[must_use]
+    pub fn settle_seq(&self) -> u64 {
+        self.settle_seq
     }
 
     /// Marks structures as used at `now` (LRU refresh).
@@ -222,13 +301,16 @@ impl CacheState {
     /// the total charged.
     pub fn charge_amortization(&mut self, keys: &[StructureKey]) -> Money {
         let mut total = Money::ZERO;
+        let mut settled = 0;
         for &key in keys {
             if let Some(s) = self.get_mut(key) {
                 let due = s.amortization_due();
                 s.pay_amortization(due);
                 total += due;
+                settled += u64::from(!due.is_zero());
             }
         }
+        self.settle_seq += settled;
         total
     }
 
@@ -252,6 +334,7 @@ impl CacheState {
         F: Fn(&CachedStructure, SimDuration) -> Money,
     {
         let mut total = Money::ZERO;
+        let mut settled = 0;
         for &key in keys {
             if let Some(s) = self.get_mut(key) {
                 let span = now.saturating_since(s.maint_paid_until);
@@ -264,10 +347,60 @@ impl CacheState {
                         s.maint_forgiven += forgiven;
                     }
                     s.maint_paid_until = now;
+                    settled += 1;
                 }
             }
         }
+        self.settle_seq += settled;
         total
+    }
+
+    /// Settles one selected plan's usage of `keys` in a single pass per
+    /// structure: refreshes the LRU stamp, charges the amortisation
+    /// installment and settles maintenance up to `now` (capped at
+    /// `window`, older backlog written off) — exactly equivalent to
+    /// [`Self::touch`] + [`Self::charge_amortization`] +
+    /// [`Self::settle_maintenance`], but with one `get_mut` per structure
+    /// instead of three.
+    ///
+    /// Returns `(amortization collected, maintenance collected)`.
+    pub fn settle_usage<F>(
+        &mut self,
+        keys: &[StructureKey],
+        now: SimTime,
+        window: SimDuration,
+        price: F,
+    ) -> (Money, Money)
+    where
+        F: Fn(&CachedStructure, SimDuration) -> Money,
+    {
+        let mut amortization = Money::ZERO;
+        let mut maintenance = Money::ZERO;
+        let mut settled = 0;
+        for &key in keys {
+            if let Some(s) = self.get_mut(key) {
+                s.last_used = s.last_used.max(now);
+                let due = s.amortization_due();
+                s.pay_amortization(due);
+                amortization += due;
+                let mut changed = !due.is_zero();
+                let span = now.saturating_since(s.maint_paid_until);
+                if !span.is_zero() {
+                    let charged_span = span.min(window);
+                    maintenance += price(s, charged_span);
+                    if span > window {
+                        let forgiven =
+                            price(s, SimDuration::from_secs(span.as_secs() - window.as_secs()));
+                        s.maint_forgiven += forgiven;
+                    }
+                    s.maint_paid_until = now;
+                    changed = true;
+                }
+                settled += u64::from(changed);
+            }
+        }
+        self.settle_seq += settled;
+        (amortization, maintenance)
     }
 
     /// All structures, in unspecified order.
@@ -296,6 +429,9 @@ impl CacheState {
     /// *failure* ("excessive maintenance cost of a structure due to
     /// non-usage of it in selected query plans can be the reason of
     /// structure failure").
+    ///
+    /// The result is sorted by key so eviction order is independent of
+    /// hash-map iteration order.
     #[must_use]
     pub fn failed_structures<F>(
         &self,
@@ -306,7 +442,8 @@ impl CacheState {
     where
         F: Fn(&CachedStructure, SimDuration) -> Money,
     {
-        self.iter()
+        let mut failed: Vec<StructureKey> = self
+            .iter()
             .filter(|s| {
                 let span = now.saturating_since(s.maint_paid_until);
                 let unpaid = s.maint_forgiven + price(s, span);
@@ -314,7 +451,9 @@ impl CacheState {
                 !threshold.is_zero() && unpaid > threshold
             })
             .map(|s| s.key)
-            .collect()
+            .collect();
+        failed.sort_unstable();
+        failed
     }
 }
 
@@ -477,6 +616,129 @@ mod tests {
         // Forgiven backlog counts toward failure.
         let failed = st.failed_structures(t(100.0), 1.0, price);
         assert_eq!(failed, vec![col(1)], "write-offs exceed build cost");
+    }
+
+    #[test]
+    fn epoch_bumps_on_install_and_evict() {
+        let mut st = CacheState::new();
+        let e0 = st.epoch(t(0.0));
+        st.install(col(1), 10, t(0.0), d(0.0), Money::ZERO, 1);
+        let e1 = st.epoch(t(0.0));
+        assert!(e1 > e0, "install must bump the epoch");
+        st.evict(col(1), t(1.0));
+        assert!(st.epoch(t(1.0)) > e1, "evict must bump the epoch");
+    }
+
+    #[test]
+    fn epoch_bumps_when_inflight_build_becomes_available() {
+        let mut st = CacheState::new();
+        st.install(col(1), 10, t(0.0), d(50.0), Money::ZERO, 1);
+        let during = st.epoch(t(10.0));
+        assert_eq!(
+            st.epoch(t(49.9)),
+            during,
+            "no transition while still building"
+        );
+        assert_eq!(
+            st.epoch(t(50.0)),
+            during + 1,
+            "availability is a planning transition"
+        );
+        // Folding via advance must not change observed values.
+        st.advance(t(60.0));
+        assert_eq!(st.epoch(t(60.0)), during + 1);
+    }
+
+    #[test]
+    fn epoch_ignores_evicted_inflight_builds() {
+        let mut st = CacheState::new();
+        st.install(col(1), 10, t(0.0), d(100.0), Money::ZERO, 1);
+        let e = st.epoch(t(1.0));
+        st.evict(col(1), t(1.0)); // still building
+        let after_evict = st.epoch(t(1.0));
+        assert_eq!(after_evict, e + 1, "evict bumps once");
+        assert_eq!(
+            st.epoch(t(100.0)),
+            after_evict,
+            "the dead build's availability must not fire"
+        );
+    }
+
+    #[test]
+    fn epoch_is_monotone_over_a_mixed_sequence() {
+        let mut st = CacheState::new();
+        let mut last = st.epoch(t(0.0));
+        let mut check = |st: &CacheState, now: SimTime| {
+            let e = st.epoch(now);
+            assert!(e >= last, "epoch regressed: {e} < {last}");
+            last = e;
+        };
+        st.install(col(1), 10, t(0.0), d(5.0), Money::ZERO, 1);
+        check(&st, t(0.0));
+        st.install(col(2), 10, t(1.0), d(0.0), Money::ZERO, 1);
+        check(&st, t(1.0));
+        st.advance(t(3.0));
+        check(&st, t(3.0));
+        check(&st, t(5.0));
+        st.evict(col(2), t(6.0));
+        check(&st, t(6.0));
+        st.advance(t(10.0));
+        check(&st, t(10.0));
+    }
+
+    #[test]
+    fn settle_usage_matches_the_three_pass_equivalent() {
+        let price = |s: &CachedStructure, span: SimDuration| {
+            Money::from_dollars(s.size_bytes as f64 * span.as_secs() * 1e-3)
+        };
+        let window = d(40.0);
+        let build = |st: &mut CacheState| {
+            st.install(col(1), 1_000, t(0.0), d(0.0), Money::from_dollars(1.0), 4);
+            st.install(col(2), 500, t(0.0), d(0.0), Money::from_dollars(2.0), 4);
+        };
+        let keys = [col(1), col(2), col(9)]; // col(9) absent: ignored
+        let now = t(100.0);
+
+        let mut a = CacheState::new();
+        build(&mut a);
+        a.touch(&keys, now);
+        let amort_a = a.charge_amortization(&keys);
+        let maint_a = a.settle_maintenance(&keys, now, window, price);
+
+        let mut b = CacheState::new();
+        build(&mut b);
+        let (amort_b, maint_b) = b.settle_usage(&keys, now, window, price);
+
+        assert_eq!(amort_a, amort_b);
+        assert_eq!(maint_a, maint_b);
+        for &k in &keys[..2] {
+            assert_eq!(a.get(k), b.get(k), "per-structure state must match");
+        }
+    }
+
+    #[test]
+    fn failed_structures_are_sorted() {
+        let mut st = CacheState::new();
+        let price = |s: &CachedStructure, span: SimDuration| {
+            Money::from_dollars(s.size_bytes as f64 * span.as_secs())
+        };
+        for i in (1..6).rev() {
+            st.install(col(i), 100, t(0.0), d(0.0), Money::from_dollars(0.001), 1);
+        }
+        let failed = st.failed_structures(t(1_000.0), 1.0, price);
+        assert_eq!(failed.len(), 5);
+        assert!(failed.windows(2).all(|w| w[0] < w[1]), "{failed:?}");
+    }
+
+    #[test]
+    fn next_node_ordinal_fills_gaps() {
+        let mut st = CacheState::new();
+        for n in 0..3 {
+            st.install(StructureKey::Node(n), 0, t(0.0), d(0.0), Money::ZERO, 1);
+        }
+        assert_eq!(st.next_node_ordinal(), 3);
+        st.evict(StructureKey::Node(1), t(1.0));
+        assert_eq!(st.next_node_ordinal(), 1);
     }
 
     #[test]

@@ -16,16 +16,22 @@
 //! 6. applies the investment rule (eq. 3) and builds what it triggers,
 //!    paying from the account.
 
-use cache::{CacheState, StructureKey};
-use planner::{enumerate_plans, skyline_filter, PlannerContext, QueryPlan};
+use std::cell::RefCell;
+
+use cache::{CacheState, CachedStructure, StructureKey};
+use planner::enumerate::EnumerationOptions;
+use planner::{
+    enumerate_plans_into, skyline_partition, Estimator, PlanBuffer, PlannerContext, QueryPlan,
+};
 use pricing::Money;
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 use workload::Query;
 
 use crate::account::CloudAccount;
 use crate::budget::BudgetFunction;
 use crate::config::EconConfig;
-use crate::outcome::QueryOutcome;
+use crate::outcome::{QueryOutcome, SelectionCase};
+use crate::plancache::{PlanCache, PlanCacheStats};
 use crate::regret::RegretLedger;
 use crate::selection::select_plan;
 
@@ -40,6 +46,36 @@ pub struct EconomyManager {
     queries_seen: u64,
     first_arrival: Option<SimTime>,
     last_arrival: SimTime,
+    /// Memoized plan sets per template (interior mutability: quotes are
+    /// `&self` but warm the cache for the serving call).
+    plancache: RefCell<PlanCache>,
+    /// Recycled enumeration storage (see [`PlanBuffer`]).
+    planbuf: RefCell<PlanBuffer>,
+    /// Scratch for the skyline index partition.
+    sky_scratch: RefCell<SkyScratch>,
+    /// Lower bound (seconds) on the earliest instant any structure can
+    /// fail; the per-query failure scan is skipped while `now` is below
+    /// it. See [`Self::refresh_failure_bound`].
+    next_failure_check: f64,
+}
+
+#[derive(Debug, Default)]
+struct SkyScratch {
+    order: Vec<usize>,
+    sky: Vec<usize>,
+}
+
+/// The outcome of planning one query: the case analysis plus the data the
+/// control loop needs to settle it, extracted so the memoized plan set is
+/// never cloned wholesale.
+struct Planned {
+    opts: EnumerationOptions,
+    case: SelectionCase,
+    payment: Money,
+    profit: Money,
+    chosen: QueryPlan,
+    /// `(regret amount, missing structures)` per rejected possible plan.
+    regrets: Vec<(Money, Vec<StructureKey>)>,
 }
 
 impl EconomyManager {
@@ -62,7 +98,17 @@ impl EconomyManager {
             queries_seen: 0,
             first_arrival: None,
             last_arrival: SimTime::ZERO,
+            plancache: RefCell::new(PlanCache::new()),
+            planbuf: RefCell::new(PlanBuffer::new()),
+            sky_scratch: RefCell::new(SkyScratch::default()),
+            next_failure_check: f64::NEG_INFINITY,
         }
+    }
+
+    /// Plan-cache hit/miss counters.
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plancache.borrow().stats()
     }
 
     /// The cloud account (`CR` lives here).
@@ -139,44 +185,57 @@ impl EconomyManager {
         self.last_arrival = now;
 
         // (1) Accrue occupancy; fail structures whose unpaid maintenance
-        // exceeded the threshold.
+        // exceeded the threshold. The full scan runs only when the
+        // failure-time lower bound says a failure is possible — on skipped
+        // queries a fresh scan would provably find nothing.
         self.cache.advance(now);
         let estimator = ctx.estimator;
-        let failed =
-            self.cache
-                .failed_structures(now, self.config.failure.fail_factor, |s, span| {
-                    estimator.maintenance(s, span)
-                });
-        for &key in &failed {
-            self.cache.evict(key, now);
-            self.regret.reset(key);
-        }
+        let failed = if now.as_secs() >= self.next_failure_check {
+            let failed =
+                self.cache
+                    .failed_structures(now, self.config.failure.fail_factor, |s, span| {
+                        estimator.maintenance(s, span)
+                    });
+            for &key in &failed {
+                self.cache.evict(key, now);
+                self.regret.reset(key);
+            }
+            self.refresh_failure_bound(estimator);
+            failed
+        } else {
+            debug_assert!(
+                self.cache
+                    .failed_structures(now, self.config.failure.fail_factor, |s, span| {
+                        estimator.maintenance(s, span)
+                    })
+                    .is_empty(),
+                "failure bound must be conservative"
+            );
+            Vec::new()
+        };
 
-        // (2)+(3) Enumerate, skyline, and form the user budget.
-        let opts = self.config.enumeration(self.arrival_rate());
-        let (skyline, budget) = self.skyline_and_budget(ctx, query, now, opts);
+        // (2)+(3)+(4a) Enumerate (or reuse the memoized plan set), skyline,
+        // form the user budget and run the case analysis.
+        let planned = self.plan_query(ctx, query, now);
+        debug_assert!(planned.chosen.is_existing(), "only existing plans execute");
 
-        // (4) Case analysis and settlement.
-        let selection = select_plan(&skyline, &budget, self.config.objective);
-        let chosen: &QueryPlan = &skyline[selection.selected];
-        debug_assert!(chosen.is_existing(), "only existing plans execute");
-
-        self.cache.touch(&chosen.uses, now);
-        let amortization_collected = self.cache.charge_amortization(&chosen.uses);
-        let maintenance_collected =
-            self.cache
-                .settle_maintenance(&chosen.uses, now, opts.maint_window, |s, span| {
-                    estimator.maintenance(s, span)
-                });
+        // (4b) Settlement: LRU refresh, amortisation installment and
+        // maintenance checkpoint in one pass per used structure.
+        let (amortization_collected, maintenance_collected) = self.cache.settle_usage(
+            &planned.chosen.uses,
+            now,
+            planned.opts.maint_window,
+            |s, span| estimator.maintenance(s, span),
+        );
         debug_assert_eq!(
-            amortization_collected, chosen.amortized_cost,
+            amortization_collected, planned.chosen.amortized_cost,
             "quoted amortisation must match collected"
         );
         debug_assert_eq!(
-            maintenance_collected, chosen.maintenance_cost,
+            maintenance_collected, planned.chosen.maintenance_cost,
             "quoted maintenance must match collected"
         );
-        self.account.deposit_payment(selection.payment);
+        self.account.deposit_payment(planned.payment);
 
         // (5) Regret distribution (eqs. 1–2). The paper distributes over
         // "every physical structure used by the plan"; we concentrate the
@@ -188,33 +247,33 @@ impl EconomyManager {
         // cannot help a plan that still lacks its columns, and letting it
         // accumulate regret would churn capital on idle nodes. Both
         // refinements are recorded as deviations in DESIGN.md.
-        for &(idx, amount) in &selection.regrets {
-            let missing = &skyline[idx].missing;
-            let data_missing: Vec<cache::StructureKey> = missing
+        for (amount, missing) in &planned.regrets {
+            let data_missing: Vec<StructureKey> = missing
                 .iter()
                 .copied()
                 .filter(|k| !matches!(k, StructureKey::Node(_)))
                 .collect();
             let attribution = self.config.regret_attribution;
             if data_missing.is_empty() {
-                self.regret.distribute(missing, amount, attribution);
+                self.regret.distribute(missing, *amount, attribution);
             } else {
-                self.regret.distribute(&data_missing, amount, attribution);
+                self.regret.distribute(&data_missing, *amount, attribution);
             }
         }
 
         // (6) Investment (eq. 3 + conservative gate).
-        let investments = self.consider_investments(ctx, now, opts.amortize_n);
+        let investments = self.consider_investments(ctx, now, planned.opts.amortize_n);
 
+        let ran_in_cache = planned.chosen.shape != planner::plan::PlanShape::Backend;
         QueryOutcome {
-            case: selection.case,
-            response_time: chosen.exec_time,
-            payment: selection.payment,
-            profit: selection.profit,
-            exec_cost: chosen.exec_cost,
-            exec_breakdown: chosen.exec_breakdown,
-            ran_in_cache: chosen.shape != planner::plan::PlanShape::Backend,
-            used_structures: chosen.uses.clone(),
+            case: planned.case,
+            response_time: planned.chosen.exec_time,
+            payment: planned.payment,
+            profit: planned.profit,
+            exec_cost: planned.chosen.exec_cost,
+            exec_breakdown: planned.chosen.exec_breakdown,
+            ran_in_cache,
+            used_structures: planned.chosen.uses,
             investments,
             evictions: failed,
             maintenance_collected,
@@ -222,8 +281,11 @@ impl EconomyManager {
         }
     }
 
-    /// Enumerates `P_Q`, reduces it to the skyline and forms the user's
-    /// budget function — steps (2) and (3) of the control loop.
+    /// Steps (2)–(4a) of the control loop: obtain the costed plan set
+    /// (memoized per template when the cache epoch, settlement state and
+    /// query fingerprint allow — see [`crate::plancache`]), reduce it to
+    /// the two-tier skyline, form the user's budget and run the case
+    /// analysis.
     ///
     /// Existing plans are skylined among themselves (they are the
     /// executable menu — a *possible* plan may dominate them on paper but
@@ -231,51 +293,134 @@ impl EconomyManager {
     /// the full set to be worth regretting. The budget is the configured
     /// shape at `budget_scale × backend price` with deadline
     /// `patience × backend time`.
-    fn skyline_and_budget(
-        &self,
-        ctx: &PlannerContext<'_>,
-        query: &Query,
-        now: SimTime,
-        opts: planner::enumerate::EnumerationOptions,
-    ) -> (Vec<QueryPlan>, BudgetFunction) {
-        let plans = enumerate_plans(ctx, query, &self.cache, now, opts);
-        let backend = plans
-            .iter()
-            .find(|p| p.shape == planner::plan::PlanShape::Backend)
-            .expect("backend plan always enumerated")
-            .clone();
-        let (exist, _pos): (Vec<QueryPlan>, Vec<QueryPlan>) =
-            plans.iter().cloned().partition(QueryPlan::is_existing);
-        let mut skyline = skyline_filter(exist);
-        skyline.extend(
-            skyline_filter(plans)
-                .into_iter()
-                .filter(|p| !p.is_existing()),
+    fn plan_query(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Planned {
+        let opts = self.config.enumeration(self.arrival_rate());
+
+        if !self.config.plan_cache {
+            let mut buf = self.planbuf.borrow_mut();
+            enumerate_plans_into(ctx, query, &self.cache, now, opts, &mut buf);
+            let plans = buf.take();
+            let planned = self.select_from(query, &plans, opts);
+            buf.recycle(plans);
+            return planned;
+        }
+
+        let epoch = self.cache.epoch(now);
+        let mut pc = self.plancache.borrow_mut();
+        pc.prepare_fingerprint(query);
+
+        if let Some(slot) = pc.matching_slot(query.template.0, epoch, &opts) {
+            let refreshed = !slot.prices_current(&self.cache, now, &opts);
+            if refreshed {
+                let estimator = ctx.estimator;
+                slot.refresh_prices(&self.cache, now, opts, |s, span| {
+                    estimator.maintenance(s, span)
+                });
+            }
+            let planned = self.select_from(query, &slot.plans, opts);
+            pc.count(true, refreshed);
+            return planned;
+        }
+        pc.count(false, false);
+
+        let mut buf = self.planbuf.borrow_mut();
+        enumerate_plans_into(ctx, query, &self.cache, now, opts, &mut buf);
+        let plans = buf.take();
+        // The per-plan missing-structure build quotes are epoch-stable;
+        // memoizing them lets refreshes re-derive first installments under
+        // whatever amortisation horizon the arrival rate implies later.
+        let missing_builds = buf.take_missing_costs();
+        let planned = self.select_from(query, &plans, opts);
+
+        let settle_seq = self.cache.settle_seq();
+        if let Some((old_plans, old_costs)) = pc.install_slot(
+            query.template.0,
+            epoch,
+            settle_seq,
+            opts,
+            now,
+            plans,
+            missing_builds,
+        ) {
+            buf.recycle(old_plans);
+            buf.recycle_missing_costs(old_costs);
+        }
+        planned
+    }
+
+    /// Skyline partition + budget + case analysis over an enumerated plan
+    /// set (backend plan first), extracting what the control loop needs
+    /// without cloning the set.
+    fn select_from(&self, query: &Query, plans: &[QueryPlan], opts: EnumerationOptions) -> Planned {
+        let backend = &plans[0];
+        debug_assert_eq!(
+            backend.shape,
+            planner::plan::PlanShape::Backend,
+            "enumeration emits the backend plan first"
         );
         let budget = BudgetFunction::of_shape(
             self.config.budget_shape,
             backend.price.scale(query.budget_scale),
             backend.exec_time * self.config.patience,
         );
-        (skyline, budget)
+        let mut scratch = self.sky_scratch.borrow_mut();
+        let SkyScratch { order, sky } = &mut *scratch;
+        let _existing = skyline_partition(plans, order, sky);
+        let skyrefs: Vec<&QueryPlan> = sky.iter().map(|&i| &plans[i]).collect();
+        let selection = select_plan(&skyrefs, &budget, self.config.objective);
+        let chosen = skyrefs[selection.selected].clone();
+        let regrets = selection
+            .regrets
+            .iter()
+            .map(|&(i, amount)| (amount, skyrefs[i].missing.clone()))
+            .collect();
+        Planned {
+            opts,
+            case: selection.case,
+            payment: selection.payment,
+            profit: selection.profit,
+            chosen,
+            regrets,
+        }
+    }
+
+    /// Recomputes the lower bound on the earliest instant any cached
+    /// structure's unpaid maintenance can cross its failure threshold.
+    ///
+    /// Maintenance accrual is linear in the span (eqs. 11/13/15), so per
+    /// structure the crossing time has the closed form
+    /// `maint_paid_until + (threshold − forgiven)/rate`; the bound backs
+    /// the rate off by a safety margin dominating both float error and
+    /// nano-dollar rounding, so skipping the scan below the bound can
+    /// never delay an eviction. Settlements only push crossings later
+    /// (the capped window forgives less than the span it clears), and
+    /// installs feed the bound directly, so it stays conservative between
+    /// refreshes.
+    fn refresh_failure_bound(&mut self, estimator: &Estimator) {
+        let fail_factor = self.config.failure.fail_factor;
+        let mut bound = f64::INFINITY;
+        for s in self.cache.iter() {
+            bound = bound.min(failure_bound_for(s, estimator, fail_factor));
+        }
+        self.next_failure_check = bound;
     }
 
     /// Quotes the price `B_Q(t)` this cloud would charge for `query` at
-    /// `now`, without mutating any state — the marketplace bid a fleet
-    /// router compares across competing clouds.
+    /// `now`, without mutating any economy state — the marketplace bid a
+    /// fleet router compares across competing clouds.
     ///
-    /// The quote runs the same enumeration → skyline → case analysis as
-    /// [`process_query`](Self::process_query) but skips its side effects,
-    /// so the realized price can differ from the quote in two ways:
-    /// serving the query first evicts structures whose maintenance
-    /// failed, and it updates the observed arrival statistics that the
-    /// enumeration options (amortisation horizon, maintenance window)
-    /// derive from. Routers treat quotes as bids, not contracts.
+    /// The quote runs the same (memoized) planning → skyline → case
+    /// analysis as [`process_query`](Self::process_query) but skips its
+    /// side effects, so the realized price can differ from the quote in
+    /// two ways: serving the query first evicts structures whose
+    /// maintenance failed, and it updates the observed arrival statistics
+    /// that the enumeration options (amortisation horizon, maintenance
+    /// window) derive from. Routers treat quotes as bids, not contracts.
+    /// A quote does warm the plan cache: the winning node's serving call
+    /// reuses the plan set its own bid enumerated.
     #[must_use]
     pub fn quote_query(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Money {
-        let opts = self.config.enumeration(self.arrival_rate());
-        let (skyline, budget) = self.skyline_and_budget(ctx, query, now, opts);
-        select_plan(&skyline, &budget, self.config.objective).payment
+        self.plan_query(ctx, query, now).payment
     }
 
     /// Builds every structure the investment rule triggers, most regretted
@@ -309,6 +454,12 @@ impl EconomyManager {
             }
             self.cache.install(key, size, now, time, cost, amortize_n);
             self.regret.reset(key);
+            // The new structure can be the next to fail; fold its crossing
+            // time into the failure bound without a full rescan.
+            if let Some(s) = self.cache.get(key) {
+                let bound = failure_bound_for(s, ctx.estimator, self.config.failure.fail_factor);
+                self.next_failure_check = self.next_failure_check.min(bound);
+            }
             built.push((key, cost));
         }
         built
@@ -341,6 +492,39 @@ impl EconomyManager {
     }
 }
 
+/// Earliest instant (seconds) at which `s`'s unpaid maintenance can
+/// exceed `fail_factor × build_cost` — a conservative lower bound on its
+/// failure time (see [`EconomyManager::refresh_failure_bound`]).
+fn failure_bound_for(s: &CachedStructure, estimator: &Estimator, fail_factor: f64) -> f64 {
+    let threshold = s.build_cost.scale(fail_factor);
+    if threshold.is_zero() {
+        return f64::INFINITY; // zero-threshold structures never fail
+    }
+    let headroom_nanos = (threshold - s.maint_forgiven).as_nanos();
+    if headroom_nanos <= 0 {
+        // Already written off past the threshold: any positive accrual
+        // fails it. (`> threshold` is strict, so it has not failed *yet*.)
+        return s.maint_paid_until.as_secs();
+    }
+    // Per-second rate sampled over a span long enough that nano-dollar
+    // rounding is negligible (|error| ≤ 0.5e-9 $ / 1e9 s).
+    const BIG_SPAN_SECS: f64 = 1e9;
+    let rate = estimator
+        .maintenance(s, SimDuration::from_secs(BIG_SPAN_SECS))
+        .as_dollars()
+        / BIG_SPAN_SECS;
+    if rate <= 0.0 {
+        return f64::INFINITY; // free maintenance never accrues debt
+    }
+    // Back the rate off so the bound under-estimates the crossing even
+    // under rounding (+1e-18 dominates the sampling error, the relative
+    // margin dominates float arithmetic error), and leave one nano-dollar
+    // of headroom for the final charge's round-to-nearest.
+    let rate_upper = rate * (1.0 + 1e-9) + 1e-18;
+    let safe_span = (headroom_nanos - 1) as f64 / 1e9 / rate_upper;
+    s.maint_paid_until.as_secs() + safe_span
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +541,7 @@ mod tests {
     struct Fixture {
         schema: Arc<Schema>,
         candidates: Vec<cache::IndexDef>,
+        cand_index: planner::CandidateIndex,
         estimator: Estimator,
     }
 
@@ -365,6 +550,7 @@ mod tests {
             let schema = Arc::new(tpch_schema(ScaleFactor(sf)));
             let templates = paper_templates(&schema);
             let candidates = generate_candidates(&schema, &templates, 65);
+            let cand_index = planner::CandidateIndex::build(&schema, &candidates);
             let estimator = Estimator::new(
                 CostParams::default(),
                 PriceCatalog::ec2_2009(),
@@ -373,6 +559,7 @@ mod tests {
             Fixture {
                 schema,
                 candidates,
+                cand_index,
                 estimator,
             }
         }
@@ -381,6 +568,7 @@ mod tests {
             PlannerContext {
                 schema: &self.schema,
                 candidates: &self.candidates,
+                cand_index: &self.cand_index,
                 estimator: &self.estimator,
             }
         }
@@ -590,6 +778,7 @@ mod tests {
         let fx = Fixture {
             schema: Arc::clone(&f.schema),
             candidates: f.candidates.clone(),
+            cand_index: f.cand_index.clone(),
             estimator,
         };
         let mut m = EconomyManager::new(fast_config());

@@ -26,6 +26,9 @@
 //! * [`maintenance`] — structure-failure policy (footnote 3).
 //! * [`economy`] — [`economy::EconomyManager`], the per-query control loop
 //!   gluing all of the above to the planner and the cache.
+//! * [`plancache`] — memoized planning: per-template plan sets keyed by
+//!   the cache planning epoch, bit-identical to fresh enumeration (the
+//!   hot-path optimisation the `hotpath` bench measures).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +41,7 @@ pub mod economy;
 pub mod invest;
 pub mod maintenance;
 pub mod outcome;
+pub mod plancache;
 pub mod regret;
 pub mod selection;
 
@@ -48,5 +52,6 @@ pub use config::EconConfig;
 pub use economy::EconomyManager;
 pub use invest::InvestmentRule;
 pub use outcome::{QueryOutcome, SelectionCase};
+pub use plancache::{PlanCache, PlanCacheStats};
 pub use regret::{RegretAttribution, RegretLedger};
 pub use selection::{select_plan, SelectionObjective};

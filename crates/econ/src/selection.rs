@@ -56,22 +56,24 @@ pub struct Selection {
 ///
 /// `plans` must be the skyline set (existing and possible mixed); at least
 /// one existing plan must be present (the backend plan guarantees this).
+/// Generic over plan storage so hot paths can pass `&[&QueryPlan]` built
+/// from skyline indices without cloning the plans.
 ///
 /// # Panics
 /// Panics if no existing plan is present.
 #[must_use]
-pub fn select_plan(
-    plans: &[QueryPlan],
+pub fn select_plan<P: std::borrow::Borrow<QueryPlan>>(
+    plans: &[P],
     budget: &BudgetFunction,
     objective: SelectionObjective,
 ) -> Selection {
     assert!(
-        plans.iter().any(QueryPlan::is_existing),
+        plans.iter().any(|p| p.borrow().is_existing()),
         "P_exist must not be empty (the backend plan always exists)"
     );
 
     let affordable = |p: &QueryPlan| budget.affords(p.exec_time, p.price);
-    let n_affordable = plans.iter().filter(|p| affordable(p)).count();
+    let n_affordable = plans.iter().filter(|p| affordable(p.borrow())).count();
 
     if n_affordable == 0 {
         return case_a(plans);
@@ -86,17 +88,19 @@ pub fn select_plan(
 
 /// Case A: nothing affordable. The user picks (and pays the price of) the
 /// cheapest existing plan; eq. 1 regret for cheaper possible plans.
-fn case_a(plans: &[QueryPlan]) -> Selection {
+fn case_a<P: std::borrow::Borrow<QueryPlan>>(plans: &[P]) -> Selection {
     let selected = plans
         .iter()
+        .map(std::borrow::Borrow::borrow)
         .enumerate()
         .filter(|(_, p)| p.is_existing())
         .min_by(|(_, a), (_, b)| a.price.cmp(&b.price).then(a.exec_time.cmp(&b.exec_time)))
         .map(|(i, _)| i)
         .expect("checked: P_exist non-empty");
-    let chosen_price = plans[selected].price;
+    let chosen_price = plans[selected].borrow().price;
     let regrets = plans
         .iter()
+        .map(std::borrow::Borrow::borrow)
         .enumerate()
         .filter(|(i, p)| *i != selected && !p.is_existing() && p.price <= chosen_price)
         .map(|(i, p)| (i, chosen_price - p.price))
@@ -114,8 +118,8 @@ fn case_a(plans: &[QueryPlan]) -> Selection {
 /// Cases B and C: select among affordable *existing* plans by the
 /// objective; eq. 2 regret for affordable possible plans more expensive
 /// than the chosen one.
-fn case_bc(
-    plans: &[QueryPlan],
+fn case_bc<P: std::borrow::Borrow<QueryPlan>>(
+    plans: &[P],
     budget: &BudgetFunction,
     objective: SelectionObjective,
     case: SelectionCase,
@@ -123,6 +127,7 @@ fn case_bc(
     let affordable = |p: &QueryPlan| budget.affords(p.exec_time, p.price);
     let candidates = plans
         .iter()
+        .map(std::borrow::Borrow::borrow)
         .enumerate()
         .filter(|(_, p)| p.is_existing() && affordable(p));
 
@@ -146,7 +151,7 @@ fn case_bc(
         return case_a(plans);
     };
 
-    let chosen = &plans[selected];
+    let chosen = plans[selected].borrow();
     let payment = budget.value_at(chosen.exec_time);
     let profit = payment - chosen.price;
     debug_assert!(!profit.is_negative(), "affordable ⇒ non-negative profit");
@@ -161,6 +166,7 @@ fn case_bc(
     //    though the budget comfortably covers the backend.
     let regrets = plans
         .iter()
+        .map(std::borrow::Borrow::borrow)
         .enumerate()
         .filter(|(i, p)| *i != selected && !p.is_existing())
         .filter_map(|(i, p)| {

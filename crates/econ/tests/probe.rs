@@ -14,6 +14,7 @@ fn probe() {
     let schema = Arc::new(tpch_schema(ScaleFactor(10.0)));
     let templates = paper_templates(&schema);
     let candidates = generate_candidates(&schema, &templates, 65);
+    let cand_index = planner::CandidateIndex::build(&schema, &candidates);
     let estimator = Estimator::new(
         CostParams::default(),
         PriceCatalog::ec2_2009(),
@@ -22,6 +23,7 @@ fn probe() {
     let ctx = PlannerContext {
         schema: &schema,
         candidates: &candidates,
+        cand_index: &cand_index,
         estimator: &estimator,
     };
     let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 2);
@@ -77,6 +79,7 @@ fn probe_manager() {
     let schema = Arc::new(tpch_schema(ScaleFactor(10.0)));
     let templates = paper_templates(&schema);
     let candidates = generate_candidates(&schema, &templates, 65);
+    let cand_index = planner::CandidateIndex::build(&schema, &candidates);
     let estimator = Estimator::new(
         CostParams::default(),
         PriceCatalog::ec2_2009(),
@@ -85,6 +88,7 @@ fn probe_manager() {
     let ctx = PlannerContext {
         schema: &schema,
         candidates: &candidates,
+        cand_index: &cand_index,
         estimator: &estimator,
     };
     let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 2);
@@ -118,6 +122,7 @@ fn probe_top_regrets() {
     let schema = Arc::new(tpch_schema(ScaleFactor(10.0)));
     let templates = paper_templates(&schema);
     let candidates = generate_candidates(&schema, &templates, 65);
+    let cand_index = planner::CandidateIndex::build(&schema, &candidates);
     let estimator = Estimator::new(
         CostParams::default(),
         PriceCatalog::ec2_2009(),
@@ -126,6 +131,7 @@ fn probe_top_regrets() {
     let ctx = PlannerContext {
         schema: &schema,
         candidates: &candidates,
+        cand_index: &cand_index,
         estimator: &estimator,
     };
     let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 2);
@@ -173,6 +179,7 @@ fn probe_late_plans() {
     let schema = Arc::new(tpch_schema(ScaleFactor(10.0)));
     let templates = paper_templates(&schema);
     let candidates = generate_candidates(&schema, &templates, 65);
+    let cand_index = planner::CandidateIndex::build(&schema, &candidates);
     let estimator = Estimator::new(
         CostParams::default(),
         PriceCatalog::ec2_2009(),
@@ -181,6 +188,7 @@ fn probe_late_plans() {
     let ctx = PlannerContext {
         schema: &schema,
         candidates: &candidates,
+        cand_index: &cand_index,
         estimator: &estimator,
     };
     let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 2);

@@ -42,6 +42,7 @@ use crate::tenant::{MergedStream, TenantStream};
 pub struct FleetSim {
     schema: Arc<Schema>,
     candidates: Vec<cache::IndexDef>,
+    cand_index: planner::CandidateIndex,
     estimator: Estimator,
     config: FleetConfig,
 }
@@ -66,6 +67,7 @@ impl FleetSim {
         let schema = Arc::new(tpch_schema(ScaleFactor(config.scale_factor)));
         let templates = paper_templates(&schema);
         let candidates = generate_candidates(&schema, &templates, config.candidate_indexes);
+        let cand_index = planner::CandidateIndex::build(&schema, &candidates);
         let estimator = Estimator::new(
             config.cost_params.clone(),
             config.prices.clone(),
@@ -74,6 +76,7 @@ impl FleetSim {
         FleetSim {
             schema,
             candidates,
+            cand_index,
             estimator,
             config,
         }
@@ -186,6 +189,7 @@ impl FleetSim {
         let ctx = PlannerContext {
             schema: &self.schema,
             candidates: &self.candidates,
+            cand_index: &self.cand_index,
             estimator: &self.estimator,
         };
 

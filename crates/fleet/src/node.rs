@@ -127,6 +127,7 @@ mod tests {
         let schema = Arc::new(tpch_schema(ScaleFactor(1.0)));
         let templates = paper_templates(&schema);
         let candidates = generate_candidates(&schema, &templates, 65);
+        let cand_index = planner::CandidateIndex::build(&schema, &candidates);
         let estimator = Estimator::new(
             CostParams::default(),
             PriceCatalog::ec2_2009(),
@@ -135,6 +136,7 @@ mod tests {
         let ctx = PlannerContext {
             schema: &schema,
             candidates: &candidates,
+            cand_index: &cand_index,
             estimator: &estimator,
         };
         let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 3);

@@ -17,8 +17,8 @@
 //! matching the paper) in generation-priority order — single-column and
 //! sort composites first, wide covering sets last.
 
-use cache::{IndexDef, IndexId};
-use catalog::{ColumnId, Schema};
+use cache::{IndexDef, IndexId, ROW_LOCATOR_BYTES};
+use catalog::{ColumnId, Schema, TableId};
 use std::collections::HashSet;
 use workload::ResolvedTemplate;
 
@@ -166,6 +166,75 @@ pub fn generate_candidates(
     out
 }
 
+/// One candidate as seen through the per-table index: its position in the
+/// candidate registry plus the precomputed index-entry width (key columns
+/// + row locator) the scorer needs.
+#[derive(Debug, Clone, Copy)]
+pub struct TableCandidate {
+    /// Position in the candidate slice the index was built over.
+    pub pos: usize,
+    /// Bytes per index entry: Σ key-column widths + [`ROW_LOCATOR_BYTES`].
+    pub entry_bytes: u64,
+}
+
+/// A prebuilt table → candidates index.
+///
+/// The enumerator scores candidate indexes per table access; scanning the
+/// full 65-candidate registry per access (the seed behaviour) wastes most
+/// of the scan on other tables and recomputes every candidate's entry
+/// width from the schema each time. This index is built once next to the
+/// candidate registry and shared read-only by every planning call.
+///
+/// Candidate order *within a table* preserves registry order, so scoring
+/// ties break identically to a full registry scan.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateIndex {
+    by_table: Vec<Vec<TableCandidate>>,
+}
+
+impl CandidateIndex {
+    /// Builds the index over `candidates` (pair it with the exact slice
+    /// handed to the planner context).
+    #[must_use]
+    pub fn build(schema: &Schema, candidates: &[IndexDef]) -> Self {
+        let mut by_table: Vec<Vec<TableCandidate>> = Vec::new();
+        for (pos, def) in candidates.iter().enumerate() {
+            let t = def.table.0 as usize;
+            if t >= by_table.len() {
+                by_table.resize_with(t + 1, Vec::new);
+            }
+            let entry_bytes: u64 = def
+                .key_columns
+                .iter()
+                .map(|&c| schema.column(c).byte_width())
+                .sum::<u64>()
+                + ROW_LOCATOR_BYTES;
+            by_table[t].push(TableCandidate { pos, entry_bytes });
+        }
+        CandidateIndex { by_table }
+    }
+
+    /// Candidates on `table`, in registry order.
+    #[must_use]
+    pub fn for_table(&self, table: TableId) -> &[TableCandidate] {
+        self.by_table
+            .get(table.0 as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Total candidates indexed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_table.iter().map(Vec::len).sum()
+    }
+
+    /// True if no candidates are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +308,34 @@ mod tests {
     fn cap_is_respected() {
         let (_, c) = candidates(10);
         assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn candidate_index_partitions_the_registry_in_order() {
+        let (schema, c) = candidates(65);
+        let index = CandidateIndex::build(&schema, &c);
+        assert_eq!(index.len(), c.len());
+        assert!(!index.is_empty());
+        let mut seen = 0;
+        for table in 0..schema.tables().len() as u32 {
+            let slice = index.for_table(TableId(table));
+            for tc in slice {
+                assert_eq!(c[tc.pos].table, TableId(table));
+                let expected: u64 = c[tc.pos]
+                    .key_columns
+                    .iter()
+                    .map(|&k| schema.column(k).byte_width())
+                    .sum::<u64>()
+                    + ROW_LOCATOR_BYTES;
+                assert_eq!(tc.entry_bytes, expected);
+            }
+            assert!(
+                slice.windows(2).all(|w| w[0].pos < w[1].pos),
+                "registry order preserved"
+            );
+            seen += slice.len();
+        }
+        assert_eq!(seen, c.len());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use pricing::Money;
 use simcore::{SimDuration, SimTime};
 use workload::{Query, TableAccess};
 
+use crate::candidates::CandidateIndex;
 use crate::estimator::Estimator;
 use crate::plan::{PlanShape, QueryPlan};
 
@@ -61,18 +62,23 @@ pub struct PlannerContext<'a> {
     pub schema: &'a Schema,
     /// Candidate indexes (the "65 from DB2" set).
     pub candidates: &'a [IndexDef],
+    /// Prebuilt per-table view of `candidates` (must be built over the
+    /// same slice — see [`CandidateIndex::build`]).
+    pub cand_index: &'a CandidateIndex,
     /// The cost model.
     pub estimator: &'a Estimator,
 }
 
-/// Picks the candidate index that minimises the access's read volume, if
-/// any candidate serves one of its predicates.
-fn best_index_for<'a>(ctx: &PlannerContext<'a>, access: &TableAccess) -> Option<&'a IndexDef> {
-    let mut best: Option<(&IndexDef, f64)> = None;
-    for idx in ctx.candidates {
-        if idx.table != access.table {
-            continue;
-        }
+/// Picks the candidate index (position in `ctx.candidates`) that minimises
+/// the access's read volume, if any candidate serves one of its
+/// predicates. Consults only the access's table via the prebuilt
+/// [`CandidateIndex`]; within a table, candidates are scored in registry
+/// order, so ties resolve exactly as a full registry scan would.
+fn best_index_for(ctx: &PlannerContext<'_>, access: &TableAccess) -> Option<usize> {
+    let rows = ctx.schema.table(access.table).row_count as f64;
+    let mut best: Option<(usize, f64)> = None;
+    for tc in ctx.cand_index.for_table(access.table) {
+        let idx = &ctx.candidates[tc.pos];
         if !access
             .predicate_columns
             .iter()
@@ -81,32 +87,143 @@ fn best_index_for<'a>(ctx: &PlannerContext<'a>, access: &TableAccess) -> Option<
             continue;
         }
         // Score: bytes read through this index (entry + uncovered fetch).
-        let rows = ctx.schema.table(access.table).row_count as f64;
-        let entry: u64 = idx
-            .key_columns
-            .iter()
-            .map(|&c| ctx.schema.column(c).byte_width())
-            .sum::<u64>()
-            + cache::ROW_LOCATOR_BYTES;
         let uncovered: u64 = access
             .columns
             .iter()
             .filter(|c| !idx.key_columns.contains(c))
             .map(|&c| ctx.schema.column(c).byte_width())
             .sum();
-        let bytes = rows * access.selectivity * (entry + uncovered) as f64;
+        let bytes = rows * access.selectivity * (tc.entry_bytes + uncovered) as f64;
         match best {
             Some((_, b)) if b <= bytes => {}
-            _ => best = Some((idx, bytes)),
+            _ => best = Some((tc.pos, bytes)),
         }
     }
-    best.map(|(idx, _)| idx)
+    best.map(|(pos, _)| pos)
+}
+
+/// Caller-owned storage for plan enumeration.
+///
+/// Enumeration is the per-query hot path; allocating a fresh
+/// `Vec<QueryPlan>` (plus one `uses`, `missing` and shape vector per plan)
+/// for every arriving query dominated the allocator profile at
+/// million-query scale. A `PlanBuffer` recycles those allocations: plans
+/// returned to the buffer (via [`PlanBuffer::recycle`]) become shells
+/// whose vectors are cleared and refilled by the next enumeration.
+#[derive(Debug, Default)]
+pub struct PlanBuffer {
+    plans: Vec<QueryPlan>,
+    free: Vec<QueryPlan>,
+    spare: Option<Vec<QueryPlan>>,
+    missing_costs: Vec<Vec<Money>>,
+    free_costs: Vec<Vec<Money>>,
+    spare_costs: Option<Vec<Vec<Money>>>,
+    free_shapes: Vec<Vec<Option<cache::IndexId>>>,
+    seen_cols: Vec<ColumnId>,
+    indexed: Vec<Option<usize>>,
+    scan_slots: Vec<Option<usize>>,
+    data_uses: Vec<StructureKey>,
+    data_missing: Vec<StructureKey>,
+    data_missing_costs: Vec<Money>,
+    missing_cols: Vec<ColumnId>,
+}
+
+impl PlanBuffer {
+    /// Empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the enumerated plans, leaving the buffer ready for reuse.
+    #[must_use]
+    pub fn take(&mut self) -> Vec<QueryPlan> {
+        std::mem::replace(&mut self.plans, self.spare.take().unwrap_or_default())
+    }
+
+    /// Returns a previously taken plan vector so its allocations (the
+    /// vector itself and each plan's inner vectors) feed future
+    /// enumerations instead of the allocator.
+    pub fn recycle(&mut self, mut plans: Vec<QueryPlan>) {
+        self.free.append(&mut plans);
+        if self.spare.is_none() || self.spare.as_ref().is_some_and(|s| s.capacity() == 0) {
+            self.spare = Some(plans);
+        }
+    }
+
+    /// Reclaims any plans still held by the buffer as shells, in place —
+    /// preserving `plans`' backing capacity for the pushes that follow
+    /// (swapping the vector out would leak its capacity to the spare
+    /// slot and force this enumeration to regrow from zero).
+    fn reclaim_in_place(&mut self) {
+        self.free.append(&mut self.plans);
+        self.free_costs.append(&mut self.missing_costs);
+    }
+
+    /// Takes the per-plan missing-structure build quotes recorded by the
+    /// last [`enumerate_plans_into`] call, parallel to the plan vector
+    /// (entry `i` aligns with plan `i`'s `missing` list). Plan
+    /// memoization stores these so amortisation installments can be
+    /// re-derived under a different horizon without re-quoting builds.
+    #[must_use]
+    pub fn take_missing_costs(&mut self) -> Vec<Vec<Money>> {
+        std::mem::replace(
+            &mut self.missing_costs,
+            self.spare_costs.take().unwrap_or_default(),
+        )
+    }
+
+    /// Returns a previously taken missing-cost table for reuse.
+    pub fn recycle_missing_costs(&mut self, mut costs: Vec<Vec<Money>>) {
+        self.free_costs.append(&mut costs);
+        if self.spare_costs.is_none() {
+            self.spare_costs = Some(costs);
+        }
+    }
+
+    /// A pooled per-plan cost vector.
+    fn cost_vec(&mut self) -> Vec<Money> {
+        let mut v = self.free_costs.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// A plan shell to overwrite: recycled if available, fresh otherwise.
+    fn shell(&mut self) -> QueryPlan {
+        self.free.pop().unwrap_or_else(|| QueryPlan {
+            shape: PlanShape::Backend,
+            exec_time: SimDuration::ZERO,
+            exec_cost: Money::ZERO,
+            exec_breakdown: metrics::CostBreakdown::ZERO,
+            uses: Vec::new(),
+            missing: Vec::new(),
+            build_cost: Money::ZERO,
+            build_time: SimDuration::ZERO,
+            amortized_cost: Money::ZERO,
+            maintenance_cost: Money::ZERO,
+            price: Money::ZERO,
+        })
+    }
+
+    /// Recovers the index-slot vector from a shell's shape for reuse.
+    fn shape_vec(shell: &mut QueryPlan) -> Vec<Option<cache::IndexId>> {
+        match std::mem::replace(&mut shell.shape, PlanShape::Backend) {
+            PlanShape::Cache { mut indexes, .. } => {
+                indexes.clear();
+                indexes
+            }
+            PlanShape::Backend => Vec::new(),
+        }
+    }
 }
 
 /// Enumerates all plans for `query` against the current cache state.
 ///
 /// Returned plans are *not* yet skyline-filtered; the economy applies
 /// [`crate::skyline_filter`] after the policy's own filtering.
+///
+/// Convenience wrapper over [`enumerate_plans_into`] that allocates a
+/// fresh buffer; hot paths should own a [`PlanBuffer`] instead.
 #[must_use]
 pub fn enumerate_plans(
     ctx: &PlannerContext<'_>,
@@ -115,185 +232,236 @@ pub fn enumerate_plans(
     now: SimTime,
     opts: EnumerationOptions,
 ) -> Vec<QueryPlan> {
-    assert!(opts.amortize_n > 0, "amortization horizon must be positive");
-    let mut plans = Vec::with_capacity(2 * ctx.estimator.params().node_options.len() + 1);
-
-    // --- Backend plan (always P_exist). ---
-    let backend_est = ctx.estimator.backend_execution(ctx.schema, query);
-    let (backend_cost, backend_breakdown) = ctx.estimator.price_execution(&backend_est);
-    plans.push(QueryPlan {
-        shape: PlanShape::Backend,
-        exec_time: backend_est.time,
-        exec_cost: backend_cost,
-        exec_breakdown: backend_breakdown,
-        uses: vec![],
-        missing: vec![],
-        build_cost: Money::ZERO,
-        build_time: SimDuration::ZERO,
-        amortized_cost: Money::ZERO,
-        maintenance_cost: Money::ZERO,
-        price: backend_cost,
-    });
-
-    // --- Cache plans. ---
-    let index_variants: Vec<Vec<Option<&IndexDef>>> = {
-        let scan_only: Vec<Option<&IndexDef>> = vec![None; query.accesses.len()];
-        let mut variants = vec![scan_only];
-        if opts.allow_indexes {
-            let indexed: Vec<Option<&IndexDef>> = query
-                .accesses
-                .iter()
-                .map(|a| best_index_for(ctx, a))
-                .collect();
-            if indexed.iter().any(Option::is_some) {
-                variants.push(indexed);
-            }
-        }
-        variants
-    };
-
-    for indexes in &index_variants {
-        for &k in &ctx.estimator.params().node_options {
-            if k > 1 && !opts.allow_extra_nodes {
-                continue;
-            }
-            plans.push(cache_plan(ctx, query, cache, now, opts, indexes, k));
-        }
-    }
-    plans
+    let mut buf = PlanBuffer::new();
+    enumerate_plans_into(ctx, query, cache, now, opts, &mut buf);
+    buf.take()
 }
 
-/// Builds one fully costed cache plan.
-fn cache_plan(
+/// Enumerates all plans for `query` into caller-owned storage.
+///
+/// Identical results to [`enumerate_plans`] (same plans, same order, same
+/// bits), but every vector involved is recycled through `buf`. Per index
+/// variant the enumerator computes the data volumes, the structure set and
+/// the build quotes once, then derives each node count from them — the
+/// seed implementation re-estimated the volumes per node count and quoted
+/// every missing structure's build twice (once for the plan's build cost,
+/// once for its amortisation installment).
+///
+/// # Panics
+/// Panics if `opts.amortize_n == 0`.
+pub fn enumerate_plans_into(
     ctx: &PlannerContext<'_>,
     query: &Query,
     cache: &CacheState,
     now: SimTime,
     opts: EnumerationOptions,
-    indexes: &[Option<&IndexDef>],
-    nodes: u32,
-) -> QueryPlan {
-    let est = ctx
-        .estimator
-        .cache_execution(ctx.schema, query, indexes, nodes);
-    let (exec_cost, exec_breakdown) = ctx.estimator.price_execution(&est);
+    buf: &mut PlanBuffer,
+) {
+    assert!(opts.amortize_n > 0, "amortization horizon must be positive");
+    buf.reclaim_in_place();
 
-    // Structures employed: every accessed column, each assigned index, and
-    // the extra nodes beyond the base one.
-    let mut uses: Vec<StructureKey> = Vec::new();
-    let mut seen_cols: Vec<ColumnId> = Vec::new();
+    // --- Backend plan (always P_exist). ---
+    let backend_est = ctx.estimator.backend_execution(ctx.schema, query);
+    let (backend_cost, backend_breakdown) = ctx.estimator.price_execution(&backend_est);
+    let mut shell = buf.shell();
+    let recovered_shape = PlanBuffer::shape_vec(&mut shell);
+    if recovered_shape.capacity() > 0 {
+        buf.free_shapes.push(recovered_shape);
+    }
+    shell.shape = PlanShape::Backend;
+    shell.exec_time = backend_est.time;
+    shell.exec_cost = backend_cost;
+    shell.exec_breakdown = backend_breakdown;
+    shell.uses.clear();
+    shell.missing.clear();
+    shell.build_cost = Money::ZERO;
+    shell.build_time = SimDuration::ZERO;
+    shell.amortized_cost = Money::ZERO;
+    shell.maintenance_cost = Money::ZERO;
+    shell.price = backend_cost;
+    buf.plans.push(shell);
+    let backend_costs = buf.cost_vec();
+    buf.missing_costs.push(backend_costs);
+
+    // --- Cache plans: the scan-only variant, plus the best-index variant
+    // when the policy allows indexes and any access has a serving
+    // candidate. ---
+    buf.scan_slots.clear();
+    buf.scan_slots.resize(query.accesses.len(), None);
+    let scan_only = std::mem::take(&mut buf.scan_slots);
+    cache_variant_plans(ctx, query, cache, now, opts, &scan_only, buf);
+    buf.scan_slots = scan_only;
+    if opts.allow_indexes {
+        buf.indexed.clear();
+        for a in &query.accesses {
+            let pick = best_index_for(ctx, a);
+            buf.indexed.push(pick);
+        }
+        if buf.indexed.iter().any(Option::is_some) {
+            let indexed = std::mem::take(&mut buf.indexed);
+            cache_variant_plans(ctx, query, cache, now, opts, &indexed, buf);
+            buf.indexed = indexed;
+        }
+    }
+}
+
+/// Emits the cache plans of one index variant at every allowed node count.
+fn cache_variant_plans(
+    ctx: &PlannerContext<'_>,
+    query: &Query,
+    cache: &CacheState,
+    now: SimTime,
+    opts: EnumerationOptions,
+    indexes: &[Option<usize>],
+    buf: &mut PlanBuffer,
+) {
+    // Node-count-independent execution volumes (eq. 8's q_tot / io_tot).
+    let idx_refs: Vec<Option<&IndexDef>> = indexes
+        .iter()
+        .map(|o| o.map(|pos| &ctx.candidates[pos]))
+        .collect();
+    let base = ctx
+        .estimator
+        .cache_execution_base(ctx.schema, query, &idx_refs);
+
+    // Data structures employed: every accessed column (deduplicated in
+    // first-seen order), then each assigned index. Extra nodes are
+    // appended per node count below.
+    buf.data_uses.clear();
+    buf.seen_cols.clear();
     for access in &query.accesses {
         for &c in &access.columns {
-            if !seen_cols.contains(&c) {
-                seen_cols.push(c);
-                uses.push(StructureKey::Column(c));
+            if !buf.seen_cols.contains(&c) {
+                buf.seen_cols.push(c);
+                buf.data_uses.push(StructureKey::Column(c));
             }
         }
     }
-    for idx in indexes.iter().flatten() {
-        uses.push(StructureKey::Index(idx.id));
-        // Index keys that are not projected still need... nothing: the
-        // index itself materialises them. (Covered columns read from it.)
-    }
-    for ordinal in 0..nodes.saturating_sub(1) {
-        uses.push(StructureKey::Node(ordinal));
+    for idx in idx_refs.iter().flatten() {
+        buf.data_uses.push(StructureKey::Index(idx.id));
     }
 
-    // Split into existing (available now) vs missing.
-    let mut missing: Vec<StructureKey> = Vec::new();
-    for &key in &uses {
+    // Partition into existing (available now) vs missing, and quote each
+    // missing structure's build exactly once — the quote feeds both the
+    // plan's build cost and its first amortisation installment.
+    buf.data_missing.clear();
+    buf.missing_cols.clear();
+    for &key in &buf.data_uses {
         if !cache.is_available(key, now) {
-            missing.push(key);
+            buf.data_missing.push(key);
+            if let StructureKey::Column(c) = key {
+                buf.missing_cols.push(c);
+            }
         }
     }
-
-    // Build cost/time for the missing set. Builds run concurrently, so the
-    // build time is the max; index builds treat columns that are being
-    // fetched by this same plan as present (no double fetch charge).
-    let missing_cols: Vec<ColumnId> = missing
-        .iter()
-        .filter_map(|k| match k {
-            StructureKey::Column(c) => Some(*c),
-            _ => None,
-        })
-        .collect();
-    let mut build_cost = Money::ZERO;
-    let mut build_time = SimDuration::ZERO;
-    for &key in &missing {
+    buf.data_missing_costs.clear();
+    let mut data_build_cost = Money::ZERO;
+    let mut data_build_time = SimDuration::ZERO;
+    let mut data_missing_amort = Money::ZERO;
+    for &key in &buf.data_missing {
         let (cost, time) = match key {
             StructureKey::Column(c) => ctx.estimator.build_column(ctx.schema, c),
             StructureKey::Index(id) => {
                 let def = &ctx.candidates[id.index()];
+                let missing_cols = &buf.missing_cols;
                 ctx.estimator.build_index(ctx.schema, def, |c| {
                     cache.contains(StructureKey::Column(c)) || missing_cols.contains(&c)
                 })
             }
-            StructureKey::Node(_) => ctx.estimator.build_node(),
+            StructureKey::Node(_) => unreachable!("nodes are appended per node count"),
         };
-        build_cost += cost;
-        if time > build_time {
-            build_time = time;
+        data_build_cost += cost;
+        if time > data_build_time {
+            data_build_time = time;
         }
+        data_missing_amort += cost.amortize_over(opts.amortize_n);
+        buf.data_missing_costs.push(cost);
     }
 
-    // Amortisation: existing structures charge their pending installment;
-    // missing ones would charge their first installment (build / n).
-    let mut amortized = Money::ZERO;
-    for &key in &uses {
+    // Existing data structures: pending installments and capped
+    // maintenance backlog (footnote 3) — must quote exactly what
+    // `CacheState::settle_usage` will charge.
+    let mut data_exist_amort = Money::ZERO;
+    let mut data_maintenance = Money::ZERO;
+    for &key in &buf.data_uses {
         if let Some(s) = cache.get(key) {
             if s.is_available(now) {
-                amortized += s.amortization_due();
-            }
-        }
-    }
-    for &key in &missing {
-        let this_build = match key {
-            StructureKey::Column(c) => ctx.estimator.build_column(ctx.schema, c).0,
-            StructureKey::Index(id) => {
-                let def = &ctx.candidates[id.index()];
-                ctx.estimator
-                    .build_index(ctx.schema, def, |c| {
-                        cache.contains(StructureKey::Column(c)) || missing_cols.contains(&c)
-                    })
-                    .0
-            }
-            StructureKey::Node(_) => ctx.estimator.build_node().0,
-        };
-        amortized += this_build.amortize_over(opts.amortize_n);
-    }
-
-    // Maintenance accrued since each used existing structure last paid
-    // (footnote 3), capped at the backlog window — must quote exactly what
-    // `CacheState::settle_maintenance` will charge. Missing structures owe
-    // none yet.
-    let mut maintenance = Money::ZERO;
-    for &key in &uses {
-        if let Some(s) = cache.get(key) {
-            if s.is_available(now) {
+                data_exist_amort += s.amortization_due();
                 let span = now
                     .saturating_since(s.maint_paid_until)
                     .min(opts.maint_window);
-                maintenance += ctx.estimator.maintenance(s, span);
+                data_maintenance += ctx.estimator.maintenance(s, span);
             }
         }
     }
 
-    let price = exec_cost + amortized + maintenance;
-    QueryPlan {
-        shape: PlanShape::Cache {
-            indexes: indexes.iter().map(|o| o.map(|i| i.id)).collect(),
-            nodes,
-        },
-        exec_time: est.time,
-        exec_cost,
-        exec_breakdown,
-        uses,
-        missing,
-        build_cost,
-        build_time,
-        amortized_cost: amortized,
-        maintenance_cost: maintenance,
-        price,
+    let node_quote = ctx.estimator.build_node();
+    let node_installment = node_quote.0.amortize_over(opts.amortize_n);
+
+    for &k in &ctx.estimator.params().node_options {
+        if k > 1 && !opts.allow_extra_nodes {
+            continue;
+        }
+        let est = ctx.estimator.scale_cache_execution(&base, k);
+        let (exec_cost, exec_breakdown) = ctx.estimator.price_execution(&est);
+
+        let mut shell = buf.shell();
+        let mut shape_indexes = PlanBuffer::shape_vec(&mut shell);
+        if shape_indexes.capacity() == 0 {
+            if let Some(pooled) = buf.free_shapes.pop() {
+                shape_indexes = pooled;
+            }
+        }
+        shape_indexes.extend(idx_refs.iter().map(|o| o.map(|i| i.id)));
+
+        shell.uses.clear();
+        shell.uses.extend_from_slice(&buf.data_uses);
+        shell.missing.clear();
+        shell.missing.extend_from_slice(&buf.data_missing);
+        let mut plan_costs = buf.cost_vec();
+        plan_costs.extend_from_slice(&buf.data_missing_costs);
+
+        let mut build_cost = data_build_cost;
+        let mut build_time = data_build_time;
+        let mut amortized = data_exist_amort + data_missing_amort;
+        let mut maintenance = data_maintenance;
+        for ordinal in 0..k.saturating_sub(1) {
+            let key = StructureKey::Node(ordinal);
+            shell.uses.push(key);
+            match cache.get(key) {
+                Some(s) if s.is_available(now) => {
+                    amortized += s.amortization_due();
+                    let span = now
+                        .saturating_since(s.maint_paid_until)
+                        .min(opts.maint_window);
+                    maintenance += ctx.estimator.maintenance(s, span);
+                }
+                _ => {
+                    shell.missing.push(key);
+                    build_cost += node_quote.0;
+                    if node_quote.1 > build_time {
+                        build_time = node_quote.1;
+                    }
+                    amortized += node_installment;
+                    plan_costs.push(node_quote.0);
+                }
+            }
+        }
+
+        shell.shape = PlanShape::Cache {
+            indexes: shape_indexes,
+            nodes: k,
+        };
+        shell.exec_time = est.time;
+        shell.exec_cost = exec_cost;
+        shell.exec_breakdown = exec_breakdown;
+        shell.build_cost = build_cost;
+        shell.build_time = build_time;
+        shell.amortized_cost = amortized;
+        shell.maintenance_cost = maintenance;
+        shell.price = exec_cost + amortized + maintenance;
+        buf.plans.push(shell);
+        buf.missing_costs.push(plan_costs);
     }
 }
 
@@ -311,6 +479,7 @@ mod tests {
     struct Fixture {
         schema: Arc<Schema>,
         candidates: Vec<IndexDef>,
+        cand_index: CandidateIndex,
         estimator: Estimator,
     }
 
@@ -319,6 +488,7 @@ mod tests {
             let schema = Arc::new(tpch_schema(ScaleFactor(10.0)));
             let templates = paper_templates(&schema);
             let candidates = generate_candidates(&schema, &templates, 65);
+            let cand_index = CandidateIndex::build(&schema, &candidates);
             let estimator = Estimator::new(
                 CostParams::default(),
                 PriceCatalog::ec2_2009(),
@@ -327,6 +497,7 @@ mod tests {
             Fixture {
                 schema,
                 candidates,
+                cand_index,
                 estimator,
             }
         }
@@ -335,6 +506,7 @@ mod tests {
             PlannerContext {
                 schema: &self.schema,
                 candidates: &self.candidates,
+                cand_index: &self.cand_index,
                 estimator: &self.estimator,
             }
         }

@@ -129,6 +129,18 @@ impl CostParams {
     }
 }
 
+/// The node-count-independent part of a cache execution estimate (see
+/// [`Estimator::cache_execution_base`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheExecBase {
+    /// Single-node CPU seconds.
+    pub cpu_1: f64,
+    /// Logical I/O operations (node-count invariant: the same data is read).
+    pub io_ops: f64,
+    /// Single-node sequential-scan seconds.
+    pub disk_secs: f64,
+}
+
 /// Resource usage of one execution, before pricing.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecEstimate {
@@ -246,12 +258,31 @@ impl Estimator {
         indexes: &[Option<&IndexDef>],
         nodes: u32,
     ) -> ExecEstimate {
+        let base = self.cache_execution_base(schema, query, indexes);
+        self.scale_cache_execution(&base, nodes)
+    }
+
+    /// The node-count-independent half of eq. 8: data volumes, single-node
+    /// CPU seconds, I/O operations and the disk-scan term. Enumeration
+    /// computes this once per index assignment and derives the estimate at
+    /// each node count via [`Self::scale_cache_execution`] — the per-node
+    /// results are bit-identical to calling [`Self::cache_execution`]
+    /// directly (same operations in the same order).
+    ///
+    /// # Panics
+    /// Panics if `indexes.len() != query.accesses.len()`.
+    #[must_use]
+    pub fn cache_execution_base(
+        &self,
+        schema: &Schema,
+        query: &Query,
+        indexes: &[Option<&IndexDef>],
+    ) -> CacheExecBase {
         assert_eq!(
             indexes.len(),
             query.accesses.len(),
             "one index slot per access"
         );
-        assert!(nodes >= 1, "need at least one node");
         let mut rows_total = 0.0;
         let mut bytes_total = 0.0;
         for (access, idx) in query.accesses.iter().zip(indexes) {
@@ -263,13 +294,27 @@ impl Estimator {
         let cpu_1 = self.params.l_cpu * self.params.f_cpu * q_tot;
         let io_ops = self.params.f_io * bytes_total / self.params.page_bytes as f64;
         let disk_secs = bytes_total / self.params.disk_bytes_per_sec;
-        let time_1 = cpu_1 + disk_secs;
+        CacheExecBase {
+            cpu_1,
+            io_ops,
+            disk_secs,
+        }
+    }
+
+    /// Applies the multi-node scaling law to a precomputed base.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    #[must_use]
+    pub fn scale_cache_execution(&self, base: &CacheExecBase, nodes: u32) -> ExecEstimate {
+        assert!(nodes >= 1, "need at least one node");
+        let time_1 = base.cpu_1 + base.disk_secs;
         let time = time_1 * self.params.parallel.time_factor(nodes);
-        let cpu_secs = cpu_1 * self.params.parallel.work_factor(nodes);
+        let cpu_secs = base.cpu_1 * self.params.parallel.work_factor(nodes);
         ExecEstimate {
             time: SimDuration::from_secs(time),
             cpu_secs,
-            io_ops,
+            io_ops: base.io_ops,
             wan_bytes: 0,
         }
     }

@@ -28,9 +28,11 @@ pub mod plan;
 pub mod scaling;
 pub mod skyline;
 
-pub use candidates::generate_candidates;
-pub use enumerate::{enumerate_plans, EnumerationOptions, PlannerContext};
-pub use estimator::{CostParams, Estimator};
+pub use candidates::{generate_candidates, CandidateIndex, TableCandidate};
+pub use enumerate::{
+    enumerate_plans, enumerate_plans_into, EnumerationOptions, PlanBuffer, PlannerContext,
+};
+pub use estimator::{CacheExecBase, CostParams, Estimator};
 pub use plan::{PlanShape, QueryPlan};
 pub use scaling::ParallelModel;
-pub use skyline::skyline_filter;
+pub use skyline::{skyline_filter, skyline_partition};

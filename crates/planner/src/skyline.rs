@@ -33,6 +33,61 @@ pub fn skyline_filter(mut plans: Vec<QueryPlan>) -> Vec<QueryPlan> {
     out
 }
 
+/// Computes the economy's two-tier skyline over `plans` in one pass,
+/// without cloning a single plan: indices of the *existing* plans that
+/// survive the skyline of `P_exist` (the executable menu), followed by
+/// indices of the *possible* plans that survive the skyline of the full
+/// set (the plans worth regretting). Each tier is ordered by ascending
+/// execution time, exactly as [`skyline_filter`] orders its output.
+///
+/// Equivalent to the seed economy's
+/// `skyline_filter(exist) ++ skyline_filter(all).filter(!existing)` —
+/// which cloned the full plan vector twice per query — because within one
+/// stable (time, price) order a plan survives a skyline iff its price is
+/// strictly below the running minimum over the plans sorted before it
+/// (rejected plans can never lower that minimum).
+///
+/// `order` is caller scratch (cleared and refilled); `out` receives the
+/// surviving indices with the count of existing-tier entries returned.
+pub fn skyline_partition(
+    plans: &[QueryPlan],
+    order: &mut Vec<usize>,
+    out: &mut Vec<usize>,
+) -> usize {
+    order.clear();
+    order.extend(0..plans.len());
+    // Stable sort by (time, price): equal keys keep enumeration order, so
+    // ties break exactly as in `skyline_filter`.
+    order.sort_by(|&a, &b| {
+        plans[a]
+            .exec_time
+            .cmp(&plans[b].exec_time)
+            .then(plans[a].price.cmp(&plans[b].price))
+    });
+
+    out.clear();
+    let mut min_exist: Option<pricing::Money> = None;
+    for &i in order.iter() {
+        let p = &plans[i];
+        if p.is_existing() && min_exist.is_none_or(|m| p.price < m) {
+            out.push(i);
+            min_exist = Some(p.price);
+        }
+    }
+    let existing = out.len();
+    let mut min_all: Option<pricing::Money> = None;
+    for &i in order.iter() {
+        let p = &plans[i];
+        if min_all.is_none_or(|m| p.price < m) {
+            if !p.is_existing() {
+                out.push(i);
+            }
+            min_all = Some(p.price);
+        }
+    }
+    existing
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +167,60 @@ mod tests {
     fn single_dominating_plan_wins() {
         let out = skyline_filter(vec![plan(2.0, 2.0), plan(1.0, 1.0), plan(3.0, 3.0)]);
         assert_eq!(shape(&out), vec![(1.0, 1.0)]);
+    }
+
+    fn possible(time: f64, price: f64) -> QueryPlan {
+        QueryPlan {
+            missing: vec![cache::StructureKey::Node(0)],
+            uses: vec![cache::StructureKey::Node(0)],
+            ..plan(time, price)
+        }
+    }
+
+    /// The seed economy's composition, kept as the reference semantics.
+    fn reference_partition(plans: &[QueryPlan]) -> Vec<QueryPlan> {
+        let (exist, _pos): (Vec<QueryPlan>, Vec<QueryPlan>) =
+            plans.iter().cloned().partition(QueryPlan::is_existing);
+        let mut skyline = skyline_filter(exist);
+        skyline.extend(
+            skyline_filter(plans.to_vec())
+                .into_iter()
+                .filter(|p| !p.is_existing()),
+        );
+        skyline
+    }
+
+    #[test]
+    fn partition_matches_the_two_filter_composition() {
+        // Deterministic pseudo-random mixes of existing/possible plans.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..200 {
+            let n = (next() % 12 + 1) as usize;
+            let plans: Vec<QueryPlan> = (0..n)
+                .map(|_| {
+                    let t = (next() % 50) as f64 * 0.25;
+                    let p = (next() % 40) as f64 * 0.5;
+                    if next() % 2 == 0 {
+                        plan(t, p)
+                    } else {
+                        possible(t, p)
+                    }
+                })
+                .collect();
+            let reference = reference_partition(&plans);
+            let mut order = Vec::new();
+            let mut out = Vec::new();
+            let exist_count = skyline_partition(&plans, &mut order, &mut out);
+            let got: Vec<QueryPlan> = out.iter().map(|&i| plans[i].clone()).collect();
+            assert_eq!(got, reference, "case {case} diverged");
+            assert!(got[..exist_count].iter().all(QueryPlan::is_existing));
+            assert!(!got[exist_count..].iter().any(QueryPlan::is_existing));
+        }
     }
 }

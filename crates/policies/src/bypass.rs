@@ -272,6 +272,7 @@ mod tests {
     struct Fx {
         schema: Arc<catalog::Schema>,
         candidates: Vec<cache::IndexDef>,
+        cand_index: planner::CandidateIndex,
         estimator: Estimator,
     }
 
@@ -280,6 +281,7 @@ mod tests {
             let schema = Arc::new(tpch_schema(ScaleFactor(1.0)));
             let templates = paper_templates(&schema);
             let candidates = generate_candidates(&schema, &templates, 65);
+            let cand_index = planner::CandidateIndex::build(&schema, &candidates);
             let estimator = Estimator::new(
                 CostParams::default(),
                 PriceCatalog::network_only(),
@@ -288,6 +290,7 @@ mod tests {
             Fx {
                 schema,
                 candidates,
+                cand_index,
                 estimator,
             }
         }
@@ -295,6 +298,7 @@ mod tests {
             PlannerContext {
                 schema: &self.schema,
                 candidates: &self.candidates,
+                cand_index: &self.cand_index,
                 estimator: &self.estimator,
             }
         }

@@ -178,9 +178,11 @@ mod tests {
     #[test]
     fn outcome_fields_are_consistent() {
         let (schema, candidates, estimator, mut gen) = fixture();
+        let cand_index = planner::CandidateIndex::build(&schema, &candidates);
         let ctx = PlannerContext {
             schema: &schema,
             candidates: &candidates,
+            cand_index: &cand_index,
             estimator: &estimator,
         };
         let mut p = EconPolicy::econ_cheap(EconConfig::default());
@@ -197,9 +199,11 @@ mod tests {
     #[test]
     fn disk_accounting_reaches_the_trait() {
         let (schema, candidates, estimator, mut gen) = fixture();
+        let cand_index = planner::CandidateIndex::build(&schema, &candidates);
         let ctx = PlannerContext {
             schema: &schema,
             candidates: &candidates,
+            cand_index: &cand_index,
             estimator: &estimator,
         };
         let mut p = EconPolicy::econ_cheap(EconConfig::default());

@@ -76,6 +76,7 @@ pub fn make_arrivals(kind: &ArrivalKind) -> Box<dyn ArrivalProcess> {
 pub struct Simulation {
     schema: Arc<Schema>,
     candidates: Vec<cache::IndexDef>,
+    cand_index: planner::CandidateIndex,
     estimator: Estimator,
     config: SimConfig,
 }
@@ -93,6 +94,7 @@ impl Simulation {
         let schema = Arc::new(tpch_schema(ScaleFactor(config.scale_factor)));
         let templates = workload::paper_templates(&schema);
         let candidates = generate_candidates(&schema, &templates, config.candidate_indexes);
+        let cand_index = planner::CandidateIndex::build(&schema, &candidates);
         let estimator = Estimator::new(
             config.cost_params.clone(),
             config.prices.clone(),
@@ -101,6 +103,7 @@ impl Simulation {
         Simulation {
             schema,
             candidates,
+            cand_index,
             estimator,
             config,
         }
@@ -126,6 +129,7 @@ impl Simulation {
         let ctx = PlannerContext {
             schema: &self.schema,
             candidates: &self.candidates,
+            cand_index: &self.cand_index,
             estimator: &self.estimator,
         };
         let mut policy = self.make_policy();

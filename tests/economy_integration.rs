@@ -14,6 +14,7 @@ use cloudcache::workload::{paper_templates, WorkloadConfig, WorkloadGenerator};
 struct Harness {
     schema: Arc<cloudcache::catalog::Schema>,
     candidates: Vec<cloudcache::cache::IndexDef>,
+    cand_index: planner::CandidateIndex,
     estimator: Estimator,
 }
 
@@ -27,9 +28,11 @@ impl Harness {
             PriceCatalog::ec2_2009(),
             NetworkModel::paper_sdss(),
         );
+        let cand_index = planner::CandidateIndex::build(&schema, &candidates);
         Harness {
             schema,
             candidates,
+            cand_index,
             estimator,
         }
     }
@@ -38,6 +41,7 @@ impl Harness {
         PlannerContext {
             schema: &self.schema,
             candidates: &self.candidates,
+            cand_index: &self.cand_index,
             estimator: &self.estimator,
         }
     }
@@ -161,9 +165,11 @@ fn network_only_prices_reproduce_the_bypass_blindspot() {
         PriceCatalog::network_only(),
         NetworkModel::paper_sdss(),
     );
+    let cand_index = planner::CandidateIndex::build(&schema, &candidates);
     let ctx = PlannerContext {
         schema: &schema,
         candidates: &candidates,
+        cand_index: &cand_index,
         estimator: &estimator,
     };
     let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 10);
