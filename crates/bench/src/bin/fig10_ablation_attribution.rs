@@ -9,7 +9,9 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig10_ablation_attribution [sf] [queries]`
 
-use bench::{cli_scale, print_header, run_cells, write_csv};
+use bench::{
+    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json,
+};
 use econ::RegretAttribution;
 use simulator::{Scheme, SimConfig};
 
@@ -35,12 +37,15 @@ fn main() {
             cfg
         })
         .collect();
+    let started = std::time::Instant::now();
     let results = run_cells(cells);
+    let wall = started.elapsed().as_secs_f64();
     println!(
         "{:<12} {:>12} {:>12} {:>8} {:>8}",
         "variant", "cost ($)", "resp (s)", "hits %", "builds"
     );
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for ((name, _, _), r) in variants.iter().zip(&results) {
         println!(
             "{:<12} {:>12.2} {:>12.3} {:>7.1}% {:>8}",
@@ -57,10 +62,24 @@ fn main() {
             r.hit_rate(),
             r.investments
         ));
+        json_rows.push(format!(
+            "  {{\"variant\": \"{name}\", \"total_cost_usd\": {:.4}, \"mean_response_s\": {:.4}, \"hit_rate\": {:.4}, \"builds\": {}}}",
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate(),
+            r.investments
+        ));
     }
     write_csv(
         "fig10_ablation_attribution",
         "variant,total_cost_usd,mean_response_s,hit_rate,builds",
         &rows,
+    );
+    write_figure_bench_json(
+        "fig10_ablation_attribution",
+        sf,
+        n,
+        &bench_config_json(sf, n, n * variants.len() as u64, wall),
+        &json_rows,
     );
 }

@@ -7,7 +7,10 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig4_operating_cost [sf] [queries]`
 
-use bench::{cli_scale, grid_csv_rows, print_header, run_paper_grid, write_csv};
+use bench::{
+    bench_config_json, cli_scale, grid_csv_rows, grid_json_rows, print_header, run_paper_grid,
+    write_csv, write_figure_bench_json,
+};
 
 fn main() {
     let (sf, n) = cli_scale();
@@ -17,7 +20,9 @@ fn main() {
         sf,
         n,
     );
+    let started = std::time::Instant::now();
     let grid = run_paper_grid(sf, n);
+    let wall = started.elapsed().as_secs_f64();
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>12}",
         "interval", "bypass", "econ-col", "econ-cheap", "econ-fast"
@@ -59,5 +64,24 @@ fn main() {
         "fig4_operating_cost",
         "interval_s,scheme,total_cost_usd,cpu_usd,disk_usd,network_usd,io_usd,builds_usd",
         &rows,
+    );
+    let cells = grid_json_rows(&grid, |r| {
+        format!(
+            "\"total_cost_usd\": {:.4}, \"cpu_usd\": {:.4}, \"disk_usd\": {:.4}, \"network_usd\": {:.4}, \"io_usd\": {:.4}, \"builds_usd\": {:.4}",
+            r.total_operating_cost().as_dollars(),
+            r.operating.cpu.as_dollars(),
+            r.operating.disk.as_dollars(),
+            r.operating.network.as_dollars(),
+            r.operating.io.as_dollars(),
+            r.build_spend.as_dollars()
+        )
+    });
+    let total = grid.iter().map(|(_, rs)| rs.len() as u64 * n).sum::<u64>();
+    write_figure_bench_json(
+        "fig4_operating_cost",
+        sf,
+        n,
+        &bench_config_json(sf, n, total, wall),
+        &cells,
     );
 }

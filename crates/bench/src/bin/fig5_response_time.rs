@@ -6,7 +6,10 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig5_response_time [sf] [queries]`
 
-use bench::{cli_scale, grid_csv_rows, print_header, run_paper_grid, write_csv};
+use bench::{
+    bench_config_json, cli_scale, grid_csv_rows, grid_json_rows, print_header, run_paper_grid,
+    write_csv, write_figure_bench_json,
+};
 
 fn main() {
     let (sf, n) = cli_scale();
@@ -16,7 +19,9 @@ fn main() {
         sf,
         n,
     );
+    let started = std::time::Instant::now();
     let grid = run_paper_grid(sf, n);
+    let wall = started.elapsed().as_secs_f64();
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>12}",
         "interval", "bypass", "econ-col", "econ-cheap", "econ-fast"
@@ -55,5 +60,22 @@ fn main() {
         "fig5_response_time",
         "interval_s,scheme,mean_response_s,p50_s,p99_s,hit_rate",
         &rows,
+    );
+    let cells = grid_json_rows(&grid, |r| {
+        format!(
+            "\"mean_response_s\": {:.4}, \"p50_s\": {:.4}, \"p99_s\": {:.4}, \"hit_rate\": {:.4}",
+            r.mean_response_secs(),
+            r.response_hist.quantile(0.5).unwrap_or(0.0),
+            r.response_hist.quantile(0.99).unwrap_or(0.0),
+            r.hit_rate()
+        )
+    });
+    let total = grid.iter().map(|(_, rs)| rs.len() as u64 * n).sum::<u64>();
+    write_figure_bench_json(
+        "fig5_response_time",
+        sf,
+        n,
+        &bench_config_json(sf, n, total, wall),
+        &cells,
     );
 }

@@ -7,7 +7,9 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig6_ablation_regret [sf] [queries]`
 
-use bench::{cli_scale, print_header, run_cells, write_csv};
+use bench::{
+    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json,
+};
 use simulator::{Scheme, SimConfig};
 
 fn main() {
@@ -27,12 +29,15 @@ fn main() {
             cfg
         })
         .collect();
+    let started = std::time::Instant::now();
     let results = run_cells(cells);
+    let wall = started.elapsed().as_secs_f64();
     println!(
         "{:<8} {:>12} {:>12} {:>8} {:>8} {:>8}",
         "a", "cost ($)", "resp (s)", "hits %", "builds", "evicts"
     );
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for (a, r) in fractions.iter().zip(&results) {
         println!(
             "{:<8} {:>12.2} {:>12.3} {:>7.1}% {:>8} {:>8}",
@@ -51,10 +56,25 @@ fn main() {
             r.investments,
             r.evictions
         ));
+        json_rows.push(format!(
+            "  {{\"a\": {a}, \"total_cost_usd\": {:.4}, \"mean_response_s\": {:.4}, \"hit_rate\": {:.4}, \"builds\": {}, \"evicts\": {}}}",
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate(),
+            r.investments,
+            r.evictions
+        ));
     }
     write_csv(
         "fig6_ablation_regret",
         "a,total_cost_usd,mean_response_s,hit_rate,builds,evicts",
         &rows,
+    );
+    write_figure_bench_json(
+        "fig6_ablation_regret",
+        sf,
+        n,
+        &bench_config_json(sf, n, n * fractions.len() as u64, wall),
+        &json_rows,
     );
 }

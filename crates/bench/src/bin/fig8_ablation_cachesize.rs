@@ -7,7 +7,9 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig8_ablation_cachesize [sf] [queries]`
 
-use bench::{cli_scale, print_header, run_cells, write_csv};
+use bench::{
+    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json,
+};
 use simulator::{Scheme, SimConfig};
 
 fn main() {
@@ -23,12 +25,15 @@ fn main() {
         .iter()
         .map(|&f| SimConfig::paper_cell(Scheme::Bypass { cache_fraction: f }, 10.0, sf, n))
         .collect();
+    let started = std::time::Instant::now();
     let results = run_cells(cells);
+    let wall = started.elapsed().as_secs_f64();
     println!(
         "{:<10} {:>12} {:>12} {:>8} {:>8} {:>10}",
         "cap", "cost ($)", "resp (s)", "hits %", "evicts", "disk (GB)"
     );
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for (f, r) in fractions.iter().zip(&results) {
         println!(
             "{:<10} {:>12.2} {:>12.3} {:>7.1}% {:>8} {:>10.0}",
@@ -47,10 +52,25 @@ fn main() {
             r.evictions,
             r.final_disk_bytes
         ));
+        json_rows.push(format!(
+            "  {{\"cache_fraction\": {f}, \"total_cost_usd\": {:.4}, \"mean_response_s\": {:.4}, \"hit_rate\": {:.4}, \"evicts\": {}, \"final_disk_bytes\": {}}}",
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate(),
+            r.evictions,
+            r.final_disk_bytes
+        ));
     }
     write_csv(
         "fig8_ablation_cachesize",
         "cache_fraction,total_cost_usd,mean_response_s,hit_rate,evicts,final_disk_bytes",
         &rows,
+    );
+    write_figure_bench_json(
+        "fig8_ablation_cachesize",
+        sf,
+        n,
+        &bench_config_json(sf, n, n * fractions.len() as u64, wall),
+        &json_rows,
     );
 }

@@ -7,7 +7,9 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig9_ablation_budget [sf] [queries]`
 
-use bench::{cli_scale, print_header, run_cells, write_csv};
+use bench::{
+    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json,
+};
 use econ::BudgetShape;
 use simulator::{Scheme, SimConfig};
 
@@ -32,12 +34,15 @@ fn main() {
             cfg
         })
         .collect();
+    let started = std::time::Instant::now();
     let results = run_cells(cells);
+    let wall = started.elapsed().as_secs_f64();
     println!(
         "{:<10} {:>12} {:>12} {:>8} {:>12} {:>12}",
         "shape", "cost ($)", "resp (s)", "hits %", "payments ($)", "profit ($)"
     );
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for ((name, _), r) in shapes.iter().zip(&results) {
         println!(
             "{:<10} {:>12.2} {:>12.3} {:>7.1}% {:>12.2} {:>12.2}",
@@ -56,10 +61,25 @@ fn main() {
             r.payments.as_dollars(),
             r.profit.as_dollars()
         ));
+        json_rows.push(format!(
+            "  {{\"shape\": \"{name}\", \"total_cost_usd\": {:.4}, \"mean_response_s\": {:.4}, \"hit_rate\": {:.4}, \"payments_usd\": {:.4}, \"profit_usd\": {:.4}}}",
+            r.total_operating_cost().as_dollars(),
+            r.mean_response_secs(),
+            r.hit_rate(),
+            r.payments.as_dollars(),
+            r.profit.as_dollars()
+        ));
     }
     write_csv(
         "fig9_ablation_budget",
         "shape,total_cost_usd,mean_response_s,hit_rate,payments_usd,profit_usd",
         &rows,
+    );
+    write_figure_bench_json(
+        "fig9_ablation_budget",
+        sf,
+        n,
+        &bench_config_json(sf, n, n * shapes.len() as u64, wall),
+        &json_rows,
     );
 }

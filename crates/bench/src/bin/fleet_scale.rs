@@ -1,115 +1,196 @@
-//! **Fleet scaling grid** — throughput of the sharded fleet executor.
+//! **Fleet scaling grid** — throughput of the sharded fleet executor and
+//! the parallel cheapest-quote fan-out.
 //!
-//! Runs a 100-tenant × 4-node fleet at shard counts {1, 2, 4, 8} and
-//! prints simulated queries per wall-clock second for each grid cell,
-//! plus the fleet aggregates. Because the executor's merge is
-//! shard-count invariant, the cost/response columns must be *identical*
-//! down the table — only the throughput column may change. The run exits
-//! non-zero if any aggregate deviates.
+//! Two sweeps over a 100-tenant fleet with cheapest-quote routing:
+//!
+//! * **shards** {1, 2, 4, 8} at one quote thread — cells execute on
+//!   worker threads (the PR 1 lever);
+//! * **quote threads** {1, 2, 4, 8} at one shard — each quote round
+//!   builds the query's plan skeleton once and fans the per-node
+//!   completions out over a scoped worker pool (this PR's lever).
+//!
+//! Both levers are wall-clock-only by construction: every economic
+//! aggregate must be *identical* down the whole table, and the run exits
+//! non-zero if any cell deviates — the fleet determinism contract.
+//!
+//! At the default cell the run writes `BENCH_fleet_scale.json`, recording
+//! the measured queries/second next to the committed PR 2 baseline (the
+//! same cell before plan-skeleton sharing), so each PR's quote-round
+//! throughput trajectory is tracked.
 //!
 //! Usage: `cargo run --release -p bench --bin fleet_scale \
 //!         [scale_factor] [queries_per_tenant] [tenants] [nodes]`
 
-use bench::{cli_arg, cli_usage_error, write_csv};
-use fleet::{FleetConfig, FleetSim};
+use bench::{cli_arg, cli_usage_error, scale_args, write_bench_json, write_csv};
+use fleet::{FleetConfig, FleetResult, FleetSim};
 
 const SHARD_GRID: [usize; 4] = [1, 2, 4, 8];
+const QUOTE_THREAD_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// Queries/second of the default cell (SF 50, 100 tenants × 100 queries,
+/// 8 nodes, cheapest-quote, shards = 1) measured at commit 925d16f
+/// (PR 2: memoized planning, still one full enumeration per bidding
+/// node) with this harness on the reference machine. Only meaningful for
+/// the default cell.
+const PR2_BASELINE_QPS: f64 = 23_002.0;
 
 const USAGE: &str = "{bin} [scale_factor] [queries_per_tenant] [tenants] [nodes]\n       \
-                     defaults: scale_factor 50, queries_per_tenant 100, tenants 100, nodes 4";
+                     defaults: scale_factor 50, queries_per_tenant 100, tenants 100, nodes 8";
+
+struct Cell {
+    label: &'static str,
+    shards: usize,
+    quote_threads: usize,
+    qps: f64,
+    result: FleetResult,
+}
+
+fn run_cell(base: &FleetConfig, label: &'static str, shards: usize, quote_threads: usize) -> Cell {
+    let mut config = base.clone();
+    config.shards = shards;
+    config.quote_threads = quote_threads;
+    // Time only the executor, not the shared schema/candidate prep.
+    let sim = FleetSim::new(config);
+    let started = std::time::Instant::now();
+    let result = sim.run();
+    let wall = started.elapsed().as_secs_f64();
+    Cell {
+        label,
+        shards,
+        quote_threads,
+        qps: result.queries as f64 / wall.max(1e-9),
+        result,
+    }
+}
 
 fn main() {
-    let sf: f64 = cli_arg(1, "scale factor", 50.0, USAGE);
-    let queries_per_tenant: u64 = cli_arg(2, "queries per tenant", 100, USAGE);
+    let (sf, queries_per_tenant) = scale_args(50.0, 100, USAGE);
     let tenants: u32 = cli_arg(3, "tenant count", 100, USAGE);
-    let nodes: usize = cli_arg(4, "node count", 4, USAGE);
-    if !sf.is_finite() || sf <= 0.0 {
-        cli_usage_error(&format!("scale factor must be positive, got {sf}"), USAGE);
+    let nodes: usize = cli_arg(4, "node count", 8, USAGE);
+    if tenants == 0 || nodes == 0 {
+        cli_usage_error("tenants and nodes must both be positive", USAGE);
     }
-    if queries_per_tenant == 0 || tenants == 0 || nodes == 0 {
-        cli_usage_error(
-            "queries per tenant, tenants and nodes must all be positive",
-            USAGE,
-        );
-    }
+    let default_cell = (sf - 50.0).abs() < f64::EPSILON
+        && queries_per_tenant == 100
+        && tenants == 100
+        && nodes == 8;
+
+    let mut base = FleetConfig::uniform(tenants, nodes, queries_per_tenant, 1.0);
+    base.scale_factor = sf;
+    base.cells = 16;
 
     let machine_cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     println!("================================================================");
-    println!("fleet_scale: {tenants} tenants x {nodes} nodes, shard sweep {SHARD_GRID:?}");
+    println!(
+        "fleet_scale: {tenants} tenants x {nodes} nodes, shard sweep {SHARD_GRID:?} + quote-thread sweep {QUOTE_THREAD_GRID:?}"
+    );
     println!(
         "(TPC-H SF {sf}, {queries_per_tenant} queries/tenant = {} total, cheapest-quote routing, {machine_cores} core(s) available)",
         u64::from(tenants) * queries_per_tenant
     );
     println!("================================================================");
     println!(
-        "{:>7} {:>12} {:>14} {:>12} {:>10} {:>8}",
-        "shards", "queries/s", "cost ($)", "mean resp", "hit rate", "builds"
+        "{:>7} {:>9} {:>12} {:>14} {:>12} {:>10} {:>8}",
+        "shards", "qthreads", "queries/s", "cost ($)", "mean resp", "hit rate", "builds"
     );
 
-    let mut rows = Vec::new();
-    let mut reference: Option<(pricing::Money, u64)> = None;
-    let mut mean_reference: Option<f64> = None;
-    let mut invariant = true;
-
+    let mut cells: Vec<Cell> = Vec::new();
     for shards in SHARD_GRID {
-        let mut config = FleetConfig::uniform(tenants, nodes, queries_per_tenant, 1.0);
-        config.scale_factor = sf;
-        config.cells = 16;
-        config.shards = shards;
+        cells.push(run_cell(&base, "shard-sweep", shards, 1));
+    }
+    // Thread 1 of the quote sweep is the (shards 1, threads 1) cell above.
+    for threads in &QUOTE_THREAD_GRID[1..] {
+        cells.push(run_cell(&base, "quote-thread-sweep", 1, *threads));
+    }
 
-        // Time only the executor, not the shared schema/candidate prep.
-        let sim = FleetSim::new(config);
-        let started = std::time::Instant::now();
-        let result = sim.run();
-        let wall = started.elapsed().as_secs_f64();
-        let throughput = result.queries as f64 / wall.max(1e-9);
-
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut invariant = true;
+    let reference = &cells[0].result;
+    let ref_cost = reference.total_operating_cost();
+    let ref_mean = reference.mean_response_secs();
+    for cell in &cells {
+        let r = &cell.result;
+        let cost = r.total_operating_cost();
+        let mean = r.mean_response_secs();
         println!(
-            "{shards:>7} {throughput:>12.0} {:>14.4} {:>11.3}s {:>9.1}% {:>8}",
-            result.total_operating_cost().as_dollars(),
-            result.mean_response_secs(),
-            result.hit_rate() * 100.0,
-            result.investments,
+            "{:>7} {:>9} {:>12.0} {:>14.4} {:>11.3}s {:>9.1}% {:>8}",
+            cell.shards,
+            cell.quote_threads,
+            cell.qps,
+            cost.as_dollars(),
+            mean,
+            r.hit_rate() * 100.0,
+            r.investments,
         );
         rows.push(format!(
-            "{shards},{throughput:.0},{:.6},{:.6},{:.4},{}",
-            result.total_operating_cost().as_dollars(),
-            result.mean_response_secs(),
-            result.hit_rate(),
-            result.investments
+            "{},{},{:.0},{:.6},{:.6},{:.4},{}",
+            cell.shards,
+            cell.quote_threads,
+            cell.qps,
+            cost.as_dollars(),
+            mean,
+            r.hit_rate(),
+            r.investments
         ));
-
-        let cost = result.total_operating_cost();
-        let mean = result.mean_response_secs();
-        match (&reference, &mean_reference) {
-            (None, _) => {
-                reference = Some((cost, result.queries));
-                mean_reference = Some(mean);
-            }
-            (Some((ref_cost, ref_queries)), Some(ref_mean)) => {
-                if cost != *ref_cost
-                    || result.queries != *ref_queries
-                    || mean.to_bits() != ref_mean.to_bits()
-                {
-                    invariant = false;
-                }
-            }
-            _ => unreachable!(),
+        let baseline = if default_cell && cell.shards == 1 && cell.quote_threads == 1 {
+            format!(
+                ", \"pr2_baseline_qps\": {PR2_BASELINE_QPS:.0}, \"speedup_vs_pr2\": {:.2}",
+                cell.qps / PR2_BASELINE_QPS
+            )
+        } else {
+            String::new()
+        };
+        json_rows.push(format!(
+            "  {{\"sweep\": \"{}\", \"shards\": {}, \"quote_threads\": {}, \"qps\": {:.0}, \
+             \"total_cost_usd\": {:.6}, \"mean_response_s\": {:.6}, \"hit_rate\": {:.4}, \
+             \"builds\": {}{baseline}}}",
+            cell.label,
+            cell.shards,
+            cell.quote_threads,
+            cell.qps,
+            cost.as_dollars(),
+            mean,
+            r.hit_rate(),
+            r.investments,
+        ));
+        if cost != ref_cost
+            || r.queries != reference.queries
+            || mean.to_bits() != ref_mean.to_bits()
+        {
+            invariant = false;
+            eprintln!(
+                "error: aggregates drifted at shards={} quote_threads={}",
+                cell.shards, cell.quote_threads
+            );
         }
     }
 
     write_csv(
         "fleet_scale",
-        "shards,queries_per_sec,total_cost_usd,mean_response_s,hit_rate,builds",
+        "shards,quote_threads,queries_per_sec,total_cost_usd,mean_response_s,hit_rate,builds",
         &rows,
     );
+    // Only the default acceptance cell refreshes the committed record;
+    // reduced-scale runs (CI) must not clobber it.
+    if default_cell {
+        let config = format!(
+            "{{\"scale_factor\": {sf}, \"queries_per_tenant\": {queries_per_tenant}, \
+             \"tenants\": {tenants}, \"nodes\": {nodes}, \"router\": \"cheapest-quote\", \
+             \"baseline_note\": \"pr2_baseline_qps: commit 925d16f (one full enumeration per \
+             bidding node) at this cell, shards 1, quote_threads 1\"}}"
+        );
+        write_bench_json("fleet_scale", &config, &json_rows);
+    } else {
+        println!("(non-default cell: BENCH_fleet_scale.json left untouched)");
+    }
 
     if invariant {
-        println!("aggregates identical across shard counts: OK");
+        println!("aggregates identical across shard counts and quote-thread counts: OK");
     } else {
-        eprintln!("error: fleet aggregates varied with shard count");
+        eprintln!("error: fleet aggregates varied with a wall-clock-only knob");
         std::process::exit(1);
     }
 }

@@ -216,7 +216,8 @@ fn write_json(cells: &[Cell], sf: f64, n: u64, default_cell: bool) {
         rows.push(format!(
             "  {{\"scheme\": \"{}\", \"workload\": \"{}\", \"queries\": {}, \"wall_secs\": {:.4}, \
              \"qps\": {:.0}, \"fresh_wall_secs\": {}, \"cache_epoch_hits\": {}, \
-             \"cache_epoch_misses\": {}, \"cache_refreshes\": {}, \"baseline_qps\": {}, \
+             \"cache_epoch_misses\": {}, \"cache_refreshes\": {}, \"cache_completions\": {}, \
+             \"baseline_qps\": {}, \
              \"speedup_vs_baseline\": {}, \"bit_identical_to_fresh\": {}, \
              \"payments_nanos\": {}, \"cache_hits\": {}, \"investments\": {}}}",
             c.scheme,
@@ -229,6 +230,7 @@ fn write_json(cells: &[Cell], sf: f64, n: u64, default_cell: bool) {
             stats.hits,
             stats.misses,
             stats.refreshes,
+            stats.completions,
             baseline.map_or("null".to_string(), |b| format!("{b:.0}")),
             baseline.map_or("null".to_string(), |b| format!("{:.2}", c.qps / b)),
             c.fresh_wall_secs.is_some(),
@@ -279,8 +281,16 @@ fn main() {
 
     println!("hotpath: SF {sf}, {n} queries, 1 s fixed interval");
     println!(
-        "{:>10} {:>14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "scheme", "workload", "wall (s)", "qps", "fresh(s)", "memo hit", "miss", "vs base"
+        "{:>10} {:>14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "scheme",
+        "workload",
+        "wall (s)",
+        "qps",
+        "fresh(s)",
+        "memo hit",
+        "miss",
+        "recompl",
+        "vs base"
     );
 
     let mut drift = false;
@@ -295,7 +305,7 @@ fn main() {
                 None
             };
             println!(
-                "{:>10} {:>14} {:>9.2} {:>9.0} {:>9} {:>9} {:>9} {:>9}",
+                "{:>10} {:>14} {:>9.2} {:>9.0} {:>9} {:>9} {:>9} {:>9} {:>9}",
                 cell.scheme,
                 cell.workload,
                 cell.wall_secs,
@@ -304,6 +314,7 @@ fn main() {
                     .map_or("-".to_string(), |w| format!("{w:.2}")),
                 stats.hits,
                 stats.misses,
+                stats.completions,
                 base.map_or("-".to_string(), |b| format!("{:.2}x", cell.qps / b)),
             );
             cells.push(cell);

@@ -24,6 +24,10 @@ use simulator::{run_simulation, RunResult, Scheme, SimConfig};
 use std::io::Write;
 use std::path::Path;
 
+pub mod cli;
+
+pub use cli::{cli_arg, cli_scale, cli_usage_error, scale_args};
+
 /// The paper's inter-arrival grid (seconds), Figures 4 and 5.
 pub const PAPER_INTERVALS: [f64; 4] = [1.0, 10.0, 30.0, 60.0];
 
@@ -34,57 +38,6 @@ pub const DEFAULT_SF: f64 = 2500.0;
 /// queries; 5 × 10⁵ reproduces the same post-warm-up regime in about a
 /// minute of harness time.
 pub const DEFAULT_QUERIES: u64 = 500_000;
-
-/// Prints `error: <message>` plus a usage block (with the invoked binary
-/// substituted for `{bin}`) and exits with status 2.
-pub fn cli_usage_error(message: &str, usage: &str) -> ! {
-    let bin = std::env::args()
-        .next()
-        .unwrap_or_else(|| "<bin>".to_string());
-    eprintln!("error: {message}");
-    eprintln!("usage: {}", usage.replace("{bin}", &bin));
-    std::process::exit(2);
-}
-
-/// Parses one positional argument, or exits with a usage error.
-///
-/// Defaulting silently on a typo (`fig4 2500x`) used to run the wrong
-/// experiment for a minute and label it with the default scale — so an
-/// argument that is present but unparseable is fatal instead.
-pub fn cli_arg<T: std::str::FromStr>(position: usize, what: &str, default: T, usage: &str) -> T {
-    match std::env::args().nth(position) {
-        None => default,
-        Some(raw) => raw
-            .parse()
-            .unwrap_or_else(|_| cli_usage_error(&format!("cannot parse {what} `{raw}`"), usage)),
-    }
-}
-
-/// Usage block for the common figure-harness CLI.
-const SCALE_USAGE: &str =
-    "{bin} [scale_factor] [num_queries]\n       defaults: scale_factor 2500, num_queries 500000";
-
-/// Parses the common `[sf] [num_queries]` CLI arguments.
-///
-/// Missing arguments fall back to the paper-scale defaults; present but
-/// unparseable or out-of-domain arguments print a usage error and exit
-/// non-zero (rather than panicking a worker thread later in config
-/// validation).
-#[must_use]
-pub fn cli_scale() -> (f64, u64) {
-    let sf: f64 = cli_arg(1, "scale factor", DEFAULT_SF, SCALE_USAGE);
-    let n: u64 = cli_arg(2, "query count", DEFAULT_QUERIES, SCALE_USAGE);
-    if !sf.is_finite() || sf <= 0.0 {
-        cli_usage_error(
-            &format!("scale factor must be positive, got {sf}"),
-            SCALE_USAGE,
-        );
-    }
-    if n == 0 {
-        cli_usage_error("query count must be positive", SCALE_USAGE);
-    }
-    (sf, n)
-}
 
 /// Runs a set of independent cells in parallel, capped at the machine's
 /// available parallelism (an unbounded thread-per-cell spawn used to
@@ -183,6 +136,73 @@ pub fn grid_csv_rows<F: Fn(&RunResult) -> String>(
     for (interval, results) in grid {
         for r in results {
             rows.push(format!("{interval},{},{}", r.scheme, value(r)));
+        }
+    }
+    rows
+}
+
+/// True if `(sf, n)` is the paper-scale default cell — the only cell
+/// whose run may refresh a committed `BENCH_*.json` record.
+#[must_use]
+pub fn is_paper_cell(sf: f64, n: u64) -> bool {
+    (sf - DEFAULT_SF).abs() < f64::EPSILON && n == DEFAULT_QUERIES
+}
+
+/// [`write_bench_json`] guarded by the figure harness's default-cell
+/// rule: reduced-scale runs (CI, smoke tests) must not clobber the
+/// committed paper-scale record.
+pub fn write_figure_bench_json(name: &str, sf: f64, n: u64, config: &str, cells: &[String]) {
+    if is_paper_cell(sf, n) {
+        write_bench_json(name, config, cells);
+    } else {
+        println!("(non-default cell: BENCH_{name}.json left untouched)");
+    }
+}
+
+/// Writes `BENCH_<name>.json` in the working directory (the repo root
+/// when run via `cargo run`), the machine-readable perf record each PR's
+/// trajectory is tracked through. `config` is a JSON object string
+/// (including the measured wall-clock, so a record is never mistaken for
+/// one at a different scale); `cells` are JSON object strings.
+pub fn write_bench_json(name: &str, config: &str, cells: &[String]) {
+    let json = format!(
+        "{{\n\"bench\": \"{name}\",\n\"config\": {config},\n\"cells\": [\n{}\n]\n}}\n",
+        cells.join(",\n")
+    );
+    let path = format!("BENCH_{name}.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("(wrote {path})"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}
+
+/// The standard figure-bench JSON config object: grid scale plus the
+/// measured wall-clock and simulated-queries-per-second throughput of
+/// the whole run.
+#[must_use]
+pub fn bench_config_json(sf: f64, n: u64, total_queries: u64, wall_secs: f64) -> String {
+    format!(
+        "{{\"scale_factor\": {sf}, \"queries_per_cell\": {n}, \"total_queries\": {total_queries}, \
+         \"wall_secs\": {wall_secs:.3}, \"queries_per_sec\": {:.0}}}",
+        total_queries as f64 / wall_secs.max(1e-9)
+    )
+}
+
+/// Formats one scheme×interval grid as JSON cell objects; `fields` maps a
+/// run to `"key": value` pairs appended after the interval and scheme.
+#[must_use]
+pub fn grid_json_rows<F: Fn(&RunResult) -> String>(
+    grid: &[(f64, Vec<RunResult>)],
+    fields: F,
+) -> Vec<String> {
+    let mut rows = Vec::new();
+    for (interval, results) in grid {
+        for r in results {
+            rows.push(format!(
+                "  {{\"interval_s\": {interval}, \"scheme\": \"{}\", {}}}",
+                r.scheme,
+                fields(r)
+            ));
         }
     }
     rows

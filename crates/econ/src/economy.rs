@@ -17,11 +17,13 @@
 //!    paying from the account.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use cache::{CacheState, CachedStructure, StructureKey};
 use planner::enumerate::EnumerationOptions;
 use planner::{
-    enumerate_plans_into, skyline_partition, Estimator, PlanBuffer, PlannerContext, QueryPlan,
+    complete_plans_into, enumerate_plans_into, skyline_partition_hot, Estimator, LazySkeleton,
+    PlanBuffer, PlanHot, PlanSkeleton, PlannerContext, QueryPlan,
 };
 use pricing::Money;
 use simcore::{SimDuration, SimTime};
@@ -33,7 +35,7 @@ use crate::config::EconConfig;
 use crate::outcome::{QueryOutcome, SelectionCase};
 use crate::plancache::{PlanCache, PlanCacheStats};
 use crate::regret::RegretLedger;
-use crate::selection::select_plan;
+use crate::selection::select_plan_hot;
 
 /// The paper's self-tuned economy, owning the cloud account, the cache
 /// state and the regret ledger.
@@ -61,6 +63,7 @@ pub struct EconomyManager {
 
 #[derive(Debug, Default)]
 struct SkyScratch {
+    hot: PlanHot,
     order: Vec<usize>,
     sky: Vec<usize>,
 }
@@ -282,10 +285,9 @@ impl EconomyManager {
     }
 
     /// Steps (2)–(4a) of the control loop: obtain the costed plan set
-    /// (memoized per template when the cache epoch, settlement state and
-    /// query fingerprint allow — see [`crate::plancache`]), reduce it to
-    /// the two-tier skyline, form the user's budget and run the case
-    /// analysis.
+    /// (memoized per template when the query fingerprint allows — see
+    /// [`crate::plancache`]), reduce it to the two-tier skyline, form the
+    /// user's budget and run the case analysis.
     ///
     /// Existing plans are skylined among themselves (they are the
     /// executable menu — a *possible* plan may dominate them on paper but
@@ -294,11 +296,44 @@ impl EconomyManager {
     /// shape at `budget_scale × backend price` with deadline
     /// `patience × backend time`.
     fn plan_query(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Planned {
+        self.plan_query_shared(ctx, query, now, None)
+    }
+
+    /// [`Self::plan_query`] with an optional shared lazy skeleton (the
+    /// fleet's quote rounds create one per query and share it across
+    /// every bidding node; it is built only if some node actually needs
+    /// it).
+    ///
+    /// Planning factors into the cache-independent skeleton and the cheap
+    /// per-node completion. A memo lookup whose fingerprint matches but
+    /// whose cache epoch moved re-runs only the completion phase; a fresh
+    /// fingerprint adopts the shared skeleton (or builds one) and
+    /// memoizes it. With memoization disabled, planning runs the fused
+    /// enumerator — the reference the bit-identity suites compare the
+    /// split path against.
+    fn plan_query_shared(
+        &self,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        now: SimTime,
+        shared: Option<&LazySkeleton<'_>>,
+    ) -> Planned {
         let opts = self.config.enumeration(self.arrival_rate());
+        let estimator = ctx.estimator;
 
         if !self.config.plan_cache {
             let mut buf = self.planbuf.borrow_mut();
-            enumerate_plans_into(ctx, query, &self.cache, now, opts, &mut buf);
+            match shared {
+                Some(lazy) => complete_plans_into(
+                    lazy.get(),
+                    &self.cache,
+                    now,
+                    opts,
+                    |s, span| estimator.maintenance(s, span),
+                    &mut buf,
+                ),
+                None => enumerate_plans_into(ctx, query, &self.cache, now, opts, &mut buf),
+            }
             let plans = buf.take();
             let planned = self.select_from(query, &plans, opts);
             buf.recycle(plans);
@@ -309,22 +344,74 @@ impl EconomyManager {
         let mut pc = self.plancache.borrow_mut();
         pc.prepare_fingerprint(query);
 
-        if let Some(slot) = pc.matching_slot(query.template.0, epoch, &opts) {
-            let refreshed = !slot.prices_current(&self.cache, now, &opts);
-            if refreshed {
-                let estimator = ctx.estimator;
-                slot.refresh_prices(&self.cache, now, opts, |s, span| {
-                    estimator.maintenance(s, span)
-                });
+        if let Some(slot) = pc.matching_slot(query.template.0) {
+            if slot.completion_current(epoch, &opts) {
+                let refreshed = !slot.prices_current(&self.cache, now, &opts);
+                if refreshed {
+                    slot.refresh_prices(&self.cache, now, opts, |s, span| {
+                        estimator.maintenance(s, span)
+                    });
+                }
+                let planned = self.select_from(query, &slot.plans, opts);
+                pc.count_hit(refreshed);
+                return planned;
             }
+            // The skeleton is cache-independent and still valid: re-run
+            // only the completion phase against the moved cache state.
+            // Built lazily here when the miss installed none (drifting
+            // fingerprints never reach this arm and never pay for one);
+            // a quote round's shared skeleton is preferred so fleet
+            // nodes build at most one between them.
+            let skeleton = Arc::clone(slot.skeleton.get_or_insert_with(|| match shared {
+                Some(lazy) => Arc::clone(lazy.get()),
+                None => Arc::new(PlanSkeleton::build(ctx, query)),
+            }));
+            let mut buf = self.planbuf.borrow_mut();
+            complete_plans_into(
+                &skeleton,
+                &self.cache,
+                now,
+                opts,
+                |s, span| estimator.maintenance(s, span),
+                &mut buf,
+            );
+            let plans = buf.take();
+            let missing_builds = buf.take_missing_costs();
+            let (old_plans, old_costs) = slot.replace_completion(
+                epoch,
+                self.cache.settle_seq(),
+                opts,
+                now,
+                plans,
+                missing_builds,
+            );
+            buf.recycle(old_plans);
+            buf.recycle_missing_costs(old_costs);
+            drop(buf);
             let planned = self.select_from(query, &slot.plans, opts);
-            pc.count(true, refreshed);
+            pc.count_completion();
             return planned;
         }
-        pc.count(false, false);
+        pc.count_miss();
 
+        // Fresh fingerprint: adopt the quote round's shared skeleton when
+        // one exists (a fleet's nodes amortize one build between them),
+        // else enumerate fused — a drifting workload that never repeats
+        // a fingerprint should not build skeletons it will never reuse;
+        // the first epoch-stale re-completion builds one on demand.
+        let skeleton = shared.map(|lazy| Arc::clone(lazy.get()));
         let mut buf = self.planbuf.borrow_mut();
-        enumerate_plans_into(ctx, query, &self.cache, now, opts, &mut buf);
+        match &skeleton {
+            Some(skel) => complete_plans_into(
+                skel,
+                &self.cache,
+                now,
+                opts,
+                |s, span| estimator.maintenance(s, span),
+                &mut buf,
+            ),
+            None => enumerate_plans_into(ctx, query, &self.cache, now, opts, &mut buf),
+        }
         let plans = buf.take();
         // The per-plan missing-structure build quotes are epoch-stable;
         // memoizing them lets refreshes re-derive first installments under
@@ -335,6 +422,7 @@ impl EconomyManager {
         let settle_seq = self.cache.settle_seq();
         if let Some((old_plans, old_costs)) = pc.install_slot(
             query.template.0,
+            skeleton,
             epoch,
             settle_seq,
             opts,
@@ -350,7 +438,9 @@ impl EconomyManager {
 
     /// Skyline partition + budget + case analysis over an enumerated plan
     /// set (backend plan first), extracting what the control loop needs
-    /// without cloning the set.
+    /// without cloning the set. Both the skyline and the case analysis
+    /// scan the struct-of-arrays projection of the plans' hot fields
+    /// ([`PlanHot`]) instead of the plan structs themselves.
     fn select_from(&self, query: &Query, plans: &[QueryPlan], opts: EnumerationOptions) -> Planned {
         let backend = &plans[0];
         debug_assert_eq!(
@@ -364,15 +454,15 @@ impl EconomyManager {
             backend.exec_time * self.config.patience,
         );
         let mut scratch = self.sky_scratch.borrow_mut();
-        let SkyScratch { order, sky } = &mut *scratch;
-        let _existing = skyline_partition(plans, order, sky);
-        let skyrefs: Vec<&QueryPlan> = sky.iter().map(|&i| &plans[i]).collect();
-        let selection = select_plan(&skyrefs, &budget, self.config.objective);
-        let chosen = skyrefs[selection.selected].clone();
+        let SkyScratch { hot, order, sky } = &mut *scratch;
+        hot.fill(plans);
+        let _existing = skyline_partition_hot(hot, order, sky);
+        let selection = select_plan_hot(hot, sky, &budget, self.config.objective);
+        let chosen = plans[sky[selection.selected]].clone();
         let regrets = selection
             .regrets
             .iter()
-            .map(|&(i, amount)| (amount, skyrefs[i].missing.clone()))
+            .map(|&(i, amount)| (amount, plans[sky[i]].missing.clone()))
             .collect();
         Planned {
             opts,
@@ -421,6 +511,29 @@ impl EconomyManager {
     #[must_use]
     pub fn quote_query(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Money {
         self.plan_query(ctx, query, now).payment
+    }
+
+    /// [`Self::quote_query`] drawing the cache-independent
+    /// [`PlanSkeleton`] from the quote round's shared lazy cell instead
+    /// of enumerating from scratch — the fleet builds at most one
+    /// skeleton per query, on first need, and every bidding node binds
+    /// it against its own cache state.
+    ///
+    /// Identical to [`Self::quote_query`] bit for bit: the skeleton is a
+    /// pure function of `(ctx, query)`, so adopting the shared one changes
+    /// nothing but the work done. The quote warms the plan cache exactly
+    /// as a fresh quote would, so the winning node's serving call reuses
+    /// the same completed plan set.
+    #[must_use]
+    pub fn quote_with_skeleton(
+        &self,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        skeleton: &LazySkeleton<'_>,
+        now: SimTime,
+    ) -> Money {
+        self.plan_query_shared(ctx, query, now, Some(skeleton))
+            .payment
     }
 
     /// Builds every structure the investment rule triggers, most regretted

@@ -26,8 +26,9 @@
 //! * [`maintenance`] — structure-failure policy (footnote 3).
 //! * [`economy`] — [`economy::EconomyManager`], the per-query control loop
 //!   gluing all of the above to the planner and the cache.
-//! * [`plancache`] — memoized planning: per-template plan sets keyed by
-//!   the cache planning epoch, bit-identical to fresh enumeration (the
+//! * [`plancache`] — memoized planning: 2-way-associative per-template
+//!   slots caching the cache-independent plan skeleton plus its latest
+//!   per-node completion, bit-identical to fresh enumeration (the
 //!   hot-path optimisation the `hotpath` bench measures).
 
 #![deny(missing_docs)]
@@ -54,4 +55,4 @@ pub use invest::InvestmentRule;
 pub use outcome::{QueryOutcome, SelectionCase};
 pub use plancache::{PlanCache, PlanCacheStats};
 pub use regret::{RegretAttribution, RegretLedger};
-pub use selection::{select_plan, SelectionObjective};
+pub use selection::{select_plan, select_plan_hot, SelectionObjective};

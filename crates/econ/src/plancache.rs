@@ -4,20 +4,23 @@
 //! case analysis) for **every** arriving query, and the fleet layer
 //! multiplies that by the node count because cheapest-quote routing plans
 //! the query once per bidding node. Most of that work is redundant: the
-//! seven paper templates arrive Zipf-skewed, and between cache-state
-//! changes the enumerated plan set for a given query instance is a pure
-//! function of
+//! seven paper templates arrive Zipf-skewed, and the enumerated plan set
+//! for a given query instance factors into
 //!
-//! * the query's planning fingerprint (accesses, columns, selectivities,
-//!   result size — everything the cost model reads),
-//! * the cache planning epoch ([`cache::CacheState::epoch`] — changes on
-//!   install, evict and in-flight-build availability transitions),
-//! * the structural policy switches (`allow_indexes`,
-//!   `allow_extra_nodes`).
+//! * a **skeleton** ([`planner::PlanSkeleton`]) — the cache-independent
+//!   half (backend estimate, candidate-index choice, per-variant
+//!   execution volumes, build-cost shapes), a pure function of the
+//!   query's planning fingerprint; and
+//! * a **completion** — the cheap per-node phase binding the skeleton to
+//!   the live cache state, valid while the cache planning epoch
+//!   ([`cache::CacheState::epoch`]) stands still.
 //!
-//! A [`PlanCache`] entry stores the enumerated (pre-skyline) plan set
-//! under that key. Components that drift with state the epoch does not
-//! cover are *recomputed* on every reuse rather than trusted:
+//! A [`Slot`] memoizes both halves under the fingerprint. A lookup whose
+//! fingerprint matches but whose epoch moved no longer re-enumerates: it
+//! re-runs only the completion phase from the memoized skeleton (counted
+//! in [`PlanCacheStats::completions`]). Components that drift with state
+//! the epoch does not cover are *recomputed* on every reuse rather than
+//! trusted:
 //!
 //! * **maintenance** accrues continuously with the clock and is capped
 //!   at the arrival-rate-derived window, so a hit recomputes each plan's
@@ -32,73 +35,101 @@
 //!   them under the current horizon, so the memo keeps firing under
 //!   Poisson and fleet arrivals where the rate changes every query.
 //!
-//! The contract — enforced by `tests/memoization.rs` and the fleet
-//! routing tests — is that memoized results are **bit-identical** to
-//! fresh enumeration: same plans, same order, same prices, and therefore
-//! the same selections, payments, regrets and investments. Determinism
-//! and shard-invariance of the fleet depend on it.
+//! Slots are **2-way set-associative** per template: two live instances
+//! of one template (the prepared-statement regime with two distinct
+//! parameterisations in flight) no longer evict each other — the thrash
+//! case pinned in `tests/memoization.rs`. Replacement within a set is
+//! least-recently-used.
+//!
+//! The contract — enforced by `tests/memoization.rs`,
+//! `tests/skeleton_split.rs` and the fleet routing tests — is that
+//! memoized results are **bit-identical** to fresh enumeration: same
+//! plans, same order, same prices, and therefore the same selections,
+//! payments, regrets and investments. Determinism and shard-invariance
+//! of the fleet depend on it.
+
+use std::sync::Arc;
 
 use cache::CacheState;
 use planner::enumerate::EnumerationOptions;
-use planner::QueryPlan;
+use planner::{PlanSkeleton, QueryPlan};
 use pricing::Money;
 use simcore::SimTime;
 use workload::Query;
 
-/// One memoized template slot.
+/// Associativity of each template set: two live instances of one
+/// template can be memoized side by side.
+pub(crate) const PLAN_CACHE_WAYS: usize = 2;
+
+/// One memoized template slot: the skeleton plus its latest completion.
 ///
-/// The match key is deliberately minimal: the epoch, the fingerprint and
-/// the *structural* policy switches (`allow_indexes`,
-/// `allow_extra_nodes`). The arrival-rate-derived options — amortisation
-/// horizon and maintenance window — move with the observed arrival
-/// statistics on almost every query under non-uniform arrivals, so
-/// keying on them would make the memo inert exactly where it matters
+/// The match key is the full query fingerprint alone. The skeleton is a
+/// superset (built with every plan family enabled), so it is valid for
+/// any structural switches; the completion additionally records the
+/// epoch and switches it was produced under, and is re-run from the
+/// skeleton when either moved. The arrival-rate-derived options —
+/// amortisation horizon and maintenance window — move with the observed
+/// arrival statistics on almost every query under non-uniform arrivals,
+/// so keying on them would make the memo inert exactly where it matters
 /// (Poisson tenants, fleet quote rounds). Instead the price components
 /// they parameterise are re-derived on reuse from the stored
 /// epoch-stable build quotes and the live ledger.
 #[derive(Debug)]
 pub(crate) struct Slot {
-    /// Cache planning epoch the plans were enumerated under.
+    /// Full planning fingerprint of the query instance (collision-proof:
+    /// compared in full, not hashed).
+    pub fingerprint: Vec<u64>,
+    /// The cache-independent skeleton: adopted from the quote round when
+    /// one supplied it (`Arc`-shared across every bidding node), and
+    /// otherwise built lazily by the first epoch-stale lookup that needs
+    /// to re-complete — a drifting workload whose fingerprints never
+    /// repeat should not pay for skeletons it will never reuse.
+    pub skeleton: Option<Arc<PlanSkeleton>>,
+    /// Cache planning epoch the completion was produced under.
     pub epoch: u64,
     /// Settlement counter at the last price refresh.
     pub settle_seq: u64,
     /// Enumeration options the plans were last *priced* under (the
-    /// structural switches within are part of the match key; the horizon
+    /// structural switches within gate completion validity; the horizon
     /// and window record what the current prices reflect).
     pub opts: EnumerationOptions,
-    /// Full planning fingerprint of the query instance (collision-proof:
-    /// compared in full, not hashed).
-    pub fingerprint: Vec<u64>,
     /// Instant of the last price refresh.
     pub now: SimTime,
-    /// The enumerated plan set, in enumeration order (backend first).
+    /// The completed plan set, in enumeration order (backend first).
     pub plans: Vec<QueryPlan>,
     /// Per-plan build quotes of the *missing* structures, parallel to
     /// each plan's `missing` list. Epoch-stable; refreshes re-derive the
     /// first-installment amortisation from them under the current
     /// horizon.
     pub missing_builds: Vec<Vec<Money>>,
+    /// LRU stamp for way replacement within the template set.
+    pub stamp: u64,
 }
 
 /// Hit/miss counters (exposed through the policies layer and the
 /// `hotpath` bench).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
-    /// Lookups served from a memoized plan set.
+    /// Lookups served from a memoized completed plan set.
     pub hits: u64,
-    /// Lookups that had to enumerate.
+    /// Lookups that had to enumerate (fresh fingerprint).
     pub misses: u64,
     /// Hits that needed a maintenance/amortisation price refresh (the
     /// clock or the settlement counter had moved).
     pub refreshes: u64,
+    /// Lookups whose skeleton was memoized but whose completion was stale
+    /// (the cache epoch moved): only the cheap per-node completion phase
+    /// re-ran.
+    pub completions: u64,
 }
 
-/// Per-manager memoized plan sets, one slot per query template.
+/// Per-manager memoized plan sets: a 2-way set of slots per template.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    slots: Vec<Option<Slot>>,
+    sets: Vec<[Option<Slot>; PLAN_CACHE_WAYS]>,
     stats: PlanCacheStats,
     fingerprint_scratch: Vec<u64>,
+    tick: u64,
 }
 
 impl PlanCache {
@@ -136,28 +167,30 @@ impl PlanCache {
         fp.push(query.result_bytes);
     }
 
-    /// The memoized slot for `template`, if it matches the prepared
-    /// fingerprint under `epoch` and `opts`.
-    pub(crate) fn matching_slot(
-        &mut self,
-        template: usize,
-        epoch: u64,
-        opts: &EnumerationOptions,
-    ) -> Option<&mut Slot> {
+    /// The memoized slot for `template` whose fingerprint matches the
+    /// prepared scratch, refreshing its LRU stamp. The caller decides
+    /// whether the slot's *completion* is still valid (epoch + structural
+    /// switches) — the skeleton always is.
+    pub(crate) fn matching_slot(&mut self, template: usize) -> Option<&mut Slot> {
         let fp = &self.fingerprint_scratch;
-        match self.slots.get_mut(template) {
-            Some(Some(slot)) if slot.matches(epoch, opts, fp) => Some(slot),
-            _ => None,
-        }
+        let set = self.sets.get_mut(template)?;
+        let way = (0..PLAN_CACHE_WAYS)
+            .find(|&w| set[w].as_ref().is_some_and(|s| s.fingerprint == *fp))?;
+        self.tick += 1;
+        let slot = set[way].as_mut().expect("way just matched");
+        slot.stamp = self.tick;
+        Some(slot)
     }
 
-    /// Memoizes a freshly enumerated plan set for `template` under the
-    /// prepared fingerprint, returning the displaced slot's plans (if
-    /// any) so the caller can recycle their allocations.
+    /// Memoizes a fresh skeleton + completion for `template` under the
+    /// prepared fingerprint, evicting the set's LRU way if both ways are
+    /// live. Returns the displaced slot's plans (if any) so the caller
+    /// can recycle their allocations.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn install_slot(
         &mut self,
         template: usize,
+        skeleton: Option<Arc<PlanSkeleton>>,
         epoch: u64,
         settle_seq: u64,
         opts: EnumerationOptions,
@@ -165,50 +198,67 @@ impl PlanCache {
         plans: Vec<QueryPlan>,
         missing_builds: Vec<Vec<Money>>,
     ) -> Option<(Vec<QueryPlan>, Vec<Vec<Money>>)> {
-        if template >= self.slots.len() {
-            self.slots.resize_with(template + 1, || None);
+        if template >= self.sets.len() {
+            self.sets.resize_with(template + 1, Default::default);
         }
-        let (mut fingerprint, displaced) = match self.slots[template].take() {
+        let set = &mut self.sets[template];
+        // An empty way if one exists, otherwise the LRU way.
+        let way = (0..PLAN_CACHE_WAYS)
+            .find(|&w| set[w].is_none())
+            .unwrap_or_else(|| {
+                (0..PLAN_CACHE_WAYS)
+                    .min_by_key(|&w| set[w].as_ref().map_or(0, |s| s.stamp))
+                    .expect("set has at least one way")
+            });
+        let (mut fingerprint, displaced) = match set[way].take() {
             Some(old) => (old.fingerprint, Some((old.plans, old.missing_builds))),
             None => (Vec::new(), None),
         };
         fingerprint.clear();
         fingerprint.extend_from_slice(&self.fingerprint_scratch);
-        self.slots[template] = Some(Slot {
+        self.tick += 1;
+        set[way] = Some(Slot {
+            fingerprint,
+            skeleton,
             epoch,
             settle_seq,
             opts,
-            fingerprint,
             now,
             plans,
             missing_builds,
+            stamp: self.tick,
         });
         displaced
     }
 
-    /// Records a hit (optionally after a refresh) or a miss.
-    pub(crate) fn count(&mut self, hit: bool, refreshed: bool) {
-        if hit {
-            self.stats.hits += 1;
-            if refreshed {
-                self.stats.refreshes += 1;
-            }
-        } else {
-            self.stats.misses += 1;
+    /// Records a hit (optionally after a refresh).
+    pub(crate) fn count_hit(&mut self, refreshed: bool) {
+        self.stats.hits += 1;
+        if refreshed {
+            self.stats.refreshes += 1;
         }
+    }
+
+    /// Records a completion re-run (skeleton hit, stale completion).
+    pub(crate) fn count_completion(&mut self) {
+        self.stats.completions += 1;
+    }
+
+    /// Records a full miss (skeleton built from scratch).
+    pub(crate) fn count_miss(&mut self) {
+        self.stats.misses += 1;
     }
 }
 
 impl Slot {
-    /// True if this slot's plans are structurally reusable for the given
-    /// key: same epoch, same query fingerprint, same plan-family
-    /// switches. The horizon/window halves of `opts` are *not* compared —
-    /// they only scale prices, which [`Self::refresh_prices`] re-derives.
-    pub fn matches(&self, epoch: u64, opts: &EnumerationOptions, fingerprint: &[u64]) -> bool {
+    /// True if the memoized completion is still structurally valid: the
+    /// cache epoch has not moved and the plan-family switches match. The
+    /// horizon/window halves of `opts` are *not* compared — they only
+    /// scale prices, which [`Self::refresh_prices`] re-derives.
+    pub fn completion_current(&self, epoch: u64, opts: &EnumerationOptions) -> bool {
         self.epoch == epoch
             && self.opts.allow_indexes == opts.allow_indexes
             && self.opts.allow_extra_nodes == opts.allow_extra_nodes
-            && self.fingerprint == fingerprint
     }
 
     /// True if the prices quoted at the last refresh are still exact: the
@@ -225,6 +275,27 @@ impl Slot {
             && self.settle_seq == cache.settle_seq()
             && self.opts.amortize_n == opts.amortize_n
             && self.opts.maint_window == opts.maint_window
+    }
+
+    /// Replaces the slot's completion after a re-run from the skeleton,
+    /// returning the displaced plan set for recycling.
+    pub fn replace_completion(
+        &mut self,
+        epoch: u64,
+        settle_seq: u64,
+        opts: EnumerationOptions,
+        now: SimTime,
+        plans: Vec<QueryPlan>,
+        missing_builds: Vec<Vec<Money>>,
+    ) -> (Vec<QueryPlan>, Vec<Vec<Money>>) {
+        self.epoch = epoch;
+        self.settle_seq = settle_seq;
+        self.opts = opts;
+        self.now = now;
+        (
+            std::mem::replace(&mut self.plans, plans),
+            std::mem::replace(&mut self.missing_builds, missing_builds),
+        )
     }
 
     /// Re-quotes every plan's amortisation (first installments of missing

@@ -18,9 +18,10 @@
 //! econ-cheap picks the cheapest, econ-fast the fastest, and the
 //! altruistic default minimises profit.
 
-use planner::QueryPlan;
+use planner::{PlanHot, QueryPlan};
 use pricing::Money;
 use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
 
 use crate::budget::BudgetFunction;
 use crate::outcome::SelectionCase;
@@ -52,12 +53,38 @@ pub struct Selection {
     pub regrets: Vec<(usize, Money)>,
 }
 
+/// The (time, price, existing) rows the case analysis actually reads —
+/// positions `0..len` address `rows[i]`-th entries of the SoA view, so
+/// the selection scans touch three dense slices and nothing else.
+#[derive(Clone, Copy)]
+struct HotRows<'a> {
+    hot: &'a PlanHot,
+    rows: &'a [usize],
+}
+
+impl HotRows<'_> {
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+    fn time(&self, i: usize) -> SimDuration {
+        self.hot.time[self.rows[i]]
+    }
+    fn price(&self, i: usize) -> Money {
+        self.hot.price[self.rows[i]]
+    }
+    fn existing(&self, i: usize) -> bool {
+        self.hot.existing[self.rows[i]]
+    }
+}
+
 /// Runs the case analysis over the skyline `plans`.
 ///
 /// `plans` must be the skyline set (existing and possible mixed); at least
 /// one existing plan must be present (the backend plan guarantees this).
-/// Generic over plan storage so hot paths can pass `&[&QueryPlan]` built
-/// from skyline indices without cloning the plans.
+/// Generic over plan storage so callers can pass `&[&QueryPlan]` built
+/// from skyline indices without cloning the plans. Hot paths skip the
+/// projection this wrapper performs and call [`select_plan_hot`] on the
+/// SoA view they already hold.
 ///
 /// # Panics
 /// Panics if no existing plan is present.
@@ -67,43 +94,63 @@ pub fn select_plan<P: std::borrow::Borrow<QueryPlan>>(
     budget: &BudgetFunction,
     objective: SelectionObjective,
 ) -> Selection {
+    let mut hot = PlanHot::new();
+    for p in plans {
+        let p = p.borrow();
+        hot.time.push(p.exec_time);
+        hot.price.push(p.price);
+        hot.existing.push(p.is_existing());
+    }
+    let rows: Vec<usize> = (0..plans.len()).collect();
+    select_plan_hot(&hot, &rows, budget, objective)
+}
+
+/// The case analysis over a struct-of-arrays plan view: `rows[i]` indexes
+/// into `hot` (typically the skyline indices from
+/// [`planner::skyline_partition_hot`]), and the returned
+/// [`Selection::selected`] / regret indices address positions of `rows`.
+/// Bit-identical decisions to [`select_plan`] over the equivalent plans.
+///
+/// # Panics
+/// Panics if no existing plan is present among the rows.
+#[must_use]
+pub fn select_plan_hot(
+    hot: &PlanHot,
+    rows: &[usize],
+    budget: &BudgetFunction,
+    objective: SelectionObjective,
+) -> Selection {
+    let v = HotRows { hot, rows };
     assert!(
-        plans.iter().any(|p| p.borrow().is_existing()),
+        (0..v.len()).any(|i| v.existing(i)),
         "P_exist must not be empty (the backend plan always exists)"
     );
 
-    let affordable = |p: &QueryPlan| budget.affords(p.exec_time, p.price);
-    let n_affordable = plans.iter().filter(|p| affordable(p.borrow())).count();
+    let affordable = |i: usize| budget.affords(v.time(i), v.price(i));
+    let n_affordable = (0..v.len()).filter(|&i| affordable(i)).count();
 
     if n_affordable == 0 {
-        return case_a(plans);
+        return case_a(v);
     }
-    let case = if n_affordable == plans.len() {
+    let case = if n_affordable == v.len() {
         SelectionCase::B
     } else {
         SelectionCase::C
     };
-    case_bc(plans, budget, objective, case)
+    case_bc(v, budget, objective, case)
 }
 
 /// Case A: nothing affordable. The user picks (and pays the price of) the
 /// cheapest existing plan; eq. 1 regret for cheaper possible plans.
-fn case_a<P: std::borrow::Borrow<QueryPlan>>(plans: &[P]) -> Selection {
-    let selected = plans
-        .iter()
-        .map(std::borrow::Borrow::borrow)
-        .enumerate()
-        .filter(|(_, p)| p.is_existing())
-        .min_by(|(_, a), (_, b)| a.price.cmp(&b.price).then(a.exec_time.cmp(&b.exec_time)))
-        .map(|(i, _)| i)
+fn case_a(v: HotRows<'_>) -> Selection {
+    let selected = (0..v.len())
+        .filter(|&i| v.existing(i))
+        .min_by(|&a, &b| v.price(a).cmp(&v.price(b)).then(v.time(a).cmp(&v.time(b))))
         .expect("checked: P_exist non-empty");
-    let chosen_price = plans[selected].borrow().price;
-    let regrets = plans
-        .iter()
-        .map(std::borrow::Borrow::borrow)
-        .enumerate()
-        .filter(|(i, p)| *i != selected && !p.is_existing() && p.price <= chosen_price)
-        .map(|(i, p)| (i, chosen_price - p.price))
+    let chosen_price = v.price(selected);
+    let regrets = (0..v.len())
+        .filter(|&i| i != selected && !v.existing(i) && v.price(i) <= chosen_price)
+        .map(|i| (i, chosen_price - v.price(i)))
         .filter(|(_, r)| r.is_positive())
         .collect();
     Selection {
@@ -118,42 +165,36 @@ fn case_a<P: std::borrow::Borrow<QueryPlan>>(plans: &[P]) -> Selection {
 /// Cases B and C: select among affordable *existing* plans by the
 /// objective; eq. 2 regret for affordable possible plans more expensive
 /// than the chosen one.
-fn case_bc<P: std::borrow::Borrow<QueryPlan>>(
-    plans: &[P],
+fn case_bc(
+    v: HotRows<'_>,
     budget: &BudgetFunction,
     objective: SelectionObjective,
     case: SelectionCase,
 ) -> Selection {
-    let affordable = |p: &QueryPlan| budget.affords(p.exec_time, p.price);
-    let candidates = plans
-        .iter()
-        .map(std::borrow::Borrow::borrow)
-        .enumerate()
-        .filter(|(_, p)| p.is_existing() && affordable(p));
+    let affordable = |i: usize| budget.affords(v.time(i), v.price(i));
+    let candidates = (0..v.len()).filter(|&i| v.existing(i) && affordable(i));
 
     // If every affordable plan is possible-only (needs builds), the query
     // still has to run now: fall back to Case A semantics on P_exist.
-    let Some(selected) = (match objective {
-        SelectionObjective::MinProfit => candidates
-            .min_by(|(_, a), (_, b)| {
-                let pa = budget.value_at(a.exec_time) - a.price;
-                let pb = budget.value_at(b.exec_time) - b.price;
-                pa.cmp(&pb).then(a.exec_time.cmp(&b.exec_time))
-            })
-            .map(|(i, _)| i),
-        SelectionObjective::Cheapest => candidates
-            .min_by(|(_, a), (_, b)| a.price.cmp(&b.price).then(a.exec_time.cmp(&b.exec_time)))
-            .map(|(i, _)| i),
-        SelectionObjective::Fastest => candidates
-            .min_by(|(_, a), (_, b)| a.exec_time.cmp(&b.exec_time).then(a.price.cmp(&b.price)))
-            .map(|(i, _)| i),
-    }) else {
-        return case_a(plans);
+    let Some(selected) =
+        (match objective {
+            SelectionObjective::MinProfit => candidates.min_by(|&a, &b| {
+                let pa = budget.value_at(v.time(a)) - v.price(a);
+                let pb = budget.value_at(v.time(b)) - v.price(b);
+                pa.cmp(&pb).then(v.time(a).cmp(&v.time(b)))
+            }),
+            SelectionObjective::Cheapest => candidates
+                .min_by(|&a, &b| v.price(a).cmp(&v.price(b)).then(v.time(a).cmp(&v.time(b)))),
+            SelectionObjective::Fastest => candidates
+                .min_by(|&a, &b| v.time(a).cmp(&v.time(b)).then(v.price(a).cmp(&v.price(b)))),
+        })
+    else {
+        return case_a(v);
     };
 
-    let chosen = plans[selected].borrow();
-    let payment = budget.value_at(chosen.exec_time);
-    let profit = payment - chosen.price;
+    let chosen_price = v.price(selected);
+    let payment = budget.value_at(v.time(selected));
+    let profit = payment - chosen_price;
     debug_assert!(!profit.is_negative(), "affordable ⇒ non-negative profit");
 
     // Regret for every rejected possible plan (Section IV-C: "we compute
@@ -164,20 +205,17 @@ fn case_bc<P: std::borrow::Borrow<QueryPlan>>(
     //    `B_PQ(t_i) − B_PQ(t_j)` the cloud failed to offer. This is what
     //    lets a cheaper-but-unbuilt column set accumulate regret even
     //    though the budget comfortably covers the backend.
-    let regrets = plans
-        .iter()
-        .map(std::borrow::Borrow::borrow)
-        .enumerate()
-        .filter(|(i, p)| *i != selected && !p.is_existing())
-        .filter_map(|(i, p)| {
-            let r = if p.price >= chosen.price {
-                if affordable(p) {
-                    budget.value_at(p.exec_time) - p.price
+    let regrets = (0..v.len())
+        .filter(|&i| i != selected && !v.existing(i))
+        .filter_map(|i| {
+            let r = if v.price(i) >= chosen_price {
+                if affordable(i) {
+                    budget.value_at(v.time(i)) - v.price(i)
                 } else {
                     return None;
                 }
             } else {
-                chosen.price - p.price
+                chosen_price - v.price(i)
             };
             r.is_positive().then_some((i, r))
         })

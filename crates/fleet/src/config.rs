@@ -33,6 +33,15 @@ pub struct FleetConfig {
     pub cells: usize,
     /// Worker threads executing cells (affects wall-clock only).
     pub shards: usize,
+    /// Worker threads a cheapest-quote round fans per-node bids out over
+    /// (affects wall-clock only: the deterministic merge makes routing
+    /// bit-identical at any pool size). 1 = sequential fan-out — the
+    /// recommended setting today: the pool spawns scoped threads per
+    /// round, so with skeleton sharing already making completions cheap,
+    /// values > 1 currently cost more in spawn/join than they save (see
+    /// `fleet_scale`'s quote-thread sweep; a persistent per-cell pool is
+    /// the seeded follow-up in ROADMAP.md).
+    pub quote_threads: usize,
     /// Cost-model calibration.
     pub cost_params: CostParams,
     /// Resource prices.
@@ -84,6 +93,7 @@ impl FleetConfig {
             router: RouterKind::CheapestQuote,
             cells: 8,
             shards: 1,
+            quote_threads: 1,
             cost_params: CostParams::default(),
             prices: PriceCatalog::ec2_2009(),
             econ,
@@ -138,6 +148,9 @@ impl FleetConfig {
         }
         if self.shards == 0 {
             return Err("shards must be positive".into());
+        }
+        if self.quote_threads == 0 {
+            return Err("quote_threads must be positive".into());
         }
         if self.candidate_indexes == 0 {
             return Err("candidate_indexes must be positive".into());
@@ -211,6 +224,10 @@ mod tests {
 
         let mut c = FleetConfig::uniform(4, 2, 10, 1.0);
         c.tenants[2].queries = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = FleetConfig::uniform(4, 2, 10, 1.0);
+        c.quote_threads = 0;
         assert!(c.validate().is_err());
     }
 

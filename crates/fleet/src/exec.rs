@@ -185,7 +185,7 @@ impl FleetSim {
             .enumerate()
             .map(|(i, spec)| CacheNode::new(i, spec, &self.schema, &self.config.econ))
             .collect();
-        let mut router = self.config.router.make();
+        let mut router = self.config.router.make(self.config.quote_threads);
         let ctx = PlannerContext {
             schema: &self.schema,
             candidates: &self.candidates,
@@ -199,7 +199,7 @@ impl FleetSim {
             for node in &mut nodes {
                 node.accrue(now);
             }
-            let chosen = router.route(&nodes, &ctx, &query, now);
+            let chosen = router.route(&mut nodes, &ctx, &query, now);
             let outcome = nodes[chosen].serve(&ctx, &query, now);
 
             let stats = &mut tenant_stats[slot_of[&tenant]];

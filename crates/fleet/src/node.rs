@@ -5,7 +5,7 @@
 //! how much work the node has promised but not yet delivered — the load
 //! signal least-outstanding routing balances on.
 
-use planner::PlannerContext;
+use planner::{LazySkeleton, PlannerContext};
 use policies::{CachePolicy, PolicyOutcome};
 use pricing::{Money, ResourceRates};
 use serde::{Deserialize, Serialize};
@@ -29,9 +29,12 @@ impl NodeSpec {
 }
 
 /// One live cache node: policy + accounting + backlog clock.
+///
+/// `Send` (the policy box is `Send`-bounded), so a quote round can hand
+/// disjoint `&mut` node chunks to scoped worker threads.
 pub struct CacheNode {
     id: usize,
-    policy: Box<dyn CachePolicy>,
+    policy: Box<dyn CachePolicy + Send>,
     acc: RunAccumulator,
     backlog_until: SimTime,
 }
@@ -76,6 +79,20 @@ impl CacheNode {
     #[must_use]
     pub fn quote(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Money {
         self.policy.quote(ctx, query, now)
+    }
+
+    /// This node's bid given the quote round's shared lazy plan skeleton
+    /// (see [`CachePolicy::quote_with_skeleton`]) — bit-identical to
+    /// [`Self::quote`], minus the redundant cache-independent planning.
+    #[must_use]
+    pub fn quote_with_skeleton(
+        &self,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        skeleton: &LazySkeleton<'_>,
+        now: SimTime,
+    ) -> Money {
+        self.policy.quote_with_skeleton(ctx, query, skeleton, now)
     }
 
     /// Outstanding backlog in seconds of promised-but-undelivered response

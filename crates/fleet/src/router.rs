@@ -8,16 +8,27 @@
 //! * [`LeastOutstanding`] — joins the node with the smallest backlog of
 //!   promised-but-undelivered response time (join-the-shortest-queue);
 //! * [`CheapestQuote`] — the marketplace extension of the paper's economy:
-//!   every node's policy quotes its price `B_Q(t)` for the query
-//!   ([`policies::CachePolicy::quote`]) and the cheapest bid wins. Nodes
-//!   that invested well quote low and attract the traffic that amortizes
-//!   their structures — the self-tuning loop of Section IV-A, played as a
-//!   competition between clouds.
+//!   every node's policy quotes its price `B_Q(t)` for the query and the
+//!   cheapest bid wins. Nodes that invested well quote low and attract
+//!   the traffic that amortizes their structures — the self-tuning loop
+//!   of Section IV-A, played as a competition between clouds.
+//!
+//! A cheapest-quote round shares one lazily-built, cache-independent
+//! [`LazySkeleton`] across every node: the first node whose plan cache
+//! misses builds it, every other node binds it against its own cache
+//! state ([`CacheNode::quote_with_skeleton`]), and a round where every
+//! node hits builds nothing — the per-node work drops from full
+//! enumeration to the cheap completion phase. With
+//! `quote_threads > 1` the completions fan out over a scoped worker
+//! pool; the merge folds per-chunk minima in ascending node order, so
+//! the winner is **bit-identical** to the sequential scan at any thread
+//! count (`tests/fleet_determinism.rs` pins this).
 //!
 //! All strategies break ties toward the lowest node index, so routing is
 //! a deterministic function of the (node states, query, time) tuple.
 
-use planner::PlannerContext;
+use planner::{LazySkeleton, PlannerContext};
+use pricing::Money;
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use workload::Query;
@@ -31,12 +42,15 @@ pub trait Router {
 
     /// Picks the node (index into `nodes`) that serves `query` at `now`.
     ///
+    /// Nodes are borrowed mutably so quote fan-out can hand disjoint
+    /// chunks to worker threads; routing itself must not serve the query.
+    ///
     /// # Panics
     /// Implementations may panic if `nodes` is empty; fleet configs are
     /// validated to have at least one node.
     fn route(
         &mut self,
-        nodes: &[CacheNode],
+        nodes: &mut [CacheNode],
         ctx: &PlannerContext<'_>,
         query: &Query,
         now: SimTime,
@@ -56,7 +70,7 @@ impl Router for RoundRobin {
 
     fn route(
         &mut self,
-        nodes: &[CacheNode],
+        nodes: &mut [CacheNode],
         _ctx: &PlannerContext<'_>,
         _query: &Query,
         _now: SimTime,
@@ -78,7 +92,7 @@ impl Router for LeastOutstanding {
 
     fn route(
         &mut self,
-        nodes: &[CacheNode],
+        nodes: &mut [CacheNode],
         _ctx: &PlannerContext<'_>,
         _query: &Query,
         now: SimTime,
@@ -97,8 +111,99 @@ impl Router for LeastOutstanding {
 }
 
 /// Price-based routing: the node quoting the lowest `B_Q(t)` wins the bid.
-#[derive(Debug, Default)]
-pub struct CheapestQuote;
+///
+/// The round plans the query at most once (the shared [`LazySkeleton`],
+/// built by the first node that needs it) and gathers per-node
+/// completions — sequentially, or from a scoped worker pool when
+/// constructed with more than one thread. Either way the chosen node is
+/// the lowest-indexed minimum bidder, bit-identical across thread
+/// counts.
+#[derive(Debug)]
+pub struct CheapestQuote {
+    threads: usize,
+}
+
+impl Default for CheapestQuote {
+    fn default() -> Self {
+        CheapestQuote::new(1)
+    }
+}
+
+impl CheapestQuote {
+    /// A cheapest-quote router fanning bids out over `threads` workers
+    /// (1 = sequential; clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        CheapestQuote {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Sequential reference scan: first node with the minimal bid.
+    fn route_sequential(
+        nodes: &mut [CacheNode],
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        skeleton: &LazySkeleton<'_>,
+        now: SimTime,
+    ) -> usize {
+        let mut best = 0;
+        let mut best_bid = None;
+        for (i, node) in nodes.iter().enumerate() {
+            let bid = node.quote_with_skeleton(ctx, query, skeleton, now);
+            if best_bid.is_none_or(|b| bid < b) {
+                best = i;
+                best_bid = Some(bid);
+            }
+        }
+        best
+    }
+
+    /// Worker-pool scan: nodes split into contiguous chunks, each worker
+    /// returns its chunk's first minimal bid, and the fold walks chunks
+    /// in ascending node order keeping strict minima — exactly the
+    /// sequential scan's lowest-indexed winner.
+    fn route_pooled(
+        threads: usize,
+        nodes: &mut [CacheNode],
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        skeleton: &LazySkeleton<'_>,
+        now: SimTime,
+    ) -> usize {
+        let chunk_len = nodes.len().div_ceil(threads);
+        let chunk_best: Vec<(usize, Money)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .map(|(c, chunk)| {
+                    scope.spawn(move || {
+                        let base = c * chunk_len;
+                        let mut best: Option<(usize, Money)> = None;
+                        for (j, node) in chunk.iter().enumerate() {
+                            let bid = node.quote_with_skeleton(ctx, query, skeleton, now);
+                            if best.is_none_or(|(_, b)| bid < b) {
+                                best = Some((base + j, bid));
+                            }
+                        }
+                        best.expect("config validation: chunks are non-empty")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("quote worker panicked"))
+                .collect()
+        });
+        let mut best = chunk_best[0];
+        for &(i, bid) in &chunk_best[1..] {
+            if bid < best.1 {
+                best = (i, bid);
+            }
+        }
+        best.0
+    }
+}
 
 impl Router for CheapestQuote {
     fn name(&self) -> &'static str {
@@ -107,21 +212,20 @@ impl Router for CheapestQuote {
 
     fn route(
         &mut self,
-        nodes: &[CacheNode],
+        nodes: &mut [CacheNode],
         ctx: &PlannerContext<'_>,
         query: &Query,
         now: SimTime,
     ) -> usize {
-        let mut best = 0;
-        let mut best_bid = None;
-        for (i, node) in nodes.iter().enumerate() {
-            let bid = node.quote(ctx, query, now);
-            if best_bid.is_none_or(|b| bid < b) {
-                best = i;
-                best_bid = Some(bid);
-            }
+        // The cache-independent half of every node's planning: built at
+        // most once per round, by the first node whose memo misses.
+        let skeleton = LazySkeleton::new(ctx, query);
+        let threads = self.threads.min(nodes.len());
+        if threads <= 1 {
+            Self::route_sequential(nodes, ctx, query, &skeleton, now)
+        } else {
+            Self::route_pooled(threads, nodes, ctx, query, &skeleton, now)
         }
-        best
     }
 }
 
@@ -158,13 +262,15 @@ impl RouterKind {
         }
     }
 
-    /// Instantiates a fresh router of this kind.
+    /// Instantiates a fresh router of this kind. `quote_threads` sizes
+    /// the cheapest-quote worker pool (ignored by the other strategies);
+    /// results are invariant in it by construction.
     #[must_use]
-    pub fn make(&self) -> Box<dyn Router> {
+    pub fn make(&self, quote_threads: usize) -> Box<dyn Router> {
         match self {
             RouterKind::RoundRobin => Box::<RoundRobin>::default(),
             RouterKind::LeastOutstanding => Box::new(LeastOutstanding),
-            RouterKind::CheapestQuote => Box::new(CheapestQuote),
+            RouterKind::CheapestQuote => Box::new(CheapestQuote::new(quote_threads)),
         }
     }
 }
@@ -176,7 +282,7 @@ mod tests {
     #[test]
     fn kinds_and_names_line_up() {
         for kind in RouterKind::all() {
-            assert_eq!(kind.make().name(), kind.name());
+            assert_eq!(kind.make(1).name(), kind.name());
         }
     }
 
@@ -188,5 +294,12 @@ mod tests {
         assert_eq!(rr.next, 0);
         rr.next = 3;
         assert_eq!(rr.next % 4, 3);
+    }
+
+    #[test]
+    fn cheapest_quote_clamps_thread_count() {
+        let r = CheapestQuote::new(0);
+        assert_eq!(r.threads, 1);
+        assert_eq!(CheapestQuote::new(8).threads, 8);
     }
 }

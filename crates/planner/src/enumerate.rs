@@ -74,7 +74,10 @@ pub struct PlannerContext<'a> {
 /// predicates. Consults only the access's table via the prebuilt
 /// [`CandidateIndex`]; within a table, candidates are scored in registry
 /// order, so ties resolve exactly as a full registry scan would.
-fn best_index_for(ctx: &PlannerContext<'_>, access: &TableAccess) -> Option<usize> {
+///
+/// Cache-independent — shared with the skeleton builder
+/// (`crate::skeleton`), which must pick exactly the same variants.
+pub(crate) fn best_index_for(ctx: &PlannerContext<'_>, access: &TableAccess) -> Option<usize> {
     let rows = ctx.schema.table(access.table).row_count as f64;
     let mut best: Option<(usize, f64)> = None;
     for tc in ctx.cand_index.for_table(access.table) {
@@ -112,20 +115,23 @@ fn best_index_for(ctx: &PlannerContext<'_>, access: &TableAccess) -> Option<usiz
 /// whose vectors are cleared and refilled by the next enumeration.
 #[derive(Debug, Default)]
 pub struct PlanBuffer {
-    plans: Vec<QueryPlan>,
+    pub(crate) plans: Vec<QueryPlan>,
     free: Vec<QueryPlan>,
     spare: Option<Vec<QueryPlan>>,
-    missing_costs: Vec<Vec<Money>>,
+    pub(crate) missing_costs: Vec<Vec<Money>>,
     free_costs: Vec<Vec<Money>>,
     spare_costs: Option<Vec<Vec<Money>>>,
-    free_shapes: Vec<Vec<Option<cache::IndexId>>>,
+    pub(crate) free_shapes: Vec<Vec<Option<cache::IndexId>>>,
     seen_cols: Vec<ColumnId>,
     indexed: Vec<Option<usize>>,
     scan_slots: Vec<Option<usize>>,
     data_uses: Vec<StructureKey>,
-    data_missing: Vec<StructureKey>,
-    data_missing_costs: Vec<Money>,
-    missing_cols: Vec<ColumnId>,
+    pub(crate) data_missing: Vec<StructureKey>,
+    pub(crate) data_missing_costs: Vec<Money>,
+    pub(crate) missing_cols: Vec<ColumnId>,
+    /// Positions (into a skeleton variant's `uses`) of the missing
+    /// structures — completion scratch (`crate::skeleton`).
+    pub(crate) missing_pos: Vec<usize>,
 }
 
 impl PlanBuffer {
@@ -155,7 +161,7 @@ impl PlanBuffer {
     /// preserving `plans`' backing capacity for the pushes that follow
     /// (swapping the vector out would leak its capacity to the spare
     /// slot and force this enumeration to regrow from zero).
-    fn reclaim_in_place(&mut self) {
+    pub(crate) fn reclaim_in_place(&mut self) {
         self.free.append(&mut self.plans);
         self.free_costs.append(&mut self.missing_costs);
     }
@@ -182,14 +188,14 @@ impl PlanBuffer {
     }
 
     /// A pooled per-plan cost vector.
-    fn cost_vec(&mut self) -> Vec<Money> {
+    pub(crate) fn cost_vec(&mut self) -> Vec<Money> {
         let mut v = self.free_costs.pop().unwrap_or_default();
         v.clear();
         v
     }
 
     /// A plan shell to overwrite: recycled if available, fresh otherwise.
-    fn shell(&mut self) -> QueryPlan {
+    pub(crate) fn shell(&mut self) -> QueryPlan {
         self.free.pop().unwrap_or_else(|| QueryPlan {
             shape: PlanShape::Backend,
             exec_time: SimDuration::ZERO,
@@ -206,7 +212,7 @@ impl PlanBuffer {
     }
 
     /// Recovers the index-slot vector from a shell's shape for reuse.
-    fn shape_vec(shell: &mut QueryPlan) -> Vec<Option<cache::IndexId>> {
+    pub(crate) fn shape_vec(shell: &mut QueryPlan) -> Vec<Option<cache::IndexId>> {
         match std::mem::replace(&mut shell.shape, PlanShape::Backend) {
             PlanShape::Cache { mut indexes, .. } => {
                 indexes.clear();

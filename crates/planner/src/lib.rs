@@ -15,6 +15,11 @@
 //!   "recommend indexes" mode (the paper uses its top 65 candidates).
 //! * [`enumerate`] — produces the plan set `P_Q = P_exist ∪ P_pos` for a
 //!   query against the current cache state.
+//! * [`skeleton`] — the cache-independent half of enumeration
+//!   ([`PlanSkeleton`]) plus the cheap per-node completion phase, so a
+//!   fleet quote round plans each query once instead of once per node.
+//! * [`soa`] — struct-of-arrays projection of the selection-hot plan
+//!   fields (time, price, existing flag).
 //! * [`skyline`] — keeps only the (time, price)-Pareto plans, as the
 //!   paper's footnote 2 prescribes.
 
@@ -26,7 +31,9 @@ pub mod enumerate;
 pub mod estimator;
 pub mod plan;
 pub mod scaling;
+pub mod skeleton;
 pub mod skyline;
+pub mod soa;
 
 pub use candidates::{generate_candidates, CandidateIndex, TableCandidate};
 pub use enumerate::{
@@ -35,4 +42,6 @@ pub use enumerate::{
 pub use estimator::{CacheExecBase, CostParams, Estimator};
 pub use plan::{PlanShape, QueryPlan};
 pub use scaling::ParallelModel;
-pub use skyline::{skyline_filter, skyline_partition};
+pub use skeleton::{complete_plans_into, LazySkeleton, PlanSkeleton};
+pub use skyline::{skyline_filter, skyline_partition, skyline_partition_hot};
+pub use soa::PlanHot;

@@ -1,0 +1,689 @@
+//! The cache-independent half of plan enumeration.
+//!
+//! In a fleet quote round every node bidding on the same query enumerates
+//! the same plan set — yet most of that work (backend estimate, candidate
+//! index choice, per-variant execution volumes, build-cost shapes) reads
+//! only the [`PlannerContext`] and the query, never the node's
+//! [`CacheState`]. A [`PlanSkeleton`] captures exactly that half, so a
+//! quote round computes it **once** and each node runs only the cheap
+//! completion phase ([`complete_plans_into`]) that binds the skeleton
+//! against its own cache: which structures exist, which are still
+//! building, and what amortisation/maintenance dues they carry.
+//!
+//! The split is exact: for any cache state, clock and enumeration
+//! options, `PlanSkeleton::build` + `complete_plans_into` emits plans
+//! **bit-identical** to the fused [`enumerate_plans_into`] — same plans,
+//! same order, same prices. `tests/skeleton_split.rs` pins the property
+//! over random cache histories; the economy's memoization and the fleet's
+//! routing determinism both rest on it.
+//!
+//! The skeleton is a *superset*: it is built with every plan family
+//! enabled (indexes and extra nodes), and the completion phase filters by
+//! the caller's [`EnumerationOptions`]. One skeleton therefore serves
+//! heterogeneous nodes (econ-cheap, econ-fast, econ-col) in the same
+//! quote round. Hot per-(variant, node-count) execution fields are stored
+//! in struct-of-arrays form ([`ExecCells`]), matching the SoA selection
+//! scans in [`crate::soa`].
+
+use std::sync::Arc;
+
+use cache::{CacheState, CachedStructure, IndexDef, IndexId, StructureKey};
+use catalog::ColumnId;
+use metrics::CostBreakdown;
+use pricing::Money;
+use simcore::{SimDuration, SimTime};
+use workload::Query;
+
+use crate::enumerate::{best_index_for, EnumerationOptions, PlanBuffer, PlannerContext};
+use crate::plan::PlanShape;
+
+/// One key column's standalone fetch quote (eq. 12), charged at
+/// completion time only when the column is neither cached nor already
+/// among the plan's missing columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyFetch {
+    /// The key column.
+    pub column: ColumnId,
+    /// Transfer cost if the fetch is charged.
+    pub cost: Money,
+    /// Transfer time if the fetch is charged.
+    pub time: SimDuration,
+}
+
+/// The cache-independent build-cost shape of one structure in a variant's
+/// `uses` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildShape {
+    /// Column transfer from the back-end (eq. 12): the full quote.
+    Column {
+        /// Build cost.
+        cost: Money,
+        /// Transfer time.
+        time: SimDuration,
+    },
+    /// Index build (eq. 14), decomposed: the sort plan over the keyed
+    /// data (always charged) plus per-key-column fetches (conditionally
+    /// charged — a key column already cached, or being built by the same
+    /// plan, is not fetched twice).
+    Index {
+        /// Sort-plan cost (CPU + I/O), fetches excluded.
+        sort_cost: Money,
+        /// Sort-plan time, fetches excluded.
+        sort_time: SimDuration,
+        /// Conditional fetch quotes, in key-column order.
+        keys: Vec<KeyFetch>,
+    },
+}
+
+/// Per-(node-count) execution cells of one index variant, struct-of-arrays:
+/// the skyline/selection hot fields live in parallel slices instead of
+/// being scattered across plan structs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecCells {
+    /// Total CPU nodes employed per cell (mirrors
+    /// `CostParams::node_options` order).
+    pub nodes: Vec<u32>,
+    /// Wall-clock execution time per cell.
+    pub time: Vec<SimDuration>,
+    /// Execution cost `Ce` per cell.
+    pub cost: Vec<Money>,
+    /// Per-resource split of the execution cost per cell.
+    pub breakdown: Vec<CostBreakdown>,
+}
+
+impl ExecCells {
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no cells are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, nodes: u32, time: SimDuration, cost: Money, breakdown: CostBreakdown) {
+        self.nodes.push(nodes);
+        self.time.push(time);
+        self.cost.push(cost);
+        self.breakdown.push(breakdown);
+    }
+}
+
+/// One index-assignment variant of the skeleton: the scan-only variant,
+/// or the best-index variant when any access has a serving candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantSkeleton {
+    /// Index assigned per table access (`None` = column scan), for the
+    /// emitted [`PlanShape`].
+    pub indexes: Vec<Option<IndexId>>,
+    /// True for the indexed variant — skipped at completion when the
+    /// policy forbids index plans.
+    pub uses_indexes: bool,
+    /// Data structures the variant employs: accessed columns in
+    /// first-seen order, then the assigned indexes. Extra CPU nodes are
+    /// appended per node count at completion.
+    pub uses: Vec<StructureKey>,
+    /// Build-cost shape per entry of `uses` (parallel).
+    pub builds: Vec<BuildShape>,
+    /// Execution estimates at every node count (SoA).
+    pub cells: ExecCells,
+}
+
+/// Everything about a query's plan set that does not depend on any node's
+/// cache state — computed once per query, shared across every node that
+/// bids on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSkeleton {
+    /// Backend execution time (eq. 9).
+    pub backend_time: SimDuration,
+    /// Backend execution cost.
+    pub backend_cost: Money,
+    /// Backend per-resource cost split.
+    pub backend_breakdown: CostBreakdown,
+    /// Extra-CPU-node build quote (eq. 10): (cost, boot time).
+    pub node_build_cost: Money,
+    /// Node boot time.
+    pub node_build_time: SimDuration,
+    /// Index variants: scan-only first, then the best-index variant when
+    /// one exists.
+    pub variants: Vec<VariantSkeleton>,
+}
+
+/// A [`PlanSkeleton`] built on first use and shared from then on.
+///
+/// A quote round hands every bidding node one of these; in the
+/// prepared-statement regime where every node's plan cache fully hits,
+/// nobody calls [`Self::get`] and the round pays nothing for a skeleton
+/// it never reads. The cell is thread-safe, so workers of a parallel
+/// fan-out race benignly (the build is a pure function — every winner
+/// produces identical bits).
+pub struct LazySkeleton<'a> {
+    ctx: PlannerContext<'a>,
+    query: &'a Query,
+    cell: std::sync::OnceLock<Arc<PlanSkeleton>>,
+}
+
+impl<'a> LazySkeleton<'a> {
+    /// An unbuilt skeleton for `query`.
+    #[must_use]
+    pub fn new(ctx: &PlannerContext<'a>, query: &'a Query) -> Self {
+        LazySkeleton {
+            ctx: *ctx,
+            query,
+            cell: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The skeleton, building it on first call.
+    pub fn get(&self) -> &Arc<PlanSkeleton> {
+        self.cell
+            .get_or_init(|| Arc::new(PlanSkeleton::build(&self.ctx, self.query)))
+    }
+
+    /// True if some caller has forced the build already.
+    #[must_use]
+    pub fn is_built(&self) -> bool {
+        self.cell.get().is_some()
+    }
+}
+
+impl PlanSkeleton {
+    /// Builds the skeleton for `query`: every plan family enabled, no
+    /// cache state consulted. Deterministic — two builds from the same
+    /// context and query are identical.
+    #[must_use]
+    pub fn build(ctx: &PlannerContext<'_>, query: &Query) -> PlanSkeleton {
+        let backend_est = ctx.estimator.backend_execution(ctx.schema, query);
+        let (backend_cost, backend_breakdown) = ctx.estimator.price_execution(&backend_est);
+        let (node_build_cost, node_build_time) = ctx.estimator.build_node();
+
+        let mut variants = Vec::with_capacity(2);
+        let scan: Vec<Option<usize>> = vec![None; query.accesses.len()];
+        variants.push(build_variant(ctx, query, &scan));
+        let picks: Vec<Option<usize>> = query
+            .accesses
+            .iter()
+            .map(|a| best_index_for(ctx, a))
+            .collect();
+        if picks.iter().any(Option::is_some) {
+            variants.push(build_variant(ctx, query, &picks));
+        }
+
+        PlanSkeleton {
+            backend_time: backend_est.time,
+            backend_cost,
+            backend_breakdown,
+            node_build_cost,
+            node_build_time,
+            variants,
+        }
+    }
+}
+
+/// Builds one variant's skeleton from its per-access index assignment
+/// (positions into `ctx.candidates`).
+fn build_variant(
+    ctx: &PlannerContext<'_>,
+    query: &Query,
+    indexes: &[Option<usize>],
+) -> VariantSkeleton {
+    let idx_refs: Vec<Option<&IndexDef>> = indexes
+        .iter()
+        .map(|o| o.map(|pos| &ctx.candidates[pos]))
+        .collect();
+    let base = ctx
+        .estimator
+        .cache_execution_base(ctx.schema, query, &idx_refs);
+
+    // Same uses order as the fused enumerator: accessed columns
+    // deduplicated in first-seen order, then each assigned index.
+    let mut uses: Vec<StructureKey> = Vec::new();
+    let mut seen: Vec<ColumnId> = Vec::new();
+    for access in &query.accesses {
+        for &c in &access.columns {
+            if !seen.contains(&c) {
+                seen.push(c);
+                uses.push(StructureKey::Column(c));
+            }
+        }
+    }
+    for idx in idx_refs.iter().flatten() {
+        uses.push(StructureKey::Index(idx.id));
+    }
+
+    let builds: Vec<BuildShape> = uses
+        .iter()
+        .map(|&key| match key {
+            StructureKey::Column(c) => {
+                let (cost, time) = ctx.estimator.build_column(ctx.schema, c);
+                BuildShape::Column { cost, time }
+            }
+            StructureKey::Index(id) => {
+                let def = &ctx.candidates[id.index()];
+                // With every key column reported cached, `build_index`
+                // quotes the pure sort plan (no fetches).
+                let (sort_cost, sort_time) = ctx.estimator.build_index(ctx.schema, def, |_| true);
+                let keys = def
+                    .key_columns
+                    .iter()
+                    .map(|&c| {
+                        let (cost, time) = ctx.estimator.build_column(ctx.schema, c);
+                        KeyFetch {
+                            column: c,
+                            cost,
+                            time,
+                        }
+                    })
+                    .collect();
+                BuildShape::Index {
+                    sort_cost,
+                    sort_time,
+                    keys,
+                }
+            }
+            StructureKey::Node(_) => unreachable!("nodes are appended per node count"),
+        })
+        .collect();
+
+    let mut cells = ExecCells::default();
+    for &k in &ctx.estimator.params().node_options {
+        let est = ctx.estimator.scale_cache_execution(&base, k);
+        let (cost, breakdown) = ctx.estimator.price_execution(&est);
+        cells.push(k, est.time, cost, breakdown);
+    }
+
+    VariantSkeleton {
+        indexes: idx_refs.iter().map(|o| o.map(|i| i.id)).collect(),
+        uses_indexes: idx_refs.iter().any(Option::is_some),
+        uses,
+        builds,
+        cells,
+    }
+}
+
+/// The per-node completion phase: binds a shared [`PlanSkeleton`] against
+/// one node's cache state, emitting the full costed plan set into
+/// caller-owned storage.
+///
+/// `price` quotes a structure's maintenance over a span (the estimator's
+/// eq. 11/13/15) — the only cost-model access completion needs.
+///
+/// Bit-identical to [`enumerate_plans_into`] with the same cache, clock
+/// and options: same plans, same order, same prices, and the same
+/// per-plan missing-build quotes left in the buffer
+/// ([`PlanBuffer::take_missing_costs`]).
+///
+/// [`enumerate_plans_into`]: crate::enumerate::enumerate_plans_into
+///
+/// # Panics
+/// Panics if `opts.amortize_n == 0`.
+pub fn complete_plans_into<F>(
+    skel: &PlanSkeleton,
+    cache: &CacheState,
+    now: SimTime,
+    opts: EnumerationOptions,
+    price: F,
+    buf: &mut PlanBuffer,
+) where
+    F: Fn(&CachedStructure, SimDuration) -> Money,
+{
+    assert!(opts.amortize_n > 0, "amortization horizon must be positive");
+    buf.reclaim_in_place();
+
+    // --- Backend plan (always P_exist). ---
+    let mut shell = buf.shell();
+    let recovered_shape = PlanBuffer::shape_vec(&mut shell);
+    if recovered_shape.capacity() > 0 {
+        buf.free_shapes.push(recovered_shape);
+    }
+    shell.shape = PlanShape::Backend;
+    shell.exec_time = skel.backend_time;
+    shell.exec_cost = skel.backend_cost;
+    shell.exec_breakdown = skel.backend_breakdown;
+    shell.uses.clear();
+    shell.missing.clear();
+    shell.build_cost = Money::ZERO;
+    shell.build_time = SimDuration::ZERO;
+    shell.amortized_cost = Money::ZERO;
+    shell.maintenance_cost = Money::ZERO;
+    shell.price = skel.backend_cost;
+    buf.plans.push(shell);
+    let backend_costs = buf.cost_vec();
+    buf.missing_costs.push(backend_costs);
+
+    for variant in &skel.variants {
+        if variant.uses_indexes && !opts.allow_indexes {
+            continue;
+        }
+        complete_variant(skel, variant, cache, now, opts, &price, buf);
+    }
+}
+
+/// Emits one variant's cache plans at every allowed node count.
+fn complete_variant<F>(
+    skel: &PlanSkeleton,
+    variant: &VariantSkeleton,
+    cache: &CacheState,
+    now: SimTime,
+    opts: EnumerationOptions,
+    price: &F,
+    buf: &mut PlanBuffer,
+) where
+    F: Fn(&CachedStructure, SimDuration) -> Money,
+{
+    // Partition uses into existing vs missing against *this* cache.
+    buf.data_missing.clear();
+    buf.missing_pos.clear();
+    buf.missing_cols.clear();
+    for (pos, &key) in variant.uses.iter().enumerate() {
+        if !cache.is_available(key, now) {
+            buf.data_missing.push(key);
+            buf.missing_pos.push(pos);
+            if let StructureKey::Column(c) = key {
+                buf.missing_cols.push(c);
+            }
+        }
+    }
+
+    // Quote each missing structure's build from its skeleton shape —
+    // exactly what the fused enumerator's estimator calls would return.
+    buf.data_missing_costs.clear();
+    let mut data_build_cost = Money::ZERO;
+    let mut data_build_time = SimDuration::ZERO;
+    let mut data_missing_amort = Money::ZERO;
+    for &pos in &buf.missing_pos {
+        let (cost, time) = match &variant.builds[pos] {
+            BuildShape::Column { cost, time } => (*cost, *time),
+            BuildShape::Index {
+                sort_cost,
+                sort_time,
+                keys,
+            } => {
+                let mut cost = *sort_cost;
+                let mut fetch_time = SimDuration::ZERO;
+                for kf in keys {
+                    let covered = cache.contains(StructureKey::Column(kf.column))
+                        || buf.missing_cols.contains(&kf.column);
+                    if !covered {
+                        cost += kf.cost;
+                        if kf.time > fetch_time {
+                            fetch_time = kf.time;
+                        }
+                    }
+                }
+                (cost, fetch_time + *sort_time)
+            }
+        };
+        data_build_cost += cost;
+        if time > data_build_time {
+            data_build_time = time;
+        }
+        data_missing_amort += cost.amortize_over(opts.amortize_n);
+        buf.data_missing_costs.push(cost);
+    }
+
+    // Existing data structures: pending installments and capped
+    // maintenance backlog — must quote exactly what
+    // `CacheState::settle_usage` will charge.
+    let mut data_exist_amort = Money::ZERO;
+    let mut data_maintenance = Money::ZERO;
+    for &key in &variant.uses {
+        if let Some(s) = cache.get(key) {
+            if s.is_available(now) {
+                data_exist_amort += s.amortization_due();
+                let span = now
+                    .saturating_since(s.maint_paid_until)
+                    .min(opts.maint_window);
+                data_maintenance += price(s, span);
+            }
+        }
+    }
+
+    let node_installment = skel.node_build_cost.amortize_over(opts.amortize_n);
+
+    for cell in 0..variant.cells.len() {
+        let k = variant.cells.nodes[cell];
+        if k > 1 && !opts.allow_extra_nodes {
+            continue;
+        }
+
+        let mut shell = buf.shell();
+        let mut shape_indexes = PlanBuffer::shape_vec(&mut shell);
+        if shape_indexes.capacity() == 0 {
+            if let Some(pooled) = buf.free_shapes.pop() {
+                shape_indexes = pooled;
+            }
+        }
+        shape_indexes.extend_from_slice(&variant.indexes);
+
+        shell.uses.clear();
+        shell.uses.extend_from_slice(&variant.uses);
+        shell.missing.clear();
+        shell.missing.extend_from_slice(&buf.data_missing);
+        let mut plan_costs = buf.cost_vec();
+        plan_costs.extend_from_slice(&buf.data_missing_costs);
+
+        let mut build_cost = data_build_cost;
+        let mut build_time = data_build_time;
+        let mut amortized = data_exist_amort + data_missing_amort;
+        let mut maintenance = data_maintenance;
+        for ordinal in 0..k.saturating_sub(1) {
+            let key = StructureKey::Node(ordinal);
+            shell.uses.push(key);
+            match cache.get(key) {
+                Some(s) if s.is_available(now) => {
+                    amortized += s.amortization_due();
+                    let span = now
+                        .saturating_since(s.maint_paid_until)
+                        .min(opts.maint_window);
+                    maintenance += price(s, span);
+                }
+                _ => {
+                    shell.missing.push(key);
+                    build_cost += skel.node_build_cost;
+                    if skel.node_build_time > build_time {
+                        build_time = skel.node_build_time;
+                    }
+                    amortized += node_installment;
+                    plan_costs.push(skel.node_build_cost);
+                }
+            }
+        }
+
+        shell.shape = PlanShape::Cache {
+            indexes: shape_indexes,
+            nodes: k,
+        };
+        shell.exec_time = variant.cells.time[cell];
+        shell.exec_cost = variant.cells.cost[cell];
+        shell.exec_breakdown = variant.cells.breakdown[cell];
+        shell.build_cost = build_cost;
+        shell.build_time = build_time;
+        shell.amortized_cost = amortized;
+        shell.maintenance_cost = maintenance;
+        shell.price = variant.cells.cost[cell] + amortized + maintenance;
+        buf.plans.push(shell);
+        buf.missing_costs.push(plan_costs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{generate_candidates, CandidateIndex};
+    use crate::enumerate::enumerate_plans_into;
+    use crate::estimator::{CostParams, Estimator};
+    use catalog::tpch::{tpch_schema, ScaleFactor};
+    use catalog::Schema;
+    use pricing::PriceCatalog;
+    use simcore::NetworkModel;
+    use std::sync::Arc;
+    use workload::{paper_templates, WorkloadConfig, WorkloadGenerator};
+
+    struct Fixture {
+        schema: Arc<Schema>,
+        candidates: Vec<IndexDef>,
+        cand_index: CandidateIndex,
+        estimator: Estimator,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let schema = Arc::new(tpch_schema(ScaleFactor(10.0)));
+            let templates = paper_templates(&schema);
+            let candidates = generate_candidates(&schema, &templates, 65);
+            let cand_index = CandidateIndex::build(&schema, &candidates);
+            let estimator = Estimator::new(
+                CostParams::default(),
+                PriceCatalog::ec2_2009(),
+                NetworkModel::paper_sdss(),
+            );
+            Fixture {
+                schema,
+                candidates,
+                cand_index,
+                estimator,
+            }
+        }
+
+        fn ctx(&self) -> PlannerContext<'_> {
+            PlannerContext {
+                schema: &self.schema,
+                candidates: &self.candidates,
+                cand_index: &self.cand_index,
+                estimator: &self.estimator,
+            }
+        }
+
+        fn query(&self, seed: u64) -> Query {
+            WorkloadGenerator::new(Arc::clone(&self.schema), WorkloadConfig::default(), seed)
+                .next_query()
+        }
+    }
+
+    fn opts_grid() -> [EnumerationOptions; 4] {
+        let base = EnumerationOptions::default();
+        [
+            base,
+            EnumerationOptions {
+                allow_indexes: false,
+                ..base
+            },
+            EnumerationOptions {
+                allow_extra_nodes: false,
+                ..base
+            },
+            EnumerationOptions {
+                allow_indexes: false,
+                allow_extra_nodes: false,
+                ..base
+            },
+        ]
+    }
+
+    #[test]
+    fn split_matches_fused_on_a_cold_cache() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        for seed in 0..10 {
+            let q = f.query(seed);
+            let skel = PlanSkeleton::build(&ctx, &q);
+            for opts in opts_grid() {
+                let cache = CacheState::new();
+                let mut fused = PlanBuffer::new();
+                enumerate_plans_into(&ctx, &q, &cache, SimTime::ZERO, opts, &mut fused);
+                let mut split = PlanBuffer::new();
+                complete_plans_into(
+                    &skel,
+                    &cache,
+                    SimTime::ZERO,
+                    opts,
+                    |s, span| f.estimator.maintenance(s, span),
+                    &mut split,
+                );
+                assert_eq!(split.take(), fused.take(), "seed {seed}, opts {opts:?}");
+                assert_eq!(split.take_missing_costs(), fused.take_missing_costs());
+            }
+        }
+    }
+
+    #[test]
+    fn split_matches_fused_on_a_warm_cache() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let q = f.query(3);
+        let mut cache = CacheState::new();
+        // Cache some of the query's columns (one still in flight) plus a
+        // candidate index, leaving others missing.
+        for (i, c) in q.all_columns().enumerate() {
+            if i % 2 == 0 {
+                let build = SimDuration::from_secs(if i == 0 { 500.0 } else { 0.0 });
+                cache.install(
+                    StructureKey::Column(c),
+                    f.schema.column_bytes(c),
+                    SimTime::ZERO,
+                    build,
+                    Money::from_dollars(0.5),
+                    100,
+                );
+            }
+        }
+        cache.install(
+            StructureKey::Index(f.candidates[0].id),
+            1_000,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            Money::from_dollars(0.2),
+            100,
+        );
+        cache.install(
+            StructureKey::Node(0),
+            0,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            Money::from_cents(10),
+            100,
+        );
+        let now = SimTime::from_secs(100.0);
+        let skel = PlanSkeleton::build(&ctx, &q);
+        for opts in opts_grid() {
+            let mut fused = PlanBuffer::new();
+            enumerate_plans_into(&ctx, &q, &cache, now, opts, &mut fused);
+            let mut split = PlanBuffer::new();
+            complete_plans_into(
+                &skel,
+                &cache,
+                now,
+                opts,
+                |s, span| f.estimator.maintenance(s, span),
+                &mut split,
+            );
+            assert_eq!(split.take(), fused.take(), "opts {opts:?}");
+            assert_eq!(split.take_missing_costs(), fused.take_missing_costs());
+        }
+    }
+
+    #[test]
+    fn skeleton_is_deterministic() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let q = f.query(7);
+        assert_eq!(PlanSkeleton::build(&ctx, &q), PlanSkeleton::build(&ctx, &q));
+    }
+
+    #[test]
+    fn skeleton_cells_cover_every_node_option() {
+        let f = Fixture::new();
+        let ctx = f.ctx();
+        let skel = PlanSkeleton::build(&ctx, &f.query(1));
+        for v in &skel.variants {
+            assert_eq!(v.cells.nodes, f.estimator.params().node_options);
+            assert_eq!(v.cells.len(), v.cells.time.len());
+            assert_eq!(v.cells.len(), v.cells.cost.len());
+            assert_eq!(v.uses.len(), v.builds.len());
+        }
+    }
+}

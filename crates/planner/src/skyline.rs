@@ -7,6 +7,7 @@
 //! *and* at least as cheap (with one strict).
 
 use crate::plan::QueryPlan;
+use crate::soa::PlanHot;
 
 /// Reduces `plans` to its (time, price) skyline.
 ///
@@ -54,35 +55,40 @@ pub fn skyline_partition(
     order: &mut Vec<usize>,
     out: &mut Vec<usize>,
 ) -> usize {
+    skyline_partition_hot(&PlanHot::of(plans), order, out)
+}
+
+/// [`skyline_partition`] over a struct-of-arrays plan view: the sort key
+/// comparisons and the two min-scans read dense parallel slices
+/// ([`PlanHot`]) instead of strided plan structs. Identical output for
+/// identical (time, price, existing) rows.
+pub fn skyline_partition_hot(hot: &PlanHot, order: &mut Vec<usize>, out: &mut Vec<usize>) -> usize {
     order.clear();
-    order.extend(0..plans.len());
+    order.extend(0..hot.len());
     // Stable sort by (time, price): equal keys keep enumeration order, so
     // ties break exactly as in `skyline_filter`.
     order.sort_by(|&a, &b| {
-        plans[a]
-            .exec_time
-            .cmp(&plans[b].exec_time)
-            .then(plans[a].price.cmp(&plans[b].price))
+        hot.time[a]
+            .cmp(&hot.time[b])
+            .then(hot.price[a].cmp(&hot.price[b]))
     });
 
     out.clear();
     let mut min_exist: Option<pricing::Money> = None;
     for &i in order.iter() {
-        let p = &plans[i];
-        if p.is_existing() && min_exist.is_none_or(|m| p.price < m) {
+        if hot.existing[i] && min_exist.is_none_or(|m| hot.price[i] < m) {
             out.push(i);
-            min_exist = Some(p.price);
+            min_exist = Some(hot.price[i]);
         }
     }
     let existing = out.len();
     let mut min_all: Option<pricing::Money> = None;
     for &i in order.iter() {
-        let p = &plans[i];
-        if min_all.is_none_or(|m| p.price < m) {
-            if !p.is_existing() {
+        if min_all.is_none_or(|m| hot.price[i] < m) {
+            if !hot.existing[i] {
                 out.push(i);
             }
-            min_all = Some(p.price);
+            min_all = Some(hot.price[i]);
         }
     }
     existing

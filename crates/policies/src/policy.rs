@@ -1,7 +1,7 @@
 //! The policy interface the simulator drives.
 
 use metrics::CostBreakdown;
-use planner::PlannerContext;
+use planner::{LazySkeleton, PlannerContext};
 use pricing::Money;
 use simcore::{SimDuration, SimTime};
 use workload::Query;
@@ -53,6 +53,28 @@ pub trait CachePolicy {
     /// contract — the realized charge can differ if serving the query
     /// first triggers evictions or investments.
     fn quote(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Money;
+
+    /// [`Self::quote`] given the quote round's shared, lazily-built
+    /// plan skeleton for `query` — fleet rounds create one
+    /// [`LazySkeleton`] and pass it to every bidding node, so the
+    /// cache-independent half of planning is computed at most once per
+    /// round (and not at all when every node's plan cache hits).
+    ///
+    /// Must return exactly what [`Self::quote`] would (the skeleton is a
+    /// pure function of `(ctx, query)`); the default implementation
+    /// ignores the skeleton and delegates, which is always correct.
+    /// Policies whose planning factors through the skeleton (the economic
+    /// schemes) override this to skip the redundant enumeration.
+    fn quote_with_skeleton(
+        &self,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        skeleton: &LazySkeleton<'_>,
+        now: SimTime,
+    ) -> Money {
+        let _ = skeleton;
+        self.quote(ctx, query, now)
+    }
 
     /// Cache disk currently occupied (bytes).
     fn disk_used(&self) -> u64;

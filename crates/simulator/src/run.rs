@@ -29,13 +29,14 @@ use crate::step::RunAccumulator;
 /// economy configuration (ignored by the bypass scheme).
 ///
 /// Shared by [`Simulation`] and the fleet executor, which builds one
-/// policy per cache node.
+/// policy per cache node. The box is `Send` so fleet quote rounds can
+/// fan per-node completions out over a scoped worker pool.
 #[must_use]
 pub fn make_policy(
     scheme: &Scheme,
     schema: &Arc<Schema>,
     econ: &EconConfig,
-) -> Box<dyn CachePolicy> {
+) -> Box<dyn CachePolicy + Send> {
     match scheme {
         Scheme::Bypass { cache_fraction } => {
             Box::new(BypassYieldPolicy::new(schema, *cache_fraction))
@@ -115,7 +116,7 @@ impl Simulation {
         &self.schema
     }
 
-    fn make_policy(&self) -> Box<dyn CachePolicy> {
+    fn make_policy(&self) -> Box<dyn CachePolicy + Send> {
         make_policy(&self.config.scheme, &self.schema, &self.config.econ)
     }
 

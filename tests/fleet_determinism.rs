@@ -4,7 +4,11 @@
 //! 1. same seed ⇒ identical `FleetResult` (pure function of the config);
 //! 2. fleet aggregates are invariant under the shard (worker-thread)
 //!    count: 1 worker and 4 workers produce bit-identical cost and mean
-//!    response time.
+//!    response time;
+//! 3. cheapest-quote aggregates are invariant under the quote fan-out
+//!    worker-pool size: gathering per-node bids from 1, 2, 4 or 8
+//!    threads picks bit-identical winners (the deterministic merge of
+//!    `fleet::router::CheapestQuote`).
 
 use cloudcache::fleet::{run_fleet, FleetConfig, FleetResult, RouterKind};
 
@@ -113,6 +117,31 @@ fn aggregates_invariant_under_shard_count() {
             fingerprint(&parallel),
             "full fingerprint varied with shard count under {}",
             sequential.router
+        );
+    }
+}
+
+#[test]
+fn aggregates_invariant_under_quote_thread_count() {
+    // 8 nodes so the pool actually splits work; shards stay at 1 so only
+    // the quote fan-out knob moves.
+    let run = |threads: usize| {
+        let mut c = FleetConfig::mixed(10, 8, 60);
+        c.scale_factor = 10.0;
+        c.cells = 5;
+        c.shards = 1;
+        c.router = RouterKind::CheapestQuote;
+        c.seed = 23;
+        c.quote_threads = threads;
+        run_fleet(c)
+    };
+    let sequential = run(1);
+    for threads in [2, 4, 8] {
+        let pooled = run(threads);
+        assert_eq!(
+            fingerprint(&sequential),
+            fingerprint(&pooled),
+            "aggregates varied at quote_threads={threads}"
         );
     }
 }

@@ -7,7 +7,9 @@
 //! arrivals (including simultaneous ones), repeated instances, installs,
 //! failures and evictions. The fleet's cheapest-quote routing must
 //! likewise be unchanged. Alongside, the cache planning epoch must be
-//! monotone — the property the memo's validity check rests on.
+//! monotone — the property the memo's validity check rests on — and the
+//! 2-way associative sets must hold two live instances of one template
+//! without thrashing.
 
 use std::sync::Arc;
 
@@ -240,6 +242,83 @@ fn quote_then_serve_reuses_the_quotes_plan_set() {
         stats.hits >= n as u64,
         "every serve should hit the plan set its own quote enumerated, saw {stats:?}"
     );
+}
+
+/// Two live instances of one template must coexist in the memo — the
+/// direct-mapped thrash case: alternating A, B, A, B… used to evict on
+/// every lookup (zero hits); the 2-way associative sets hold both, so
+/// every lookup after the first cycle hits.
+#[test]
+fn two_instances_of_one_template_stop_evicting_each_other() {
+    let harness = Harness::new();
+    let ctx = harness.ctx();
+    let mut gen = WorkloadGenerator::new(Arc::clone(&harness.schema), WorkloadConfig::default(), 5);
+    // Two distinct instances of the same template.
+    let a = gen.next_query();
+    let b = loop {
+        let q = gen.next_query();
+        if q.template == a.template {
+            break q;
+        }
+    };
+    assert_ne!(
+        (a.accesses.clone(), a.result_rows),
+        (b.accesses.clone(), b.result_rows),
+        "instances must differ for the thrash case to mean anything"
+    );
+    let mut manager = EconomyManager::new(EconConfig::default());
+    let n = 200usize;
+    for i in 0..n {
+        let now = SimTime::from_secs((i + 1) as f64);
+        let q = if i % 2 == 0 { &a } else { &b };
+        let _ = manager.process_query(&ctx, q, now);
+    }
+    let stats = manager.plan_cache_stats();
+    assert_eq!(stats.misses, 2, "each instance enumerates exactly once");
+    assert_eq!(
+        stats.hits,
+        n as u64 - 2,
+        "every later lookup must hit, saw {stats:?}"
+    );
+}
+
+/// When the cache epoch moves under a memoized template (investments,
+/// evictions), the memo re-runs only the cheap completion phase from the
+/// stored skeleton instead of a full re-enumeration.
+#[test]
+fn epoch_changes_recomplete_instead_of_re_enumerating() {
+    let harness = Harness::new();
+    let ctx = harness.ctx();
+    let mut gen = WorkloadGenerator::new(Arc::clone(&harness.schema), WorkloadConfig::default(), 9);
+    let templates = gen.templates().len();
+    let mut picked: Vec<Option<Query>> = vec![None; templates];
+    while picked.iter().any(Option::is_none) {
+        let q = gen.next_query();
+        let slot = q.template.0;
+        picked[slot].get_or_insert(q);
+    }
+    let pool: Vec<Query> = picked.into_iter().map(Option::unwrap).collect();
+    // Biting economics: investments fire within the run, bumping the
+    // cache epoch under the memoized templates.
+    let mut manager = EconomyManager::new(biting_config(true));
+    let mut invested = 0usize;
+    for i in 0..2_500usize {
+        let now = SimTime::from_secs((i + 1) as f64);
+        let o = manager.process_query(&ctx, &pool[i % pool.len()], now);
+        invested += o.investments.len();
+    }
+    assert!(invested > 0, "economics must bite for this test to bite");
+    let stats = manager.plan_cache_stats();
+    assert_eq!(
+        stats.misses,
+        pool.len() as u64,
+        "epoch changes must not cause full re-enumerations, saw {stats:?}"
+    );
+    assert!(
+        stats.completions > 0,
+        "epoch changes should re-run completions, saw {stats:?}"
+    );
+    assert!(stats.hits > stats.completions, "stable stretches dominate");
 }
 
 /// Cheapest-quote routing decisions must be unchanged by memoization:
