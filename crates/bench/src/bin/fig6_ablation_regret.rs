@@ -8,7 +8,8 @@
 //! Usage: `cargo run --release -p bench --bin fig6_ablation_regret [sf] [queries]`
 
 use bench::{
-    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json,
+    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json, Row,
+    RowSet,
 };
 use simulator::{Scheme, SimConfig};
 
@@ -36,45 +37,29 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>8} {:>8} {:>8}",
         "a", "cost ($)", "resp (s)", "hits %", "builds", "evicts"
     );
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut set = RowSet::new();
     for (a, r) in fractions.iter().zip(&results) {
-        println!(
-            "{:<8} {:>12.2} {:>12.3} {:>7.1}% {:>8} {:>8}",
-            a,
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate() * 100.0,
-            r.investments,
-            r.evictions
-        );
-        rows.push(format!(
-            "{a},{:.4},{:.4},{:.4},{},{}",
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate(),
-            r.investments,
-            r.evictions
-        ));
-        json_rows.push(format!(
-            "  {{\"a\": {a}, \"total_cost_usd\": {:.4}, \"mean_response_s\": {:.4}, \"hit_rate\": {:.4}, \"builds\": {}, \"evicts\": {}}}",
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate(),
-            r.investments,
-            r.evictions
-        ));
+        let row = Row::new()
+            .num_cell("a", a, 8, true)
+            .f64_cell(
+                "total_cost_usd",
+                r.total_operating_cost().as_dollars(),
+                12,
+                2,
+                4,
+            )
+            .f64_cell("mean_response_s", r.mean_response_secs(), 12, 3, 4)
+            .pct_cell("hit_rate", r.hit_rate(), 7, 4)
+            .num_cell("builds", r.investments, 8, false)
+            .num_cell("evicts", r.evictions, 8, false);
+        println!("{}", set.push(row));
     }
-    write_csv(
-        "fig6_ablation_regret",
-        "a,total_cost_usd,mean_response_s,hit_rate,builds,evicts",
-        &rows,
-    );
+    write_csv("fig6_ablation_regret", &set.csv_header(), set.csv_rows());
     write_figure_bench_json(
         "fig6_ablation_regret",
         sf,
         n,
         &bench_config_json(sf, n, n * fractions.len() as u64, wall),
-        &json_rows,
+        set.json_rows(),
     );
 }

@@ -9,7 +9,8 @@
 //! Usage: `cargo run --release -p bench --bin fig7_ablation_amortization [sf] [queries]`
 
 use bench::{
-    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json,
+    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json, Row,
+    RowSet,
 };
 use econ::AmortizationPolicy;
 use simulator::{Scheme, SimConfig};
@@ -50,42 +51,32 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>8} {:>8}",
         "policy", "cost ($)", "resp (s)", "hits %", "builds"
     );
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut set = RowSet::new();
     for ((name, _), r) in policies.iter().zip(&results) {
-        println!(
-            "{:<14} {:>12.2} {:>12.3} {:>7.1}% {:>8}",
-            name,
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate() * 100.0,
-            r.investments
-        );
-        rows.push(format!(
-            "{name},{:.4},{:.4},{:.4},{}",
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate(),
-            r.investments
-        ));
-        json_rows.push(format!(
-            "  {{\"policy\": \"{name}\", \"total_cost_usd\": {:.4}, \"mean_response_s\": {:.4}, \"hit_rate\": {:.4}, \"builds\": {}}}",
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate(),
-            r.investments
-        ));
+        let row = Row::new()
+            .str_cell("policy", name, 14, true)
+            .f64_cell(
+                "total_cost_usd",
+                r.total_operating_cost().as_dollars(),
+                12,
+                2,
+                4,
+            )
+            .f64_cell("mean_response_s", r.mean_response_secs(), 12, 3, 4)
+            .pct_cell("hit_rate", r.hit_rate(), 7, 4)
+            .num_cell("builds", r.investments, 8, false);
+        println!("{}", set.push(row));
     }
     write_csv(
         "fig7_ablation_amortization",
-        "policy,total_cost_usd,mean_response_s,hit_rate,builds",
-        &rows,
+        &set.csv_header(),
+        set.csv_rows(),
     );
     write_figure_bench_json(
         "fig7_ablation_amortization",
         sf,
         n,
         &bench_config_json(sf, n, n * policies.len() as u64, wall),
-        &json_rows,
+        set.json_rows(),
     );
 }

@@ -8,7 +8,8 @@
 //! Usage: `cargo run --release -p bench --bin fig8_ablation_cachesize [sf] [queries]`
 
 use bench::{
-    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json,
+    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json, Row,
+    RowSet,
 };
 use simulator::{Scheme, SimConfig};
 
@@ -32,45 +33,35 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>8} {:>8} {:>10}",
         "cap", "cost ($)", "resp (s)", "hits %", "evicts", "disk (GB)"
     );
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut set = RowSet::new();
     for (f, r) in fractions.iter().zip(&results) {
-        println!(
-            "{:<10} {:>12.2} {:>12.3} {:>7.1}% {:>8} {:>10.0}",
-            format!("{:.2}%", f * 100.0),
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate() * 100.0,
-            r.evictions,
-            r.final_disk_bytes as f64 / 1e9
-        );
-        rows.push(format!(
-            "{f},{:.4},{:.4},{:.4},{},{}",
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate(),
-            r.evictions,
-            r.final_disk_bytes
-        ));
-        json_rows.push(format!(
-            "  {{\"cache_fraction\": {f}, \"total_cost_usd\": {:.4}, \"mean_response_s\": {:.4}, \"hit_rate\": {:.4}, \"evicts\": {}, \"final_disk_bytes\": {}}}",
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate(),
-            r.evictions,
-            r.final_disk_bytes
-        ));
+        let row = Row::new()
+            .custom_cell("cache_fraction", &format!("{:.2}%", f * 100.0), f, 10, true)
+            .f64_cell(
+                "total_cost_usd",
+                r.total_operating_cost().as_dollars(),
+                12,
+                2,
+                4,
+            )
+            .f64_cell("mean_response_s", r.mean_response_secs(), 12, 3, 4)
+            .pct_cell("hit_rate", r.hit_rate(), 7, 4)
+            .num_cell("evicts", r.evictions, 8, false)
+            .custom_cell(
+                "final_disk_bytes",
+                &format!("{:.0}", r.final_disk_bytes as f64 / 1e9),
+                r.final_disk_bytes,
+                10,
+                false,
+            );
+        println!("{}", set.push(row));
     }
-    write_csv(
-        "fig8_ablation_cachesize",
-        "cache_fraction,total_cost_usd,mean_response_s,hit_rate,evicts,final_disk_bytes",
-        &rows,
-    );
+    write_csv("fig8_ablation_cachesize", &set.csv_header(), set.csv_rows());
     write_figure_bench_json(
         "fig8_ablation_cachesize",
         sf,
         n,
         &bench_config_json(sf, n, n * fractions.len() as u64, wall),
-        &json_rows,
+        set.json_rows(),
     );
 }

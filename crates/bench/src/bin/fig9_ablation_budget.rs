@@ -8,7 +8,8 @@
 //! Usage: `cargo run --release -p bench --bin fig9_ablation_budget [sf] [queries]`
 
 use bench::{
-    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json,
+    bench_config_json, cli_scale, print_header, run_cells, write_csv, write_figure_bench_json, Row,
+    RowSet,
 };
 use econ::BudgetShape;
 use simulator::{Scheme, SimConfig};
@@ -41,45 +42,29 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>8} {:>12} {:>12}",
         "shape", "cost ($)", "resp (s)", "hits %", "payments ($)", "profit ($)"
     );
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut set = RowSet::new();
     for ((name, _), r) in shapes.iter().zip(&results) {
-        println!(
-            "{:<10} {:>12.2} {:>12.3} {:>7.1}% {:>12.2} {:>12.2}",
-            name,
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate() * 100.0,
-            r.payments.as_dollars(),
-            r.profit.as_dollars()
-        );
-        rows.push(format!(
-            "{name},{:.4},{:.4},{:.4},{:.4},{:.4}",
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate(),
-            r.payments.as_dollars(),
-            r.profit.as_dollars()
-        ));
-        json_rows.push(format!(
-            "  {{\"shape\": \"{name}\", \"total_cost_usd\": {:.4}, \"mean_response_s\": {:.4}, \"hit_rate\": {:.4}, \"payments_usd\": {:.4}, \"profit_usd\": {:.4}}}",
-            r.total_operating_cost().as_dollars(),
-            r.mean_response_secs(),
-            r.hit_rate(),
-            r.payments.as_dollars(),
-            r.profit.as_dollars()
-        ));
+        let row = Row::new()
+            .str_cell("shape", name, 10, true)
+            .f64_cell(
+                "total_cost_usd",
+                r.total_operating_cost().as_dollars(),
+                12,
+                2,
+                4,
+            )
+            .f64_cell("mean_response_s", r.mean_response_secs(), 12, 3, 4)
+            .pct_cell("hit_rate", r.hit_rate(), 7, 4)
+            .f64_cell("payments_usd", r.payments.as_dollars(), 12, 2, 4)
+            .f64_cell("profit_usd", r.profit.as_dollars(), 12, 2, 4);
+        println!("{}", set.push(row));
     }
-    write_csv(
-        "fig9_ablation_budget",
-        "shape,total_cost_usd,mean_response_s,hit_rate,payments_usd,profit_usd",
-        &rows,
-    );
+    write_csv("fig9_ablation_budget", &set.csv_header(), set.csv_rows());
     write_figure_bench_json(
         "fig9_ablation_budget",
         sf,
         n,
         &bench_config_json(sf, n, n * shapes.len() as u64, wall),
-        &json_rows,
+        set.json_rows(),
     );
 }

@@ -1,0 +1,95 @@
+//! **Perf trend** — diffs the committed `BENCH_*.json` records across
+//! PRs so the repo's throughput trajectory is reviewable at a glance.
+//!
+//! For every `BENCH_*.json` in the working directory the tool walks the
+//! record's git history, extracts the headline queries/second at each
+//! commit, and prints one line per bench: the q/s trajectory (oldest →
+//! newest, the working tree appended when dirty), the last step's
+//! delta, and regression flags. `fleet_scale` records additionally get
+//! their quote-thread sweep checked against the record's own 1-thread
+//! baseline — the threaded-quote regression staying fixed.
+//!
+//! `--check` (CI mode) exits non-zero when any record is unreadable,
+//! the last step regresses beyond the tolerance, or sweep regression
+//! rows are committed.
+//!
+//! Usage: `cargo run --release -p bench --bin trend [-- --check]`
+
+use bench::trend::{bench_trend, record_files, REGRESSION_TOLERANCE};
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let files = record_files();
+    if files.is_empty() {
+        println!("no BENCH_*.json records in the working directory");
+        return;
+    }
+
+    println!("================================================================");
+    println!(
+        "bench trend: {} committed records (regression tolerance {:.0}%)",
+        files.len(),
+        REGRESSION_TOLERANCE * 100.0
+    );
+    println!("================================================================");
+    println!(
+        "{:<36} {:>28} {:>8}  flags",
+        "record", "headline q/s trajectory", "last"
+    );
+
+    let mut failures = 0u32;
+    for file in &files {
+        let trend = bench_trend(file);
+        let trajectory = if trend.points.is_empty() {
+            "-".to_string()
+        } else {
+            trend
+                .points
+                .iter()
+                .map(|qps| format!("{qps:.0}"))
+                .collect::<Vec<_>>()
+                .join(" → ")
+        };
+        let delta = if trend.points.len() >= 2 {
+            format!("{:+.1}%", trend.last_delta * 100.0)
+        } else {
+            "-".to_string()
+        };
+        let mut flags = Vec::new();
+        if let Some(e) = &trend.error {
+            flags.push(format!("ERROR: {e}"));
+        }
+        if trend.regressed {
+            flags.push("REGRESSED".to_string());
+        }
+        if !trend.sweep_regressions.is_empty() {
+            flags.push(format!(
+                "QUOTE-SWEEP: {}",
+                trend.sweep_regressions.join("; ")
+            ));
+        }
+        if !flags.is_empty() {
+            failures += 1;
+        }
+        println!(
+            "{:<36} {:>28} {:>8}  {}",
+            trend.file,
+            trajectory,
+            delta,
+            if flags.is_empty() {
+                "ok".to_string()
+            } else {
+                flags.join(" | ")
+            }
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} record(s) flagged");
+        if check {
+            std::process::exit(1);
+        }
+    } else {
+        println!("all records healthy");
+    }
+}

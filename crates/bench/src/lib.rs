@@ -25,8 +25,11 @@ use std::io::Write;
 use std::path::Path;
 
 pub mod cli;
+pub mod row;
+pub mod trend;
 
 pub use cli::{cli_arg, cli_scale, cli_usage_error, scale_args};
+pub use row::{Row, RowSet};
 
 /// The paper's inter-arrival grid (seconds), Figures 4 and 5.
 pub const PAPER_INTERVALS: [f64; 4] = [1.0, 10.0, 30.0, 60.0];

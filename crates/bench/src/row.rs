@@ -1,0 +1,229 @@
+//! One key-value row, three renderings.
+//!
+//! Every ablation bin prints each result cell three ways: a println
+//! table row, a CSV row and a `BENCH_*.json` cell object. Keeping three
+//! hand-written format strings aligned per bin proved fragile — a column
+//! added to one output could silently miss the others. A [`Row`] is the
+//! fix: each value is pushed **once** and rendered into all three
+//! outputs by the same call, so the outputs cannot desynchronize; a
+//! [`RowSet`] collects the rows of one grid and derives the CSV header
+//! from the same keys.
+//!
+//! Table cells are padded per call (width + alignment), matching the
+//! bins' existing column layouts; CSV and JSON render the *data* form of
+//! the value, which may deliberately differ from the human table form
+//! (percentages as raw fractions, gigabyte columns as raw bytes — see
+//! [`Row::pct_cell`] and [`Row::custom_cell`]).
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// One result row being assembled; push cells in column order, then
+/// [`RowSet::push`] it.
+#[derive(Debug, Default)]
+pub struct Row {
+    keys: Vec<String>,
+    table: String,
+    csv: String,
+    json: String,
+}
+
+/// The data-side rendering of a cell.
+enum Data {
+    /// Quoted in JSON, raw in CSV.
+    Str(String),
+    /// Emitted verbatim in both JSON and CSV (numbers, booleans).
+    Raw(String),
+}
+
+impl Row {
+    /// An empty row.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cell(mut self, key: &str, table: &str, width: usize, left: bool, data: Data) -> Self {
+        if !self.keys.is_empty() {
+            self.table.push(' ');
+            self.csv.push(',');
+            self.json.push_str(", ");
+        }
+        if left {
+            let _ = write!(self.table, "{table:<width$}");
+        } else {
+            let _ = write!(self.table, "{table:>width$}");
+        }
+        let _ = write!(self.json, "\"{key}\": ");
+        match data {
+            Data::Str(s) => {
+                self.csv.push_str(&s);
+                let _ = write!(self.json, "\"{s}\"");
+            }
+            Data::Raw(s) => {
+                self.csv.push_str(&s);
+                self.json.push_str(&s);
+            }
+        }
+        self.keys.push(key.to_string());
+        self
+    }
+
+    /// A string cell (quoted in JSON), left- or right-aligned in the
+    /// table.
+    #[must_use]
+    pub fn str_cell(self, key: &str, value: &str, width: usize, left: bool) -> Self {
+        self.cell(key, value, width, left, Data::Str(value.to_string()))
+    }
+
+    /// A numeric cell rendered with `Display` in all three outputs
+    /// (unquoted in JSON) — integers, or floats whose shortest form is
+    /// the canonical one (grid knobs like `0.05`).
+    #[must_use]
+    pub fn num_cell<T: Display>(self, key: &str, value: T, width: usize, left: bool) -> Self {
+        let s = value.to_string();
+        self.cell(key, &s.clone(), width, left, Data::Raw(s))
+    }
+
+    /// A float cell: fixed `table_prec` decimals in the table,
+    /// `data_prec` decimals in CSV/JSON.
+    #[must_use]
+    pub fn f64_cell(
+        self,
+        key: &str,
+        value: f64,
+        width: usize,
+        table_prec: usize,
+        data_prec: usize,
+    ) -> Self {
+        let table = format!("{value:.table_prec$}");
+        let data = format!("{value:.data_prec$}");
+        self.cell(key, &table, width, false, Data::Raw(data))
+    }
+
+    /// A rate cell: the table shows `xx.x%` (of `width` digits plus the
+    /// sign), CSV/JSON carry the raw fraction at `data_prec` decimals.
+    #[must_use]
+    pub fn pct_cell(self, key: &str, fraction: f64, width: usize, data_prec: usize) -> Self {
+        let table = format!("{:>width$.1}%", fraction * 100.0);
+        let data = format!("{fraction:.data_prec$}");
+        self.cell(key, &table, width + 1, false, Data::Raw(data))
+    }
+
+    /// A cell whose table rendering deliberately differs from its data
+    /// value (e.g. gigabytes in the table, raw bytes in CSV/JSON). The
+    /// single call still ties both to one key.
+    #[must_use]
+    pub fn custom_cell(
+        self,
+        key: &str,
+        table: &str,
+        data: impl Display,
+        width: usize,
+        left: bool,
+    ) -> Self {
+        self.cell(key, table, width, left, Data::Raw(data.to_string()))
+    }
+}
+
+/// The rows of one result grid: collects [`Row`]s, enforces a consistent
+/// key set, and exposes the three renderings plus the derived CSV
+/// header.
+#[derive(Debug, Default)]
+pub struct RowSet {
+    keys: Vec<String>,
+    table_rows: Vec<String>,
+    csv_rows: Vec<String>,
+    json_rows: Vec<String>,
+}
+
+impl RowSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a finished row, returning its table rendering for immediate
+    /// printing.
+    ///
+    /// # Panics
+    /// Panics if the row's keys differ from the first row's — the exact
+    /// desynchronization this type exists to prevent.
+    pub fn push(&mut self, row: Row) -> &str {
+        if self.keys.is_empty() {
+            self.keys = row.keys;
+        } else {
+            assert_eq!(self.keys, row.keys, "rows of one grid must share keys");
+        }
+        self.table_rows.push(row.table);
+        self.csv_rows.push(row.csv);
+        self.json_rows.push(format!("  {{{}}}", row.json));
+        self.table_rows.last().expect("just pushed")
+    }
+
+    /// The CSV header derived from the rows' keys.
+    #[must_use]
+    pub fn csv_header(&self) -> String {
+        self.keys.join(",")
+    }
+
+    /// CSV rows, one per pushed row.
+    #[must_use]
+    pub fn csv_rows(&self) -> &[String] {
+        &self.csv_rows
+    }
+
+    /// JSON cell objects, one per pushed row (pre-indented for
+    /// [`crate::write_bench_json`]).
+    #[must_use]
+    pub fn json_rows(&self) -> &[String] {
+        &self.json_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_push_feeds_all_three_outputs() {
+        let row = Row::new()
+            .str_cell("scheme", "econ-cheap", 12, true)
+            .f64_cell("total_cost_usd", 13.46397, 12, 2, 6)
+            .pct_cell("hit_rate", 0.1234, 7, 4)
+            .num_cell("builds", 283u64, 8, false);
+        let mut set = RowSet::new();
+        let table = set.push(row).to_string();
+        assert_eq!(table, "econ-cheap          13.46    12.3%      283");
+        assert_eq!(set.csv_header(), "scheme,total_cost_usd,hit_rate,builds");
+        assert_eq!(set.csv_rows(), ["econ-cheap,13.463970,0.1234,283"]);
+        assert_eq!(
+            set.json_rows(),
+            ["  {\"scheme\": \"econ-cheap\", \"total_cost_usd\": 13.463970, \"hit_rate\": 0.1234, \"builds\": 283}"]
+        );
+    }
+
+    #[test]
+    fn custom_cells_tie_divergent_renderings_to_one_key() {
+        let row = Row::new().custom_cell(
+            "final_disk_bytes",
+            &format!("{:.0}", 2.5e9 / 1e9),
+            2_500_000_000u64,
+            10,
+            false,
+        );
+        let mut set = RowSet::new();
+        set.push(row);
+        assert_eq!(set.csv_rows(), ["2500000000"]);
+        assert!(set.json_rows()[0].contains("\"final_disk_bytes\": 2500000000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "share keys")]
+    fn mismatched_keys_are_rejected() {
+        let mut set = RowSet::new();
+        set.push(Row::new().num_cell("a", 1, 4, false));
+        set.push(Row::new().num_cell("b", 2, 4, false));
+    }
+}

@@ -1,0 +1,249 @@
+//! Perf-trend tooling over the committed `BENCH_*.json` records.
+//!
+//! Every bench writes a machine-readable `BENCH_<name>.json` at the
+//! paper-scale default cell, and those records are committed — one per
+//! PR that re-measured. This module turns that history into a review
+//! artifact: for each record it extracts a **headline throughput**
+//! (queries/second), walks the record's git history for the trajectory,
+//! and flags regressions. The `trend` binary prints one line per bench;
+//! `trend --check` (CI) exits non-zero when the working-tree record
+//! regresses against the last committed one or when the committed
+//! `fleet_scale` quote-thread sweep contains rows below its own
+//! sequential baseline — the regression this PR exists to fix staying
+//! fixed.
+
+use serde::Value;
+
+/// Relative throughput drop treated as a regression (5 %): small enough
+/// to catch real slides, large enough to ignore run-to-run noise in the
+/// committed records.
+pub const REGRESSION_TOLERANCE: f64 = 0.05;
+
+/// The headline queries/second of one parsed `BENCH_*.json` document:
+/// the whole-run `config.queries_per_sec` when the bench records one
+/// (the figure harness), otherwise the first cell's `qps` (grid benches
+/// like `fleet_scale` and `hotpath`, whose first cell is the
+/// single-threaded baseline).
+#[must_use]
+pub fn headline_qps(doc: &Value) -> Option<f64> {
+    if let Some(qps) = doc.get("config").and_then(|c| c.get("queries_per_sec")) {
+        return qps.as_f64();
+    }
+    doc.get("cells")?
+        .as_seq()?
+        .iter()
+        .find_map(|cell| cell.get("qps").and_then(Value::as_f64))
+}
+
+/// Quote-thread-sweep regression rows of a `fleet_scale` record: every
+/// `quote-thread-sweep` cell whose q/s falls more than
+/// [`REGRESSION_TOLERANCE`] below the record's own sequential baseline
+/// (the `shards 1, quote_threads 1` cell) — sub-tolerance dips are
+/// measurement noise between cells running identical code, while the
+/// regression this check exists for was an 87 % collapse. Returns one
+/// human-readable description per offending row; empty for records of
+/// other benches.
+#[must_use]
+pub fn quote_sweep_regressions(doc: &Value) -> Vec<String> {
+    let Some(cells) = doc.get("cells").and_then(Value::as_seq) else {
+        return Vec::new();
+    };
+    let baseline = cells.iter().find_map(|cell| {
+        let shards = cell.get("shards")?.as_f64()?;
+        let threads = cell.get("quote_threads")?.as_f64()?;
+        if shards == 1.0 && threads == 1.0 {
+            cell.get("qps")?.as_f64()
+        } else {
+            None
+        }
+    });
+    let Some(baseline) = baseline else {
+        return Vec::new();
+    };
+    cells
+        .iter()
+        .filter(|cell| cell.get("sweep").and_then(Value::as_str) == Some("quote-thread-sweep"))
+        .filter_map(|cell| {
+            let threads = cell.get("quote_threads")?.as_f64()?;
+            let qps = cell.get("qps")?.as_f64()?;
+            (qps < baseline * (1.0 - REGRESSION_TOLERANCE)).then(|| {
+                format!(
+                    "quote_threads={threads:.0} at {qps:.0} q/s falls below the \
+                     1-thread baseline ({baseline:.0} q/s)"
+                )
+            })
+        })
+        .collect()
+}
+
+/// Runs `git` with `args` in the current directory, returning stdout on
+/// success.
+#[must_use]
+pub fn git(args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    String::from_utf8(out.stdout).ok()
+}
+
+/// The abbreviated hashes of every commit that touched `path`, oldest
+/// first; empty when git (or any history) is unavailable.
+#[must_use]
+pub fn record_history(path: &str) -> Vec<String> {
+    git(&["log", "--format=%h", "--reverse", "--", path])
+        .map(|out| out.lines().map(str::to_string).collect())
+        .unwrap_or_default()
+}
+
+/// The record's content as committed at `rev`.
+#[must_use]
+pub fn record_at(rev: &str, path: &str) -> Option<String> {
+    git(&["show", &format!("{rev}:{path}")])
+}
+
+/// One bench's assembled trend line.
+#[derive(Debug)]
+pub struct BenchTrend {
+    /// Record file name (`BENCH_<name>.json`).
+    pub file: String,
+    /// Headline q/s at each commit touching the record, oldest first,
+    /// with the working-tree value appended when it differs from the
+    /// last committed content.
+    pub points: Vec<f64>,
+    /// Relative change of the last step (`points[n-1]` vs
+    /// `points[n-2]`); 0 for single-point histories.
+    pub last_delta: f64,
+    /// True when the last step regresses beyond
+    /// [`REGRESSION_TOLERANCE`].
+    pub regressed: bool,
+    /// Offending `fleet_scale` quote-sweep rows in the newest content
+    /// (empty for other benches and healthy records).
+    pub sweep_regressions: Vec<String>,
+    /// Parse failure, if the newest content was unreadable.
+    pub error: Option<String>,
+}
+
+/// Assembles the trend of one record file from its git history plus the
+/// working-tree content.
+#[must_use]
+pub fn bench_trend(file: &str) -> BenchTrend {
+    let mut points = Vec::new();
+    let mut last_committed_content: Option<String> = None;
+    for rev in record_history(file) {
+        if let Some(content) = record_at(&rev, file) {
+            if let Ok(doc) = serde_json::from_str::<Value>(&content) {
+                if let Some(qps) = headline_qps(&doc) {
+                    points.push(qps);
+                }
+            }
+            last_committed_content = Some(content);
+        }
+    }
+
+    let working = std::fs::read_to_string(file);
+    let mut error = None;
+    let mut sweep_regressions = Vec::new();
+    match &working {
+        Ok(content) => match serde_json::from_str::<Value>(content) {
+            Ok(doc) => {
+                sweep_regressions = quote_sweep_regressions(&doc);
+                match headline_qps(&doc) {
+                    Some(qps) => {
+                        // Count the working tree as a point only when it
+                        // differs from the last committed content, so a
+                        // clean checkout's trend is purely historical.
+                        if last_committed_content.as_deref() != Some(content.as_str()) {
+                            points.push(qps);
+                        }
+                    }
+                    None => error = Some("no headline q/s in record".to_string()),
+                }
+            }
+            Err(e) => error = Some(format!("unparseable: {e}")),
+        },
+        Err(e) => error = Some(format!("unreadable: {e}")),
+    }
+
+    let last_delta = if points.len() >= 2 {
+        let prev = points[points.len() - 2];
+        if prev > 0.0 {
+            (points[points.len() - 1] - prev) / prev
+        } else {
+            0.0
+        }
+    } else {
+        0.0
+    };
+    BenchTrend {
+        file: file.to_string(),
+        regressed: last_delta < -REGRESSION_TOLERANCE,
+        points,
+        last_delta,
+        sweep_regressions,
+        error,
+    }
+}
+
+/// The committed `BENCH_*.json` record files in the working directory,
+/// sorted by name.
+#[must_use]
+pub fn record_files() -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(".")
+        .map(|dir| {
+            dir.filter_map(Result::ok)
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(json: &str) -> Value {
+        serde_json::from_str(json).expect("test json")
+    }
+
+    #[test]
+    fn headline_prefers_config_throughput() {
+        let doc = parse(
+            r#"{"bench": "fig6", "config": {"queries_per_sec": 41000},
+                "cells": [{"qps": 9}]}"#,
+        );
+        assert_eq!(headline_qps(&doc), Some(41000.0));
+    }
+
+    #[test]
+    fn headline_falls_back_to_first_cell_qps() {
+        let doc = parse(
+            r#"{"bench": "fleet_scale", "config": {"nodes": 8},
+                "cells": [{"shards": 1, "qps": 45557}, {"shards": 2, "qps": 44000}]}"#,
+        );
+        assert_eq!(headline_qps(&doc), Some(45557.0));
+    }
+
+    #[test]
+    fn quote_sweep_regressions_flag_rows_below_baseline() {
+        let doc = parse(
+            r#"{"cells": [
+                {"sweep": "shard-sweep", "shards": 1, "quote_threads": 1, "qps": 45557},
+                {"sweep": "quote-thread-sweep", "shards": 1, "quote_threads": 2, "qps": 46000},
+                {"sweep": "quote-thread-sweep", "shards": 1, "quote_threads": 8, "qps": 5908}
+            ]}"#,
+        );
+        let flags = quote_sweep_regressions(&doc);
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert!(flags[0].contains("quote_threads=8"));
+    }
+
+    #[test]
+    fn non_fleet_records_have_no_sweep_regressions() {
+        let doc = parse(r#"{"cells": [{"a": 0.1, "total_cost_usd": 3.2}]}"#);
+        assert!(quote_sweep_regressions(&doc).is_empty());
+    }
+}

@@ -22,8 +22,8 @@ use std::sync::Arc;
 use cache::{CacheState, CachedStructure, StructureKey};
 use planner::enumerate::EnumerationOptions;
 use planner::{
-    complete_plans_into, enumerate_plans_into, skyline_partition_hot, Estimator, LazySkeleton,
-    PlanBuffer, PlanHot, PlanSkeleton, PlannerContext, QueryPlan,
+    complete_plans_into, enumerate_plans_into, skyline_partition_hot, BatchCompleter, CacheView,
+    Estimator, LazySkeleton, PlanBuffer, PlanHot, PlanSkeleton, PlannerContext, QueryPlan,
 };
 use pricing::Money;
 use simcore::{SimDuration, SimTime};
@@ -112,6 +112,13 @@ impl EconomyManager {
     #[must_use]
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plancache.borrow().stats()
+    }
+
+    /// Plan-cache way-conflict evictions per template (indexed by
+    /// template id) — the adaptive-associativity input signal.
+    #[must_use]
+    pub fn plan_cache_way_conflicts(&self) -> Vec<u64> {
+        self.plancache.borrow().way_conflicts().to_vec()
     }
 
     /// The cloud account (`CR` lives here).
@@ -536,6 +543,113 @@ impl EconomyManager {
             .payment
     }
 
+    /// Phase 1 of a batched quote round ([`QuoteBatch`]): serves the bid
+    /// immediately when the memoized completion is current (exactly the
+    /// hit path of [`Self::plan_query_shared`], including the LRU stamp
+    /// and the price refresh), or reports what completion work the node
+    /// needs from the batch.
+    fn batch_classify(
+        &self,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        now: SimTime,
+    ) -> Result<Money, (BatchNeed, EnumerationOptions, u64)> {
+        let opts = self.config.enumeration(self.arrival_rate());
+        if !self.config.plan_cache {
+            return Err((BatchNeed::Unmemoized, opts, 0));
+        }
+        let epoch = self.cache.epoch(now);
+        let mut pc = self.plancache.borrow_mut();
+        pc.prepare_fingerprint(query);
+        if let Some(slot) = pc.matching_slot(query.template.0) {
+            if slot.completion_current(epoch, &opts) {
+                let refreshed = !slot.prices_current(&self.cache, now, &opts);
+                if refreshed {
+                    slot.refresh_prices(&self.cache, now, opts, |s, span| {
+                        ctx.estimator.maintenance(s, span)
+                    });
+                }
+                let planned = self.select_from(query, &slot.plans, opts);
+                pc.count_hit(refreshed);
+                return Ok(planned.payment);
+            }
+            return Err((BatchNeed::Completion, opts, epoch));
+        }
+        pc.count_miss();
+        Err((BatchNeed::Miss, opts, epoch))
+    }
+
+    /// Phase 3 of a batched quote round: adopts the batch-completed plan
+    /// set sitting in this manager's plan buffer — memoizing, selecting
+    /// and recycling exactly as the sequential
+    /// [`Self::plan_query_shared`] would have after its own
+    /// `complete_plans_into` call — and returns the bid.
+    fn batch_adopt(
+        &self,
+        need: BatchNeed,
+        opts: EnumerationOptions,
+        epoch: u64,
+        skel: &Arc<PlanSkeleton>,
+        query: &Query,
+        now: SimTime,
+    ) -> Money {
+        match need {
+            BatchNeed::Unmemoized => {
+                let mut buf = self.planbuf.borrow_mut();
+                let plans = buf.take();
+                let planned = self.select_from(query, &plans, opts);
+                buf.recycle(plans);
+                planned.payment
+            }
+            BatchNeed::Completion => {
+                let mut pc = self.plancache.borrow_mut();
+                let slot = pc
+                    .rematch_slot(query.template.0)
+                    .expect("classified slot vanished between batch phases");
+                slot.skeleton.get_or_insert_with(|| Arc::clone(skel));
+                let mut buf = self.planbuf.borrow_mut();
+                let plans = buf.take();
+                let missing_builds = buf.take_missing_costs();
+                let (old_plans, old_costs) = slot.replace_completion(
+                    epoch,
+                    self.cache.settle_seq(),
+                    opts,
+                    now,
+                    plans,
+                    missing_builds,
+                );
+                buf.recycle(old_plans);
+                buf.recycle_missing_costs(old_costs);
+                drop(buf);
+                let planned = self.select_from(query, &slot.plans, opts);
+                pc.count_completion();
+                planned.payment
+            }
+            BatchNeed::Miss => {
+                let mut buf = self.planbuf.borrow_mut();
+                let plans = buf.take();
+                let missing_builds = buf.take_missing_costs();
+                let planned = self.select_from(query, &plans, opts);
+                let settle_seq = self.cache.settle_seq();
+                let mut pc = self.plancache.borrow_mut();
+                if let Some((old_plans, old_costs)) = pc.install_slot(
+                    query.template.0,
+                    Some(Arc::clone(skel)),
+                    epoch,
+                    settle_seq,
+                    opts,
+                    now,
+                    plans,
+                    missing_builds,
+                ) {
+                    buf.recycle(old_plans);
+                    buf.recycle_missing_costs(old_costs);
+                }
+                planned.payment
+            }
+        }
+    }
+
     /// Builds every structure the investment rule triggers, most regretted
     /// first, re-checking funds as the balance drains.
     fn consider_investments(
@@ -602,6 +716,143 @@ impl EconomyManager {
                 (cost, time, 0)
             }
         }
+    }
+}
+
+/// What a batched quote round still owes a node after classification.
+#[derive(Debug, Clone, Copy)]
+enum BatchNeed {
+    /// Plan memoization disabled: complete, select, recycle.
+    Unmemoized,
+    /// Memoized skeleton with a stale completion: re-complete into the
+    /// slot.
+    Completion,
+    /// Fresh fingerprint: complete and install a new slot.
+    Miss,
+}
+
+/// One batch member: a node whose bid needs the shared completion pass.
+#[derive(Debug, Clone, Copy)]
+struct BatchMember {
+    /// Caller-side node index.
+    node: usize,
+    need: BatchNeed,
+    opts: EnumerationOptions,
+    epoch: u64,
+}
+
+/// Reusable workspace for **batched quote rounds** — the structure-major
+/// inversion of the fleet's per-node quote fan-out.
+///
+/// A round classifies every node first ([`EconomyManager::batch_classify`]
+/// serves memo hits immediately), then runs *one*
+/// [`BatchCompleter::gather`] pass over the caches of every node that
+/// still needs completion, and finally adopts each node's emitted plan
+/// set into its own plan memo. Every phase mirrors the sequential
+/// [`EconomyManager::quote_with_skeleton`] exactly — same bids, same memo
+/// state (including LRU stamps), same counters — so routing decisions are
+/// bit-identical whichever path a fleet uses; `tests/batch_completion.rs`
+/// pins it.
+///
+/// The bulk scratch (completer lanes, member list, bid vector) is
+/// retained across rounds; the one steady-state allocation left is the
+/// small per-round vector of resolved member managers (its borrows
+/// cannot outlive the call), paid only on rounds that actually complete
+/// something.
+#[derive(Debug, Default)]
+pub struct QuoteBatch {
+    completer: BatchCompleter,
+    members: Vec<BatchMember>,
+    bids: Vec<Money>,
+}
+
+impl QuoteBatch {
+    /// An empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quotes one round of `count` nodes' bids for `query` at `now`.
+    ///
+    /// `manager_of(i)` returns node `i`'s economy manager when its quotes
+    /// factor through batched completion (`None` falls back to
+    /// `fallback(i)`, which must produce the node's bid some other way).
+    /// Both closures must be stable for the duration of the call, every
+    /// returned manager must be distinct, and `skeleton` is the round's
+    /// shared lazy skeleton — built at most once, only if some node
+    /// actually needs completion.
+    ///
+    /// Returns the bids, indexed by node.
+    ///
+    /// # Panics
+    /// Panics if a classified node's memo slot disappears between phases
+    /// (the closures were not stable).
+    #[allow(clippy::too_many_arguments)] // one parameter per round input
+    pub fn quote_round<'m, M, F>(
+        &mut self,
+        count: usize,
+        manager_of: M,
+        fallback: F,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        skeleton: &LazySkeleton<'_>,
+        now: SimTime,
+    ) -> &[Money]
+    where
+        M: Fn(usize) -> Option<&'m EconomyManager>,
+        F: Fn(usize) -> Money,
+    {
+        self.bids.clear();
+        self.bids.resize(count, Money::ZERO);
+        self.members.clear();
+        for i in 0..count {
+            match manager_of(i) {
+                None => self.bids[i] = fallback(i),
+                Some(m) => match m.batch_classify(ctx, query, now) {
+                    Ok(bid) => self.bids[i] = bid,
+                    Err((need, opts, epoch)) => self.members.push(BatchMember {
+                        node: i,
+                        need,
+                        opts,
+                        epoch,
+                    }),
+                },
+            }
+        }
+
+        if !self.members.is_empty() {
+            let skel = Arc::clone(skeleton.get());
+            // Resolve each member's manager once — the gather sweep reads
+            // a view per (structure, node) pair, which must not re-enter
+            // the caller's lookup (often a dynamic dispatch) every probe.
+            let managers: Vec<&EconomyManager> = self
+                .members
+                .iter()
+                .map(|m| manager_of(m.node).expect("batch member manager vanished between phases"))
+                .collect();
+            let members = &self.members;
+            let completer = &mut self.completer;
+            completer.gather(
+                &skel,
+                members.len(),
+                |j| CacheView {
+                    cache: managers[j].cache(),
+                    opts: members[j].opts,
+                },
+                now,
+                |s, span| ctx.estimator.maintenance(s, span),
+            );
+            for ((j, member), m) in self.members.iter().enumerate().zip(&managers) {
+                {
+                    let mut buf = m.planbuf.borrow_mut();
+                    self.completer.emit_into(&skel, j, &mut buf);
+                }
+                self.bids[member.node] =
+                    m.batch_adopt(member.need, member.opts, member.epoch, &skel, query, now);
+            }
+        }
+        &self.bids
     }
 }
 

@@ -121,6 +121,13 @@ pub struct PlanCacheStats {
     /// (the cache epoch moved): only the cheap per-node completion phase
     /// re-ran.
     pub completions: u64,
+    /// Installs that displaced a *live* way — both ways of the template's
+    /// set were occupied, so a memoized instance was evicted to make
+    /// room. A workload with persistent conflicts has more than
+    /// [`PLAN_CACHE_WAYS`] live instances per template and would benefit
+    /// from wider sets (the seeded adaptive-associativity work;
+    /// [`PlanCache::way_conflicts`] breaks this down per template).
+    pub conflicts: u64,
 }
 
 /// Per-manager memoized plan sets: a 2-way set of slots per template.
@@ -128,6 +135,9 @@ pub struct PlanCacheStats {
 pub struct PlanCache {
     sets: Vec<[Option<Slot>; PLAN_CACHE_WAYS]>,
     stats: PlanCacheStats,
+    /// Way-conflict evictions per template (index = template id), the
+    /// per-set signal for adaptive associativity.
+    template_conflicts: Vec<u64>,
     fingerprint_scratch: Vec<u64>,
     tick: u64,
 }
@@ -145,26 +155,22 @@ impl PlanCache {
         self.stats
     }
 
+    /// Way-conflict evictions per template (indexed by template id; a
+    /// template beyond the slice's end has seen none). Input signal for
+    /// the seeded adaptive-associativity work: a persistently conflicting
+    /// template has more live instances than its set has ways.
+    #[must_use]
+    pub fn way_conflicts(&self) -> &[u64] {
+        &self.template_conflicts
+    }
+
     /// Builds the planning fingerprint of `query` into the internal
-    /// scratch. Covers exactly the fields enumeration reads;
-    /// `budget_scale` (budget only), `id` and `region` (unread) are
-    /// deliberately excluded.
+    /// scratch — [`planner::planning_fingerprint`], which covers exactly
+    /// the fields enumeration reads (`budget_scale`, `id` and `region`
+    /// are deliberately excluded) and also keys the fleet-wide
+    /// [`planner::SkeletonCache`].
     pub(crate) fn prepare_fingerprint(&mut self, query: &Query) {
-        let fp = &mut self.fingerprint_scratch;
-        fp.clear();
-        fp.push(query.accesses.len() as u64);
-        for a in &query.accesses {
-            fp.push(u64::from(a.table.0));
-            fp.push(a.columns.len() as u64);
-            fp.extend(a.columns.iter().map(|c| u64::from(c.0)));
-            fp.push(a.predicate_columns.len() as u64);
-            fp.extend(a.predicate_columns.iter().map(|c| u64::from(c.0)));
-            fp.push(a.selectivity.to_bits());
-        }
-        fp.push(query.sort_columns.len() as u64);
-        fp.extend(query.sort_columns.iter().map(|c| u64::from(c.0)));
-        fp.push(query.result_rows);
-        fp.push(query.result_bytes);
+        planner::planning_fingerprint(query, &mut self.fingerprint_scratch);
     }
 
     /// The memoized slot for `template` whose fingerprint matches the
@@ -180,6 +186,18 @@ impl PlanCache {
         let slot = set[way].as_mut().expect("way just matched");
         slot.stamp = self.tick;
         Some(slot)
+    }
+
+    /// Re-finds the slot a previous [`Self::matching_slot`] call already
+    /// matched under the still-prepared fingerprint, *without* touching
+    /// the LRU tick. Batched quote rounds classify every node first and
+    /// adopt the batch-completed plan sets in a later phase; bumping the
+    /// stamp twice per lookup would diverge from the sequential path's
+    /// replacement order.
+    pub(crate) fn rematch_slot(&mut self, template: usize) -> Option<&mut Slot> {
+        let fp = &self.fingerprint_scratch;
+        let set = self.sets.get_mut(template)?;
+        set.iter_mut().flatten().find(|s| s.fingerprint == *fp)
     }
 
     /// Memoizes a fresh skeleton + completion for `template` under the
@@ -214,6 +232,13 @@ impl PlanCache {
             Some(old) => (old.fingerprint, Some((old.plans, old.missing_builds))),
             None => (Vec::new(), None),
         };
+        if displaced.is_some() {
+            self.stats.conflicts += 1;
+            if template >= self.template_conflicts.len() {
+                self.template_conflicts.resize(template + 1, 0);
+            }
+            self.template_conflicts[template] += 1;
+        }
         fingerprint.clear();
         fingerprint.extend_from_slice(&self.fingerprint_scratch);
         self.tick += 1;

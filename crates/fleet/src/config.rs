@@ -35,13 +35,18 @@ pub struct FleetConfig {
     pub shards: usize,
     /// Worker threads a cheapest-quote round fans per-node bids out over
     /// (affects wall-clock only: the deterministic merge makes routing
-    /// bit-identical at any pool size). 1 = sequential fan-out — the
-    /// recommended setting today: the pool spawns scoped threads per
-    /// round, so with skeleton sharing already making completions cheap,
-    /// values > 1 currently cost more in spawn/join than they save (see
-    /// `fleet_scale`'s quote-thread sweep; a persistent per-cell pool is
-    /// the seeded follow-up in ROADMAP.md).
+    /// bit-identical at any pool size). The workers live in a
+    /// **persistent** per-cell pool, spawned once and parked between
+    /// rounds. The executor additionally clamps the pool so
+    /// `shards × quote_threads` never oversubscribes the machine
+    /// (see [`crate::exec::effective_quote_threads`]) — a pool that
+    /// cannot actually run in parallel only adds wake-up cost per round.
     pub quote_threads: usize,
+    /// Quote rounds complete the economic nodes' plans in one batched
+    /// structure-major sweep instead of once per node (bit-identical
+    /// results either way; `false` selects the per-node reference path
+    /// the `fleet_scale` self-check compares against).
+    pub quote_batching: bool,
     /// Cost-model calibration.
     pub cost_params: CostParams,
     /// Resource prices.
@@ -94,6 +99,7 @@ impl FleetConfig {
             cells: 8,
             shards: 1,
             quote_threads: 1,
+            quote_batching: true,
             cost_params: CostParams::default(),
             prices: PriceCatalog::ec2_2009(),
             econ,

@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use catalog::tpch::{tpch_schema, ScaleFactor};
 use catalog::Schema;
-use planner::{generate_candidates, Estimator, PlannerContext};
+use planner::{generate_candidates, Estimator, PlannerContext, SkeletonCache};
 use simcore::{NetworkModel, SimTime};
 use simulator::RunResult;
 use workload::paper_templates;
@@ -35,15 +35,36 @@ use workload::paper_templates;
 use crate::config::FleetConfig;
 use crate::node::CacheNode;
 use crate::result::{FleetResult, NodeStats, TenantStats};
+use crate::router::QuoteOptions;
 use crate::tenant::{MergedStream, TenantStream};
 
+/// The quote-pool size the executor actually uses: the configured
+/// `quote_threads`, clamped so `shards × pool` never oversubscribes the
+/// machine's `parallelism`. A pool that cannot run in parallel adds a
+/// wake/park pair per round for nothing — the PR 3 quote-thread sweep
+/// measured exactly that failure mode (45.5k → 5.9k q/s at 8 spawned
+/// threads on a saturated machine). Results are invariant in the pool
+/// size by construction, so the clamp is wall-clock-only.
+#[must_use]
+pub fn effective_quote_threads(
+    requested: usize,
+    shard_workers: usize,
+    parallelism: usize,
+) -> usize {
+    requested
+        .max(1)
+        .min((parallelism / shard_workers.max(1)).max(1))
+}
+
 /// A prepared fleet simulation: schema, candidates and estimator built
-/// once and shared (read-only) by every cell on every worker thread.
+/// once and shared (read-only) by every cell on every worker thread,
+/// plus the fleet-wide skeleton cache the cells' quote rounds share.
 pub struct FleetSim {
     schema: Arc<Schema>,
     candidates: Vec<cache::IndexDef>,
     cand_index: planner::CandidateIndex,
     estimator: Estimator,
+    skeletons: Arc<SkeletonCache>,
     config: FleetConfig,
 }
 
@@ -78,8 +99,28 @@ impl FleetSim {
             candidates,
             cand_index,
             estimator,
+            skeletons: Arc::new(SkeletonCache::new()),
             config,
         }
+    }
+
+    /// `(hits, misses)` of the fleet-wide skeleton cache so far.
+    #[must_use]
+    pub fn skeleton_cache_stats(&self) -> (u64, u64) {
+        self.skeletons.stats()
+    }
+
+    /// The quote-pool size this sim's cells will actually use — the
+    /// configured `quote_threads` after the executor's oversubscription
+    /// clamp ([`effective_quote_threads`]), on the current machine. The
+    /// single source the `fleet_scale` bench reports from.
+    #[must_use]
+    pub fn quote_pool_threads(&self) -> usize {
+        let parallelism = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let shard_workers = self.config.shards.min(self.config.cells).max(1);
+        effective_quote_threads(self.config.quote_threads, shard_workers, parallelism)
     }
 
     /// The backend schema.
@@ -185,7 +226,11 @@ impl FleetSim {
             .enumerate()
             .map(|(i, spec)| CacheNode::new(i, spec, &self.schema, &self.config.econ))
             .collect();
-        let mut router = self.config.router.make(self.config.quote_threads);
+        let mut router = self.config.router.make(QuoteOptions {
+            threads: self.quote_pool_threads(),
+            batching: self.config.quote_batching,
+            skeletons: Some(Arc::clone(&self.skeletons)),
+        });
         let ctx = PlannerContext {
             schema: &self.schema,
             candidates: &self.candidates,

@@ -35,18 +35,25 @@
 //! `fleet_market` example.
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than the workspace-wide `forbid`: the persistent quote
+// worker pool (`pool`) is the one place that needs `unsafe` — it shares a
+// round-scoped borrowed closure with long-lived parked threads, the same
+// guarantee `std::thread::scope` provides but paid once instead of per
+// round. Every unsafe block lives in that module, behind a documented
+// safety protocol.
+#![deny(unsafe_code)]
 
 pub mod config;
 pub mod exec;
 pub mod node;
+mod pool;
 pub mod result;
 pub mod router;
 pub mod tenant;
 
 pub use config::FleetConfig;
-pub use exec::{run_fleet, FleetSim};
+pub use exec::{effective_quote_threads, run_fleet, FleetSim};
 pub use node::{CacheNode, NodeSpec};
 pub use result::{FleetResult, NodeStats, TenantStats};
-pub use router::{CheapestQuote, LeastOutstanding, RoundRobin, Router, RouterKind};
+pub use router::{CheapestQuote, LeastOutstanding, QuoteOptions, RoundRobin, Router, RouterKind};
 pub use tenant::{MergedStream, TenantId, TenantSpec, TenantStream};

@@ -31,7 +31,7 @@ impl NodeSpec {
 /// One live cache node: policy + accounting + backlog clock.
 ///
 /// `Send` (the policy box is `Send`-bounded), so a quote round can hand
-/// disjoint `&mut` node chunks to scoped worker threads.
+/// disjoint `&mut` node chunks to the persistent pool's workers.
 pub struct CacheNode {
     id: usize,
     policy: Box<dyn CachePolicy + Send>,
@@ -93,6 +93,15 @@ impl CacheNode {
         now: SimTime,
     ) -> Money {
         self.policy.quote_with_skeleton(ctx, query, skeleton, now)
+    }
+
+    /// The economy manager backing this node's policy, when its quotes
+    /// factor through batched completion (see
+    /// [`CachePolicy::economy`]); `None` for non-economic schemes,
+    /// which quote rounds bill individually.
+    #[must_use]
+    pub fn economy(&self) -> Option<&econ::EconomyManager> {
+        self.policy.economy()
     }
 
     /// Outstanding backlog in seconds of promised-but-undelivered response

@@ -15,25 +15,33 @@
 //!
 //! A cheapest-quote round shares one lazily-built, cache-independent
 //! [`LazySkeleton`] across every node: the first node whose plan cache
-//! misses builds it, every other node binds it against its own cache
-//! state ([`CacheNode::quote_with_skeleton`]), and a round where every
-//! node hits builds nothing — the per-node work drops from full
-//! enumeration to the cheap completion phase. With
-//! `quote_threads > 1` the completions fan out over a scoped worker
-//! pool; the merge folds per-chunk minima in ascending node order, so
-//! the winner is **bit-identical** to the sequential scan at any thread
-//! count (`tests/fleet_determinism.rs` pins this).
+//! misses builds it (through the fleet-wide [`SkeletonCache`] when one
+//! is attached), every other node binds it against its own cache state,
+//! and a round where every node hits builds nothing. The binding itself
+//! is **batched**: the economic nodes of a chunk complete in one
+//! structure-major sweep ([`econ::QuoteBatch`]) instead of once per
+//! node. With `threads > 1` the chunks fan out over a **persistent**
+//! worker pool (spawned once, parked between rounds — see the private
+//! `pool` module); the merge folds per-chunk minima in ascending node
+//! order, so the winner is **bit-identical** to the sequential scan at
+//! any pool size and under either completion path
+//! (`tests/fleet_determinism.rs` and `tests/batch_completion.rs` pin
+//! this).
 //!
 //! All strategies break ties toward the lowest node index, so routing is
 //! a deterministic function of the (node states, query, time) tuple.
 
-use planner::{LazySkeleton, PlannerContext};
+use std::sync::{Arc, Mutex};
+
+use econ::QuoteBatch;
+use planner::{LazySkeleton, PlannerContext, SkeletonCache};
 use pricing::Money;
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use workload::Query;
 
 use crate::node::CacheNode;
+use crate::pool::{ChunkSlices, QuotePool};
 
 /// A routing strategy.
 pub trait Router {
@@ -110,17 +118,75 @@ impl Router for LeastOutstanding {
     }
 }
 
+/// Construction-time options for cheapest-quote routing.
+#[derive(Debug, Clone)]
+pub struct QuoteOptions {
+    /// Workers a quote round fans per-node bids out over (1 =
+    /// sequential; clamped to at least 1). Results are invariant in it
+    /// by construction.
+    pub threads: usize,
+    /// Quote with batched structure-major completion
+    /// ([`econ::QuoteBatch`]) instead of one completion pass per node.
+    /// Bit-identical either way (the `fleet_scale` self-check and
+    /// `tests/batch_completion.rs` enforce it); batching is the fast
+    /// path and the default — the switch exists for that cross-check.
+    pub batching: bool,
+    /// Fleet-wide skeleton cache: rounds that must build the query's
+    /// [`planner::PlanSkeleton`] first probe this cache under the
+    /// query's planning fingerprint, de-duplicating builds across
+    /// concurrently simulated cells.
+    pub skeletons: Option<Arc<SkeletonCache>>,
+}
+
+impl Default for QuoteOptions {
+    fn default() -> Self {
+        QuoteOptions {
+            threads: 1,
+            batching: true,
+            skeletons: None,
+        }
+    }
+}
+
 /// Price-based routing: the node quoting the lowest `B_Q(t)` wins the bid.
 ///
 /// The round plans the query at most once (the shared [`LazySkeleton`],
-/// built by the first node that needs it) and gathers per-node
-/// completions — sequentially, or from a scoped worker pool when
-/// constructed with more than one thread. Either way the chosen node is
-/// the lowest-indexed minimum bidder, bit-identical across thread
-/// counts.
-#[derive(Debug)]
+/// built by the first node that needs it — resolved through the
+/// fleet-wide [`SkeletonCache`] when one is attached) and gathers
+/// per-node completions. With `threads > 1` the nodes split into
+/// contiguous chunks fanned out over a **persistent** worker pool
+/// ([`QuotePool`]): workers are spawned once and parked between rounds,
+/// so the per-round parallelism cost is a wake/park pair instead of
+/// thread spawns. Within each chunk the economic nodes' bids come from
+/// one batched structure-major completion sweep ([`QuoteBatch`]) unless
+/// per-node completion was requested.
+///
+/// Either way the chosen node is the lowest-indexed minimum bidder: each
+/// chunk reports its first minimal bid and the merge folds chunks in
+/// ascending node order keeping strict minima — bit-identical to the
+/// sequential scan at any pool size.
 pub struct CheapestQuote {
     threads: usize,
+    batching: bool,
+    skeletons: Option<Arc<SkeletonCache>>,
+    /// Lazily spawned persistent worker pool (`threads − 1` workers).
+    pool: Option<QuotePool>,
+    /// Per-chunk reusable batching workspaces; slot `c` is only ever
+    /// touched by the round participant running chunk `c`.
+    batches: Vec<Mutex<QuoteBatch>>,
+    /// Per-chunk round results: `(first minimal bidder, bid)`.
+    results: Vec<Mutex<Option<(usize, Money)>>>,
+}
+
+impl std::fmt::Debug for CheapestQuote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheapestQuote")
+            .field("threads", &self.threads)
+            .field("batching", &self.batching)
+            .field("shared_skeletons", &self.skeletons.is_some())
+            .field("pool_live", &self.pool.is_some())
+            .finish()
+    }
 }
 
 impl Default for CheapestQuote {
@@ -131,39 +197,113 @@ impl Default for CheapestQuote {
 
 impl CheapestQuote {
     /// A cheapest-quote router fanning bids out over `threads` workers
-    /// (1 = sequential; clamped to at least 1).
+    /// (1 = sequential; clamped to at least 1), with batched completion
+    /// and no shared skeleton cache.
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        CheapestQuote::with_options(QuoteOptions {
+            threads,
+            ..QuoteOptions::default()
+        })
+    }
+
+    /// A cheapest-quote router with explicit [`QuoteOptions`].
+    #[must_use]
+    pub fn with_options(options: QuoteOptions) -> Self {
         CheapestQuote {
-            threads: threads.max(1),
+            threads: options.threads.max(1),
+            batching: options.batching,
+            skeletons: options.skeletons,
+            pool: None,
+            batches: Vec::new(),
+            results: Vec::new(),
         }
     }
 
-    /// Sequential reference scan: first node with the minimal bid.
+    /// Grows the per-chunk workspaces to cover `chunks` slots.
+    fn ensure_chunk_state(&mut self, chunks: usize) {
+        while self.batches.len() < chunks {
+            self.batches.push(Mutex::new(QuoteBatch::new()));
+        }
+        while self.results.len() < chunks {
+            self.results.push(Mutex::new(None));
+        }
+    }
+
+    /// One chunk's scan: the first node with the minimal bid, quoting
+    /// every node individually (the per-node reference path).
+    fn chunk_best_per_node(
+        nodes: &[CacheNode],
+        base: usize,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        skeleton: &LazySkeleton<'_>,
+        now: SimTime,
+    ) -> (usize, Money) {
+        let mut best: Option<(usize, Money)> = None;
+        for (j, node) in nodes.iter().enumerate() {
+            let bid = node.quote_with_skeleton(ctx, query, skeleton, now);
+            if best.is_none_or(|(_, b)| bid < b) {
+                best = Some((base + j, bid));
+            }
+        }
+        best.expect("config validation: chunks are non-empty")
+    }
+
+    /// One chunk's scan with bids drawn from a batched structure-major
+    /// completion round — identical bids, hence identical winner.
+    fn chunk_best_batched(
+        batch: &mut QuoteBatch,
+        nodes: &[CacheNode],
+        base: usize,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        skeleton: &LazySkeleton<'_>,
+        now: SimTime,
+    ) -> (usize, Money) {
+        let bids = batch.quote_round(
+            nodes.len(),
+            |j| nodes[j].economy(),
+            |j| nodes[j].quote_with_skeleton(ctx, query, skeleton, now),
+            ctx,
+            query,
+            skeleton,
+            now,
+        );
+        let mut best = (base, bids[0]);
+        for (j, &bid) in bids.iter().enumerate().skip(1) {
+            if bid < best.1 {
+                best = (base + j, bid);
+            }
+        }
+        best
+    }
+
+    /// Sequential scan (one chunk spanning every node).
     fn route_sequential(
+        &mut self,
         nodes: &mut [CacheNode],
         ctx: &PlannerContext<'_>,
         query: &Query,
         skeleton: &LazySkeleton<'_>,
         now: SimTime,
     ) -> usize {
-        let mut best = 0;
-        let mut best_bid = None;
-        for (i, node) in nodes.iter().enumerate() {
-            let bid = node.quote_with_skeleton(ctx, query, skeleton, now);
-            if best_bid.is_none_or(|b| bid < b) {
-                best = i;
-                best_bid = Some(bid);
-            }
+        if self.batching {
+            self.ensure_chunk_state(1);
+            let batch = self.batches[0].get_mut().expect("batch workspace poisoned");
+            Self::chunk_best_batched(batch, nodes, 0, ctx, query, skeleton, now).0
+        } else {
+            Self::chunk_best_per_node(nodes, 0, ctx, query, skeleton, now).0
         }
-        best
     }
 
-    /// Worker-pool scan: nodes split into contiguous chunks, each worker
-    /// returns its chunk's first minimal bid, and the fold walks chunks
-    /// in ascending node order keeping strict minima — exactly the
-    /// sequential scan's lowest-indexed winner.
+    /// Persistent-pool scan: nodes split into contiguous chunks, every
+    /// pool participant (the caller runs chunk 0) reports its chunk's
+    /// first minimal bid, and the fold walks chunks in ascending node
+    /// order keeping strict minima — exactly the sequential scan's
+    /// lowest-indexed winner.
     fn route_pooled(
+        &mut self,
         threads: usize,
         nodes: &mut [CacheNode],
         ctx: &PlannerContext<'_>,
@@ -171,37 +311,46 @@ impl CheapestQuote {
         skeleton: &LazySkeleton<'_>,
         now: SimTime,
     ) -> usize {
+        self.ensure_chunk_state(threads);
+        if self.pool.as_ref().is_none_or(|p| p.workers() + 1 < threads) {
+            self.pool = Some(QuotePool::new(threads - 1));
+        }
         let chunk_len = nodes.len().div_ceil(threads);
-        let chunk_best: Vec<(usize, Money)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = nodes
-                .chunks_mut(chunk_len)
-                .enumerate()
-                .map(|(c, chunk)| {
-                    scope.spawn(move || {
-                        let base = c * chunk_len;
-                        let mut best: Option<(usize, Money)> = None;
-                        for (j, node) in chunk.iter().enumerate() {
-                            let bid = node.quote_with_skeleton(ctx, query, skeleton, now);
-                            if best.is_none_or(|(_, b)| bid < b) {
-                                best = Some((base + j, bid));
-                            }
-                        }
-                        best.expect("config validation: chunks are non-empty")
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("quote worker panicked"))
-                .collect()
-        });
-        let mut best = chunk_best[0];
-        for &(i, bid) in &chunk_best[1..] {
-            if bid < best.1 {
-                best = (i, bid);
+        let slices = ChunkSlices::new(nodes, chunk_len);
+        let n_chunks = slices.chunks();
+        for slot in &mut self.results[..n_chunks] {
+            *slot.get_mut().expect("result slot poisoned") = None;
+        }
+
+        let batching = self.batching;
+        let batches = &self.batches;
+        let results = &self.results;
+        let job = |chunk: usize| {
+            let Some(chunk_nodes) = slices.take(chunk) else {
+                return; // pool larger than this round's chunk count
+            };
+            let base = chunk * chunk_len;
+            let best = if batching {
+                let mut batch = batches[chunk].lock().expect("batch workspace poisoned");
+                Self::chunk_best_batched(&mut batch, chunk_nodes, base, ctx, query, skeleton, now)
+            } else {
+                Self::chunk_best_per_node(chunk_nodes, base, ctx, query, skeleton, now)
+            };
+            *results[chunk].lock().expect("result slot poisoned") = Some(best);
+        };
+        self.pool.as_ref().expect("pool just ensured").run(&job);
+
+        let mut best: Option<(usize, Money)> = None;
+        for slot in &self.results[..n_chunks] {
+            let (i, bid) = slot
+                .lock()
+                .expect("result slot poisoned")
+                .expect("every chunk computed");
+            if best.is_none_or(|(_, b)| bid < b) {
+                best = Some((i, bid));
             }
         }
-        best.0
+        best.expect("at least one chunk").0
     }
 }
 
@@ -218,13 +367,20 @@ impl Router for CheapestQuote {
         now: SimTime,
     ) -> usize {
         // The cache-independent half of every node's planning: built at
-        // most once per round, by the first node whose memo misses.
-        let skeleton = LazySkeleton::new(ctx, query);
+        // most once per round, by the first node whose memo misses —
+        // resolved through the fleet-wide cache when one is attached.
+        // (The Arc clone keeps the cache borrowable for the round while
+        // `self` is mutably borrowed below.)
+        let shared = self.skeletons.clone();
+        let skeleton = match &shared {
+            Some(cache) => LazySkeleton::with_cache(ctx, query, cache),
+            None => LazySkeleton::new(ctx, query),
+        };
         let threads = self.threads.min(nodes.len());
         if threads <= 1 {
-            Self::route_sequential(nodes, ctx, query, &skeleton, now)
+            self.route_sequential(nodes, ctx, query, &skeleton, now)
         } else {
-            Self::route_pooled(threads, nodes, ctx, query, &skeleton, now)
+            self.route_pooled(threads, nodes, ctx, query, &skeleton, now)
         }
     }
 }
@@ -262,15 +418,16 @@ impl RouterKind {
         }
     }
 
-    /// Instantiates a fresh router of this kind. `quote_threads` sizes
-    /// the cheapest-quote worker pool (ignored by the other strategies);
-    /// results are invariant in it by construction.
+    /// Instantiates a fresh router of this kind. `quote` configures the
+    /// cheapest-quote strategy (pool size, batching, shared skeletons)
+    /// and is ignored by the other strategies; results are invariant in
+    /// every quote option by construction.
     #[must_use]
-    pub fn make(&self, quote_threads: usize) -> Box<dyn Router> {
+    pub fn make(&self, quote: QuoteOptions) -> Box<dyn Router> {
         match self {
             RouterKind::RoundRobin => Box::<RoundRobin>::default(),
             RouterKind::LeastOutstanding => Box::new(LeastOutstanding),
-            RouterKind::CheapestQuote => Box::new(CheapestQuote::new(quote_threads)),
+            RouterKind::CheapestQuote => Box::new(CheapestQuote::with_options(quote)),
         }
     }
 }
@@ -282,7 +439,7 @@ mod tests {
     #[test]
     fn kinds_and_names_line_up() {
         for kind in RouterKind::all() {
-            assert_eq!(kind.make(1).name(), kind.name());
+            assert_eq!(kind.make(QuoteOptions::default()).name(), kind.name());
         }
     }
 
@@ -301,5 +458,7 @@ mod tests {
         let r = CheapestQuote::new(0);
         assert_eq!(r.threads, 1);
         assert_eq!(CheapestQuote::new(8).threads, 8);
+        assert!(r.pool.is_none(), "pool is lazy");
+        assert!(r.batching, "batched completion is the default");
     }
 }

@@ -17,7 +17,13 @@
 //!   query against the current cache state.
 //! * [`skeleton`] — the cache-independent half of enumeration
 //!   ([`PlanSkeleton`]) plus the cheap per-node completion phase, so a
-//!   fleet quote round plans each query once instead of once per node.
+//!   fleet quote round plans each query once instead of once per node;
+//!   [`SkeletonCache`] shares built skeletons fleet-wide under the
+//!   query's planning fingerprint.
+//! * [`batch`] — structure-major batched completion: one
+//!   [`BatchCompleter`] pass binds a skeleton against N nodes' cache
+//!   states at once, turning N independent cache probes per structure
+//!   into dense sweeps (bit-identical to N per-node completions).
 //! * [`soa`] — struct-of-arrays projection of the selection-hot plan
 //!   fields (time, price, existing flag).
 //! * [`skyline`] — keeps only the (time, price)-Pareto plans, as the
@@ -26,6 +32,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod candidates;
 pub mod enumerate;
 pub mod estimator;
@@ -35,6 +42,7 @@ pub mod skeleton;
 pub mod skyline;
 pub mod soa;
 
+pub use batch::{complete_plans_batch, BatchCompleter, CacheView};
 pub use candidates::{generate_candidates, CandidateIndex, TableCandidate};
 pub use enumerate::{
     enumerate_plans, enumerate_plans_into, EnumerationOptions, PlanBuffer, PlannerContext,
@@ -42,6 +50,8 @@ pub use enumerate::{
 pub use estimator::{CacheExecBase, CostParams, Estimator};
 pub use plan::{PlanShape, QueryPlan};
 pub use scaling::ParallelModel;
-pub use skeleton::{complete_plans_into, LazySkeleton, PlanSkeleton};
+pub use skeleton::{
+    complete_plans_into, planning_fingerprint, LazySkeleton, PlanSkeleton, SkeletonCache,
+};
 pub use skyline::{skyline_filter, skyline_partition, skyline_partition_hot};
 pub use soa::PlanHot;

@@ -122,6 +122,10 @@ impl CachePolicy for EconPolicy {
         self.manager.quote_with_skeleton(ctx, query, skeleton, now)
     }
 
+    fn economy(&self) -> Option<&EconomyManager> {
+        Some(&self.manager)
+    }
+
     fn disk_used(&self) -> u64 {
         self.manager.cache().disk_used()
     }

@@ -76,6 +76,17 @@ pub trait CachePolicy {
         self.quote(ctx, query, now)
     }
 
+    /// The economy manager backing this policy's quotes, when its
+    /// planning factors through batched structure-major completion
+    /// (`econ::QuoteBatch`). A fleet quote round batches the per-node
+    /// completion sweeps of every node that returns `Some`; nodes
+    /// returning `None` (the default) are quoted individually through
+    /// [`Self::quote_with_skeleton`]. Either path must produce identical
+    /// bids.
+    fn economy(&self) -> Option<&econ::EconomyManager> {
+        None
+    }
+
     /// Cache disk currently occupied (bytes).
     fn disk_used(&self) -> u64;
 

@@ -10,7 +10,10 @@
 //!    threads picks bit-identical winners (the deterministic merge of
 //!    `fleet::router::CheapestQuote`).
 
-use cloudcache::fleet::{run_fleet, FleetConfig, FleetResult, RouterKind};
+use cloudcache::fleet::{
+    run_fleet, CacheNode, CheapestQuote, FleetConfig, FleetResult, NodeSpec, QuoteOptions, Router,
+    RouterKind,
+};
 
 fn config(router: RouterKind, shards: usize, seed: u64) -> FleetConfig {
     let mut config = FleetConfig::mixed(12, 3, 80);
@@ -152,4 +155,104 @@ fn oversubscribed_shards_are_harmless() {
     let few = run_fleet(config(RouterKind::LeastOutstanding, 2, 9));
     let many = run_fleet(config(RouterKind::LeastOutstanding, 64, 9));
     assert_eq!(fingerprint(&few), fingerprint(&many));
+}
+
+/// The persistent quote pool picks the sequential scan's winner on every
+/// round of its lifetime — not just the first — at every pool size and
+/// under both completion paths.
+///
+/// The executor clamps pools to the machine's spare parallelism, so this
+/// test drives [`CheapestQuote`] directly: replica fleets (one per
+/// router configuration) see the same query stream, every router routes
+/// its own replica, the winner serves, and the chosen index must agree
+/// with the sequential batched reference on every one of 60 consecutive
+/// rounds — pool reuse across rounds with genuinely evolving node
+/// state, exactly what the scoped-spawn → persistent-pool change must
+/// not perturb.
+#[test]
+fn persistent_pool_winner_matches_sequential_across_rounds() {
+    use cloudcache::catalog::tpch::{tpch_schema, ScaleFactor};
+    use cloudcache::planner::{
+        generate_candidates, CandidateIndex, CostParams, Estimator, PlannerContext,
+    };
+    use cloudcache::pricing::PriceCatalog;
+    use cloudcache::simcore::{NetworkModel, SimTime};
+    use cloudcache::simulator::Scheme;
+    use cloudcache::workload::{paper_templates, WorkloadConfig, WorkloadGenerator};
+    use std::sync::Arc;
+
+    let schema = Arc::new(tpch_schema(ScaleFactor(10.0)));
+    let templates = paper_templates(&schema);
+    let candidates = generate_candidates(&schema, &templates, 65);
+    let cand_index = CandidateIndex::build(&schema, &candidates);
+    let estimator = Estimator::new(
+        CostParams::default(),
+        PriceCatalog::ec2_2009(),
+        NetworkModel::paper_sdss(),
+    );
+    let ctx = PlannerContext {
+        schema: &schema,
+        candidates: &candidates,
+        cand_index: &cand_index,
+        estimator: &estimator,
+    };
+    let econ = cloudcache::econ::EconConfig {
+        initial_credit: cloudcache::pricing::Money::from_dollars(0.02),
+        investment: cloudcache::econ::InvestmentRule {
+            min_regret: cloudcache::pricing::Money::from_dollars(1e-5),
+            ..cloudcache::econ::InvestmentRule::default()
+        },
+        ..cloudcache::econ::EconConfig::default()
+    };
+    let build_fleet = || -> Vec<CacheNode> {
+        (0..8)
+            .map(|i| CacheNode::new(i, &NodeSpec::new(Scheme::EconCheap), &schema, &econ))
+            .collect()
+    };
+
+    // (threads, batching): sequential batched is the reference; pools of
+    // 2/4/8 workers and the per-node completion path must all agree.
+    let configs = [
+        (1usize, true),
+        (2, true),
+        (4, true),
+        (8, true),
+        (1, false),
+        (8, false),
+    ];
+    let mut routers: Vec<CheapestQuote> = configs
+        .iter()
+        .map(|&(threads, batching)| {
+            CheapestQuote::with_options(QuoteOptions {
+                threads,
+                batching,
+                skeletons: None,
+            })
+        })
+        .collect();
+    let mut fleets: Vec<Vec<CacheNode>> = configs.iter().map(|_| build_fleet()).collect();
+
+    let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 77);
+    for round in 0..60 {
+        let query = gen.next_query();
+        let now = SimTime::from_secs((round + 1) as f64);
+        let mut winners = Vec::with_capacity(configs.len());
+        for (router, nodes) in routers.iter_mut().zip(&mut fleets) {
+            for node in nodes.iter_mut() {
+                node.accrue(now);
+            }
+            winners.push(router.route(nodes, &ctx, &query, now));
+        }
+        for (i, &winner) in winners.iter().enumerate() {
+            assert_eq!(
+                winner, winners[0],
+                "round {round}: config {:?} disagreed with the sequential reference",
+                configs[i]
+            );
+        }
+        // The winner serves, so later rounds quote against evolved state.
+        for (nodes, &winner) in fleets.iter_mut().zip(&winners) {
+            let _ = nodes[winner].serve(&ctx, &query, now);
+        }
+    }
 }

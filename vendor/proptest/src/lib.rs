@@ -117,6 +117,19 @@ pub mod strategy {
             )
         }
     }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.sample(rng),
+                self.1.sample(rng),
+                self.2.sample(rng),
+                self.3.sample(rng),
+                self.4.sample(rng),
+            )
+        }
+    }
 }
 
 /// Strategy producing `Vec`s of an element strategy.

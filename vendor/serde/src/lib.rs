@@ -64,6 +64,61 @@ pub trait Deserialize: Sized {
     fn deserialize(value: &Value) -> Result<Self, Error>;
 }
 
+// `Value` round-trips as itself, mirroring the real serde_json's
+// `Value: Serialize + Deserialize` — callers can parse arbitrary JSON
+// into the tree and navigate it dynamically.
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Value {
+    /// Map entry lookup: `Some(&value)` when `self` is a map containing
+    /// `key`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if `self` is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if `self` is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if `self` is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
 // ------------------------------------------------------- derive support
 
 /// Externally-tagged enum payload: `{"Variant": payload}`.
