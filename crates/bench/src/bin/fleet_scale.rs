@@ -61,8 +61,18 @@ struct Cell {
     pool_threads: usize,
     batching: bool,
     sim: FleetSim,
-    qps: f64,
+    /// Measured queries/second of every rep, in run order. The committed
+    /// record keeps the best *and* the min/median spread
+    /// ([`bench::rep_spread`]), so `trend` can tell machine noise from
+    /// real regressions.
+    rep_qps: Vec<f64>,
     result: Option<FleetResult>,
+}
+
+impl Cell {
+    fn spread(&self) -> bench::RepSpread {
+        bench::rep_spread(&self.rep_qps)
+    }
 }
 
 /// Prepares one grid cell (schema/candidate prep excluded from timing).
@@ -87,7 +97,7 @@ fn prepare_cell(
         pool_threads: sim.quote_pool_threads(),
         batching,
         sim,
-        qps: 0.0,
+        rep_qps: Vec::new(),
         result: None,
     }
 }
@@ -121,13 +131,15 @@ fn main() {
     );
     println!("================================================================");
     println!(
-        "{:>20} {:>7} {:>9} {:>5} {:>9} {:>12} {:>14} {:>12} {:>8} {:>8}",
+        "{:>20} {:>7} {:>9} {:>5} {:>9} {:>12} {:>12} {:>12} {:>14} {:>12} {:>8} {:>8}",
         "sweep",
         "shards",
         "qthreads",
         "pool",
         "batching",
         "queries/s",
+        "q/s min",
+        "q/s median",
         "cost ($)",
         "mean resp",
         "hit rate",
@@ -158,7 +170,7 @@ fn main() {
             let started = std::time::Instant::now();
             let run = cell.sim.run();
             let wall = started.elapsed().as_secs_f64();
-            cell.qps = cell.qps.max(run.queries as f64 / wall.max(1e-9));
+            cell.rep_qps.push(run.queries as f64 / wall.max(1e-9));
             cell.result = Some(run);
         }
     }
@@ -178,7 +190,9 @@ fn main() {
             .num_cell("quote_threads", cell.quote_threads, 9, false)
             .num_cell("pool_threads", cell.pool_threads, 5, false)
             .num_cell("batching", cell.batching, 9, false)
-            .f64_cell("qps", cell.qps, 12, 0, 0)
+            .f64_cell("qps", cell.spread().best, 12, 0, 0)
+            .f64_cell("qps_min", cell.spread().min, 12, 0, 0)
+            .f64_cell("qps_median", cell.spread().median, 12, 0, 0)
             .f64_cell("total_cost_usd", cost.as_dollars(), 14, 4, 6)
             .f64_cell("mean_response_s", mean, 12, 3, 6)
             .pct_cell("hit_rate", r.hit_rate(), 7, 4)
@@ -200,15 +214,14 @@ fn main() {
     // threads may not fall below the 1-thread baseline. Reported here
     // (reduced-scale CI runs are too noisy to gate on), enforced on the
     // committed record by `trend --check`.
-    let baseline_qps = cells[0].qps;
+    let baseline_qps = cells[0].spread().best;
     for cell in cells.iter().filter(|c| c.sweep == "quote-thread-sweep") {
-        if cell.qps < baseline_qps {
+        let qps = cell.spread().best;
+        if qps < baseline_qps {
             println!(
-                "note: quote_threads={} measured {:.0} q/s below the 1-thread baseline {:.0} ({:+.1}%)",
+                "note: quote_threads={} measured {qps:.0} q/s below the 1-thread baseline {baseline_qps:.0} ({:+.1}%)",
                 cell.quote_threads,
-                cell.qps,
-                baseline_qps,
-                (cell.qps - baseline_qps) / baseline_qps * 100.0
+                (qps - baseline_qps) / baseline_qps * 100.0
             );
         }
     }
@@ -217,14 +230,22 @@ fn main() {
     // Only the default acceptance cell refreshes the committed record;
     // reduced-scale runs (CI) must not clobber it.
     if default_cell {
+        // The fleet-wide skeleton cache's counter snapshot (summed over
+        // the baseline cell's reps) — committed so admission-filter
+        // tuning has recorded hit/admission rates to work from.
+        let skel = cells[0].sim.skeleton_cache_counters();
         let config = format!(
             "{{\"scale_factor\": {sf}, \"queries_per_tenant\": {queries_per_tenant}, \
              \"tenants\": {tenants}, \"nodes\": {nodes}, \"router\": \"cheapest-quote\", \
              \"parallelism\": {parallelism}, \
-             \"qps_note\": \"best of {reps} interleaved runs per cell\", \
+             \"qps_note\": \"best of {reps} interleaved runs per cell; qps_min/qps_median record the rep spread\", \
+             \"skeleton_hits\": {}, \"skeleton_misses\": {}, \"skeleton_admissions\": {}, \
              \"pr2_baseline_qps\": {PR2_BASELINE_QPS:.0}, \"speedup_vs_pr2\": {:.2}, \
              \"baseline_note\": \"pr2_baseline_qps: commit 925d16f (one full enumeration per \
              bidding node) at this cell, shards 1, quote_threads 1\"}}",
+            skel.hits,
+            skel.misses,
+            skel.admissions,
             baseline_qps / PR2_BASELINE_QPS
         );
         write_bench_json("fleet_scale", &config, set.json_rows());

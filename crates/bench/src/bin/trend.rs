@@ -27,7 +27,7 @@ fn main() {
 
     println!("================================================================");
     println!(
-        "bench trend: {} committed records (regression tolerance {:.0}%)",
+        "bench trend: {} committed records (regression tolerance {:.0}%, widened to a record's own rep spread)",
         files.len(),
         REGRESSION_TOLERANCE * 100.0
     );
@@ -60,7 +60,10 @@ fn main() {
             flags.push(format!("ERROR: {e}"));
         }
         if trend.regressed {
-            flags.push("REGRESSED".to_string());
+            flags.push(format!(
+                "REGRESSED (beyond the {:.1}% noise band)",
+                trend.tolerance * 100.0
+            ));
         }
         if !trend.sweep_regressions.is_empty() {
             flags.push(format!(

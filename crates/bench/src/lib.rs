@@ -31,6 +31,41 @@ pub mod trend;
 pub use cli::{cli_arg, cli_scale, cli_usage_error, scale_args};
 pub use row::{Row, RowSet};
 
+/// Best / min / median of one cell's per-rep throughput measurements.
+/// Grid benches record all three (`qps` / `qps_min` / `qps_median`) so
+/// `trend` can hold regressions to the record's own measured noise band
+/// instead of a blanket tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepSpread {
+    /// Best (highest) rep — the headline `qps`.
+    pub best: f64,
+    /// Worst rep.
+    pub min: f64,
+    /// Median rep (mean of the middle two for even counts).
+    pub median: f64,
+}
+
+/// Summarizes a cell's rep measurements.
+///
+/// # Panics
+/// Panics if `reps` is empty.
+#[must_use]
+pub fn rep_spread(reps: &[f64]) -> RepSpread {
+    assert!(!reps.is_empty(), "rep_spread needs at least one rep");
+    let mut sorted = reps.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    RepSpread {
+        best: sorted[n - 1],
+        min: sorted[0],
+        median: if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        },
+    }
+}
+
 /// The paper's inter-arrival grid (seconds), Figures 4 and 5.
 pub const PAPER_INTERVALS: [f64; 4] = [1.0, 10.0, 30.0, 60.0];
 

@@ -173,6 +173,31 @@ impl EconomyManager {
         }
     }
 
+    /// True when, at `now`, every cached structure's unreimbursed
+    /// maintenance has crossed its failure threshold (footnote 3's
+    /// `fail_factor × build cost`) — the cache as a whole "can no longer
+    /// pay maintenance". Trivially true when the cache is empty.
+    ///
+    /// Structures whose upkeep never accrues (zero threshold or free
+    /// maintenance) are treated as insolvent too: they cost nothing to
+    /// keep and must not block a drain forever.
+    ///
+    /// Read-only — the elastic fleet control plane polls this on its
+    /// review cadence before retiring a drained node.
+    #[must_use]
+    pub fn structures_insolvent(&self, estimator: &Estimator, now: SimTime) -> bool {
+        let fail_factor = self.config.failure.fail_factor;
+        self.cache.iter().all(|s| {
+            let threshold = s.build_cost.scale(fail_factor);
+            if threshold.is_zero() {
+                return true;
+            }
+            let span = now.saturating_since(s.maint_paid_until);
+            let unpaid = s.maint_forgiven + estimator.maintenance(s, span);
+            unpaid > threshold
+        })
+    }
+
     /// Processes one query at its arrival instant.
     ///
     /// # Panics

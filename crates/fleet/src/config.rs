@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use simulator::{ArrivalKind, Scheme};
 use workload::WorkloadConfig;
 
+use crate::elastic::ElasticConfig;
 use crate::node::NodeSpec;
 use crate::router::RouterKind;
 use crate::tenant::{TenantId, TenantSpec};
@@ -55,6 +56,11 @@ pub struct FleetConfig {
     pub econ: EconConfig,
     /// Candidate-index budget per cell (the paper's 65).
     pub candidate_indexes: usize,
+    /// Elastic control plane; `None` runs the classic fixed population.
+    /// When set, each cell's controller scales its node replica up and
+    /// down on the configured review cadence (see [`crate::elastic`]);
+    /// `nodes` then describes the *seed* population.
+    pub elastic: Option<ElasticConfig>,
     /// Master seed; per-tenant seeds derive from `(seed, tenant id)`.
     pub seed: u64,
 }
@@ -104,8 +110,27 @@ impl FleetConfig {
             prices: PriceCatalog::ec2_2009(),
             econ,
             candidate_indexes: 65,
+            elastic: None,
             seed: 0xF1EE_7CA5,
         }
+    }
+
+    /// Builder style: attach an elastic control plane.
+    #[must_use]
+    pub fn with_elastic(mut self, elastic: ElasticConfig) -> Self {
+        self.elastic = Some(elastic);
+        self
+    }
+
+    /// Builder style: give every tenant the same arrival process — the
+    /// scenario axis of the elasticity experiments (steady / bursty /
+    /// diurnal).
+    #[must_use]
+    pub fn with_arrivals(mut self, arrival: ArrivalKind) -> Self {
+        for t in &mut self.tenants {
+            t.arrival = arrival;
+        }
+        self
     }
 
     /// A heterogeneous fleet: tenants cycle through fixed / Poisson /
@@ -179,6 +204,9 @@ impl FleetConfig {
             .validate()
             .map_err(|f| format!("cost_params.{f} invalid"))?;
         self.econ.validate().map_err(|m| format!("econ: {m}"))?;
+        if let Some(elastic) = &self.elastic {
+            elastic.validate().map_err(|m| format!("elastic: {m}"))?;
+        }
         Ok(())
     }
 
@@ -209,6 +237,8 @@ mod tests {
                 ArrivalKind::Fixed { .. } => "fixed",
                 ArrivalKind::Poisson { .. } => "poisson",
                 ArrivalKind::Bursty { .. } => "bursty",
+                ArrivalKind::Mmpp { .. } => "mmpp",
+                ArrivalKind::Diurnal { .. } => "diurnal",
             })
             .collect();
         assert_eq!(kinds.len(), 3);

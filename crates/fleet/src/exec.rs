@@ -33,6 +33,7 @@ use simulator::RunResult;
 use workload::paper_templates;
 
 use crate::config::FleetConfig;
+use crate::elastic::{ElasticController, ElasticSummary, NodePopulation};
 use crate::node::CacheNode;
 use crate::result::{FleetResult, NodeStats, TenantStats};
 use crate::router::QuoteOptions;
@@ -72,7 +73,13 @@ pub struct FleetSim {
 struct CellResult {
     horizon: SimTime,
     tenants: Vec<TenantStats>,
-    nodes: Vec<RunResult>,
+    /// Per-node results tagged with fleet-wide node ids — positions are
+    /// not ids once the control plane retires or spawns nodes mid-run.
+    nodes: Vec<(usize, RunResult)>,
+    /// Live node-seconds integrated over the cell (eq. 11's quantity).
+    node_seconds: f64,
+    /// Control-plane activity, when the cell ran elastically.
+    elastic: Option<ElasticSummary>,
 }
 
 impl FleetSim {
@@ -108,6 +115,15 @@ impl FleetSim {
     #[must_use]
     pub fn skeleton_cache_stats(&self) -> (u64, u64) {
         self.skeletons.stats()
+    }
+
+    /// Full counter snapshot of the fleet-wide skeleton cache —
+    /// hits, misses and admission-filter stores. The `fleet_scale`
+    /// bench records these in its JSON so admission-filter tuning has
+    /// committed data to work from.
+    #[must_use]
+    pub fn skeleton_cache_counters(&self) -> planner::SkeletonCacheCounters {
+        self.skeletons.counters()
     }
 
     /// The quote-pool size this sim's cells will actually use — the
@@ -178,7 +194,9 @@ impl FleetSim {
             let mut piece = FleetResult::empty(self.config.router.name(), cells);
             piece.horizon_secs = partial.horizon.as_secs();
             piece.tenants = partial.tenants.clone();
-            for (node_idx, run) in partial.nodes.iter().enumerate() {
+            piece.node_seconds = partial.node_seconds;
+            piece.elastic = partial.elastic.clone();
+            for &(node_idx, ref run) in &partial.nodes {
                 piece.queries += run.queries;
                 piece.response.merge(&run.response);
                 piece.response_hist.merge(&run.response_hist);
@@ -219,13 +237,19 @@ impl FleetSim {
             .collect();
         let merged = MergedStream::new(streams);
 
-        let mut nodes: Vec<CacheNode> = self
+        let nodes: Vec<CacheNode> = self
             .config
             .nodes
             .iter()
             .enumerate()
             .map(|(i, spec)| CacheNode::new(i, spec, &self.schema, &self.config.econ))
             .collect();
+        let mut population = NodePopulation::new(nodes);
+        let mut controller = self
+            .config
+            .elastic
+            .as_ref()
+            .map(|_| ElasticController::new(&self.config, cell, Arc::clone(&self.schema)));
         let mut router = self.config.router.make(QuoteOptions {
             threads: self.quote_pool_threads(),
             batching: self.config.quote_batching,
@@ -241,11 +265,15 @@ impl FleetSim {
         let mut horizon = SimTime::ZERO;
         for (now, tenant, query) in merged {
             horizon = now;
-            for node in &mut nodes {
-                node.accrue(now);
+            // Control-plane reviews due before this arrival run first, at
+            // their exact simulated instants, so routing below sees the
+            // post-review population.
+            if let Some(controller) = &mut controller {
+                controller.run_due_reviews(&mut population, &ctx, now);
             }
-            let chosen = router.route(&mut nodes, &ctx, &query, now);
-            let outcome = nodes[chosen].serve(&ctx, &query, now);
+            population.accrue(now);
+            let chosen = router.route(population.live_mut(), &ctx, &query, now);
+            let outcome = population.live_mut()[chosen].serve(&ctx, &query, now);
 
             let stats = &mut tenant_stats[slot_of[&tenant]];
             stats.queries += 1;
@@ -255,13 +283,15 @@ impl FleetSim {
         }
 
         let rates = &self.config.prices.rates;
+        let finish = population.finish(rates, horizon);
+        let node_seconds = finish.node_seconds;
+        let elastic = controller.map(|c| c.into_summary(&finish));
         CellResult {
             horizon,
             tenants: tenant_stats,
-            nodes: nodes
-                .into_iter()
-                .map(|n| n.finish(rates, horizon))
-                .collect(),
+            nodes: finish.nodes,
+            node_seconds,
+            elastic,
         }
     }
 }

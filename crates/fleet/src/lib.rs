@@ -19,6 +19,10 @@
 //!
 //! * [`tenant`] — [`TenantSpec`] populations and the binary-heap
 //!   superposition ([`MergedStream`]).
+//! * [`elastic`] — the economy-driven control plane: an EWMA pressure
+//!   signal drives node spawn/drain/retire decisions on a deterministic
+//!   review cadence, every decision explained in a ledger
+//!   ([`ElasticController`], [`NodePopulation`], [`LedgerEntry`]).
 //! * [`router`] — the [`Router`] trait with [`RoundRobin`],
 //!   [`LeastOutstanding`] and [`CheapestQuote`] strategies; the latter
 //!   extends the paper's economy into a competitive market where the node
@@ -44,6 +48,7 @@
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod elastic;
 pub mod exec;
 pub mod node;
 mod pool;
@@ -52,6 +57,10 @@ pub mod router;
 pub mod tenant;
 
 pub use config::FleetConfig;
+pub use elastic::{
+    ElasticAction, ElasticConfig, ElasticController, ElasticSummary, LedgerEntry, NodePopulation,
+    PressureSignals,
+};
 pub use exec::{effective_quote_threads, run_fleet, FleetSim};
 pub use node::{CacheNode, NodeSpec};
 pub use result::{FleetResult, NodeStats, TenantStats};

@@ -37,6 +37,12 @@ pub struct CacheNode {
     policy: Box<dyn CachePolicy + Send>,
     acc: RunAccumulator,
     backlog_until: SimTime,
+    /// Boot completes here; `ZERO` for seed nodes, spawn + eq. 10's boot
+    /// time for elastically added ones. Unroutable before it.
+    ready_at: SimTime,
+    /// Set when the control plane begins draining the node: routing
+    /// stops, in-flight work finishes, and the node waits for retirement.
+    draining_since: Option<SimTime>,
 }
 
 impl CacheNode {
@@ -53,6 +59,34 @@ impl CacheNode {
             policy: make_policy(&spec.scheme, schema, econ),
             acc: RunAccumulator::new(),
             backlog_until: SimTime::ZERO,
+            ready_at: SimTime::ZERO,
+            draining_since: None,
+        }
+    }
+
+    /// Instantiates a node the control plane spawns mid-run: uptime is
+    /// charged from `spawned_at` (eq. 11), eq. 10's boot cost is booked
+    /// as build spend immediately, and the node only becomes routable at
+    /// `ready_at` (spawn + boot time).
+    #[must_use]
+    pub fn new_booting(
+        id: usize,
+        spec: &NodeSpec,
+        schema: &std::sync::Arc<catalog::Schema>,
+        econ: &econ::EconConfig,
+        spawned_at: SimTime,
+        ready_at: SimTime,
+        boot_cost: Money,
+    ) -> Self {
+        let mut acc = RunAccumulator::new_at(spawned_at);
+        acc.book_build(boot_cost);
+        CacheNode {
+            id,
+            policy: make_policy(&spec.scheme, schema, econ),
+            acc,
+            backlog_until: SimTime::ZERO,
+            ready_at,
+            draining_since: None,
         }
     }
 
@@ -60,6 +94,54 @@ impl CacheNode {
     #[must_use]
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// True when routers may send this node queries at `now`: boot
+    /// completed and no drain has begun. All shipped routing strategies
+    /// skip unroutable nodes.
+    #[must_use]
+    pub fn routable(&self, now: SimTime) -> bool {
+        self.draining_since.is_none() && now >= self.ready_at
+    }
+
+    /// When the node's boot completes (`ZERO` for seed nodes).
+    #[must_use]
+    pub fn ready_at(&self) -> SimTime {
+        self.ready_at
+    }
+
+    /// When this node's drain began, if one has.
+    #[must_use]
+    pub fn drain_since(&self) -> Option<SimTime> {
+        self.draining_since
+    }
+
+    /// Marks the node draining: routers stop selecting it from `now` on,
+    /// while its accounting keeps running until retirement.
+    ///
+    /// # Panics
+    /// Panics if the node is already draining.
+    pub fn begin_drain(&mut self, now: SimTime) {
+        assert!(self.draining_since.is_none(), "node already draining");
+        self.draining_since = Some(now);
+    }
+
+    /// User payments this node has collected so far.
+    #[must_use]
+    pub fn payments(&self) -> Money {
+        self.acc.payments()
+    }
+
+    /// Cloud profit this node has accumulated so far.
+    #[must_use]
+    pub fn profit(&self) -> Money {
+        self.acc.profit()
+    }
+
+    /// Sum of delivered response times so far (seconds).
+    #[must_use]
+    pub fn response_secs_total(&self) -> f64 {
+        self.acc.response_secs_total()
     }
 
     /// The scheme name this node runs.
@@ -104,6 +186,12 @@ impl CacheNode {
         self.policy.economy()
     }
 
+    /// Cache disk this node currently occupies (bytes).
+    #[must_use]
+    pub fn disk_used(&self) -> u64 {
+        self.policy.disk_used()
+    }
+
     /// Outstanding backlog in seconds of promised-but-undelivered response
     /// time at `now`. Zero for an idle node.
     #[must_use]
@@ -125,6 +213,10 @@ impl CacheNode {
         query: &Query,
         now: SimTime,
     ) -> PolicyOutcome {
+        debug_assert!(
+            self.routable(now),
+            "draining/booting nodes must not serve queries"
+        );
         let outcome = self.policy.process_query(ctx, query, now);
         self.acc.record(&outcome, now);
         self.backlog_until = self.backlog_until.max(now) + outcome.response_time;

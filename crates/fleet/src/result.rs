@@ -12,6 +12,7 @@ use pricing::Money;
 use serde::{Deserialize, Serialize};
 use simulator::RunResult;
 
+use crate::elastic::ElasticSummary;
 use crate::tenant::TenantId;
 
 /// What one tenant experienced over the run.
@@ -163,10 +164,18 @@ pub struct FleetResult {
     pub investments: u64,
     /// Structures evicted fleet-wide.
     pub evictions: u64,
+    /// Node-seconds of live node uptime integrated over cells — the
+    /// quantity eq. 11 bills at `c` $/s. For a fixed population this is
+    /// `nodes × Σ cell horizons`; an elastic run's control plane shrinks
+    /// it by draining idle nodes (its summary carries the same value).
+    pub node_seconds: f64,
     /// Per-tenant accounting, ascending tenant id.
     pub tenants: Vec<TenantStats>,
     /// Per-node accounting, ascending node index.
     pub nodes: Vec<NodeStats>,
+    /// Elastic control-plane activity (spawns, retires, uptime integral,
+    /// decision ledger); `None` for fixed-population runs.
+    pub elastic: Option<ElasticSummary>,
 }
 
 impl FleetResult {
@@ -188,8 +197,10 @@ impl FleetResult {
             cache_hits: 0,
             investments: 0,
             evictions: 0,
+            node_seconds: 0.0,
             tenants: Vec::new(),
             nodes: Vec::new(),
+            elastic: None,
         }
     }
 
@@ -215,6 +226,7 @@ impl FleetResult {
         self.cache_hits += other.cache_hits;
         self.investments += other.investments;
         self.evictions += other.evictions;
+        self.node_seconds += other.node_seconds;
         for t in &other.tenants {
             self.tenants.push(t.clone());
         }
@@ -226,6 +238,11 @@ impl FleetResult {
             }
         }
         self.nodes.sort_by_key(|n| n.node);
+        if let Some(theirs) = &other.elastic {
+            self.elastic
+                .get_or_insert_with(ElasticSummary::default)
+                .merge(theirs);
+        }
     }
 
     /// Total operating cost of the fleet (execution + infrastructure +

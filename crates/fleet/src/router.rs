@@ -81,11 +81,18 @@ impl Router for RoundRobin {
         nodes: &mut [CacheNode],
         _ctx: &PlannerContext<'_>,
         _query: &Query,
-        _now: SimTime,
+        now: SimTime,
     ) -> usize {
-        let chosen = self.next % nodes.len();
-        self.next = (self.next + 1) % nodes.len();
-        chosen
+        // Rotate from the cursor to the next routable node (elastic
+        // fleets carry draining/booting nodes in the slice).
+        for off in 0..nodes.len() {
+            let idx = (self.next + off) % nodes.len();
+            if nodes[idx].routable(now) {
+                self.next = (idx + 1) % nodes.len();
+                return idx;
+            }
+        }
+        panic!("no routable node (the control plane must keep at least one active)");
     }
 }
 
@@ -105,16 +112,19 @@ impl Router for LeastOutstanding {
         _query: &Query,
         now: SimTime,
     ) -> usize {
-        let mut best = 0;
+        let mut best = None;
         let mut best_load = f64::INFINITY;
         for (i, node) in nodes.iter().enumerate() {
+            if !node.routable(now) {
+                continue;
+            }
             let load = node.outstanding(now);
             if load < best_load {
-                best = i;
+                best = Some(i);
                 best_load = load;
             }
         }
-        best
+        best.expect("no routable node (the control plane must keep at least one active)")
     }
 }
 
@@ -174,8 +184,19 @@ pub struct CheapestQuote {
     /// Per-chunk reusable batching workspaces; slot `c` is only ever
     /// touched by the round participant running chunk `c`.
     batches: Vec<Mutex<QuoteBatch>>,
-    /// Per-chunk round results: `(first minimal bidder, bid)`.
-    results: Vec<Mutex<Option<(usize, Money)>>>,
+    /// Per-chunk round results.
+    results: Vec<Mutex<ChunkResult>>,
+}
+
+/// One chunk's contribution to a pooled quote round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ChunkResult {
+    /// The chunk's participant has not reported yet.
+    Pending,
+    /// The chunk held no routable node (all draining/booting).
+    Empty,
+    /// The chunk's first minimal bidder and its bid.
+    Best(usize, Money),
 }
 
 impl std::fmt::Debug for CheapestQuote {
@@ -226,12 +247,14 @@ impl CheapestQuote {
             self.batches.push(Mutex::new(QuoteBatch::new()));
         }
         while self.results.len() < chunks {
-            self.results.push(Mutex::new(None));
+            self.results.push(Mutex::new(ChunkResult::Pending));
         }
     }
 
-    /// One chunk's scan: the first node with the minimal bid, quoting
-    /// every node individually (the per-node reference path).
+    /// One chunk's scan: the first routable node with the minimal bid,
+    /// quoting every node individually (the per-node reference path).
+    /// `None` when the chunk holds no routable node (elastic fleets carry
+    /// draining/booting nodes in the slice; they neither bid nor plan).
     fn chunk_best_per_node(
         nodes: &[CacheNode],
         base: usize,
@@ -239,19 +262,25 @@ impl CheapestQuote {
         query: &Query,
         skeleton: &LazySkeleton<'_>,
         now: SimTime,
-    ) -> (usize, Money) {
+    ) -> Option<(usize, Money)> {
         let mut best: Option<(usize, Money)> = None;
         for (j, node) in nodes.iter().enumerate() {
+            if !node.routable(now) {
+                continue;
+            }
             let bid = node.quote_with_skeleton(ctx, query, skeleton, now);
             if best.is_none_or(|(_, b)| bid < b) {
                 best = Some((base + j, bid));
             }
         }
-        best.expect("config validation: chunks are non-empty")
+        best
     }
 
     /// One chunk's scan with bids drawn from a batched structure-major
     /// completion round — identical bids, hence identical winner.
+    /// Unroutable nodes are excluded from the batch entirely (no
+    /// classification, no completion, no memo warming), exactly as the
+    /// per-node path skips them.
     fn chunk_best_batched(
         batch: &mut QuoteBatch,
         nodes: &[CacheNode],
@@ -260,20 +289,35 @@ impl CheapestQuote {
         query: &Query,
         skeleton: &LazySkeleton<'_>,
         now: SimTime,
-    ) -> (usize, Money) {
+    ) -> Option<(usize, Money)> {
         let bids = batch.quote_round(
             nodes.len(),
-            |j| nodes[j].economy(),
-            |j| nodes[j].quote_with_skeleton(ctx, query, skeleton, now),
+            |j| {
+                if nodes[j].routable(now) {
+                    nodes[j].economy()
+                } else {
+                    None
+                }
+            },
+            |j| {
+                if nodes[j].routable(now) {
+                    nodes[j].quote_with_skeleton(ctx, query, skeleton, now)
+                } else {
+                    Money::ZERO // placeholder; unroutable bids are never read
+                }
+            },
             ctx,
             query,
             skeleton,
             now,
         );
-        let mut best = (base, bids[0]);
-        for (j, &bid) in bids.iter().enumerate().skip(1) {
-            if bid < best.1 {
-                best = (base + j, bid);
+        let mut best: Option<(usize, Money)> = None;
+        for (j, &bid) in bids.iter().enumerate() {
+            if !nodes[j].routable(now) {
+                continue;
+            }
+            if best.is_none_or(|(_, b)| bid < b) {
+                best = Some((base + j, bid));
             }
         }
         best
@@ -288,13 +332,15 @@ impl CheapestQuote {
         skeleton: &LazySkeleton<'_>,
         now: SimTime,
     ) -> usize {
-        if self.batching {
+        let best = if self.batching {
             self.ensure_chunk_state(1);
             let batch = self.batches[0].get_mut().expect("batch workspace poisoned");
-            Self::chunk_best_batched(batch, nodes, 0, ctx, query, skeleton, now).0
+            Self::chunk_best_batched(batch, nodes, 0, ctx, query, skeleton, now)
         } else {
-            Self::chunk_best_per_node(nodes, 0, ctx, query, skeleton, now).0
-        }
+            Self::chunk_best_per_node(nodes, 0, ctx, query, skeleton, now)
+        };
+        best.expect("no routable node (the control plane must keep at least one active)")
+            .0
     }
 
     /// Persistent-pool scan: nodes split into contiguous chunks, every
@@ -312,14 +358,25 @@ impl CheapestQuote {
         now: SimTime,
     ) -> usize {
         self.ensure_chunk_state(threads);
-        if self.pool.as_ref().is_none_or(|p| p.workers() + 1 < threads) {
+        // Re-clamp the persistent pool to the round's thread count: an
+        // elastic fleet's node population changes mid-run, and `route`
+        // clamps `threads` to the *current* population — so the pool must
+        // grow back after the population does, and shrink when a smaller
+        // population leaves workers that could never claim a chunk
+        // (wake/park cost per round for nothing). Population changes are
+        // review-cadence rare, so respawning on change is cheap.
+        if self
+            .pool
+            .as_ref()
+            .is_none_or(|p| p.workers() + 1 != threads)
+        {
             self.pool = Some(QuotePool::new(threads - 1));
         }
         let chunk_len = nodes.len().div_ceil(threads);
         let slices = ChunkSlices::new(nodes, chunk_len);
         let n_chunks = slices.chunks();
         for slot in &mut self.results[..n_chunks] {
-            *slot.get_mut().expect("result slot poisoned") = None;
+            *slot.get_mut().expect("result slot poisoned") = ChunkResult::Pending;
         }
 
         let batching = self.batching;
@@ -336,21 +393,27 @@ impl CheapestQuote {
             } else {
                 Self::chunk_best_per_node(chunk_nodes, base, ctx, query, skeleton, now)
             };
-            *results[chunk].lock().expect("result slot poisoned") = Some(best);
+            *results[chunk].lock().expect("result slot poisoned") = match best {
+                Some((i, bid)) => ChunkResult::Best(i, bid),
+                None => ChunkResult::Empty,
+            };
         };
         self.pool.as_ref().expect("pool just ensured").run(&job);
 
         let mut best: Option<(usize, Money)> = None;
         for slot in &self.results[..n_chunks] {
-            let (i, bid) = slot
-                .lock()
-                .expect("result slot poisoned")
-                .expect("every chunk computed");
-            if best.is_none_or(|(_, b)| bid < b) {
-                best = Some((i, bid));
+            match *slot.lock().expect("result slot poisoned") {
+                ChunkResult::Pending => unreachable!("every chunk computed"),
+                ChunkResult::Empty => {}
+                ChunkResult::Best(i, bid) => {
+                    if best.is_none_or(|(_, b)| bid < b) {
+                        best = Some((i, bid));
+                    }
+                }
             }
         }
-        best.expect("at least one chunk").0
+        best.expect("no routable node (the control plane must keep at least one active)")
+            .0
     }
 }
 
@@ -460,5 +523,119 @@ mod tests {
         assert_eq!(CheapestQuote::new(8).threads, 8);
         assert!(r.pool.is_none(), "pool is lazy");
         assert!(r.batching, "batched completion is the default");
+    }
+
+    #[test]
+    fn pool_reclamps_when_the_node_population_changes() {
+        use catalog::tpch::{tpch_schema, ScaleFactor};
+        use planner::{generate_candidates, CostParams, Estimator};
+        use pricing::PriceCatalog;
+        use simulator::Scheme;
+        use std::sync::Arc;
+        use workload::{paper_templates, WorkloadConfig, WorkloadGenerator};
+
+        let schema = Arc::new(tpch_schema(ScaleFactor(1.0)));
+        let templates = paper_templates(&schema);
+        let candidates = generate_candidates(&schema, &templates, 65);
+        let cand_index = planner::CandidateIndex::build(&schema, &candidates);
+        let estimator = Estimator::new(
+            CostParams::default(),
+            PriceCatalog::ec2_2009(),
+            simcore::NetworkModel::paper_sdss(),
+        );
+        let ctx = PlannerContext {
+            schema: &schema,
+            candidates: &candidates,
+            cand_index: &cand_index,
+            estimator: &estimator,
+        };
+        let econ = econ::EconConfig::default();
+        let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 5);
+        let mut nodes: Vec<CacheNode> = (0..4)
+            .map(|i| {
+                crate::node::CacheNode::new(
+                    i,
+                    &crate::node::NodeSpec::new(Scheme::EconCheap),
+                    &schema,
+                    &econ,
+                )
+            })
+            .collect();
+
+        let mut r = CheapestQuote::new(8);
+        let now = SimTime::from_secs(1.0);
+        let q = gen.next_query();
+        let _ = r.route(&mut nodes, &ctx, &q, now);
+        // 8 requested threads clamp to the 4-node population: 3 workers.
+        assert_eq!(r.pool.as_ref().expect("pool spawned").workers(), 3);
+
+        // The population shrinks (elastic scale-down): the pool follows.
+        let q = gen.next_query();
+        let _ = r.route(&mut nodes[..2], &ctx, &q, SimTime::from_secs(2.0));
+        assert_eq!(r.pool.as_ref().expect("pool live").workers(), 1);
+
+        // …and grows back when the population does.
+        let q = gen.next_query();
+        let _ = r.route(&mut nodes, &ctx, &q, SimTime::from_secs(3.0));
+        assert_eq!(r.pool.as_ref().expect("pool live").workers(), 3);
+    }
+
+    #[test]
+    fn draining_nodes_are_never_routed() {
+        use catalog::tpch::{tpch_schema, ScaleFactor};
+        use planner::{generate_candidates, CostParams, Estimator};
+        use pricing::PriceCatalog;
+        use simulator::Scheme;
+        use std::sync::Arc;
+        use workload::{paper_templates, WorkloadConfig, WorkloadGenerator};
+
+        let schema = Arc::new(tpch_schema(ScaleFactor(1.0)));
+        let templates = paper_templates(&schema);
+        let candidates = generate_candidates(&schema, &templates, 65);
+        let cand_index = planner::CandidateIndex::build(&schema, &candidates);
+        let estimator = Estimator::new(
+            CostParams::default(),
+            PriceCatalog::ec2_2009(),
+            simcore::NetworkModel::paper_sdss(),
+        );
+        let ctx = PlannerContext {
+            schema: &schema,
+            candidates: &candidates,
+            cand_index: &cand_index,
+            estimator: &estimator,
+        };
+        let econ = econ::EconConfig::default();
+        let mut gen = WorkloadGenerator::new(Arc::clone(&schema), WorkloadConfig::default(), 9);
+        let mut nodes: Vec<CacheNode> = (0..3)
+            .map(|i| {
+                crate::node::CacheNode::new(
+                    i,
+                    &crate::node::NodeSpec::new(Scheme::EconCheap),
+                    &schema,
+                    &econ,
+                )
+            })
+            .collect();
+        nodes[0].begin_drain(SimTime::from_secs(0.5));
+
+        let mut rr = RoundRobin::default();
+        let mut lo = LeastOutstanding;
+        let mut cq_batched = CheapestQuote::new(1);
+        let mut cq_per_node = CheapestQuote::with_options(QuoteOptions {
+            batching: false,
+            ..QuoteOptions::default()
+        });
+        for i in 0..12 {
+            let now = SimTime::from_secs(1.0 + i as f64);
+            let q = gen.next_query();
+            assert_ne!(rr.route(&mut nodes, &ctx, &q, now), 0, "round-robin");
+            assert_ne!(lo.route(&mut nodes, &ctx, &q, now), 0, "least-outstanding");
+            assert_ne!(cq_batched.route(&mut nodes, &ctx, &q, now), 0, "cq batched");
+            assert_ne!(
+                cq_per_node.route(&mut nodes, &ctx, &q, now),
+                0,
+                "cq per-node"
+            );
+        }
     }
 }

@@ -52,6 +52,7 @@ pub use plan::{PlanShape, QueryPlan};
 pub use scaling::ParallelModel;
 pub use skeleton::{
     complete_plans_into, planning_fingerprint, LazySkeleton, PlanSkeleton, SkeletonCache,
+    SkeletonCacheCounters,
 };
 pub use skyline::{skyline_filter, skyline_partition, skyline_partition_hot};
 pub use soa::PlanHot;

@@ -264,6 +264,18 @@ struct SkeletonShard {
     seen: Vec<u64>,
 }
 
+/// Counter snapshot of a [`SkeletonCache`] (see
+/// [`SkeletonCache::counters`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SkeletonCacheCounters {
+    /// Probes served from the map.
+    pub hits: u64,
+    /// Probes that had to build (filtered or first-sighting).
+    pub misses: u64,
+    /// Misses whose skeleton was stored (second sighting onward).
+    pub admissions: u64,
+}
+
 /// A fleet-wide, fingerprint-keyed cache of built [`PlanSkeleton`]s,
 /// sharded for concurrent access from cell worker threads.
 ///
@@ -286,6 +298,7 @@ pub struct SkeletonCache {
     shards: Vec<Mutex<SkeletonShard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    admissions: AtomicU64,
 }
 
 impl Default for SkeletonCache {
@@ -309,6 +322,7 @@ impl SkeletonCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            admissions: AtomicU64::new(0),
         }
     }
 
@@ -319,6 +333,22 @@ impl SkeletonCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Counter snapshot — hits, misses and admissions (misses whose
+    /// fingerprint passed the seen-twice filter and were stored). The
+    /// admission rate against the miss count is the tuning signal for
+    /// the filter/shard sizing the ROADMAP's admission-tuning item
+    /// tracks: misses ≫ admissions means the filter is correctly
+    /// rejecting one-shot fingerprints; admissions without subsequent
+    /// hits mean the filter admits too eagerly.
+    #[must_use]
+    pub fn counters(&self) -> SkeletonCacheCounters {
+        SkeletonCacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            admissions: self.admissions.load(Ordering::Relaxed),
+        }
     }
 
     /// The skeleton for `query`, built on first need and memoized once
@@ -353,6 +383,7 @@ impl SkeletonCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             let built = Arc::new(PlanSkeleton::build(ctx, query));
             if admitted {
+                self.admissions.fetch_add(1, Ordering::Relaxed);
                 let mut guard = shard.lock().expect("skeleton shard poisoned");
                 if guard.map.len() >= SKELETON_SHARD_CAP {
                     guard.map.clear();
@@ -850,10 +881,20 @@ mod tests {
         let cache = SkeletonCache::new();
         let first = cache.get_or_build(&ctx, &q);
         assert_eq!(cache.stats(), (0, 1), "first sighting builds, not stored");
+        assert_eq!(cache.counters().admissions, 0);
         let second = cache.get_or_build(&ctx, &q);
         assert_eq!(cache.stats(), (0, 2), "second sighting builds and admits");
+        assert_eq!(cache.counters().admissions, 1);
         let third = cache.get_or_build(&ctx, &q);
         assert_eq!(cache.stats(), (1, 2), "third sighting hits");
+        assert_eq!(
+            cache.counters(),
+            SkeletonCacheCounters {
+                hits: 1,
+                misses: 2,
+                admissions: 1
+            }
+        );
         assert_eq!(*first, *second);
         assert_eq!(*second, *third);
         // A different query resolves independently.

@@ -74,6 +74,31 @@ pub enum ArrivalKind {
         /// Mean gap between bursts (seconds).
         off_gap_secs: f64,
     },
+    /// Two-state Markov-modulated Poisson process
+    /// ([`workload::MarkovModulated`]): calm/storm rate switching with
+    /// exponential sojourns — the elasticity experiments' bursty shape.
+    Mmpp {
+        /// Mean inter-arrival gap in the calm state (seconds).
+        calm_gap_secs: f64,
+        /// Mean inter-arrival gap in the storm state (seconds).
+        storm_gap_secs: f64,
+        /// Mean calm-state duration (seconds).
+        calm_sojourn_secs: f64,
+        /// Mean storm-state duration (seconds).
+        storm_sojourn_secs: f64,
+    },
+    /// Sinusoidally rate-modulated Poisson process
+    /// ([`workload::DiurnalSinusoid`]): the day/night demand cycle.
+    Diurnal {
+        /// Mean inter-arrival gap averaged over a period (seconds).
+        mean_gap_secs: f64,
+        /// Relative rate swing in `[0, 1)`.
+        amplitude: f64,
+        /// Cycle length (seconds).
+        period_secs: f64,
+        /// Phase offset (radians); `-π/2` starts at the trough.
+        phase: f64,
+    },
 }
 
 /// Full description of one simulation cell.
@@ -146,6 +171,30 @@ impl SimConfig {
                 off_gap_secs,
             } if on_gap_secs <= 0.0 || off_gap_secs <= 0.0 || burst_len == 0 => {
                 return Err("bursty parameters must be positive".into());
+            }
+            ArrivalKind::Mmpp {
+                calm_gap_secs,
+                storm_gap_secs,
+                calm_sojourn_secs,
+                storm_sojourn_secs,
+            } if calm_gap_secs <= 0.0
+                || storm_gap_secs <= 0.0
+                || calm_sojourn_secs <= 0.0
+                || storm_sojourn_secs <= 0.0 =>
+            {
+                return Err("mmpp parameters must be positive".into());
+            }
+            ArrivalKind::Diurnal {
+                mean_gap_secs,
+                amplitude,
+                period_secs,
+                phase,
+            } if mean_gap_secs <= 0.0
+                || period_secs <= 0.0
+                || !(0.0..1.0).contains(&amplitude)
+                || !phase.is_finite() =>
+            {
+                return Err("diurnal needs positive gaps/period and amplitude in [0, 1)".into());
             }
             _ => {}
         }

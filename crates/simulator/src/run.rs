@@ -69,6 +69,28 @@ pub fn make_arrivals(kind: &ArrivalKind) -> Box<dyn ArrivalProcess> {
             burst_len,
             SimDuration::from_secs(off_gap_secs),
         )),
+        ArrivalKind::Mmpp {
+            calm_gap_secs,
+            storm_gap_secs,
+            calm_sojourn_secs,
+            storm_sojourn_secs,
+        } => Box::new(workload::MarkovModulated::new(
+            calm_gap_secs,
+            storm_gap_secs,
+            calm_sojourn_secs,
+            storm_sojourn_secs,
+        )),
+        ArrivalKind::Diurnal {
+            mean_gap_secs,
+            amplitude,
+            period_secs,
+            phase,
+        } => Box::new(workload::DiurnalSinusoid::new(
+            mean_gap_secs,
+            amplitude,
+            period_secs,
+            phase,
+        )),
     }
 }
 

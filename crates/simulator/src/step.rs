@@ -43,6 +43,7 @@ pub struct RunAccumulator {
     investments: u64,
     evictions: u64,
     queries: u64,
+    started_at: SimTime,
     prev_time: SimTime,
     node_seconds: f64,
 }
@@ -57,6 +58,15 @@ impl RunAccumulator {
     /// Empty accumulator with the clock at zero.
     #[must_use]
     pub fn new() -> Self {
+        Self::new_at(SimTime::ZERO)
+    }
+
+    /// Empty accumulator for a policy that comes up at `start` — an
+    /// elastically spawned fleet node. Base-node uptime (eq. 11) is
+    /// charged from `start` instead of the run origin, and the uptime
+    /// integral's clock begins there.
+    #[must_use]
+    pub fn new_at(start: SimTime) -> Self {
         RunAccumulator {
             response: StreamingStats::new(),
             response_hist: LogHistogram::latency(),
@@ -69,7 +79,8 @@ impl RunAccumulator {
             investments: 0,
             evictions: 0,
             queries: 0,
-            prev_time: SimTime::ZERO,
+            started_at: start,
+            prev_time: start,
             node_seconds: 0.0,
         }
     }
@@ -84,6 +95,28 @@ impl RunAccumulator {
     #[must_use]
     pub fn payments(&self) -> Money {
         self.payments
+    }
+
+    /// Cloud profit collected so far.
+    #[must_use]
+    pub fn profit(&self) -> Money {
+        self.profit
+    }
+
+    /// Sum of delivered response times so far (seconds) — windowed
+    /// latency signals are deltas of this against [`Self::queries`].
+    #[must_use]
+    pub fn response_secs_total(&self) -> f64 {
+        self.response.mean() * self.response.count() as f64
+    }
+
+    /// Books a build that happened outside a query outcome — a fleet
+    /// control plane booting a node charges eq. 10's boot cost here, so
+    /// it flows into `build_spend` (and the investment count) exactly
+    /// like a structure built by the economy.
+    pub fn book_build(&mut self, cost: Money) {
+        self.build_spend += cost;
+        self.investments += 1;
     }
 
     /// Accrues the policy's extra-node uptime from the previous arrival to
@@ -155,7 +188,7 @@ impl RunAccumulator {
             Resource::Disk,
             Money::from_dollars(policy.disk_byte_seconds() * rates.disk_byte_per_sec),
         );
-        let base_node_secs = horizon.as_secs();
+        let base_node_secs = horizon.saturating_since(self.started_at).as_secs();
         self.operating.add_to(
             Resource::Cpu,
             rates.cpu_cost(base_node_secs + self.node_seconds),

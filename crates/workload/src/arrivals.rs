@@ -1,0 +1,294 @@
+//! Non-stationary arrival processes for elasticity experiments.
+//!
+//! The paper's grid uses deterministic fixed-interval arrivals
+//! (`simcore::arrival::FixedInterval`); its economy nonetheless prices
+//! *elasticity* — extra CPU nodes at `c` $/s (eq. 11) and capital
+//! investment when accrued regret justifies a build (eq. 3). An elastic
+//! fleet control plane only has something to react to when load
+//! genuinely varies, so this module adds the two canonical
+//! non-stationary shapes:
+//!
+//! * [`MarkovModulated`] — a 2-state MMPP: Poisson arrivals whose rate
+//!   switches between a *calm* and a *storm* state with exponentially
+//!   distributed sojourn times. Unlike `OnOffBursty` (bursts of a
+//!   geometric query count), the modulating chain is independent of the
+//!   arrival count, so storms deliver however many queries fit their
+//!   duration — the textbook bursty-traffic model.
+//! * [`DiurnalSinusoid`] — an inhomogeneous Poisson process whose rate
+//!   follows `λ(t) = λ̄ · (1 + a·sin(2πt/period + φ))`, sampled by
+//!   Lewis–Shedler thinning against the peak rate. Models the
+//!   day/night demand cycle a long-running cache fleet sees.
+//!
+//! Both implement [`ArrivalProcess`], are monotone, and are pure
+//! functions of their parameters and the caller's `SimRng` — fleet
+//! determinism (shard- and pool-count invariance) is preserved.
+
+use simcore::arrival::ArrivalProcess;
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// A two-state Markov-modulated Poisson process.
+///
+/// The hidden chain alternates *calm* and *storm* states; sojourn times
+/// are exponential with the given means, and within a state arrivals are
+/// Poisson with that state's mean gap. The chain starts calm.
+#[derive(Debug, Clone)]
+pub struct MarkovModulated {
+    calm_gap: f64,
+    storm_gap: f64,
+    calm_sojourn: f64,
+    storm_sojourn: f64,
+    /// Simulation clock of the process.
+    now: f64,
+    /// End of the current state's sojourn.
+    state_until: f64,
+    in_storm: bool,
+}
+
+impl MarkovModulated {
+    /// Creates the process.
+    ///
+    /// * `calm_gap_secs` / `storm_gap_secs` — mean inter-arrival gap in
+    ///   the calm / storm state (storms are usually much denser);
+    /// * `calm_sojourn_secs` / `storm_sojourn_secs` — mean state
+    ///   duration.
+    ///
+    /// # Panics
+    /// Panics if any parameter is not strictly positive and finite.
+    #[must_use]
+    pub fn new(
+        calm_gap_secs: f64,
+        storm_gap_secs: f64,
+        calm_sojourn_secs: f64,
+        storm_sojourn_secs: f64,
+    ) -> Self {
+        for (name, v) in [
+            ("calm_gap_secs", calm_gap_secs),
+            ("storm_gap_secs", storm_gap_secs),
+            ("calm_sojourn_secs", calm_sojourn_secs),
+            ("storm_sojourn_secs", storm_sojourn_secs),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive");
+        }
+        MarkovModulated {
+            calm_gap: calm_gap_secs,
+            storm_gap: storm_gap_secs,
+            calm_sojourn: calm_sojourn_secs,
+            storm_sojourn: storm_sojourn_secs,
+            now: 0.0,
+            // The first calm sojourn is drawn lazily on the first
+            // arrival so construction needs no RNG.
+            state_until: -1.0,
+            in_storm: false,
+        }
+    }
+
+    fn exp(mean: f64, rng: &mut SimRng) -> f64 {
+        -mean * rng.next_f64_open().ln()
+    }
+}
+
+impl ArrivalProcess for MarkovModulated {
+    fn next_arrival(&mut self, rng: &mut SimRng) -> Option<SimTime> {
+        if self.state_until < 0.0 {
+            self.state_until = Self::exp(self.calm_sojourn, rng);
+        }
+        loop {
+            let gap_mean = if self.in_storm {
+                self.storm_gap
+            } else {
+                self.calm_gap
+            };
+            let candidate = self.now + Self::exp(gap_mean, rng);
+            if candidate <= self.state_until {
+                self.now = candidate;
+                return Some(SimTime::from_secs(self.now));
+            }
+            // The state flipped before the candidate arrival; restart the
+            // (memoryless) gap from the switch instant in the new state.
+            self.now = self.state_until;
+            self.in_storm = !self.in_storm;
+            let sojourn = if self.in_storm {
+                self.storm_sojourn
+            } else {
+                self.calm_sojourn
+            };
+            self.state_until = self.now + Self::exp(sojourn, rng);
+        }
+    }
+}
+
+/// An inhomogeneous Poisson process with a sinusoidal (diurnal) rate.
+///
+/// `λ(t) = λ̄ · (1 + a · sin(2πt/period + φ))` with `λ̄ = 1/mean_gap`,
+/// sampled by Lewis–Shedler thinning against the peak rate
+/// `λ̄ · (1 + a)`: homogeneous candidates at the peak rate are accepted
+/// with probability `λ(t)/λ_peak`. Exact, monotone, and allocation-free.
+#[derive(Debug, Clone)]
+pub struct DiurnalSinusoid {
+    mean_rate: f64,
+    amplitude: f64,
+    period: f64,
+    phase: f64,
+    now: f64,
+}
+
+impl DiurnalSinusoid {
+    /// Creates the process.
+    ///
+    /// * `mean_gap_secs` — mean inter-arrival gap averaged over a period;
+    /// * `amplitude` — relative swing in `[0, 1)` (0.8 ⇒ the peak rate is
+    ///   9× the trough rate);
+    /// * `period_secs` — cycle length ("day" duration);
+    /// * `phase` — radians offset (0 starts mid-ramp, `-π/2` at trough).
+    ///
+    /// # Panics
+    /// Panics if `mean_gap_secs` or `period_secs` is not strictly
+    /// positive and finite, or if `amplitude` is outside `[0, 1)`.
+    #[must_use]
+    pub fn new(mean_gap_secs: f64, amplitude: f64, period_secs: f64, phase: f64) -> Self {
+        assert!(
+            mean_gap_secs.is_finite() && mean_gap_secs > 0.0,
+            "mean_gap_secs must be positive"
+        );
+        assert!(
+            period_secs.is_finite() && period_secs > 0.0,
+            "period_secs must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
+        assert!(phase.is_finite(), "phase must be finite");
+        DiurnalSinusoid {
+            mean_rate: 1.0 / mean_gap_secs,
+            amplitude,
+            period: period_secs,
+            phase,
+            now: 0.0,
+        }
+    }
+
+    /// Instantaneous rate at `t` seconds.
+    #[must_use]
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.mean_rate
+            * (1.0 + self.amplitude * (std::f64::consts::TAU * t / self.period + self.phase).sin())
+    }
+}
+
+impl ArrivalProcess for DiurnalSinusoid {
+    fn next_arrival(&mut self, rng: &mut SimRng) -> Option<SimTime> {
+        let peak = self.mean_rate * (1.0 + self.amplitude);
+        loop {
+            // Homogeneous candidate at the peak rate…
+            self.now += -rng.next_f64_open().ln() / peak;
+            // …thinned down to the instantaneous rate.
+            if rng.next_f64() * peak <= self.rate_at(self.now) {
+                return Some(SimTime::from_secs(self.now));
+            }
+        }
+    }
+
+    fn mean_gap(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_secs(1.0 / self.mean_rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaps(p: &mut dyn ArrivalProcess, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SimRng::new(seed);
+        let mut last = SimTime::ZERO;
+        (0..n)
+            .map(|_| {
+                let at = p.next_arrival(&mut rng).expect("never exhausts");
+                let gap = (at - last).as_secs();
+                last = at;
+                gap
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mmpp_is_monotone_and_bimodal() {
+        let mut p = MarkovModulated::new(10.0, 0.2, 120.0, 30.0);
+        let gaps = gaps(&mut p, 4000, 11);
+        assert!(gaps.iter().all(|&g| g >= 0.0));
+        let dense = gaps.iter().filter(|&&g| g < 1.0).count();
+        let sparse = gaps.iter().filter(|&&g| g > 3.0).count();
+        assert!(dense > 500, "expected storm arrivals, saw {dense}");
+        assert!(sparse > 200, "expected calm arrivals, saw {sparse}");
+    }
+
+    #[test]
+    fn mmpp_is_deterministic_per_seed() {
+        let mut a = MarkovModulated::new(5.0, 0.1, 60.0, 20.0);
+        let mut b = MarkovModulated::new(5.0, 0.1, 60.0, 20.0);
+        assert_eq!(gaps(&mut a, 500, 3), gaps(&mut b, 500, 3));
+        assert_ne!(gaps(&mut a, 500, 4), gaps(&mut b, 500, 5));
+    }
+
+    #[test]
+    fn diurnal_mean_rate_converges_over_whole_periods() {
+        let mut p = DiurnalSinusoid::new(2.0, 0.8, 500.0, 0.0);
+        let mut rng = SimRng::new(7);
+        let mut count = 0u64;
+        let mut last = 0.0;
+        // Count arrivals over many whole periods: the sinusoid averages
+        // out and the empirical rate must approach 1/mean_gap.
+        while last < 50_000.0 {
+            last = p.next_arrival(&mut rng).unwrap().as_secs();
+            count += 1;
+        }
+        let rate = count as f64 / last;
+        assert!((rate - 0.5).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs_differ() {
+        let period = 1000.0;
+        // Phase -π/2: troughs at t ≡ 0, peaks at t ≡ period/2 (mod period).
+        let mut p = DiurnalSinusoid::new(1.0, 0.9, period, -std::f64::consts::FRAC_PI_2);
+        let mut rng = SimRng::new(13);
+        let mut peak_halves = 0u64;
+        let mut trough_halves = 0u64;
+        while let Some(at) = p.next_arrival(&mut rng) {
+            let t = at.as_secs();
+            if t > 20.0 * period {
+                break;
+            }
+            let pos = (t / period).fract();
+            if (0.25..0.75).contains(&pos) {
+                peak_halves += 1;
+            } else {
+                trough_halves += 1;
+            }
+        }
+        assert!(
+            peak_halves > 3 * trough_halves,
+            "peak half {peak_halves} vs trough half {trough_halves}"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_at_matches_the_formula() {
+        let p = DiurnalSinusoid::new(2.0, 0.5, 100.0, 0.0);
+        assert!((p.rate_at(0.0) - 0.5).abs() < 1e-12);
+        assert!((p.rate_at(25.0) - 0.75).abs() < 1e-12);
+        assert!((p.rate_at(75.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn diurnal_rejects_full_amplitude() {
+        let _ = DiurnalSinusoid::new(1.0, 1.0, 10.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "storm_gap_secs")]
+    fn mmpp_rejects_nonpositive_gaps() {
+        let _ = MarkovModulated::new(1.0, 0.0, 10.0, 10.0);
+    }
+}

@@ -22,6 +22,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrivals;
 pub mod evolution;
 pub mod generator;
 pub mod locality;
@@ -29,6 +30,7 @@ pub mod query;
 pub mod templates;
 pub mod trace;
 
+pub use arrivals::{DiurnalSinusoid, MarkovModulated};
 pub use generator::{WorkloadConfig, WorkloadGenerator};
 pub use query::{Query, QueryId, TableAccess};
 pub use templates::{paper_templates, ResolvedTemplate, TemplateId};

@@ -62,6 +62,60 @@ fn bursty_arrivals_churn_more_than_fixed() {
 }
 
 #[test]
+fn mmpp_arrivals_complete_and_preserve_the_mean_rate() {
+    // Calm 2 s / storm 0.5 s with equal sojourns ⇒ overall rate 1.25 q/s.
+    let mmpp = run(ArrivalKind::Mmpp {
+        calm_gap_secs: 2.0,
+        storm_gap_secs: 0.5,
+        calm_sojourn_secs: 100.0,
+        storm_sojourn_secs: 100.0,
+    });
+    assert_eq!(mmpp.queries, 30_000);
+    assert!(mmpp.investments > 0, "economy must still invest");
+    let rate = mmpp.queries as f64 / mmpp.horizon_secs;
+    assert!(
+        (1.0..1.5).contains(&rate),
+        "mmpp empirical rate {rate:.3} off the 1.25 q/s mix"
+    );
+}
+
+#[test]
+fn diurnal_arrivals_complete_and_preserve_the_mean_rate() {
+    let diurnal = run(ArrivalKind::Diurnal {
+        mean_gap_secs: 1.0,
+        amplitude: 0.8,
+        period_secs: 500.0,
+        phase: 0.0,
+    });
+    assert_eq!(diurnal.queries, 30_000);
+    assert!(diurnal.investments > 0);
+    let horizon_ratio = diurnal.horizon_secs / 30_000.0;
+    assert!(
+        (0.9..1.1).contains(&horizon_ratio),
+        "diurnal mean gap should hold over whole periods: {horizon_ratio:.3}"
+    );
+}
+
+#[test]
+fn invalid_new_arrival_kinds_are_rejected() {
+    let mut cfg = SimConfig::paper_cell(Scheme::EconCheap, 1.0, 50.0, 100);
+    cfg.arrival = ArrivalKind::Mmpp {
+        calm_gap_secs: 1.0,
+        storm_gap_secs: 0.0,
+        calm_sojourn_secs: 10.0,
+        storm_sojourn_secs: 10.0,
+    };
+    assert!(cfg.validate().is_err());
+    cfg.arrival = ArrivalKind::Diurnal {
+        mean_gap_secs: 1.0,
+        amplitude: 1.0,
+        period_secs: 100.0,
+        phase: 0.0,
+    };
+    assert!(cfg.validate().is_err(), "amplitude 1 divides by zero rate");
+}
+
+#[test]
 fn all_schemes_handle_poisson() {
     for scheme in Scheme::paper_schemes() {
         let mut cfg = SimConfig::paper_cell(scheme, 1.0, 50.0, 10_000);
