@@ -1,0 +1,344 @@
+//! **`explain`** — replay a recorded fleet trace and attribute the money.
+//!
+//! The flight recorder ([`telemetry`]) turns a fleet run into a typed
+//! event stream; this tool answers the attribution questions the paper's
+//! economy makes answerable:
+//!
+//! * `record [path]` — run the reference bursty elastic fleet with the
+//!   recorder attached and write the [`telemetry::Trace`] (events +
+//!   registry snapshot) as JSON, default `results/fleet_trace.json`;
+//! * `retire <node> [path]` — why did node *N* retire: the rule that
+//!   fired, the pressure signals at the drain decision, and what the
+//!   node earned while alive (exits non-zero when the trace records no
+//!   retirement for that node — an unanswerable query is an error);
+//! * `blame <tenant|template|structure|node|resource> [path]` — "where
+//!   did the $ go": payments, profit, per-resource execution spend and
+//!   build spend rolled up by the chosen key;
+//! * `structure <S> [path]` — which tenants and templates paid for
+//!   structure *S* (settlements whose winning plans used it);
+//! * `timeline <node> [path]` — every lifecycle transition recorded for
+//!   node *N*;
+//! * `selfcheck` — the CI gate: runs the recording config twice (no-op
+//!   sink vs recorder), demands bit-identical aggregates, then answers a
+//!   retirement query and cross-foots the blame rollups against the
+//!   run's own economic aggregates. Non-zero exit on any mismatch or
+//!   unanswerable query.
+//!
+//! Usage: `cargo run --release -p bench --bin explain -- <subcommand> …`
+
+use bench::fleet_fingerprint;
+use fleet::{ElasticConfig, FleetConfig, FleetSim};
+use pricing::Money;
+use simulator::ArrivalKind;
+use telemetry::{
+    blame, explain_retirement, node_timeline, BlameKey, BlameRow, LifecyclePhase, Trace, TraceEvent,
+};
+
+const USAGE: &str = "usage: explain <subcommand>\n\
+       record    [path]                                      record a traced reference run\n\
+       retire    <node> [path]                               why did node N retire\n\
+       blame     <tenant|template|structure|node|resource> [path]\n\
+       structure <name> [path]                               who paid for structure <name>\n\
+       timeline  <node> [path]                               lifecycle transitions of node N\n\
+       selfcheck                                             traced-vs-noop bit-identity + smoke queries\n\
+       (default trace path: results/fleet_trace.json)";
+
+const DEFAULT_TRACE: &str = "results/fleet_trace.json";
+
+/// The recording config: the `fleet_elastic` bursty MMPP scenario,
+/// re-proportioned so every question the tool answers has material in
+/// the trace. Few cells and many queries per tenant let nodes actually
+/// warm (≈19 % cache-hit rate, so settlements carry `used_structures`
+/// for the structure/blame queries), while the elastic controller still
+/// drains and retires idle capacity through the calms (so `retire` has
+/// something to explain). Runs in well under a second — cheap enough
+/// for the CI selfcheck.
+fn recording_config() -> FleetConfig {
+    let mut config = FleetConfig::uniform(16, 4, 500, 1.0).with_arrivals(ArrivalKind::Mmpp {
+        calm_gap_secs: 25.0,
+        storm_gap_secs: 1.0,
+        calm_sojourn_secs: 400.0,
+        storm_sojourn_secs: 60.0,
+    });
+    config.scale_factor = 50.0;
+    config.cells = 2;
+    config.with_elastic(ElasticConfig {
+        review_interval_secs: 5.0,
+        ewma_alpha: 0.3,
+        scale_up_backlog: 4.0,
+        scale_down_backlog: 0.25,
+        max_response_secs: 0.0,
+        min_nodes: 1,
+        max_nodes: 4,
+        cooldown_reviews: 4,
+        drain_grace_secs: 60.0,
+    })
+}
+
+fn usage_exit() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn load_trace(path: &str) -> Trace {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read trace {path}: {e}");
+        eprintln!("(run `explain record` first)");
+        std::process::exit(1);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: cannot parse trace {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn record(path: &str) {
+    let (result, trace) = FleetSim::new(recording_config()).run_traced();
+    let trace = Trace {
+        label: "bursty elastic reference (SF 50, 16 tenants x 500 queries, 4 seed nodes)"
+            .to_string(),
+        events: trace.events,
+        registry: trace.registry,
+    };
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let json = serde_json::to_string(&trace).expect("trace serializes");
+    match std::fs::write(path, json) {
+        Ok(()) => println!(
+            "(wrote {path}: {} events, {} registry entries, {} queries settled)",
+            trace.events.len(),
+            trace.registry.len(),
+            result.queries
+        ),
+        Err(e) => {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_rows(rows: &[(String, BlameRow)]) {
+    println!(
+        "{:>16} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "group", "queries", "payments($)", "profit($)", "exec($)", "build($)"
+    );
+    for (name, row) in rows {
+        println!(
+            "{name:>16} {:>9} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            row.queries,
+            row.payments.as_dollars(),
+            row.profit.as_dollars(),
+            row.exec.total().as_dollars(),
+            row.build_spend.as_dollars()
+        );
+    }
+}
+
+fn retire(node: usize, trace: &Trace) {
+    match explain_retirement(&trace.events, node) {
+        Some(text) => print!("{text}"),
+        None => {
+            eprintln!("error: trace records no retirement for node {node}");
+            let retired: Vec<usize> = trace
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::NodeLifecycle(l) if l.phase == LifecyclePhase::Retire => l.node,
+                    _ => None,
+                })
+                .collect();
+            eprintln!("(retired nodes in this trace: {retired:?})");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn selfcheck() {
+    // 1. Bit-identity: the recorder must be a pure observer.
+    let noop = FleetSim::new(recording_config()).run();
+    let (traced, trace) = FleetSim::new(recording_config()).run_traced();
+    if fleet_fingerprint(&noop) != fleet_fingerprint(&traced) {
+        eprintln!("error: traced run is not bit-identical to the no-op-sink run");
+        eprintln!("  noop:   {}", fleet_fingerprint(&noop));
+        eprintln!("  traced: {}", fleet_fingerprint(&traced));
+        std::process::exit(1);
+    }
+    println!("traced run bit-identical to no-op-sink run: OK");
+
+    // 2. The registry must agree with the result's own aggregates.
+    let reg = &trace.registry;
+    if reg.counter("fleet.queries") != traced.queries
+        || reg.gauge("fleet.payments") != traced.payments
+        || reg.gauge("fleet.profit") != traced.profit
+        || reg.counter("fleet.cache_hits") != traced.cache_hits
+    {
+        eprintln!("error: registry snapshot disagrees with FleetResult aggregates");
+        std::process::exit(1);
+    }
+    println!("registry snapshot cross-foots with FleetResult aggregates: OK");
+
+    // 3. A retirement question must be answerable: the recording config
+    //    is sized so the controller retires at least one node.
+    let retired = trace.events.iter().find_map(|e| match e {
+        TraceEvent::NodeLifecycle(l) if l.phase == LifecyclePhase::Retire => l.node,
+        _ => None,
+    });
+    let Some(node) = retired else {
+        eprintln!("error: recording config produced no retirement to explain");
+        std::process::exit(1);
+    };
+    let Some(answer) = explain_retirement(&trace.events, node) else {
+        eprintln!("error: explain_retirement cannot answer for retired node {node}");
+        std::process::exit(1);
+    };
+    println!("retirement query answerable (node {node}):");
+    print!("{answer}");
+
+    // 4. Blame rollups must cross-foot: every tenant's payments sum back
+    //    to the run's total payments (no dollar lost or double-counted),
+    //    and the per-resource decomposition sums to the exec spend.
+    let by_tenant = blame(&trace.events, BlameKey::Tenant);
+    let tenant_payments: Money = by_tenant.iter().map(|(_, r)| r.payments).sum();
+    if tenant_payments != traced.payments {
+        eprintln!(
+            "error: per-tenant blame sums to {tenant_payments}, run collected {}",
+            traced.payments
+        );
+        std::process::exit(1);
+    }
+    let by_node = blame(&trace.events, BlameKey::Node);
+    let node_queries: u64 = by_node.iter().map(|(_, r)| r.queries).sum();
+    if node_queries != traced.queries {
+        eprintln!(
+            "error: per-node blame covers {node_queries} settlements, run settled {}",
+            traced.queries
+        );
+        std::process::exit(1);
+    }
+    let by_resource = blame(&trace.events, BlameKey::Resource);
+    let exec_total: Money = by_resource.iter().map(|(_, r)| r.exec.total()).sum();
+    if exec_total
+        != reg.gauge("fleet.exec.cpu")
+            + reg.gauge("fleet.exec.disk")
+            + reg.gauge("fleet.exec.network")
+            + reg.gauge("fleet.exec.io")
+    {
+        eprintln!("error: per-resource blame disagrees with the registry's exec gauges");
+        std::process::exit(1);
+    }
+    println!(
+        "blame rollups cross-foot: {} tenants / {} nodes / {} resource rows cover {} settlements and {} payments: OK",
+        by_tenant.len(),
+        by_node.len(),
+        by_resource.len(),
+        traced.queries,
+        traced.payments
+    );
+
+    // 5. Structure attribution must be answerable: the recording config
+    //    is warm enough that some winning plans ran on cached
+    //    structures, and "who paid for S" must find their settlements.
+    let Some(structure) = trace.events.iter().find_map(|e| match e {
+        TraceEvent::Settlement(s) => s.used_structures.first().cloned(),
+        _ => None,
+    }) else {
+        eprintln!("error: recording config produced no cache-run settlement to attribute");
+        std::process::exit(1);
+    };
+    let payers = telemetry::structure_payers(&trace.events, &structure);
+    if payers.is_empty() {
+        eprintln!("error: structure `{structure}` was used but has no payers");
+        std::process::exit(1);
+    }
+    println!(
+        "structure attribution answerable: `{structure}` paid for by {} tenant/template groups: OK",
+        payers.len()
+    );
+    println!("explain selfcheck: OK");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(sub) = args.first() else {
+        usage_exit();
+    };
+    match sub.as_str() {
+        "record" => {
+            let path = args.get(1).map_or(DEFAULT_TRACE, String::as_str);
+            record(path);
+        }
+        "retire" | "timeline" => {
+            let Some(node) = args.get(1).and_then(|s| s.parse::<usize>().ok()) else {
+                usage_exit();
+            };
+            let path = args.get(2).map_or(DEFAULT_TRACE, String::as_str);
+            let trace = load_trace(path);
+            if sub == "retire" {
+                retire(node, &trace);
+            } else {
+                let timeline = node_timeline(&trace.events, node);
+                if timeline.is_empty() {
+                    eprintln!("error: trace records no lifecycle transitions for node {node}");
+                    std::process::exit(1);
+                }
+                for l in timeline {
+                    println!(
+                        "t={:>8.1}s cell {} {:<12} rule `{}` live={} routable={} booting={} draining={} backlog_ewma={:.3}",
+                        l.at_secs,
+                        l.cell,
+                        l.phase.label(),
+                        l.rule,
+                        l.live,
+                        l.routable,
+                        l.booting,
+                        l.draining,
+                        l.backlog_ewma
+                    );
+                }
+            }
+        }
+        "blame" => {
+            let Some(key) = args.get(1).and_then(|s| BlameKey::parse(s)) else {
+                usage_exit();
+            };
+            let path = args.get(2).map_or(DEFAULT_TRACE, String::as_str);
+            let trace = load_trace(path);
+            let rows = blame(&trace.events, key);
+            if rows.is_empty() {
+                eprintln!("error: trace contains no settlements to blame");
+                std::process::exit(1);
+            }
+            print_rows(&rows);
+        }
+        "structure" => {
+            let Some(name) = args.get(1) else {
+                usage_exit();
+            };
+            let path = args.get(2).map_or(DEFAULT_TRACE, String::as_str);
+            let trace = load_trace(path);
+            let rows = telemetry::structure_payers(&trace.events, name);
+            if rows.is_empty() {
+                eprintln!("error: no settlement in the trace used structure `{name}`");
+                let mut known: Vec<String> = trace
+                    .events
+                    .iter()
+                    .filter_map(|e| match e {
+                        TraceEvent::Settlement(s) => Some(s.used_structures.clone()),
+                        _ => None,
+                    })
+                    .flatten()
+                    .collect();
+                known.sort();
+                known.dedup();
+                eprintln!("(structures used in this trace: {known:?})");
+                std::process::exit(1);
+            }
+            print_rows(&rows);
+        }
+        "selfcheck" => selfcheck(),
+        _ => usage_exit(),
+    }
+}

@@ -20,21 +20,29 @@
 //! cannot be bought back by idle capacity.
 //!
 //! **Determinism self-check** (always on, any scale): each scenario's
-//! elastic run is replayed at more executor shards, larger quote pools
-//! and the per-node completion path; the decision ledger and every
-//! economic aggregate must be **bit-identical** to the reference run,
-//! and the process exits non-zero on any drift — elasticity must not
-//! cost the fleet its shard/pool invariance contract.
+//! elastic run is replayed at more executor shards, larger quote pools,
+//! the per-node completion path **and with the telemetry flight
+//! recorder attached** ([`FleetSim::run_traced`]); the decision ledger
+//! and every economic aggregate must be **bit-identical** to the
+//! reference run, and the process exits non-zero on any drift —
+//! neither elasticity nor observability may cost the fleet its
+//! invariance contract.
 //!
 //! At the default cell the run writes `BENCH_fleet_elastic.json`
-//! (best-of-reps q/s plus min/median spreads per cell).
+//! (best-of-reps q/s plus min/median spreads per cell, the merged
+//! traced-replay metrics registry and the fleet-wide skeleton-cache
+//! counters).
 //!
 //! Usage: `cargo run --release -p bench --bin fleet_elastic \
 //!         [scale_factor] [queries_per_tenant] [tenants] [nodes]`
 
-use bench::{cli_arg, cli_usage_error, scale_args, write_bench_json, write_csv, Row, RowSet};
+use bench::{
+    cli_arg, cli_usage_error, fleet_fingerprint, scale_args, write_bench_json, write_csv, Row,
+    RowSet,
+};
 use fleet::{ElasticConfig, FleetConfig, FleetResult, FleetSim};
 use simulator::ArrivalKind;
+use telemetry::MetricsRegistry;
 
 const USAGE: &str = "{bin} [scale_factor] [queries_per_tenant] [tenants] [nodes]\n       \
                      defaults: scale_factor 50, queries_per_tenant 100, tenants 100, nodes 8";
@@ -102,31 +110,6 @@ impl Cell {
     fn spread(&self) -> bench::RepSpread {
         bench::rep_spread(&self.rep_qps)
     }
-}
-
-/// The aggregate fingerprint the invariance check compares bit-for-bit:
-/// every economic aggregate plus the serialized decision ledger.
-fn run_fingerprint(r: &FleetResult) -> String {
-    let ledger = r
-        .elastic
-        .as_ref()
-        .map(|e| serde_json::to_string(&e.ledger).expect("ledger serializes"))
-        .unwrap_or_default();
-    format!(
-        "queries={} cost={:?} payments={:?} profit={:?} mean_bits={:016x} hits={} builds={} \
-         evictions={} spawns={} retires={} node_seconds_bits={:016x} ledger={ledger}",
-        r.queries,
-        r.total_operating_cost(),
-        r.payments,
-        r.profit,
-        r.mean_response_secs().to_bits(),
-        r.cache_hits,
-        r.investments,
-        r.evictions,
-        r.elastic.as_ref().map_or(0, |e| e.spawns),
-        r.elastic.as_ref().map_or(0, |e| e.retires),
-        r.elastic.as_ref().map_or(0.0, |e| e.node_seconds).to_bits(),
-    )
 }
 
 fn main() {
@@ -250,8 +233,9 @@ fn main() {
     // decision ledger and every aggregate are a pure function of the
     // config, not of shards, quote-pool size or completion path.
     let mut invariant = true;
+    let mut traced_registry = MetricsRegistry::new();
     for scenario in scenarios {
-        let reference = run_fingerprint(
+        let reference = fleet_fingerprint(
             cells
                 .iter()
                 .find(|c| c.scenario == scenario && c.mode == "elastic")
@@ -267,14 +251,23 @@ fn main() {
             config.shards = shards;
             config.quote_threads = quote_threads;
             config.quote_batching = batching;
-            let replay = run_fingerprint(&FleetSim::new(config).run());
+            let replay = fleet_fingerprint(&FleetSim::new(config).run());
             if replay != reference {
                 invariant = false;
                 eprintln!("error: {scenario} elastic run drifted under {label}");
             }
         }
+        // The flight recorder must be a pure observer: a traced replay
+        // (every quote round, settlement and lifecycle decision
+        // recorded) produces the same fingerprint as the no-op-sink run.
+        let (traced, trace) = FleetSim::new(base(scenario, true)).run_traced();
+        if fleet_fingerprint(&traced) != reference {
+            invariant = false;
+            eprintln!("error: {scenario} elastic run drifted under tracing");
+        }
+        traced_registry.merge(&trace.registry);
         println!(
-            "{scenario}: ledger + aggregates bit-identical across shards/pools/completion: OK"
+            "{scenario}: ledger + aggregates bit-identical across shards/pools/completion/tracing: OK"
         );
     }
 
@@ -312,11 +305,28 @@ fn main() {
         // committed record can never drift from the code.
         let ec = elastic_config(nodes);
         let elastic_json = serde_json::to_string(&ec).expect("elastic config serializes");
+        // The merged metrics-registry snapshot of the three traced
+        // elastic replays, plus the fleet-wide skeleton cache's counters
+        // (parity with fleet_scale). The skeleton counters are summed
+        // over every cell's sim and live *outside* the shard-invariance
+        // contract: concurrent cells race probes against the shared
+        // cache, so hit/miss splits depend on timing even though every
+        // economic aggregate does not.
+        let mut snapshot = traced_registry.clone();
+        for cell in &cells {
+            let skel = cell.sim.skeleton_cache_counters();
+            snapshot.counter_add("skeleton_cache.hits", skel.hits);
+            snapshot.counter_add("skeleton_cache.misses", skel.misses);
+            snapshot.counter_add("skeleton_cache.admissions", skel.admissions);
+        }
+        let registry_json = serde_json::to_string(&snapshot).expect("registry serializes");
         let config = format!(
             "{{\"scale_factor\": {sf}, \"queries_per_tenant\": {queries_per_tenant}, \
              \"tenants\": {tenants}, \"nodes\": {nodes}, \"router\": \"cheapest-quote\", \
              \"parallelism\": {parallelism}, \
              \"qps_note\": \"best of {reps} interleaved runs per cell; qps_min/qps_median record the rep spread\", \
+             \"registry_note\": \"merged traced-replay registry (3 elastic scenarios) + fleet-global skeleton_cache.* counters (wall-clock-dependent, excluded from the invariance contract)\", \
+             \"registry\": {registry_json}, \
              \"elastic\": {elastic_json}}}"
         );
         write_bench_json("fleet_elastic", &config, set.json_rows());

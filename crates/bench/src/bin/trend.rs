@@ -59,11 +59,8 @@ fn main() {
         if let Some(e) = &trend.error {
             flags.push(format!("ERROR: {e}"));
         }
-        if trend.regressed {
-            flags.push(format!(
-                "REGRESSED (beyond the {:.1}% noise band)",
-                trend.tolerance * 100.0
-            ));
+        if let Some(message) = trend.regression_message() {
+            flags.push(format!("REGRESSED: {message}"));
         }
         if !trend.sweep_regressions.is_empty() {
             flags.push(format!(

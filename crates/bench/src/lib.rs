@@ -226,6 +226,40 @@ pub fn bench_config_json(sf: f64, n: u64, total_queries: u64, wall_secs: f64) ->
     )
 }
 
+/// The aggregate fingerprint the fleet invariance checks compare
+/// bit-for-bit: every economic aggregate plus the serialized elastic
+/// decision ledger (empty for fixed-population fleets). Shared by
+/// `fleet_elastic`'s shard/pool replay check, its traced-vs-noop
+/// bit-identity check and `explain selfcheck` — one definition, so the
+/// three gates cannot quietly diverge on what "identical" means.
+///
+/// # Panics
+/// Panics if the elastic ledger fails to serialize (it always
+/// serializes — the types derive `Serialize` unconditionally).
+#[must_use]
+pub fn fleet_fingerprint(r: &fleet::FleetResult) -> String {
+    let ledger = r
+        .elastic
+        .as_ref()
+        .map(|e| serde_json::to_string(&e.ledger).expect("ledger serializes"))
+        .unwrap_or_default();
+    format!(
+        "queries={} cost={:?} payments={:?} profit={:?} mean_bits={:016x} hits={} builds={} \
+         evictions={} spawns={} retires={} node_seconds_bits={:016x} ledger={ledger}",
+        r.queries,
+        r.total_operating_cost(),
+        r.payments,
+        r.profit,
+        r.mean_response_secs().to_bits(),
+        r.cache_hits,
+        r.investments,
+        r.evictions,
+        r.elastic.as_ref().map_or(0, |e| e.spawns),
+        r.elastic.as_ref().map_or(0, |e| e.retires),
+        r.elastic.as_ref().map_or(0.0, |e| e.node_seconds).to_bits(),
+    )
+}
+
 /// Formats one scheme×interval grid as JSON cell objects; `fields` maps a
 /// run to `"key": value` pairs appended after the interval and scheme.
 #[must_use]

@@ -159,6 +159,28 @@ pub struct BenchTrend {
     pub error: Option<String>,
 }
 
+impl BenchTrend {
+    /// The failure description for a regressed headline, naming the
+    /// metric, its newest value, the baseline it is held to, the
+    /// relative drop and the tolerance it exceeded — a `--check` failure
+    /// must say exactly what slid and by how much, not just that
+    /// *something* did. `None` while the last step is within tolerance.
+    #[must_use]
+    pub fn regression_message(&self) -> Option<String> {
+        if !self.regressed || self.points.len() < 2 {
+            return None;
+        }
+        let current = self.points[self.points.len() - 1];
+        let baseline = self.points[self.points.len() - 2];
+        Some(format!(
+            "headline q/s regressed: {current:.0} q/s vs committed baseline {baseline:.0} q/s \
+             ({:+.1}%), exceeding the {:.1}% tolerance",
+            self.last_delta * 100.0,
+            self.tolerance * 100.0
+        ))
+    }
+}
+
 /// Assembles the trend of one record file from its git history plus the
 /// working-tree content.
 #[must_use]
@@ -307,6 +329,31 @@ mod tests {
         );
         let spread = headline_spread(&doc).expect("spread recorded");
         assert!((spread - 0.1).abs() < 1e-12, "spread {spread}");
+    }
+
+    #[test]
+    fn regression_message_names_metric_value_baseline_and_tolerance() {
+        let trend = BenchTrend {
+            file: "BENCH_hotpath.json".to_string(),
+            points: vec![50000.0, 40000.0],
+            last_delta: -0.2,
+            tolerance: 0.05,
+            regressed: true,
+            sweep_regressions: Vec::new(),
+            error: None,
+        };
+        let message = trend.regression_message().expect("regressed");
+        assert!(message.contains("headline q/s"), "{message}");
+        assert!(message.contains("40000 q/s"), "{message}");
+        assert!(message.contains("baseline 50000 q/s"), "{message}");
+        assert!(message.contains("-20.0%"), "{message}");
+        assert!(message.contains("5.0% tolerance"), "{message}");
+
+        let healthy = BenchTrend {
+            regressed: false,
+            ..trend
+        };
+        assert_eq!(healthy.regression_message(), None);
     }
 
     #[test]

@@ -679,6 +679,14 @@ impl ElasticController {
         });
     }
 
+    /// The decision ledger so far, ascending `at_secs`. The executor's
+    /// flight recorder diffs this around [`Self::run_due_reviews`] to
+    /// fold new entries into the unified trace-event stream.
+    #[must_use]
+    pub fn ledger(&self) -> &[LedgerEntry] {
+        &self.ledger
+    }
+
     /// Consumes the controller into the cell's summary; the population's
     /// [`PopulationFinish`] supplies the uptime integral.
     #[must_use]

@@ -32,8 +32,13 @@ use simcore::{NetworkModel, SimTime};
 use simulator::RunResult;
 use workload::paper_templates;
 
+use telemetry::{
+    LifecyclePhase, MetricsRegistry, NodeLifecycleEvent, NoopSink, PlanCacheDelta, QuoteRoundEvent,
+    Recorder, SettlementEvent, TraceEvent, TraceSink,
+};
+
 use crate::config::FleetConfig;
-use crate::elastic::{ElasticController, ElasticSummary, NodePopulation};
+use crate::elastic::{ElasticAction, ElasticController, ElasticSummary, NodePopulation};
 use crate::node::CacheNode;
 use crate::result::{FleetResult, NodeStats, TenantStats};
 use crate::router::QuoteOptions;
@@ -80,6 +85,21 @@ struct CellResult {
     node_seconds: f64,
     /// Control-plane activity, when the cell ran elastically.
     elastic: Option<ElasticSummary>,
+    /// The cell's metrics registry — populated only on traced runs
+    /// (`None` under the no-op sink, keeping the hot path allocation-free).
+    registry: Option<MetricsRegistry>,
+}
+
+/// What a traced run recorded alongside its [`FleetResult`]: the full
+/// event stream (ascending cell, then per-cell arrival order) and the
+/// per-cell registries merged in ascending cell order. Registry merging
+/// is exact, so the snapshot is bit-identical at any shard count.
+#[derive(Debug)]
+pub struct FleetTrace {
+    /// Every trace event the run emitted.
+    pub events: Vec<TraceEvent>,
+    /// Merged metrics registry.
+    pub registry: MetricsRegistry,
 }
 
 impl FleetSim {
@@ -154,28 +174,72 @@ impl FleetSim {
     /// Executes the fleet run across `config.shards` worker threads.
     #[must_use]
     pub fn run(&self) -> FleetResult {
+        let partials = self.run_cells(|_| NoopSink);
+        self.fold(partials.iter().map(|(partial, _)| partial))
+    }
+
+    /// Executes the fleet run with the flight recorder on: every cell
+    /// records its trace events and metrics registry, and the partials
+    /// are stitched in ascending cell order.
+    ///
+    /// The headline telemetry invariant — instrumentation only observes —
+    /// makes the returned [`FleetResult`] bit-identical to [`Self::run`]'s
+    /// (the `fleet_elastic` bench and `bench --bin explain selfcheck`
+    /// verify this on every run, and CI gates on it).
+    #[must_use]
+    pub fn run_traced(&self) -> (FleetResult, FleetTrace) {
+        let partials = self.run_cells(|_| Recorder::new());
+        let result = self.fold(partials.iter().map(|(partial, _)| partial));
+        let mut events = Vec::new();
+        let mut registry = MetricsRegistry::new();
+        for (partial, recorder) in partials {
+            events.extend(recorder.into_events());
+            if let Some(cell_registry) = &partial.registry {
+                registry.merge(cell_registry);
+            }
+        }
+        (result, FleetTrace { events, registry })
+    }
+
+    /// Simulates every cell (striding workers when `shards > 1`), giving
+    /// each cell its own sink from `make_sink`. Returns partials in
+    /// ascending cell order regardless of shard scheduling.
+    fn run_cells<S, F>(&self, make_sink: F) -> Vec<(CellResult, S)>
+    where
+        S: TraceSink + Send,
+        F: Fn(usize) -> S + Sync,
+    {
         let cells = self.config.cells;
         let shards = self.config.shards.min(cells).max(1);
 
-        let partials: Vec<CellResult> = if shards == 1 {
-            (0..cells).map(|c| self.simulate_cell(c)).collect()
+        if shards == 1 {
+            (0..cells)
+                .map(|c| {
+                    let mut sink = make_sink(c);
+                    let partial = self.simulate_cell(c, &mut sink);
+                    (partial, sink)
+                })
+                .collect()
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..shards)
                     .map(|worker| {
                         let sim = &*self;
+                        let make_sink = &make_sink;
                         scope.spawn(move || {
                             let mut out = Vec::new();
                             let mut cell = worker;
                             while cell < cells {
-                                out.push((cell, sim.simulate_cell(cell)));
+                                let mut sink = make_sink(cell);
+                                let partial = sim.simulate_cell(cell, &mut sink);
+                                out.push((cell, (partial, sink)));
                                 cell += shards;
                             }
                             out
                         })
                     })
                     .collect();
-                let mut slots: Vec<Option<CellResult>> = (0..cells).map(|_| None).collect();
+                let mut slots: Vec<Option<(CellResult, S)>> = (0..cells).map(|_| None).collect();
                 for handle in handles {
                     for (cell, result) in handle.join().expect("fleet worker panicked") {
                         slots[cell] = Some(result);
@@ -186,11 +250,15 @@ impl FleetSim {
                     .map(|s| s.expect("every cell simulated"))
                     .collect()
             })
-        };
+        }
+    }
 
-        // Fold in ascending cell order — the shard-count-invariant merge.
+    /// Folds cell partials in ascending cell order — the
+    /// shard-count-invariant merge.
+    fn fold<'a>(&self, partials: impl Iterator<Item = &'a CellResult>) -> FleetResult {
+        let cells = self.config.cells;
         let mut fleet = FleetResult::empty(self.config.router.name(), cells);
-        for partial in &partials {
+        for partial in partials {
             let mut piece = FleetResult::empty(self.config.router.name(), cells);
             piece.horizon_secs = partial.horizon.as_secs();
             piece.tenants = partial.tenants.clone();
@@ -216,7 +284,12 @@ impl FleetSim {
 
     /// Simulates one cell: its tenants' merged stream over a private
     /// replica of the node fleet. Single-threaded and deterministic.
-    fn simulate_cell(&self, cell: usize) -> CellResult {
+    ///
+    /// When `sink` is enabled the cell additionally assembles trace
+    /// events (quote rounds, settlements, node lifecycle) and a metrics
+    /// registry; under the default [`NoopSink`] both gates are a single
+    /// branch and no event is ever built.
+    fn simulate_cell(&self, cell: usize, sink: &mut dyn TraceSink) -> CellResult {
         let cells = self.config.cells;
         let streams: Vec<TenantStream> = self
             .config
@@ -262,6 +335,11 @@ impl FleetSim {
             estimator: &self.estimator,
         };
 
+        // The flight recorder: `registry` doubles as the "tracing on"
+        // gate so the no-op path costs one branch per site.
+        let mut registry = sink.enabled().then(MetricsRegistry::new);
+        let mut ledger_seen = 0usize;
+
         let mut horizon = SimTime::ZERO;
         for (now, tenant, query) in merged {
             horizon = now;
@@ -270,10 +348,75 @@ impl FleetSim {
             // post-review population.
             if let Some(controller) = &mut controller {
                 controller.run_due_reviews(&mut population, &ctx, now);
+                if let Some(registry) = registry.as_mut() {
+                    let ledger = controller.ledger();
+                    for entry in &ledger[ledger_seen..] {
+                        emit_lifecycle(sink, registry, entry);
+                    }
+                    ledger_seen = ledger.len();
+                }
             }
             population.accrue(now);
+            // Plan-cache totals only move inside route/serve below (the
+            // population is fixed for the rest of the step), so diffing
+            // them around each phase attributes memoization activity to
+            // this query exactly.
+            let before_route = registry.as_ref().map(|_| {
+                (
+                    plan_cache_totals(population.live()),
+                    population.routable_count(now),
+                )
+            });
             let chosen = router.route(population.live_mut(), &ctx, &query, now);
+            let after_route = if let Some((before, routable)) = before_route {
+                let totals = plan_cache_totals(population.live());
+                let delta = plan_cache_delta(before, totals);
+                sink.emit(TraceEvent::QuoteRound(QuoteRoundEvent {
+                    cell,
+                    at_secs: now.as_secs(),
+                    tenant: tenant.0,
+                    template: query.template.0,
+                    query: query.id.0,
+                    winner: population.live()[chosen].id(),
+                    winning_quote: router.last_winning_quote(),
+                    routable,
+                    plan_cache: delta,
+                }));
+                Some(totals)
+            } else {
+                None
+            };
             let outcome = population.live_mut()[chosen].serve(&ctx, &query, now);
+            if let Some(registry) = registry.as_mut() {
+                let after_serve = plan_cache_totals(population.live());
+                let serve_delta =
+                    plan_cache_delta(after_route.expect("traced route recorded"), after_serve);
+                let step_delta =
+                    plan_cache_delta(before_route.expect("traced route recorded").0, after_serve);
+                record_settlement(registry, &outcome, step_delta);
+                sink.emit(TraceEvent::Settlement(SettlementEvent {
+                    cell,
+                    at_secs: now.as_secs(),
+                    tenant: tenant.0,
+                    template: query.template.0,
+                    query: query.id.0,
+                    node: population.live()[chosen].id(),
+                    response_secs: outcome.response_time.as_secs(),
+                    ran_in_cache: outcome.ran_in_cache,
+                    payment: outcome.payment,
+                    profit: outcome.profit,
+                    exec: outcome.exec_breakdown,
+                    build_spend: outcome.build_spend,
+                    used_structures: outcome
+                        .used_structures
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect(),
+                    investments: outcome.investments,
+                    evictions: outcome.evictions,
+                    plan_cache: serve_delta,
+                }));
+            }
 
             let stats = &mut tenant_stats[slot_of[&tenant]];
             stats.queries += 1;
@@ -292,8 +435,112 @@ impl FleetSim {
             nodes: finish.nodes,
             node_seconds,
             elastic,
+            registry,
         }
     }
+}
+
+/// Fleet-wide plan-cache counter totals over the live population
+/// (hits, misses, refreshes, completions). Monotone within a query step:
+/// nodes only leave the population during control-plane reviews, which
+/// run before the step's sampling starts.
+fn plan_cache_totals(nodes: &[CacheNode]) -> (u64, u64, u64, u64) {
+    let mut totals = (0u64, 0u64, 0u64, 0u64);
+    for node in nodes {
+        if let Some(stats) = node.plan_cache_stats() {
+            totals.0 += stats.hits;
+            totals.1 += stats.misses;
+            totals.2 += stats.refreshes;
+            totals.3 += stats.completions;
+        }
+    }
+    totals
+}
+
+/// Delta of two [`plan_cache_totals`] samples taken within one step.
+fn plan_cache_delta(before: (u64, u64, u64, u64), after: (u64, u64, u64, u64)) -> PlanCacheDelta {
+    PlanCacheDelta {
+        hits: after.0.saturating_sub(before.0),
+        misses: after.1.saturating_sub(before.1),
+        refreshes: after.2.saturating_sub(before.2),
+        completions: after.3.saturating_sub(before.3),
+    }
+}
+
+/// Folds one new elastic-ledger entry into the trace stream and the
+/// cell registry.
+fn emit_lifecycle(
+    sink: &mut dyn TraceSink,
+    registry: &mut MetricsRegistry,
+    entry: &crate::elastic::LedgerEntry,
+) {
+    registry.counter_add("elastic.reviews", 1);
+    let (phase, node, scheme, counter) = match &entry.action {
+        ElasticAction::Hold => (LifecyclePhase::Hold, None, String::new(), "elastic.holds"),
+        ElasticAction::ScaleUp { node, scheme } => (
+            LifecyclePhase::Spawn,
+            Some(*node),
+            scheme.clone(),
+            "elastic.spawns",
+        ),
+        ElasticAction::DrainBegin { node } => (
+            LifecyclePhase::DrainBegin,
+            Some(*node),
+            String::new(),
+            "elastic.drains",
+        ),
+        ElasticAction::Retire { node } => (
+            LifecyclePhase::Retire,
+            Some(*node),
+            String::new(),
+            "elastic.retires",
+        ),
+    };
+    registry.counter_add(counter, 1);
+    sink.emit(TraceEvent::NodeLifecycle(NodeLifecycleEvent {
+        cell: entry.cell,
+        at_secs: entry.at_secs,
+        phase,
+        node,
+        rule: entry.rule.clone(),
+        scheme,
+        live: entry.live,
+        routable: entry.routable,
+        booting: entry.booting,
+        draining: entry.draining,
+        backlog: entry.signals.backlog,
+        backlog_ewma: entry.signals.backlog_ewma,
+        window_response_secs: entry.signals.window_response_secs,
+        profit_rate: entry.signals.profit_rate,
+        regret_rate: entry.signals.regret_rate,
+    }));
+}
+
+/// Books one settled query into the cell registry. `step_delta` is the
+/// whole step's plan-cache activity (route + serve), so the registry's
+/// `plan_cache.*` counters cover activity on nodes that later retire —
+/// unlike an end-of-run sum over surviving nodes.
+fn record_settlement(
+    registry: &mut MetricsRegistry,
+    outcome: &policies::PolicyOutcome,
+    step_delta: PlanCacheDelta,
+) {
+    registry.counter_add("fleet.queries", 1);
+    registry.counter_add("fleet.cache_hits", u64::from(outcome.ran_in_cache));
+    registry.counter_add("fleet.investments", u64::from(outcome.investments));
+    registry.counter_add("fleet.evictions", u64::from(outcome.evictions));
+    registry.gauge_add("fleet.payments", outcome.payment);
+    registry.gauge_add("fleet.profit", outcome.profit);
+    registry.gauge_add("fleet.build_spend", outcome.build_spend);
+    registry.gauge_add("fleet.exec.cpu", outcome.exec_breakdown.cpu);
+    registry.gauge_add("fleet.exec.disk", outcome.exec_breakdown.disk);
+    registry.gauge_add("fleet.exec.network", outcome.exec_breakdown.network);
+    registry.gauge_add("fleet.exec.io", outcome.exec_breakdown.io);
+    registry.counter_add("plan_cache.hits", step_delta.hits);
+    registry.counter_add("plan_cache.misses", step_delta.misses);
+    registry.counter_add("plan_cache.refreshes", step_delta.refreshes);
+    registry.counter_add("plan_cache.completions", step_delta.completions);
+    registry.observe("fleet.response_secs", outcome.response_time.as_secs());
 }
 
 /// One-shot convenience: prepare and run.

@@ -61,7 +61,7 @@ pub use elastic::{
     ElasticAction, ElasticConfig, ElasticController, ElasticSummary, LedgerEntry, NodePopulation,
     PressureSignals,
 };
-pub use exec::{effective_quote_threads, run_fleet, FleetSim};
+pub use exec::{effective_quote_threads, run_fleet, FleetSim, FleetTrace};
 pub use node::{CacheNode, NodeSpec};
 pub use result::{FleetResult, NodeStats, TenantStats};
 pub use router::{CheapestQuote, LeastOutstanding, QuoteOptions, RoundRobin, Router, RouterKind};

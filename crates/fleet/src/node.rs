@@ -186,6 +186,16 @@ impl CacheNode {
         self.policy.economy()
     }
 
+    /// This node's plan-cache counters, when it runs an economic scheme.
+    /// The flight recorder diffs the fleet-wide sum of these around each
+    /// routing/serving step to attribute memoization activity per query.
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> Option<econ::PlanCacheStats> {
+        self.policy
+            .economy()
+            .map(econ::EconomyManager::plan_cache_stats)
+    }
+
     /// Cache disk this node currently occupies (bytes).
     #[must_use]
     pub fn disk_used(&self) -> u64 {

@@ -16,7 +16,7 @@ use crate::elastic::ElasticSummary;
 use crate::tenant::TenantId;
 
 /// What one tenant experienced over the run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TenantStats {
     /// Tenant identity.
     pub tenant: TenantId,
@@ -57,7 +57,7 @@ impl TenantStats {
 }
 
 /// One cache node's accounting, rolled up across cells.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeStats {
     /// Node index within the fleet.
     pub node: usize,
@@ -136,7 +136,7 @@ impl NodeStats {
 }
 
 /// Everything measured over one fleet run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetResult {
     /// Routing strategy name.
     pub router: String,

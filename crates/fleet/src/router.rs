@@ -63,6 +63,14 @@ pub trait Router {
         query: &Query,
         now: SimTime,
     ) -> usize;
+
+    /// The winning bid of the most recent [`Router::route`] call, for
+    /// strategies that price queries — `None` for oblivious strategies
+    /// (round-robin, least-outstanding) and before the first round. The
+    /// flight recorder stamps this into its quote-round events.
+    fn last_winning_quote(&self) -> Option<Money> {
+        None
+    }
 }
 
 /// Oblivious rotation over the nodes.
@@ -186,6 +194,9 @@ pub struct CheapestQuote {
     batches: Vec<Mutex<QuoteBatch>>,
     /// Per-chunk round results.
     results: Vec<Mutex<ChunkResult>>,
+    /// The winning bid of the most recent round (flight-recorder data;
+    /// never consulted by routing itself).
+    last_quote: Option<Money>,
 }
 
 /// One chunk's contribution to a pooled quote round.
@@ -238,6 +249,7 @@ impl CheapestQuote {
             pool: None,
             batches: Vec::new(),
             results: Vec::new(),
+            last_quote: None,
         }
     }
 
@@ -339,8 +351,10 @@ impl CheapestQuote {
         } else {
             Self::chunk_best_per_node(nodes, 0, ctx, query, skeleton, now)
         };
-        best.expect("no routable node (the control plane must keep at least one active)")
-            .0
+        let (winner, bid) =
+            best.expect("no routable node (the control plane must keep at least one active)");
+        self.last_quote = Some(bid);
+        winner
     }
 
     /// Persistent-pool scan: nodes split into contiguous chunks, every
@@ -412,8 +426,10 @@ impl CheapestQuote {
                 }
             }
         }
-        best.expect("no routable node (the control plane must keep at least one active)")
-            .0
+        let (winner, bid) =
+            best.expect("no routable node (the control plane must keep at least one active)");
+        self.last_quote = Some(bid);
+        winner
     }
 }
 
@@ -445,6 +461,10 @@ impl Router for CheapestQuote {
         } else {
             self.route_pooled(threads, nodes, ctx, query, &skeleton, now)
         }
+    }
+
+    fn last_winning_quote(&self) -> Option<Money> {
+        self.last_quote
     }
 }
 

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Buckets cover `[min_value, max_value)` with `buckets_per_decade` buckets
 /// per factor of 10; values outside the range clamp to the edge buckets.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LogHistogram {
     min_value: f64,
     buckets_per_decade: f64,
@@ -91,16 +91,29 @@ impl LogHistogram {
         if seen >= target {
             return Some(self.min_value / 2.0);
         }
+        let mut last_occupied = None;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
+            if c > 0 {
+                last_occupied = Some(i);
+            }
             if seen >= target {
-                let lo = self.min_value * 10f64.powf(i as f64 / self.buckets_per_decade);
-                let hi = self.min_value * 10f64.powf((i + 1) as f64 / self.buckets_per_decade);
-                return Some((lo * hi).sqrt());
+                return Some(self.bucket_midpoint(i));
             }
         }
-        // Rounding left the target unreached; report the top bucket.
-        Some(self.min_value * 10f64.powf(self.counts.len() as f64 / self.buckets_per_decade))
+        // Unreachable while counts are consistent with `total` (the scan
+        // accumulates every observation), but stay well-defined: report
+        // the highest occupied bucket's midpoint, never a value beyond
+        // the histogram's range.
+        Some(self.bucket_midpoint(last_occupied.unwrap_or(0)))
+    }
+
+    /// Geometric midpoint of bucket `i` — the value every quantile query
+    /// resolving to that bucket reports.
+    fn bucket_midpoint(&self, i: usize) -> f64 {
+        let lo = self.min_value * 10f64.powf(i as f64 / self.buckets_per_decade);
+        let hi = self.min_value * 10f64.powf((i + 1) as f64 / self.buckets_per_decade);
+        (lo * hi).sqrt()
     }
 
     /// Median shorthand.
@@ -156,6 +169,50 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert!(h.quantile(0.01).unwrap() < 1.0);
         assert!(h.quantile(1.0).unwrap() >= 10.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_none_at_every_pin() {
+        let h = LogHistogram::latency();
+        for q in [0.0, 0.5, 1.0] {
+            assert!(h.quantile(q).is_none(), "empty p{} must be None", q * 100.0);
+        }
+    }
+
+    #[test]
+    fn single_sample_pins_p0_p50_p100_to_its_bucket_midpoint() {
+        let mut h = LogHistogram::latency();
+        h.record(2.0);
+        let p0 = h.quantile(0.0).unwrap();
+        let p50 = h.quantile(0.5).unwrap();
+        let p100 = h.quantile(1.0).unwrap();
+        // All three quantiles of a one-sample histogram are the same
+        // bucket midpoint, and that midpoint brackets the sample within
+        // one bucket width (a factor of 10^(1/20) here).
+        assert_eq!(p0.to_bits(), p50.to_bits());
+        assert_eq!(p50.to_bits(), p100.to_bits());
+        let width = 10f64.powf(1.0 / 20.0);
+        assert!(p50 >= 2.0 / width && p50 <= 2.0 * width, "p50 {p50}");
+    }
+
+    #[test]
+    fn single_underflow_sample_reports_below_range_consistently() {
+        let mut h = LogHistogram::new(1.0, 10.0, 10);
+        h.record(0.001);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(0.5), "p{}", q * 100.0);
+        }
+    }
+
+    #[test]
+    fn quantiles_never_exceed_top_bucket_midpoint() {
+        let mut h = LogHistogram::new(1.0, 10.0, 10);
+        h.record(1e9); // clamps into the top bucket
+        let top = h.quantile(1.0).unwrap();
+        // The report stays within the histogram's range convention: the
+        // top bucket's midpoint, not an edge beyond it.
+        assert!(top < 10.0 * 10f64.powf(0.1), "top {top}");
+        assert_eq!(h.quantile(0.0).unwrap().to_bits(), top.to_bits());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 /// A `(time, value)` series that decimates itself to stay under a point
 /// budget: when full, every other point is dropped and the sampling stride
 /// doubles. Plots keep their shape; memory stays O(budget).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimeSeries {
     points: Vec<(f64, f64)>,
     budget: usize,

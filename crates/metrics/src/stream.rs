@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// Welford's update is numerically stable over millions of samples —
 /// the naive sum-of-squares form loses precision exactly in the regime the
 /// Fig. 5 harness runs in.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamingStats {
     count: u64,
     mean: f64,

@@ -182,6 +182,7 @@ impl CachePolicy for BypassYieldPolicy {
                 profit: Money::ZERO,
                 investments: 0,
                 evictions,
+                used_structures: Vec::new(),
             };
         }
 
@@ -218,6 +219,7 @@ impl CachePolicy for BypassYieldPolicy {
             profit: Money::ZERO,
             investments,
             evictions: evictions_total,
+            used_structures: Vec::new(),
         }
     }
 

@@ -105,6 +105,7 @@ impl CachePolicy for EconPolicy {
             profit: o.profit,
             investments: o.investments.len() as u32,
             evictions: o.evictions.len() as u32,
+            used_structures: o.used_structures,
         }
     }
 

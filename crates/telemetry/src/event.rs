@@ -1,0 +1,256 @@
+//! Typed trace events.
+//!
+//! Each event is a flat, owned record — no references into simulator
+//! state — so a recorded stream serializes losslessly and replays
+//! without the simulator. Events carry cell and arrival-time keys; the
+//! executor emits them in deterministic order (ascending cell, then
+//! per-cell arrival order), so two runs of the same config produce
+//! byte-identical streams.
+
+use metrics::CostBreakdown;
+use pricing::Money;
+use serde::{Deserialize, Serialize};
+
+/// Plan-cache activity observed across one instrumented step, as a delta
+/// of the per-node `PlanCacheStats` totals (hits/misses/refreshes/
+/// completions only ever grow within a query step, so deltas are exact).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanCacheDelta {
+    /// Memoized skeletons reused as-is.
+    pub hits: u64,
+    /// Plans built from scratch.
+    pub misses: u64,
+    /// Stale entries re-planned after a cache-content change.
+    pub refreshes: u64,
+    /// Shared skeletons completed against per-node cache state.
+    pub completions: u64,
+}
+
+impl PlanCacheDelta {
+    /// True when the step touched the plan cache at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.hits + self.misses + self.refreshes + self.completions > 0
+    }
+}
+
+/// One quote round: the fleet router asked every routable node to price a
+/// query (the paper's eq. 3 bid) and picked a winner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuoteRoundEvent {
+    /// Fleet cell the round ran in.
+    pub cell: usize,
+    /// Simulated arrival time, seconds.
+    pub at_secs: f64,
+    /// Tenant issuing the query.
+    pub tenant: u32,
+    /// Workload template that produced the query.
+    pub template: usize,
+    /// Workload-wide query sequence number.
+    pub query: u64,
+    /// Node id of the winning bidder.
+    pub winner: usize,
+    /// The winning bid, when the routing strategy quotes (strategies
+    /// like round-robin route without pricing).
+    pub winning_quote: Option<Money>,
+    /// How many nodes were routable (quoted) this round.
+    pub routable: usize,
+    /// Plan-cache activity during the round (skeleton reuse across the
+    /// fan-out shows up as completions).
+    pub plan_cache: PlanCacheDelta,
+}
+
+/// One query settlement: the winning node executed the query and the
+/// books were balanced — the tenant's payment (eq. 11 pricing), the
+/// node's profit, and the cloud's per-resource execution spend (eq. 9/13
+/// cost deltas).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettlementEvent {
+    /// Fleet cell the query ran in.
+    pub cell: usize,
+    /// Simulated arrival time, seconds.
+    pub at_secs: f64,
+    /// Paying tenant.
+    pub tenant: u32,
+    /// Workload template that produced the query.
+    pub template: usize,
+    /// Workload-wide query sequence number.
+    pub query: u64,
+    /// Node that served the query.
+    pub node: usize,
+    /// Wall-clock response time, seconds.
+    pub response_secs: f64,
+    /// True when served from cached structures rather than the backend.
+    pub ran_in_cache: bool,
+    /// What the tenant paid (eq. 11).
+    pub payment: Money,
+    /// Node profit after costs (payment minus exec + amortization).
+    pub profit: Money,
+    /// Per-resource execution cost booked this step (eq. 9 backend or
+    /// cache I/O; CPU uptime and disk rent accrue separately).
+    pub exec: CostBreakdown,
+    /// Structure-build spending triggered by this query's revenue.
+    pub build_spend: Money,
+    /// Cached structures the winning plan actually used (display form of
+    /// `cache::StructureKey`); empty for backend runs.
+    pub used_structures: Vec<String>,
+    /// Structures built on the back of this query.
+    pub investments: u32,
+    /// Structures evicted to make room.
+    pub evictions: u32,
+    /// Plan-cache activity while serving (the winner replans against its
+    /// own cache content before executing).
+    pub plan_cache: PlanCacheDelta,
+}
+
+/// Node lifecycle transition kinds, mirroring the elastic controller's
+/// `ElasticAction` (plus `Hold` for explainable no-ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LifecyclePhase {
+    /// A new node was spawned (begins booting).
+    Spawn,
+    /// A node stopped accepting queries and began draining.
+    DrainBegin,
+    /// A drained node was removed and its books settled.
+    Retire,
+    /// A review ran and decided to do nothing.
+    Hold,
+}
+
+impl LifecyclePhase {
+    /// Stable lower-case label (used in explain output).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            LifecyclePhase::Spawn => "spawn",
+            LifecyclePhase::DrainBegin => "drain-begin",
+            LifecyclePhase::Retire => "retire",
+            LifecyclePhase::Hold => "hold",
+        }
+    }
+}
+
+/// One node lifecycle transition, folding the elastic controller's
+/// `LedgerEntry` (rule + population counts + pressure signals) into the
+/// unified event stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeLifecycleEvent {
+    /// Fleet cell the review ran in.
+    pub cell: usize,
+    /// Simulated review time, seconds.
+    pub at_secs: f64,
+    /// Transition kind.
+    pub phase: LifecyclePhase,
+    /// The node acted on (`None` for holds).
+    pub node: Option<usize>,
+    /// The controller rule that fired (e.g. `backlog-pressure`,
+    /// `drain-insolvent`, `cooldown`).
+    pub rule: String,
+    /// Caching scheme a spawned node runs (empty otherwise).
+    pub scheme: String,
+    /// Live nodes at review time.
+    pub live: usize,
+    /// Routable (booted, non-draining) nodes at review time.
+    pub routable: usize,
+    /// Nodes still booting.
+    pub booting: usize,
+    /// Nodes draining toward retirement.
+    pub draining: usize,
+    /// Instantaneous backlog (queries queued across live nodes).
+    pub backlog: f64,
+    /// Smoothed backlog pressure (EWMA).
+    pub backlog_ewma: f64,
+    /// Mean response time over the review window, seconds.
+    pub window_response_secs: f64,
+    /// Fleet profit rate over the window, dollars/second.
+    pub profit_rate: f64,
+    /// Fleet regret rate over the window, dollars/second.
+    pub regret_rate: f64,
+}
+
+/// A single flight-recorder event.
+///
+/// Externally tagged on serialization (`{"QuoteRound": {...}}`), so a
+/// trace file is self-describing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A routing quote round concluded.
+    QuoteRound(QuoteRoundEvent),
+    /// A query settled.
+    Settlement(SettlementEvent),
+    /// A node changed lifecycle state.
+    NodeLifecycle(NodeLifecycleEvent),
+}
+
+impl TraceEvent {
+    /// Fleet cell the event belongs to.
+    #[must_use]
+    pub fn cell(&self) -> usize {
+        match self {
+            TraceEvent::QuoteRound(e) => e.cell,
+            TraceEvent::Settlement(e) => e.cell,
+            TraceEvent::NodeLifecycle(e) => e.cell,
+        }
+    }
+
+    /// Simulated time of the event, seconds.
+    #[must_use]
+    pub fn at_secs(&self) -> f64 {
+        match self {
+            TraceEvent::QuoteRound(e) => e.at_secs,
+            TraceEvent::Settlement(e) => e.at_secs,
+            TraceEvent::NodeLifecycle(e) => e.at_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_cache_delta_any() {
+        assert!(!PlanCacheDelta::default().any());
+        let d = PlanCacheDelta {
+            completions: 1,
+            ..PlanCacheDelta::default()
+        };
+        assert!(d.any());
+    }
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let q = TraceEvent::QuoteRound(QuoteRoundEvent {
+            cell: 3,
+            at_secs: 1.5,
+            tenant: 7,
+            template: 2,
+            query: 11,
+            winner: 0,
+            winning_quote: Some(Money::from_dollars(0.25)),
+            routable: 4,
+            plan_cache: PlanCacheDelta::default(),
+        });
+        assert_eq!(q.cell(), 3);
+        assert!((q.at_secs() - 1.5).abs() < 1e-12);
+        let l = TraceEvent::NodeLifecycle(NodeLifecycleEvent {
+            cell: 1,
+            at_secs: 9.0,
+            phase: LifecyclePhase::Retire,
+            node: Some(5),
+            rule: "drain-grace".into(),
+            scheme: String::new(),
+            live: 2,
+            routable: 2,
+            booting: 0,
+            draining: 0,
+            backlog: 0.0,
+            backlog_ewma: 0.0,
+            window_response_secs: 0.0,
+            profit_rate: 0.0,
+            regret_rate: 0.0,
+        });
+        assert_eq!(l.cell(), 1);
+        assert_eq!(LifecyclePhase::Retire.label(), "retire");
+    }
+}

@@ -1,0 +1,382 @@
+//! Replay rollups: blame-style cost attribution over a recorded trace.
+//!
+//! The paper's model makes every dollar attributable — tenants pay
+//! settlements (eq. 11), settlements decompose into per-resource costs
+//! (eq. 9/13), revenue funds structure builds, and node lifecycle
+//! decisions are rule-tagged. These functions replay a recorded
+//! [`TraceEvent`] stream and answer the attribution questions directly:
+//! why a node retired, which tenants/templates paid for a structure, and
+//! where the dollars went.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use metrics::CostBreakdown;
+use pricing::Money;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{LifecyclePhase, NodeLifecycleEvent, TraceEvent};
+
+/// Grouping key for a blame rollup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlameKey {
+    /// Group settlements by paying tenant.
+    Tenant,
+    /// Group settlements by workload template.
+    Template,
+    /// Group settlements by the cached structures their plans used.
+    Structure,
+    /// Group settlements by serving node.
+    Node,
+    /// Decompose execution spend by priced resource.
+    Resource,
+}
+
+impl BlameKey {
+    /// Parses the `explain blame` CLI argument.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<BlameKey> {
+        match s {
+            "tenant" => Some(BlameKey::Tenant),
+            "template" => Some(BlameKey::Template),
+            "structure" => Some(BlameKey::Structure),
+            "node" => Some(BlameKey::Node),
+            "resource" => Some(BlameKey::Resource),
+            _ => None,
+        }
+    }
+}
+
+/// One row of a blame rollup: the money that flowed through a group.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlameRow {
+    /// Settlements attributed to the group.
+    pub queries: u64,
+    /// Tenant payments received (eq. 11).
+    pub payments: Money,
+    /// Node profit after costs.
+    pub profit: Money,
+    /// Per-resource execution spend (eq. 9 backend / cache I/O).
+    pub exec: CostBreakdown,
+    /// Structure-build spending funded by the group's revenue.
+    pub build_spend: Money,
+}
+
+impl BlameRow {
+    /// Total cloud-side spend attributed to the group.
+    #[must_use]
+    pub fn total_cost(&self) -> Money {
+        self.exec.total() + self.build_spend
+    }
+
+    fn absorb(&mut self, e: &crate::event::SettlementEvent) {
+        self.queries += 1;
+        self.payments += e.payment;
+        self.profit += e.profit;
+        self.exec.merge(&e.exec);
+        self.build_spend += e.build_spend;
+    }
+}
+
+fn sorted_rows(map: BTreeMap<String, BlameRow>) -> Vec<(String, BlameRow)> {
+    let mut rows: Vec<(String, BlameRow)> = map.into_iter().collect();
+    // Biggest money first; name breaks ties so the order is total.
+    rows.sort_by(|(an, ar), (bn, br)| {
+        (br.payments + br.total_cost())
+            .cmp(&(ar.payments + ar.total_cost()))
+            .then_with(|| an.cmp(bn))
+    });
+    rows
+}
+
+/// Rolls settlements up by the given key — "where did the $ go".
+///
+/// For [`BlameKey::Resource`] the rows are the four priced resources
+/// plus a `build` row; payments and profit stay on the per-resource rows
+/// at zero because eq. 11 prices whole queries, not resources.
+#[must_use]
+pub fn blame(events: &[TraceEvent], key: BlameKey) -> Vec<(String, BlameRow)> {
+    let mut map: BTreeMap<String, BlameRow> = BTreeMap::new();
+    for event in events {
+        let TraceEvent::Settlement(s) = event else {
+            continue;
+        };
+        match key {
+            BlameKey::Tenant => map.entry(format!("tenant#{}", s.tenant)).or_default(),
+            BlameKey::Template => map.entry(format!("template#{}", s.template)).or_default(),
+            BlameKey::Node => map.entry(format!("node#{}", s.node)).or_default(),
+            BlameKey::Structure => {
+                let key = if s.used_structures.is_empty() {
+                    "(backend)".to_string()
+                } else {
+                    // A plan may use several structures; attribute the
+                    // whole settlement to each (overlap is intentional —
+                    // "who paid for S" is a per-structure question).
+                    for st in &s.used_structures {
+                        map.entry(st.clone()).or_default().absorb(s);
+                    }
+                    continue;
+                };
+                map.entry(key).or_default()
+            }
+            BlameKey::Resource => {
+                for (name, cost) in [
+                    ("cpu", s.exec.cpu),
+                    ("disk", s.exec.disk),
+                    ("network", s.exec.network),
+                    ("io", s.exec.io),
+                ] {
+                    let row = map.entry(name.to_string()).or_default();
+                    if !cost.is_zero() {
+                        row.queries += 1;
+                    }
+                    row.exec.add_to(
+                        match name {
+                            "cpu" => metrics::Resource::Cpu,
+                            "disk" => metrics::Resource::Disk,
+                            "network" => metrics::Resource::Network,
+                            _ => metrics::Resource::Io,
+                        },
+                        cost,
+                    );
+                }
+                let b = map.entry("build".to_string()).or_default();
+                if !s.build_spend.is_zero() {
+                    b.queries += 1;
+                }
+                b.build_spend += s.build_spend;
+                continue;
+            }
+        }
+        .absorb(s);
+    }
+    sorted_rows(map)
+}
+
+/// Which tenants and templates paid for structure `s` — the settlements
+/// whose winning plans used it, grouped both ways (`tenant#…` and
+/// `template#…` rows).
+#[must_use]
+pub fn structure_payers(events: &[TraceEvent], s: &str) -> Vec<(String, BlameRow)> {
+    let mut map: BTreeMap<String, BlameRow> = BTreeMap::new();
+    for event in events {
+        let TraceEvent::Settlement(st) = event else {
+            continue;
+        };
+        if st.used_structures.iter().any(|u| u == s) {
+            map.entry(format!("tenant#{}", st.tenant))
+                .or_default()
+                .absorb(st);
+            map.entry(format!("template#{}", st.template))
+                .or_default()
+                .absorb(st);
+        }
+    }
+    sorted_rows(map)
+}
+
+/// Every lifecycle transition recorded for node `node`, in stream order.
+#[must_use]
+pub fn node_timeline(events: &[TraceEvent], node: usize) -> Vec<&NodeLifecycleEvent> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::NodeLifecycle(l) if l.node == Some(node) => Some(l),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Why did node `node` retire? `None` when the trace records no
+/// retirement for it (the `explain` tool treats that as an unanswerable
+/// query and exits non-zero).
+///
+/// The answer narrates the node's lifecycle — spawn, drain decision
+/// (rule + the pressure signals that fired it), retirement — plus the
+/// queries it served and the profit it booked while alive.
+#[must_use]
+pub fn explain_retirement(events: &[TraceEvent], node: usize) -> Option<String> {
+    let timeline = node_timeline(events, node);
+    let retire = timeline
+        .iter()
+        .find(|l| l.phase == LifecyclePhase::Retire)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "node {node} retired at t={:.1}s (cell {}, rule `{}`)",
+        retire.at_secs, retire.cell, retire.rule
+    );
+    if let Some(spawn) = timeline.iter().find(|l| l.phase == LifecyclePhase::Spawn) {
+        let _ = writeln!(
+            out,
+            "  spawned at t={:.1}s by rule `{}` (scheme {})",
+            spawn.at_secs, spawn.rule, spawn.scheme
+        );
+    }
+    if let Some(drain) = timeline
+        .iter()
+        .find(|l| l.phase == LifecyclePhase::DrainBegin)
+    {
+        let _ = writeln!(
+            out,
+            "  drain began at t={:.1}s by rule `{}`: backlog_ewma={:.3}, \
+             window_response={:.3}s, profit_rate={:+.6}$/s, regret_rate={:.6}$/s",
+            drain.at_secs,
+            drain.rule,
+            drain.backlog_ewma,
+            drain.window_response_secs,
+            drain.profit_rate,
+            drain.regret_rate
+        );
+    }
+    let mut served = 0u64;
+    let mut payments = Money::ZERO;
+    let mut profit = Money::ZERO;
+    for e in events {
+        if let TraceEvent::Settlement(s) = e {
+            if s.node == node {
+                served += 1;
+                payments += s.payment;
+                profit += s.profit;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  while alive: served {served} queries, collected {payments}, booked {profit} profit"
+    );
+    let _ = writeln!(
+        out,
+        "  population at retirement: live={}, routable={}, booting={}, draining={}",
+        retire.live, retire.routable, retire.booting, retire.draining
+    );
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{PlanCacheDelta, SettlementEvent};
+
+    fn settlement(tenant: u32, template: usize, node: usize, structures: &[&str]) -> TraceEvent {
+        let mut exec = CostBreakdown::ZERO;
+        exec.add_to(metrics::Resource::Io, Money::from_dollars(0.01));
+        exec.add_to(metrics::Resource::Network, Money::from_dollars(0.02));
+        TraceEvent::Settlement(SettlementEvent {
+            cell: 0,
+            at_secs: 1.0,
+            tenant,
+            template,
+            query: 1,
+            node,
+            response_secs: 0.5,
+            ran_in_cache: !structures.is_empty(),
+            payment: Money::from_dollars(0.10),
+            profit: Money::from_dollars(0.03),
+            exec,
+            build_spend: Money::from_dollars(0.005),
+            used_structures: structures.iter().map(|s| (*s).to_string()).collect(),
+            investments: 0,
+            evictions: 0,
+            plan_cache: PlanCacheDelta::default(),
+        })
+    }
+
+    fn lifecycle(node: usize, phase: LifecyclePhase, at: f64, rule: &str) -> TraceEvent {
+        TraceEvent::NodeLifecycle(NodeLifecycleEvent {
+            cell: 0,
+            at_secs: at,
+            phase,
+            node: Some(node),
+            rule: rule.into(),
+            scheme: "econ-cheap".into(),
+            live: 2,
+            routable: 2,
+            booting: 0,
+            draining: 1,
+            backlog: 1.0,
+            backlog_ewma: 0.5,
+            window_response_secs: 0.2,
+            profit_rate: -0.001,
+            regret_rate: 0.0,
+        })
+    }
+
+    #[test]
+    fn blame_by_tenant_groups_and_sorts() {
+        let events = vec![
+            settlement(1, 0, 0, &[]),
+            settlement(2, 0, 0, &[]),
+            settlement(2, 1, 1, &["idx(a)"]),
+        ];
+        let rows = blame(&events, BlameKey::Tenant);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "tenant#2");
+        assert_eq!(rows[0].1.queries, 2);
+        assert_eq!(rows[0].1.payments, Money::from_dollars(0.20));
+        assert_eq!(rows[1].0, "tenant#1");
+    }
+
+    #[test]
+    fn blame_by_structure_attributes_each_used_structure() {
+        let events = vec![
+            settlement(1, 0, 0, &["idx(a)", "col(b)"]),
+            settlement(1, 0, 0, &[]),
+        ];
+        let rows = blame(&events, BlameKey::Structure);
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"idx(a)"));
+        assert!(names.contains(&"col(b)"));
+        assert!(names.contains(&"(backend)"));
+    }
+
+    #[test]
+    fn blame_by_resource_decomposes_exec_spend() {
+        let events = vec![settlement(1, 0, 0, &[])];
+        let rows = blame(&events, BlameKey::Resource);
+        let get = |n: &str| {
+            rows.iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, r)| r.clone())
+                .unwrap()
+        };
+        assert_eq!(get("io").exec.io, Money::from_dollars(0.01));
+        assert_eq!(get("network").exec.network, Money::from_dollars(0.02));
+        assert_eq!(get("build").build_spend, Money::from_dollars(0.005));
+        assert_eq!(get("cpu").queries, 0);
+    }
+
+    #[test]
+    fn structure_payers_groups_both_ways() {
+        let events = vec![
+            settlement(1, 4, 0, &["idx(a)"]),
+            settlement(2, 4, 0, &["idx(a)"]),
+            settlement(3, 5, 0, &["col(z)"]),
+        ];
+        let rows = structure_payers(&events, "idx(a)");
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"tenant#1"));
+        assert!(names.contains(&"tenant#2"));
+        assert!(names.contains(&"template#4"));
+        assert!(!names.contains(&"tenant#3"));
+        let t4 = rows.iter().find(|(n, _)| n == "template#4").unwrap();
+        assert_eq!(t4.1.queries, 2);
+    }
+
+    #[test]
+    fn retirement_narrative_includes_rule_and_signals() {
+        let events = vec![
+            lifecycle(3, LifecyclePhase::Spawn, 10.0, "backlog-pressure"),
+            settlement(1, 0, 3, &[]),
+            lifecycle(3, LifecyclePhase::DrainBegin, 50.0, "drain-insolvent"),
+            lifecycle(3, LifecyclePhase::Retire, 110.0, "drain-grace"),
+        ];
+        let text = explain_retirement(&events, 3).unwrap();
+        assert!(text.contains("retired at t=110.0s"));
+        assert!(text.contains("drain-insolvent"));
+        assert!(text.contains("spawned at t=10.0s"));
+        assert!(text.contains("served 1 queries"));
+        assert!(explain_retirement(&events, 4).is_none());
+        assert_eq!(node_timeline(&events, 3).len(), 3);
+    }
+}

@@ -37,6 +37,14 @@
 //! to sequential ones. See [`fleet::FleetConfig`] and
 //! [`fleet::run_fleet`], or the `fleet_market` example.
 //!
+//! [`telemetry`] is the fleet's flight recorder: a typed
+//! [`telemetry::TraceEvent`] stream (quote rounds, settlements, node
+//! lifecycle) behind a zero-cost-when-disabled [`telemetry::TraceSink`],
+//! a bit-identically mergeable [`telemetry::MetricsRegistry`], and
+//! replay rollups ([`telemetry::explain`]) answering why a node retired
+//! and where the dollars went. Recording never perturbs a run — a traced
+//! run is bit-identical to an untraced one.
+//!
 //! Start with [`simulator::run_simulation`], the `quickstart` example, or
 //! `fleet_market` for the marketplace.
 
@@ -53,4 +61,5 @@ pub use policies;
 pub use pricing;
 pub use simcore;
 pub use simulator;
+pub use telemetry;
 pub use workload;

@@ -1,0 +1,148 @@
+//! Telemetry invariants — the flight recorder's two contracts:
+//!
+//! 1. **Registry algebra** (property-based): [`MetricsRegistry::merge`]
+//!    is associative, commutative and partition-invariant — folding one
+//!    operation stream through 1, 2, 4 or 8 shard-local registries and
+//!    merging produces bit-identical snapshots, the same contract
+//!    `CostBreakdown::merge` gives the economic aggregates. This is what
+//!    makes a sharded traced run's registry a pure function of the
+//!    config.
+//! 2. **Pure observation** (integration): a traced fleet run is
+//!    bit-identical to the no-op-sink run, and its event stream and
+//!    registry are themselves invariant under the executor shard count.
+
+use cloudcache::fleet::{FleetConfig, FleetSim, RouterKind};
+use cloudcache::pricing::Money;
+use cloudcache::telemetry::MetricsRegistry;
+use proptest::prelude::*;
+
+/// Fixed name pools, one per metric kind — a name must keep one kind for
+/// life (mixing kinds under one name is a programming error the registry
+/// panics on), so ops address kind-homogeneous pools.
+const COUNTERS: [&str; 3] = ["fleet.queries", "elastic.reviews", "plan_cache.hits"];
+const GAUGES: [&str; 3] = ["fleet.payments", "fleet.profit", "fleet.exec.cpu"];
+const HISTOGRAMS: [&str; 2] = ["fleet.response_secs", "node.backlog_secs"];
+
+/// One registry operation: `(kind, name, magnitude)` drawn from plain
+/// integer strategies (kind 0 = counter add, 1 = gauge add, 2 = histogram
+/// observation).
+type Op = (u8, u8, u64);
+
+fn apply(registry: &mut MetricsRegistry, ops: &[Op]) {
+    for &(kind, name, value) in ops {
+        match kind % 3 {
+            0 => registry.counter_add(COUNTERS[name as usize % COUNTERS.len()], value),
+            1 => registry.gauge_add(
+                GAUGES[name as usize % GAUGES.len()],
+                // Signed so gauges exercise refunds/negative deltas too.
+                Money::from_nanos(i128::from(value) - i128::from(u64::MAX / 2)),
+            ),
+            _ => registry.observe(
+                HISTOGRAMS[name as usize % HISTOGRAMS.len()],
+                // Spread observations across several log-buckets,
+                // including the underflow bucket at 0.
+                (value % 10_000) as f64 / 100.0,
+            ),
+        }
+    }
+}
+
+fn build(ops: &[Op]) -> MetricsRegistry {
+    let mut registry = MetricsRegistry::new();
+    apply(&mut registry, ops);
+    registry
+}
+
+fn merged(a: &MetricsRegistry, b: &MetricsRegistry) -> MetricsRegistry {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    /// merge is commutative: a ⊕ b == b ⊕ a.
+    #[test]
+    fn registry_merge_is_commutative(
+        a in prop::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..60),
+        b in prop::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..60),
+    ) {
+        let (ra, rb) = (build(&a), build(&b));
+        prop_assert_eq!(merged(&ra, &rb), merged(&rb, &ra));
+    }
+
+    /// merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn registry_merge_is_associative(
+        a in prop::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..40),
+        b in prop::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..40),
+        c in prop::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..40),
+    ) {
+        let (ra, rb, rc) = (build(&a), build(&b), build(&c));
+        prop_assert_eq!(
+            merged(&merged(&ra, &rb), &rc),
+            merged(&ra, &merged(&rb, &rc))
+        );
+    }
+
+    /// Shard-count invariance: striding one operation stream across k
+    /// shard-local registries (the executor's worker assignment) and
+    /// merging in ascending shard order reproduces the 1-shard snapshot
+    /// bit-for-bit, for every k the executor runs at.
+    #[test]
+    fn registry_merge_is_shard_count_invariant(
+        ops in prop::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..120),
+    ) {
+        let reference = build(&ops);
+        for shards in [2usize, 4, 8] {
+            let mut partials = vec![MetricsRegistry::new(); shards];
+            for (i, op) in ops.iter().enumerate() {
+                apply(&mut partials[i % shards], &[*op]);
+            }
+            let mut folded = MetricsRegistry::new();
+            for partial in &partials {
+                folded.merge(partial);
+            }
+            prop_assert_eq!(&folded, &reference, "shards = {}", shards);
+        }
+    }
+}
+
+fn traced_config(shards: usize) -> FleetConfig {
+    let mut config = FleetConfig::mixed(12, 3, 80);
+    config.scale_factor = 10.0;
+    config.cells = 6;
+    config.shards = shards;
+    config.router = RouterKind::CheapestQuote;
+    config
+}
+
+/// The flight recorder observes without perturbing: the traced run's
+/// `FleetResult` matches the no-op-sink run field for field.
+#[test]
+fn traced_run_is_bit_identical_to_untraced() {
+    let untraced = FleetSim::new(traced_config(1)).run();
+    let (traced, trace) = FleetSim::new(traced_config(1)).run_traced();
+    assert_eq!(traced, untraced);
+    assert!(!trace.events.is_empty(), "recorder captured the run");
+    assert_eq!(
+        trace.registry.counter("fleet.queries"),
+        untraced.queries,
+        "registry agrees with the result it observed"
+    );
+    assert_eq!(trace.registry.gauge("fleet.payments"), untraced.payments);
+    assert_eq!(trace.registry.gauge("fleet.profit"), untraced.profit);
+}
+
+/// The event stream and registry are pure functions of the config: the
+/// shard count reassigns cells to workers but cannot reorder, drop or
+/// change a single event (cells are folded in ascending order).
+#[test]
+fn trace_is_invariant_under_shard_count() {
+    let (reference_result, reference) = FleetSim::new(traced_config(1)).run_traced();
+    for shards in [2usize, 4, 8] {
+        let (result, trace) = FleetSim::new(traced_config(shards)).run_traced();
+        assert_eq!(result, reference_result, "shards = {shards}");
+        assert_eq!(trace.registry, reference.registry, "shards = {shards}");
+        assert_eq!(trace.events, reference.events, "shards = {shards}");
+    }
+}

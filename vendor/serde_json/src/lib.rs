@@ -269,11 +269,38 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(c) if c < 0x80 => {
+                    // Consume a whole run of plain ASCII bytes at once; a
+                    // per-character slice-and-validate of the remaining
+                    // input would make parsing quadratic in document size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b >= 0x80 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    // All bytes in the run are < 0x80, so it is valid UTF-8.
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = s.chars().next().unwrap();
+                    // Consume one multi-byte UTF-8 character: validate at
+                    // most the next 4 bytes, never the whole rest.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(rest) {
+                        Ok(s) => s.chars().next(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()])
+                                .ok()
+                                .and_then(|s| s.chars().next())
+                        }
+                        Err(_) => None,
+                    };
+                    let c = c.ok_or_else(|| self.err("invalid utf-8"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
