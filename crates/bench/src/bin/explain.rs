@@ -4,13 +4,18 @@
 //! event stream; this tool answers the attribution questions the paper's
 //! economy makes answerable:
 //!
-//! * `record [path]` — run the reference bursty elastic fleet with the
-//!   recorder attached and write the [`telemetry::Trace`] (events +
-//!   registry snapshot) as JSON, default `results/fleet_trace.json`;
+//! * `record [path]` — run the reference bursty elastic fleet (with a
+//!   mid-run crash-and-recover fault injected, so crash questions are
+//!   answerable) with the recorder attached and write the
+//!   [`telemetry::Trace`] (events + registry snapshot) as JSON, default
+//!   `results/fleet_trace.json`;
 //! * `retire <node> [path]` — why did node *N* retire: the rule that
 //!   fired, the pressure signals at the drain decision, and what the
 //!   node earned while alive (exits non-zero when the trace records no
 //!   retirement for that node — an unanswerable query is an error);
+//! * `crash <node> [path]` — what node *N*'s crash cost: the books
+//!   settled at the crash instant, the capital written off, the
+//!   re-queued backlog, and whether the ledger replay reconciled;
 //! * `blame <tenant|template|structure|node|resource> [path]` — "where
 //!   did the $ go": payments, profit, per-resource execution spend and
 //!   build spend rolled up by the chosen key;
@@ -27,16 +32,18 @@
 //! Usage: `cargo run --release -p bench --bin explain -- <subcommand> …`
 
 use bench::fleet_fingerprint;
-use fleet::{ElasticConfig, FleetConfig, FleetSim};
+use fleet::{ElasticConfig, FaultPlan, FleetConfig, FleetSim};
 use pricing::Money;
 use simulator::ArrivalKind;
 use telemetry::{
-    blame, explain_retirement, node_timeline, BlameKey, BlameRow, LifecyclePhase, Trace, TraceEvent,
+    blame, explain_crash, explain_retirement, node_timeline, BlameKey, BlameRow, LifecyclePhase,
+    Trace, TraceEvent,
 };
 
 const USAGE: &str = "usage: explain <subcommand>\n\
        record    [path]                                      record a traced reference run\n\
        retire    <node> [path]                               why did node N retire\n\
+       crash     <node> [path]                               what did node N's crash cost\n\
        blame     <tenant|template|structure|node|resource> [path]\n\
        structure <name> [path]                               who paid for structure <name>\n\
        timeline  <node> [path]                               lifecycle transitions of node N\n\
@@ -51,8 +58,11 @@ const DEFAULT_TRACE: &str = "results/fleet_trace.json";
 /// warm (≈19 % cache-hit rate, so settlements carry `used_structures`
 /// for the structure/blame queries), while the elastic controller still
 /// drains and retires idle capacity through the calms (so `retire` has
-/// something to explain). Runs in well under a second — cheap enough
-/// for the CI selfcheck.
+/// something to explain). A crash-and-recover fault on node 3 rides
+/// along so crash questions are answerable from the same trace: the
+/// node dies at t=30 s — early enough to still be alive in every cell —
+/// and a replacement replays its journal 60 s later. Runs in well under
+/// a second — cheap enough for the CI selfcheck.
 fn recording_config() -> FleetConfig {
     let mut config = FleetConfig::uniform(16, 4, 500, 1.0).with_arrivals(ArrivalKind::Mmpp {
         calm_gap_secs: 25.0,
@@ -62,6 +72,7 @@ fn recording_config() -> FleetConfig {
     });
     config.scale_factor = 50.0;
     config.cells = 2;
+    let config = config.with_faults(FaultPlan::new(20_000.0).with_crash_recover(3, 30.0, 60.0));
     config.with_elastic(ElasticConfig {
         review_interval_secs: 5.0,
         ewma_alpha: 0.3,
@@ -95,7 +106,8 @@ fn load_trace(path: &str) -> Trace {
 fn record(path: &str) {
     let (result, trace) = FleetSim::new(recording_config()).run_traced();
     let trace = Trace {
-        label: "bursty elastic reference (SF 50, 16 tenants x 500 queries, 4 seed nodes)"
+        label: "bursty elastic reference (SF 50, 16 tenants x 500 queries, 4 seed nodes, \
+                node 3 crash-and-recover at t=30s)"
             .to_string(),
         events: trace.events,
         registry: trace.registry,
@@ -122,18 +134,38 @@ fn record(path: &str) {
 
 fn print_rows(rows: &[(String, BlameRow)]) {
     println!(
-        "{:>16} {:>9} {:>12} {:>12} {:>12} {:>12}",
-        "group", "queries", "payments($)", "profit($)", "exec($)", "build($)"
+        "{:>16} {:>9} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "group", "queries", "payments($)", "profit($)", "exec($)", "build($)", "writeoff($)"
     );
     for (name, row) in rows {
         println!(
-            "{name:>16} {:>9} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            "{name:>16} {:>9} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
             row.queries,
             row.payments.as_dollars(),
             row.profit.as_dollars(),
             row.exec.total().as_dollars(),
-            row.build_spend.as_dollars()
+            row.build_spend.as_dollars(),
+            row.write_off.as_dollars()
         );
+    }
+}
+
+fn crash(node: usize, trace: &Trace) {
+    match explain_crash(&trace.events, node) {
+        Some(text) => print!("{text}"),
+        None => {
+            eprintln!("error: trace records no crash for node {node}");
+            let crashed: Vec<usize> = trace
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::NodeCrash(c) => Some(c.node),
+                    _ => None,
+                })
+                .collect();
+            eprintln!("(crashed nodes in this trace: {crashed:?})");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -257,6 +289,48 @@ fn selfcheck() {
         "structure attribution answerable: `{structure}` paid for by {} tenant/template groups: OK",
         payers.len()
     );
+
+    // 6. Crash questions must be answerable: the recording config
+    //    injects a crash-and-recover, so the trace carries a NodeCrash
+    //    event and `explain crash` must narrate it — write-off, re-queue
+    //    and reconciliation included.
+    let Some(crashed) = trace.events.iter().find_map(|e| match e {
+        TraceEvent::NodeCrash(c) => Some(c.node),
+        _ => None,
+    }) else {
+        eprintln!("error: recording config produced no crash to explain");
+        std::process::exit(1);
+    };
+    let Some(answer) = explain_crash(&trace.events, crashed) else {
+        eprintln!("error: explain_crash cannot answer for crashed node {crashed}");
+        std::process::exit(1);
+    };
+    println!("crash query answerable (node {crashed}):");
+    print!("{answer}");
+
+    // 7. Written-off capital must cross-foot: the per-node blame
+    //    rollups' write-off column sums to the registry's fault gauge —
+    //    no lost dollar between the fault plane and the attribution.
+    let node_write_off: Money = by_node.iter().map(|(_, r)| r.write_off).sum();
+    if node_write_off != reg.gauge("fault.write_off") {
+        eprintln!(
+            "error: per-node blame writes off {node_write_off}, registry gauges {}",
+            reg.gauge("fault.write_off")
+        );
+        std::process::exit(1);
+    }
+    let faults = traced.faults.as_ref().expect("faulted recording config");
+    if faults.reconciled != faults.recoveries {
+        eprintln!(
+            "error: {} of {} recoveries reconciled in the recording run",
+            faults.reconciled, faults.recoveries
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "crash write-offs cross-foot ({node_write_off} over {} crash(es)) and {} recover(ies) reconciled exactly: OK",
+        faults.crashes, faults.recoveries
+    );
     println!("explain selfcheck: OK");
 }
 
@@ -270,7 +344,7 @@ fn main() {
             let path = args.get(1).map_or(DEFAULT_TRACE, String::as_str);
             record(path);
         }
-        "retire" | "timeline" => {
+        "retire" | "crash" | "timeline" => {
             let Some(node) = args.get(1).and_then(|s| s.parse::<usize>().ok()) else {
                 usage_exit();
             };
@@ -278,6 +352,8 @@ fn main() {
             let trace = load_trace(path);
             if sub == "retire" {
                 retire(node, &trace);
+            } else if sub == "crash" {
+                crash(node, &trace);
             } else {
                 let timeline = node_timeline(&trace.events, node);
                 if timeline.is_empty() {

@@ -7,11 +7,14 @@
 //! newest, the working tree appended when dirty), the last step's
 //! delta, and regression flags. `fleet_scale` records additionally get
 //! their quote-thread sweep checked against the record's own 1-thread
-//! baseline — the threaded-quote regression staying fixed.
+//! baseline — the threaded-quote regression staying fixed — and
+//! `fleet_faults` records get their fault-plane claims re-checked
+//! (every ledger replay reconciled, elastic-with-respawn still cheaper
+//! than static-with-crash).
 //!
 //! `--check` (CI mode) exits non-zero when any record is unreadable,
-//! the last step regresses beyond the tolerance, or sweep regression
-//! rows are committed.
+//! the last step regresses beyond the tolerance, or sweep/fault-plane
+//! regression rows are committed.
 //!
 //! Usage: `cargo run --release -p bench --bin trend [-- --check]`
 
@@ -66,6 +69,12 @@ fn main() {
             flags.push(format!(
                 "QUOTE-SWEEP: {}",
                 trend.sweep_regressions.join("; ")
+            ));
+        }
+        if !trend.fault_regressions.is_empty() {
+            flags.push(format!(
+                "FAULT-PLANE: {}",
+                trend.fault_regressions.join("; ")
             ));
         }
         if !flags.is_empty() {

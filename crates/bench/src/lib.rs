@@ -228,14 +228,17 @@ pub fn bench_config_json(sf: f64, n: u64, total_queries: u64, wall_secs: f64) ->
 
 /// The aggregate fingerprint the fleet invariance checks compare
 /// bit-for-bit: every economic aggregate plus the serialized elastic
-/// decision ledger (empty for fixed-population fleets). Shared by
-/// `fleet_elastic`'s shard/pool replay check, its traced-vs-noop
-/// bit-identity check and `explain selfcheck` — one definition, so the
-/// three gates cannot quietly diverge on what "identical" means.
+/// decision ledger (empty for fixed-population fleets) and the
+/// serialized fault record stream (empty for fault-free fleets).
+/// Shared by `fleet_elastic`'s shard/pool replay check, its
+/// traced-vs-noop bit-identity check, `fleet_faults`' fault-replay
+/// check and `explain selfcheck` — one definition, so the gates cannot
+/// quietly diverge on what "identical" means.
 ///
 /// # Panics
-/// Panics if the elastic ledger fails to serialize (it always
-/// serializes — the types derive `Serialize` unconditionally).
+/// Panics if the elastic ledger or fault summary fails to serialize
+/// (they always serialize — the types derive `Serialize`
+/// unconditionally).
 #[must_use]
 pub fn fleet_fingerprint(r: &fleet::FleetResult) -> String {
     let ledger = r
@@ -243,9 +246,15 @@ pub fn fleet_fingerprint(r: &fleet::FleetResult) -> String {
         .as_ref()
         .map(|e| serde_json::to_string(&e.ledger).expect("ledger serializes"))
         .unwrap_or_default();
+    let faults = r
+        .faults
+        .as_ref()
+        .map(|f| serde_json::to_string(f).expect("fault summary serializes"))
+        .unwrap_or_default();
     format!(
         "queries={} cost={:?} payments={:?} profit={:?} mean_bits={:016x} hits={} builds={} \
-         evictions={} spawns={} retires={} node_seconds_bits={:016x} ledger={ledger}",
+         evictions={} spawns={} retires={} node_seconds_bits={:016x} ledger={ledger} \
+         faults={faults}",
         r.queries,
         r.total_operating_cost(),
         r.payments,

@@ -7,10 +7,12 @@
 //! (queries/second), walks the record's git history for the trajectory,
 //! and flags regressions. The `trend` binary prints one line per bench;
 //! `trend --check` (CI) exits non-zero when the working-tree record
-//! regresses against the last committed one or when the committed
+//! regresses against the last committed one, when the committed
 //! `fleet_scale` quote-thread sweep contains rows below its own
-//! sequential baseline — the regression this PR exists to fix staying
-//! fixed.
+//! sequential baseline, or when a committed `fleet_faults` record
+//! violates its fault-plane claims (a ledger replay that no longer
+//! reconciles, or an elastic fleet that no longer beats the static one
+//! on cost through a crash).
 
 use serde::Value;
 
@@ -106,6 +108,61 @@ pub fn quote_sweep_regressions(doc: &Value) -> Vec<String> {
         .collect()
 }
 
+/// Fault-plane regression rows of a `fleet_faults` record: the two
+/// claims the committed record pins, re-checked from the record itself
+/// so they cannot silently rot between re-measurements. (1) Every
+/// recovery in every cell reconciled exactly — `reconciled` equals
+/// `recoveries` — because a drifting ledger replay is a correctness
+/// bug, not noise. (2) In the crash scenario the elastic fleet beats
+/// the static fleet on total operating cost: surviving the crash via
+/// the population floor must not cost extra. Returns one human-readable
+/// description per violated claim; empty for records of other benches.
+#[must_use]
+pub fn fault_plane_regressions(doc: &Value) -> Vec<String> {
+    if doc.get("bench").and_then(Value::as_str) != Some("fleet_faults") {
+        return Vec::new();
+    }
+    let Some(cells) = doc.get("cells").and_then(Value::as_seq) else {
+        return Vec::new();
+    };
+    let mut flags = Vec::new();
+    for cell in cells {
+        let (Some(recoveries), Some(reconciled)) = (
+            cell.get("recoveries").and_then(Value::as_f64),
+            cell.get("reconciled").and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        if reconciled < recoveries {
+            let scenario = cell.get("scenario").and_then(Value::as_str).unwrap_or("?");
+            let mode = cell.get("mode").and_then(Value::as_str).unwrap_or("?");
+            flags.push(format!(
+                "{scenario}/{mode}: only {reconciled:.0} of {recoveries:.0} ledger replays reconciled"
+            ));
+        }
+    }
+    let crash_cost = |mode: &str| {
+        cells.iter().find_map(|cell| {
+            if cell.get("scenario").and_then(Value::as_str) == Some("crash")
+                && cell.get("mode").and_then(Value::as_str) == Some(mode)
+            {
+                cell.get("total_cost_usd").and_then(Value::as_f64)
+            } else {
+                None
+            }
+        })
+    };
+    if let (Some(st), Some(el)) = (crash_cost("static"), crash_cost("elastic")) {
+        if el >= st {
+            flags.push(format!(
+                "crash scenario: elastic-with-respawn at ${el:.4} no longer beats \
+                 static-with-crash (${st:.4})"
+            ));
+        }
+    }
+    flags
+}
+
 /// Runs `git` with `args` in the current directory, returning stdout on
 /// success.
 #[must_use]
@@ -155,6 +212,11 @@ pub struct BenchTrend {
     /// Offending `fleet_scale` quote-sweep rows in the newest content
     /// (empty for other benches and healthy records).
     pub sweep_regressions: Vec<String>,
+    /// Violated `fleet_faults` fault-plane claims in the newest content
+    /// — unreconciled ledger replays or a crash scenario where the
+    /// elastic fleet no longer beats the static one on cost (empty for
+    /// other benches and healthy records).
+    pub fault_regressions: Vec<String>,
     /// Parse failure, if the newest content was unreadable.
     pub error: Option<String>,
 }
@@ -204,10 +266,12 @@ pub fn bench_trend(file: &str) -> BenchTrend {
     let working = std::fs::read_to_string(file);
     let mut error = None;
     let mut sweep_regressions = Vec::new();
+    let mut fault_regressions = Vec::new();
     match &working {
         Ok(content) => match serde_json::from_str::<Value>(content) {
             Ok(doc) => {
                 sweep_regressions = quote_sweep_regressions(&doc);
+                fault_regressions = fault_plane_regressions(&doc);
                 match headline_qps(&doc) {
                     Some(qps) => {
                         // Count the working tree as a point only when it
@@ -253,6 +317,7 @@ pub fn bench_trend(file: &str) -> BenchTrend {
         last_delta,
         tolerance,
         sweep_regressions,
+        fault_regressions,
         error,
     }
 }
@@ -320,6 +385,55 @@ mod tests {
     }
 
     #[test]
+    fn fault_plane_flags_unreconciled_replays() {
+        let doc = parse(
+            r#"{"bench": "fleet_faults", "cells": [
+                {"scenario": "crash-recover", "mode": "static", "recoveries": 8, "reconciled": 8},
+                {"scenario": "crash-recover", "mode": "elastic", "recoveries": 8, "reconciled": 5}
+            ]}"#,
+        );
+        let flags = fault_plane_regressions(&doc);
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert!(flags[0].contains("crash-recover/elastic"), "{flags:?}");
+        assert!(flags[0].contains("5 of 8"), "{flags:?}");
+    }
+
+    #[test]
+    fn fault_plane_flags_cost_claim_inversion() {
+        let doc = parse(
+            r#"{"bench": "fleet_faults", "cells": [
+                {"scenario": "crash", "mode": "static", "total_cost_usd": 10.0},
+                {"scenario": "crash", "mode": "elastic", "total_cost_usd": 12.5}
+            ]}"#,
+        );
+        let flags = fault_plane_regressions(&doc);
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert!(flags[0].contains("no longer beats"), "{flags:?}");
+    }
+
+    #[test]
+    fn healthy_fault_records_and_other_benches_pass() {
+        let healthy = parse(
+            r#"{"bench": "fleet_faults", "cells": [
+                {"scenario": "crash", "mode": "static", "total_cost_usd": 18.0,
+                 "recoveries": 0, "reconciled": 0},
+                {"scenario": "crash", "mode": "elastic", "total_cost_usd": 11.8,
+                 "recoveries": 0, "reconciled": 0},
+                {"scenario": "crash-recover", "mode": "elastic", "recoveries": 8, "reconciled": 8}
+            ]}"#,
+        );
+        assert!(fault_plane_regressions(&healthy).is_empty());
+        // A different bench whose cells happen to carry similar keys is
+        // never held to the fault-plane claims.
+        let other = parse(
+            r#"{"bench": "fleet_elastic", "cells": [
+                {"scenario": "crash", "mode": "elastic", "total_cost_usd": 99.0}
+            ]}"#,
+        );
+        assert!(fault_plane_regressions(&other).is_empty());
+    }
+
+    #[test]
     fn headline_spread_reads_the_first_cell_with_min_and_best() {
         let doc = parse(
             r#"{"cells": [
@@ -340,6 +454,7 @@ mod tests {
             tolerance: 0.05,
             regressed: true,
             sweep_regressions: Vec::new(),
+            fault_regressions: Vec::new(),
             error: None,
         };
         let message = trend.regression_message().expect("regressed");

@@ -75,6 +75,22 @@ impl Occupancy {
     pub fn byte_seconds(&self) -> f64 {
         self.byte_seconds
     }
+
+    /// Re-bases the integral at `now`: accrues to `now`, then zeroes the
+    /// accumulated byte-seconds while keeping the occupancy level.
+    ///
+    /// Crash-recovery replay reconstructs cache *contents* at original
+    /// timestamps, but the span the replay walks through was already
+    /// settled (charged) when the crashed node's books closed — the
+    /// recovered node must only pay rent from its recovery instant
+    /// forward, so the replayed integral is written off here.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the last recorded change.
+    pub fn rebase(&mut self, now: SimTime) {
+        self.advance(now);
+        self.byte_seconds = 0.0;
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +128,17 @@ mod tests {
         o.advance(t(5.0));
         o.advance(t(5.0));
         assert_eq!(o.byte_seconds(), 50.0);
+    }
+
+    #[test]
+    fn rebase_zeroes_the_integral_but_keeps_the_level() {
+        let mut o = Occupancy::new();
+        o.add(t(0.0), 100);
+        o.rebase(t(10.0)); // 1000 byte-seconds written off
+        assert_eq!(o.byte_seconds(), 0.0);
+        assert_eq!(o.bytes(), 100);
+        o.advance(t(15.0)); // rent restarts from the rebase instant
+        assert_eq!(o.byte_seconds(), 500.0);
     }
 
     #[test]

@@ -186,6 +186,15 @@ impl CacheState {
         self.occupancy.byte_seconds()
     }
 
+    /// Re-bases the occupancy integral at `now`: accrues to `now`, then
+    /// writes off the accumulated byte-seconds while keeping the cached
+    /// structures. Crash-recovery replay calls this once after replaying
+    /// a settled history, so the recovered cache pays disk rent only
+    /// from the recovery instant forward (see [`crate::Occupancy::rebase`]).
+    pub fn rebase_occupancy(&mut self, now: SimTime) {
+        self.occupancy.rebase(now);
+    }
+
     /// Accrues the occupancy integral up to `now` and folds pending
     /// availability transitions into the settled epoch (keeping
     /// [`Self::epoch`] values continuous while bounding the pending list).

@@ -157,6 +157,18 @@ impl EconomyManager {
         self.cache.advance(now);
     }
 
+    /// Re-bases the disk-occupancy integral at `now`, keeping the cached
+    /// structures but writing off the byte-seconds accrued so far.
+    ///
+    /// Crash-recovery replay drives a fresh manager through the crashed
+    /// node's served-query journal at the *original* timestamps; the disk
+    /// rent of that span was already settled when the crashed node's
+    /// books closed at the crash instant (eq. 13), so the recovered
+    /// manager must only accrue rent from its recovery instant forward.
+    pub fn rebase_occupancy(&mut self, now: SimTime) {
+        self.cache.rebase_occupancy(now);
+    }
+
     /// Observed arrival rate (queries/second); 0 before two arrivals.
     #[must_use]
     pub fn arrival_rate(&self) -> f64 {

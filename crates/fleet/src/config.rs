@@ -8,6 +8,7 @@ use simulator::{ArrivalKind, Scheme};
 use workload::WorkloadConfig;
 
 use crate::elastic::ElasticConfig;
+use crate::faults::FaultPlan;
 use crate::node::NodeSpec;
 use crate::router::RouterKind;
 use crate::tenant::{TenantId, TenantSpec};
@@ -61,6 +62,12 @@ pub struct FleetConfig {
     /// down on the configured review cadence (see [`crate::elastic`]);
     /// `nodes` then describes the *seed* population.
     pub elastic: Option<ElasticConfig>,
+    /// Declarative fault plan; `None` runs fault-free. When set, each
+    /// cell injects the plan's crashes / recoveries / degradations into
+    /// its private fleet replica and layers the surge windows on every
+    /// tenant's arrivals (see [`crate::faults`]). Faults are config, so
+    /// faulted runs stay bit-replayable and shard-invariant.
+    pub faults: Option<FaultPlan>,
     /// Master seed; per-tenant seeds derive from `(seed, tenant id)`.
     pub seed: u64,
 }
@@ -111,6 +118,7 @@ impl FleetConfig {
             econ,
             candidate_indexes: 65,
             elastic: None,
+            faults: None,
             seed: 0xF1EE_7CA5,
         }
     }
@@ -119,6 +127,13 @@ impl FleetConfig {
     #[must_use]
     pub fn with_elastic(mut self, elastic: ElasticConfig) -> Self {
         self.elastic = Some(elastic);
+        self
+    }
+
+    /// Builder style: attach a fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -206,6 +221,11 @@ impl FleetConfig {
         self.econ.validate().map_err(|m| format!("econ: {m}"))?;
         if let Some(elastic) = &self.elastic {
             elastic.validate().map_err(|m| format!("elastic: {m}"))?;
+        }
+        if let Some(faults) = &self.faults {
+            faults
+                .validate(self.nodes.len())
+                .map_err(|m| format!("faults: {m}"))?;
         }
         Ok(())
     }

@@ -333,6 +333,21 @@ impl NodePopulation {
         id
     }
 
+    /// Crashes the live node at slice position `idx` at instant `at`:
+    /// the node is removed immediately (no drain), its books are settled
+    /// at the crash instant exactly like a retirement — eq. 11 uptime and
+    /// the eq. 13 disk byte-seconds integral are charged up to `at` —
+    /// and its settled result is returned alongside its id so the fault
+    /// plane can ledger the abandoned capital. `routable_count` drops at
+    /// once, which is what lets the elastic population-floor rule respawn
+    /// on the next review instead of waiting out a drain grace.
+    pub fn crash(&mut self, idx: usize, rates: &ResourceRates, at: SimTime) -> (usize, &RunResult) {
+        let id = self.retire(idx, rates, at);
+        let (settled_id, run) = self.settled.last().expect("retire just settled a node");
+        debug_assert_eq!(*settled_id, id);
+        (id, run)
+    }
+
     /// Closes the run at `horizon`: settles every remaining live node
     /// and returns all per-node results plus the uptime integral.
     #[must_use]

@@ -33,12 +33,13 @@ use simulator::RunResult;
 use workload::paper_templates;
 
 use telemetry::{
-    LifecyclePhase, MetricsRegistry, NodeLifecycleEvent, NoopSink, PlanCacheDelta, QuoteRoundEvent,
-    Recorder, SettlementEvent, TraceEvent, TraceSink,
+    LifecyclePhase, MetricsRegistry, NodeCrashEvent, NodeLifecycleEvent, NodeRecoverEvent,
+    NoopSink, PlanCacheDelta, QuoteRoundEvent, Recorder, SettlementEvent, TraceEvent, TraceSink,
 };
 
 use crate::config::FleetConfig;
 use crate::elastic::{ElasticAction, ElasticController, ElasticSummary, NodePopulation};
+use crate::faults::{FaultInjector, FaultOutcome, FaultRecord, FaultSummary};
 use crate::node::CacheNode;
 use crate::result::{FleetResult, NodeStats, TenantStats};
 use crate::router::QuoteOptions;
@@ -85,6 +86,8 @@ struct CellResult {
     node_seconds: f64,
     /// Control-plane activity, when the cell ran elastically.
     elastic: Option<ElasticSummary>,
+    /// Fault-plane activity, when the cell ran under a fault plan.
+    faults: Option<FaultSummary>,
     /// The cell's metrics registry — populated only on traced runs
     /// (`None` under the no-op sink, keeping the hot path allocation-free).
     registry: Option<MetricsRegistry>,
@@ -264,6 +267,7 @@ impl FleetSim {
             piece.tenants = partial.tenants.clone();
             piece.node_seconds = partial.node_seconds;
             piece.elastic = partial.elastic.clone();
+            piece.faults = partial.faults.clone();
             for &(node_idx, ref run) in &partial.nodes {
                 piece.queries += run.queries;
                 piece.response.merge(&run.response);
@@ -291,12 +295,33 @@ impl FleetSim {
     /// branch and no event is ever built.
     fn simulate_cell(&self, cell: usize, sink: &mut dyn TraceSink) -> CellResult {
         let cells = self.config.cells;
+        let rates = &self.config.prices.rates;
+        // Flash-crowd surges time-warp every tenant's arrivals — the
+        // windows come from the config, so surge runs stay pure functions
+        // of it.
+        let surge_windows = self
+            .config
+            .faults
+            .as_ref()
+            .map(|p| p.surge_windows())
+            .unwrap_or_default();
         let streams: Vec<TenantStream> = self
             .config
             .tenants
             .iter()
             .filter(|t| t.id.0 as usize % cells == cell)
-            .map(|t| TenantStream::new(t.clone(), Arc::clone(&self.schema), self.config.seed))
+            .map(|t| {
+                if surge_windows.is_empty() {
+                    TenantStream::new(t.clone(), Arc::clone(&self.schema), self.config.seed)
+                } else {
+                    TenantStream::with_surges(
+                        t.clone(),
+                        Arc::clone(&self.schema),
+                        self.config.seed,
+                        surge_windows.clone(),
+                    )
+                }
+            })
             .collect();
         let mut tenant_stats: Vec<TenantStats> = streams
             .iter()
@@ -310,14 +335,31 @@ impl FleetSim {
             .collect();
         let merged = MergedStream::new(streams);
 
+        // Degradation windows apply to seed nodes only — replacements
+        // (elastic spawns, crash recoveries) are fresh machines.
         let nodes: Vec<CacheNode> = self
             .config
             .nodes
             .iter()
             .enumerate()
-            .map(|(i, spec)| CacheNode::new(i, spec, &self.schema, &self.config.econ))
+            .map(|(i, spec)| {
+                let mut node = CacheNode::new(i, spec, &self.schema, &self.config.econ);
+                if let Some(plan) = &self.config.faults {
+                    node.set_degradations(plan.degrade_windows(i));
+                }
+                node
+            })
             .collect();
         let mut population = NodePopulation::new(nodes);
+        let mut injector = self.config.faults.as_ref().map(|plan| {
+            FaultInjector::new(
+                plan,
+                &self.config.nodes,
+                self.config.econ.clone(),
+                Arc::clone(&self.schema),
+                cell,
+            )
+        });
         let mut controller = self
             .config
             .elastic
@@ -339,21 +381,40 @@ impl FleetSim {
         // gate so the no-op path costs one branch per site.
         let mut registry = sink.enabled().then(MetricsRegistry::new);
         let mut ledger_seen = 0usize;
+        let mut fault_seen = 0usize;
 
         let mut horizon = SimTime::ZERO;
         for (now, tenant, query) in merged {
             horizon = now;
-            // Control-plane reviews due before this arrival run first, at
-            // their exact simulated instants, so routing below sees the
-            // post-review population.
+            // Control-plane reviews and fault events due before this
+            // arrival run first, interleaved at their exact simulated
+            // instants (reviews win exact ties), so routing below sees
+            // the post-review, post-fault population.
+            if let Some(inj) = injector.as_mut() {
+                while let Some(fault_at) = inj.next_due(now) {
+                    if let Some(controller) = &mut controller {
+                        controller.run_due_reviews(&mut population, &ctx, fault_at);
+                    }
+                    inj.process_next(&mut population, &ctx, rates);
+                }
+            }
             if let Some(controller) = &mut controller {
                 controller.run_due_reviews(&mut population, &ctx, now);
-                if let Some(registry) = registry.as_mut() {
+            }
+            if let Some(registry) = registry.as_mut() {
+                if let Some(controller) = &controller {
                     let ledger = controller.ledger();
                     for entry in &ledger[ledger_seen..] {
                         emit_lifecycle(sink, registry, entry);
                     }
                     ledger_seen = ledger.len();
+                }
+                if let Some(inj) = injector.as_ref() {
+                    let records = inj.records();
+                    for record in &records[fault_seen..] {
+                        emit_fault(sink, registry, record);
+                    }
+                    fault_seen = records.len();
                 }
             }
             population.accrue(now);
@@ -367,7 +428,28 @@ impl FleetSim {
                     population.routable_count(now),
                 )
             });
-            let chosen = router.route(population.live_mut(), &ctx, &query, now);
+            let mut chosen = router.route(population.live_mut(), &ctx, &query, now);
+            // Per-query timeout fallback: a degraded winner whose backlog
+            // already exceeds the timeout is suppressed for one more
+            // round and the query re-routes to the next-best candidate.
+            // Pure simulation state drives the decision, so traced and
+            // untraced runs take the identical path.
+            if let Some(inj) = injector.as_mut() {
+                let timeout = inj.timeout_secs();
+                if timeout > 0.0 && population.routable_count(now) > 1 {
+                    let winner = &population.live()[chosen];
+                    if winner.degrade_slowdown(now) > 1.0 && winner.outstanding(now) >= timeout {
+                        population.live_mut()[chosen].suppress_route();
+                        let rerouted = router.route(population.live_mut(), &ctx, &query, now);
+                        population.live_mut()[chosen].unsuppress_route();
+                        chosen = rerouted;
+                        inj.note_timeout();
+                        if let Some(registry) = registry.as_mut() {
+                            registry.counter_add("fault.timeouts", 1);
+                        }
+                    }
+                }
+            }
             let after_route = if let Some((before, routable)) = before_route {
                 let totals = plan_cache_totals(population.live());
                 let delta = plan_cache_delta(before, totals);
@@ -387,6 +469,11 @@ impl FleetSim {
                 None
             };
             let outcome = population.live_mut()[chosen].serve(&ctx, &query, now);
+            if let Some(inj) = injector.as_mut() {
+                // Journal the serve for nodes awaiting replay-recovery
+                // (one hash probe for everyone else).
+                inj.note_served(population.live()[chosen].id(), now, &query);
+            }
             if let Some(registry) = registry.as_mut() {
                 let after_serve = plan_cache_totals(population.live());
                 let serve_delta =
@@ -425,16 +512,17 @@ impl FleetSim {
             stats.cache_hits += u64::from(outcome.ran_in_cache);
         }
 
-        let rates = &self.config.prices.rates;
         let finish = population.finish(rates, horizon);
         let node_seconds = finish.node_seconds;
         let elastic = controller.map(|c| c.into_summary(&finish));
+        let faults = injector.map(FaultInjector::into_summary);
         CellResult {
             horizon,
             tenants: tenant_stats,
             nodes: finish.nodes,
             node_seconds,
             elastic,
+            faults,
             registry,
         }
     }
@@ -514,6 +602,49 @@ fn emit_lifecycle(
         profit_rate: entry.signals.profit_rate,
         regret_rate: entry.signals.regret_rate,
     }));
+}
+
+/// Folds one new fault-ledger record into the trace stream and the cell
+/// registry.
+fn emit_fault(sink: &mut dyn TraceSink, registry: &mut MetricsRegistry, record: &FaultRecord) {
+    match &record.event {
+        FaultOutcome::Crash(c) => {
+            registry.counter_add("fault.crashes", 1);
+            registry.gauge_add("fault.write_off", c.write_off);
+            if c.requeued_secs > 0.0 {
+                registry.observe("fault.requeue_secs", c.requeued_secs);
+            }
+            sink.emit(TraceEvent::NodeCrash(NodeCrashEvent {
+                cell: record.cell,
+                at_secs: record.at_secs,
+                node: c.node,
+                phase: c.phase.label().to_string(),
+                queries: c.queries,
+                payments: c.payments,
+                profit: c.profit,
+                operating: c.operating,
+                write_off: c.write_off,
+                disk_bytes: c.disk_bytes,
+                requeued_secs: c.requeued_secs,
+                requeued_to: c.requeued_to,
+                recover_planned: c.recover_planned,
+            }));
+        }
+        FaultOutcome::Recover(r) => {
+            registry.counter_add("fault.recoveries", 1);
+            registry.counter_add("fault.reconciled", u64::from(r.drift.is_zero()));
+            sink.emit(TraceEvent::NodeRecover(NodeRecoverEvent {
+                cell: record.cell,
+                at_secs: record.at_secs,
+                crashed: r.crashed,
+                replacement: r.replacement,
+                boot_cost: r.boot_cost,
+                ready_at_secs: r.ready_at_secs,
+                replayed_queries: r.replayed_queries,
+                reconciled: r.drift.is_zero(),
+            }));
+        }
+    }
 }
 
 /// Books one settled query into the cell registry. `step_delta` is the

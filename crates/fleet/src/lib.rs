@@ -50,6 +50,7 @@
 pub mod config;
 pub mod elastic;
 pub mod exec;
+pub mod faults;
 pub mod node;
 mod pool;
 pub mod result;
@@ -62,6 +63,10 @@ pub use elastic::{
     PressureSignals,
 };
 pub use exec::{effective_quote_threads, run_fleet, FleetSim, FleetTrace};
+pub use faults::{
+    CrashPhase, CrashRecord, CrashSpec, DegradeSpec, FaultInjector, FaultOutcome, FaultPlan,
+    FaultRecord, FaultSummary, ReconcileDrift, RecoverRecord, SurgeSpec,
+};
 pub use node::{CacheNode, NodeSpec};
 pub use result::{FleetResult, NodeStats, TenantStats};
 pub use router::{CheapestQuote, LeastOutstanding, QuoteOptions, RoundRobin, Router, RouterKind};

@@ -9,7 +9,7 @@ use planner::{LazySkeleton, PlannerContext};
 use policies::{CachePolicy, PolicyOutcome};
 use pricing::{Money, ResourceRates};
 use serde::{Deserialize, Serialize};
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 use simulator::{make_policy, RunAccumulator, RunResult, Scheme};
 use workload::Query;
 
@@ -43,6 +43,14 @@ pub struct CacheNode {
     /// Set when the control plane begins draining the node: routing
     /// stops, in-flight work finishes, and the node waits for retirement.
     draining_since: Option<SimTime>,
+    /// Transiently set while a timed-out quote round re-routes away from
+    /// this node; never survives a routing step.
+    route_suppressed: bool,
+    /// Fault-plan degradation windows `(from_secs, until_secs, slowdown)`,
+    /// sorted and disjoint. Inside a window the node delivers responses
+    /// `slowdown`× slower (economics untouched — the fault is in the
+    /// serving path, not the books).
+    degrade: Vec<(f64, f64, f64)>,
 }
 
 impl CacheNode {
@@ -61,6 +69,8 @@ impl CacheNode {
             backlog_until: SimTime::ZERO,
             ready_at: SimTime::ZERO,
             draining_since: None,
+            route_suppressed: false,
+            degrade: Vec::new(),
         }
     }
 
@@ -87,6 +97,36 @@ impl CacheNode {
             backlog_until: SimTime::ZERO,
             ready_at,
             draining_since: None,
+            route_suppressed: false,
+            degrade: Vec::new(),
+        }
+    }
+
+    /// Wraps an already-built policy as a booting node — the
+    /// crash-recovery path reconstructs a crashed node's policy by
+    /// replaying its settlement journal, then boots the replacement here:
+    /// uptime is charged from `spawned_at` (eq. 11), eq. 10's boot cost
+    /// is booked as build spend, and the node becomes routable at
+    /// `ready_at`.
+    #[must_use]
+    pub fn from_policy(
+        id: usize,
+        policy: Box<dyn CachePolicy + Send>,
+        spawned_at: SimTime,
+        ready_at: SimTime,
+        boot_cost: Money,
+    ) -> Self {
+        let mut acc = RunAccumulator::new_at(spawned_at);
+        acc.book_build(boot_cost);
+        CacheNode {
+            id,
+            policy,
+            acc,
+            backlog_until: SimTime::ZERO,
+            ready_at,
+            draining_since: None,
+            route_suppressed: false,
+            degrade: Vec::new(),
         }
     }
 
@@ -101,7 +141,38 @@ impl CacheNode {
     /// skip unroutable nodes.
     #[must_use]
     pub fn routable(&self, now: SimTime) -> bool {
-        self.draining_since.is_none() && now >= self.ready_at
+        self.draining_since.is_none() && !self.route_suppressed && now >= self.ready_at
+    }
+
+    /// Transiently hides the node from routing while a timed-out round
+    /// re-routes to the next-best candidate. Callers must
+    /// [`Self::unsuppress_route`] before the routing step ends.
+    pub fn suppress_route(&mut self) {
+        self.route_suppressed = true;
+    }
+
+    /// Clears [`Self::suppress_route`].
+    pub fn unsuppress_route(&mut self) {
+        self.route_suppressed = false;
+    }
+
+    /// Installs the fault plan's degradation windows for this node
+    /// (`(from_secs, until_secs, slowdown)`, sorted and disjoint).
+    pub fn set_degradations(&mut self, windows: Vec<(f64, f64, f64)>) {
+        self.degrade = windows;
+    }
+
+    /// The serve-slowdown multiplier in effect at `now` (1.0 when the
+    /// node is healthy).
+    #[must_use]
+    pub fn degrade_slowdown(&self, now: SimTime) -> f64 {
+        let t = now.as_secs();
+        for &(from, until, slowdown) in &self.degrade {
+            if t >= from && t < until {
+                return slowdown;
+            }
+        }
+        1.0
     }
 
     /// When the node's boot completes (`ZERO` for seed nodes).
@@ -209,6 +280,15 @@ impl CacheNode {
         self.backlog_until.saturating_since(now).as_secs()
     }
 
+    /// Queues `secs` of re-routed work onto this node's backlog clock —
+    /// the deterministic re-queue of a crashed peer's in-flight work
+    /// (already scaled by the fault plan's penalty). Load-aware routing
+    /// sees the extra backlog immediately; the books are untouched, since
+    /// the crashed node already settled those queries.
+    pub fn add_backlog(&mut self, now: SimTime, secs: f64) {
+        self.backlog_until = self.backlog_until.max(now) + SimDuration::from_secs(secs);
+    }
+
     /// Accrues extra-node uptime to `now`; call on every node at every
     /// fleet arrival instant, whether or not this node serves the query.
     pub fn accrue(&mut self, now: SimTime) {
@@ -227,7 +307,15 @@ impl CacheNode {
             self.routable(now),
             "draining/booting nodes must not serve queries"
         );
-        let outcome = self.policy.process_query(ctx, query, now);
+        let mut outcome = self.policy.process_query(ctx, query, now);
+        // A degraded node delivers the same economic outcome, just
+        // slower: the slowdown stretches the response (and therefore the
+        // backlog clock load-aware routing balances on), never the books
+        // — so fault-injected runs still conserve money exactly.
+        let slowdown = self.degrade_slowdown(now);
+        if slowdown > 1.0 {
+            outcome.response_time = outcome.response_time * slowdown;
+        }
         self.acc.record(&outcome, now);
         self.backlog_until = self.backlog_until.max(now) + outcome.response_time;
         outcome

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use simulator::RunResult;
 
 use crate::elastic::ElasticSummary;
+use crate::faults::FaultSummary;
 use crate::tenant::TenantId;
 
 /// What one tenant experienced over the run.
@@ -176,6 +177,9 @@ pub struct FleetResult {
     /// Elastic control-plane activity (spawns, retires, uptime integral,
     /// decision ledger); `None` for fixed-population runs.
     pub elastic: Option<ElasticSummary>,
+    /// Fault-plane activity (crashes, recoveries, write-offs, re-queues);
+    /// `None` for fault-free runs.
+    pub faults: Option<FaultSummary>,
 }
 
 impl FleetResult {
@@ -201,6 +205,7 @@ impl FleetResult {
             tenants: Vec::new(),
             nodes: Vec::new(),
             elastic: None,
+            faults: None,
         }
     }
 
@@ -241,6 +246,11 @@ impl FleetResult {
         if let Some(theirs) = &other.elastic {
             self.elastic
                 .get_or_insert_with(ElasticSummary::default)
+                .merge(theirs);
+        }
+        if let Some(theirs) = &other.faults {
+            self.faults
+                .get_or_insert_with(FaultSummary::default)
                 .merge(theirs);
         }
     }

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use simcore::arrival::ArrivalProcess;
 use simcore::{EventQueue, SimRng, SimTime};
 use simulator::{make_arrivals, ArrivalKind};
-use workload::{Query, WorkloadConfig, WorkloadGenerator};
+use workload::{Query, SurgeOverlay, WorkloadConfig, WorkloadGenerator};
 
 /// Identity of one tenant in the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -72,6 +72,33 @@ impl TenantStream {
         let (gen_seed, arrival_seed) = spec.seeds(fleet_seed);
         let generator = WorkloadGenerator::new(schema, spec.workload.clone(), gen_seed);
         let arrivals = make_arrivals(&spec.arrival);
+        TenantStream {
+            remaining: spec.queries,
+            spec,
+            generator,
+            arrivals,
+            arrival_rng: SimRng::new(arrival_seed),
+        }
+    }
+
+    /// [`Self::new`], with the fault plan's flash-crowd surge windows
+    /// (`(start, end, boost)`, sorted and disjoint) layered on the
+    /// tenant's arrival process. Seeds and the underlying random draws
+    /// are untouched — the overlay only time-warps the output instants —
+    /// so surge runs remain shard- and pool-invariant.
+    ///
+    /// # Panics
+    /// Panics if the workload config or the surge windows are invalid.
+    #[must_use]
+    pub fn with_surges(
+        spec: TenantSpec,
+        schema: Arc<Schema>,
+        fleet_seed: u64,
+        windows: Vec<(f64, f64, f64)>,
+    ) -> Self {
+        let (gen_seed, arrival_seed) = spec.seeds(fleet_seed);
+        let generator = WorkloadGenerator::new(schema, spec.workload.clone(), gen_seed);
+        let arrivals = Box::new(SurgeOverlay::new(make_arrivals(&spec.arrival), windows));
         TenantStream {
             remaining: spec.queries,
             spec,

@@ -144,6 +144,10 @@ impl CachePolicy for EconPolicy {
         // process_query advances on arrivals, this covers the run tail.
         self.manager.advance_to(now);
     }
+
+    fn rebase_occupancy(&mut self, now: SimTime) {
+        self.manager.rebase_occupancy(now);
+    }
 }
 
 #[cfg(test)]

@@ -106,4 +106,15 @@ pub trait CachePolicy {
     /// Accrues time-based state to `now` (called once more at the end of
     /// a run so integrals cover the full horizon).
     fn advance(&mut self, now: SimTime);
+
+    /// Re-bases the disk-occupancy integral at `now` after a
+    /// crash-recovery replay: the replayed span's rent was settled when
+    /// the crashed node's books closed, so the recovered policy must only
+    /// accrue byte-seconds from `now` forward. The default merely
+    /// advances (correct for policies that cache nothing); policies with
+    /// a resettable occupancy integral (the economic schemes) override it
+    /// to write the replayed integral off.
+    fn rebase_occupancy(&mut self, now: SimTime) {
+        self.advance(now);
+    }
 }

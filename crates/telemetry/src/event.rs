@@ -168,6 +168,64 @@ pub struct NodeLifecycleEvent {
     pub regret_rate: f64,
 }
 
+/// One injected node crash, settled: the fault plane removed the node at
+/// a configured instant, charged its eq. 11 uptime and eq. 13 disk-rent
+/// integrals up to that instant, and wrote its invested build capital
+/// off as a ledgered loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeCrashEvent {
+    /// Fleet cell the crash fired in.
+    pub cell: usize,
+    /// Simulated crash instant, seconds.
+    pub at_secs: f64,
+    /// The crashed node's id.
+    pub node: usize,
+    /// Lifecycle phase at the instant (`active`, `mid-boot`, `mid-drain`).
+    pub phase: String,
+    /// Queries the node had served.
+    pub queries: u64,
+    /// Payments it had collected.
+    pub payments: Money,
+    /// Profit it had accumulated.
+    pub profit: Money,
+    /// Operating cost settled at the crash instant (eq. 11 + eq. 13).
+    pub operating: Money,
+    /// Invested build capital written off (structures + boot).
+    pub write_off: Money,
+    /// Cache disk occupied when the node died (bytes).
+    pub disk_bytes: u64,
+    /// In-flight backlog re-queued onto a survivor, seconds
+    /// (post-penalty).
+    pub requeued_secs: f64,
+    /// The survivor that absorbed the backlog, if any was routable.
+    pub requeued_to: Option<usize>,
+    /// True when a replay-recovery is scheduled for this crash.
+    pub recover_planned: bool,
+}
+
+/// One completed crash-recovery: a replacement node was reconstructed by
+/// replaying the crashed node's settlement journal into a fresh economy,
+/// cross-footed exactly against the pre-crash books.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeRecoverEvent {
+    /// Fleet cell the recovery fired in.
+    pub cell: usize,
+    /// Simulated recovery instant, seconds.
+    pub at_secs: f64,
+    /// The node whose ledger was replayed.
+    pub crashed: usize,
+    /// The replacement node's fresh id.
+    pub replacement: usize,
+    /// Eq. 10 boot capital charged to the replacement.
+    pub boot_cost: Money,
+    /// When the replacement becomes routable, seconds.
+    pub ready_at_secs: f64,
+    /// Journal length replayed.
+    pub replayed_queries: u64,
+    /// True when the replayed balances reconciled with zero drift.
+    pub reconciled: bool,
+}
+
 /// A single flight-recorder event.
 ///
 /// Externally tagged on serialization (`{"QuoteRound": {...}}`), so a
@@ -180,6 +238,10 @@ pub enum TraceEvent {
     Settlement(SettlementEvent),
     /// A node changed lifecycle state.
     NodeLifecycle(NodeLifecycleEvent),
+    /// An injected crash settled a node's books.
+    NodeCrash(NodeCrashEvent),
+    /// A crashed node was reconstructed by ledger replay.
+    NodeRecover(NodeRecoverEvent),
 }
 
 impl TraceEvent {
@@ -190,6 +252,8 @@ impl TraceEvent {
             TraceEvent::QuoteRound(e) => e.cell,
             TraceEvent::Settlement(e) => e.cell,
             TraceEvent::NodeLifecycle(e) => e.cell,
+            TraceEvent::NodeCrash(e) => e.cell,
+            TraceEvent::NodeRecover(e) => e.cell,
         }
     }
 
@@ -200,6 +264,8 @@ impl TraceEvent {
             TraceEvent::QuoteRound(e) => e.at_secs,
             TraceEvent::Settlement(e) => e.at_secs,
             TraceEvent::NodeLifecycle(e) => e.at_secs,
+            TraceEvent::NodeCrash(e) => e.at_secs,
+            TraceEvent::NodeRecover(e) => e.at_secs,
         }
     }
 }

@@ -15,7 +15,9 @@ use metrics::CostBreakdown;
 use pricing::Money;
 use serde::{Deserialize, Serialize};
 
-use crate::event::{LifecyclePhase, NodeLifecycleEvent, TraceEvent};
+use crate::event::{
+    LifecyclePhase, NodeCrashEvent, NodeLifecycleEvent, NodeRecoverEvent, TraceEvent,
+};
 
 /// Grouping key for a blame rollup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,13 +62,16 @@ pub struct BlameRow {
     pub exec: CostBreakdown,
     /// Structure-build spending funded by the group's revenue.
     pub build_spend: Money,
+    /// Invested capital written off by injected crashes (the fault
+    /// plane's ledgered loss; zero in fault-free traces).
+    pub write_off: Money,
 }
 
 impl BlameRow {
     /// Total cloud-side spend attributed to the group.
     #[must_use]
     pub fn total_cost(&self) -> Money {
-        self.exec.total() + self.build_spend
+        self.exec.total() + self.build_spend + self.write_off
     }
 
     fn absorb(&mut self, e: &crate::event::SettlementEvent) {
@@ -93,11 +98,26 @@ fn sorted_rows(map: BTreeMap<String, BlameRow>) -> Vec<(String, BlameRow)> {
 ///
 /// For [`BlameKey::Resource`] the rows are the four priced resources
 /// plus a `build` row; payments and profit stay on the per-resource rows
-/// at zero because eq. 11 prices whole queries, not resources.
+/// at zero because eq. 11 prices whole queries, not resources. Crash
+/// write-offs join the rollup where they are attributable: on the
+/// crashed node's row under [`BlameKey::Node`], and on a dedicated
+/// `write-off` row under [`BlameKey::Resource`].
 #[must_use]
 pub fn blame(events: &[TraceEvent], key: BlameKey) -> Vec<(String, BlameRow)> {
     let mut map: BTreeMap<String, BlameRow> = BTreeMap::new();
     for event in events {
+        if let TraceEvent::NodeCrash(c) = event {
+            match key {
+                BlameKey::Node => {
+                    map.entry(format!("node#{}", c.node)).or_default().write_off += c.write_off;
+                }
+                BlameKey::Resource => {
+                    map.entry("write-off".to_string()).or_default().write_off += c.write_off;
+                }
+                _ => {}
+            }
+            continue;
+        }
         let TraceEvent::Settlement(s) = event else {
             continue;
         };
@@ -253,6 +273,91 @@ pub fn explain_retirement(events: &[TraceEvent], node: usize) -> Option<String> 
     Some(out)
 }
 
+/// Why did node `node` crash, and what did the crash cost? `None` when
+/// the trace records no crash for it (the `explain` tool treats that as
+/// an unanswerable query and exits non-zero).
+///
+/// The answer narrates the fault plane's settlement at the crash
+/// instant: the eq. 11 uptime and eq. 13 disk-rent charges already
+/// folded into the node's books, the capital invested in structures and
+/// boot versus the payments recovered from tenants before the crash, the
+/// invested balance written off as a ledgered loss, the re-queued
+/// backlog, and — when a recovery replayed the ledger — whether the
+/// replayed balances cross-footed exactly.
+#[must_use]
+pub fn explain_crash(events: &[TraceEvent], node: usize) -> Option<String> {
+    let crash: &NodeCrashEvent = events.iter().find_map(|e| match e {
+        TraceEvent::NodeCrash(c) if c.node == node => Some(c),
+        _ => None,
+    })?;
+    let recover: Option<&NodeRecoverEvent> = events.iter().find_map(|e| match e {
+        TraceEvent::NodeRecover(r) if r.crashed == node => Some(r),
+        _ => None,
+    });
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "node {node} crashed at t={:.1}s (cell {}, phase `{}`)",
+        crash.at_secs, crash.cell, crash.phase
+    );
+    let _ = writeln!(
+        out,
+        "  books settled at the crash instant: {} operating charged \
+         (eq. 11 uptime + eq. 13 disk rent, integrated to t={:.1}s)",
+        crash.operating, crash.at_secs
+    );
+    let _ = writeln!(
+        out,
+        "  capital: {} invested (boot + structure builds) vs {} recovered \
+         in payments over {} queries ({} profit)",
+        crash.write_off, crash.payments, crash.queries, crash.profit
+    );
+    let _ = writeln!(
+        out,
+        "  written off as ledgered loss: {} ({} bytes of cached structures abandoned)",
+        crash.write_off, crash.disk_bytes
+    );
+    match crash.requeued_to {
+        Some(to) => {
+            let _ = writeln!(
+                out,
+                "  in-flight backlog re-queued: {:.3}s (post-penalty) onto node {to}",
+                crash.requeued_secs
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  no in-flight backlog re-queued");
+        }
+    }
+    match recover {
+        Some(r) => {
+            let _ = writeln!(
+                out,
+                "  recovered at t={:.1}s as node {}: replayed {} journal entries \
+                 into a fresh economy ({} boot capital, routable at t={:.1}s) — \
+                 reconciliation {}",
+                r.at_secs,
+                r.replacement,
+                r.replayed_queries,
+                r.boot_cost,
+                r.ready_at_secs,
+                if r.reconciled {
+                    "exact (zero drift)"
+                } else {
+                    "DRIFTED"
+                }
+            );
+        }
+        None if crash.recover_planned => {
+            let _ = writeln!(out, "  recovery planned but not reached within the horizon");
+        }
+        None => {
+            let _ = writeln!(out, "  no recovery planned (capital permanently lost)");
+        }
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,5 +483,77 @@ mod tests {
         assert!(text.contains("served 1 queries"));
         assert!(explain_retirement(&events, 4).is_none());
         assert_eq!(node_timeline(&events, 3).len(), 3);
+    }
+
+    fn crash(node: usize, write_off: f64, requeued_to: Option<usize>) -> TraceEvent {
+        TraceEvent::NodeCrash(NodeCrashEvent {
+            cell: 0,
+            at_secs: 40.0,
+            node,
+            phase: "active".into(),
+            queries: 12,
+            payments: Money::from_dollars(0.9),
+            profit: Money::from_dollars(0.1),
+            operating: Money::from_dollars(0.4),
+            write_off: Money::from_dollars(write_off),
+            disk_bytes: 4096,
+            requeued_secs: 1.25,
+            requeued_to,
+            recover_planned: true,
+        })
+    }
+
+    #[test]
+    fn crash_narrative_covers_write_off_and_recovery() {
+        let events = vec![
+            settlement(1, 0, 2, &[]),
+            crash(2, 0.75, Some(0)),
+            TraceEvent::NodeRecover(NodeRecoverEvent {
+                cell: 0,
+                at_secs: 55.0,
+                crashed: 2,
+                replacement: 7,
+                boot_cost: Money::from_dollars(0.2),
+                ready_at_secs: 75.0,
+                replayed_queries: 12,
+                reconciled: true,
+            }),
+        ];
+        let text = explain_crash(&events, 2).unwrap();
+        assert!(text.contains("crashed at t=40.0s"));
+        assert!(text.contains("phase `active`"));
+        assert!(text.contains("written off as ledgered loss"));
+        assert!(text.contains("re-queued: 1.250s"));
+        assert!(text.contains("recovered at t=55.0s as node 7"));
+        assert!(text.contains("exact (zero drift)"));
+        assert!(explain_crash(&events, 5).is_none());
+    }
+
+    #[test]
+    fn crash_narrative_without_recovery_says_so() {
+        let mut c = crash(4, 0.5, None);
+        if let TraceEvent::NodeCrash(ev) = &mut c {
+            ev.recover_planned = false;
+        }
+        let text = explain_crash(&[c], 4).unwrap();
+        assert!(text.contains("no in-flight backlog re-queued"));
+        assert!(text.contains("no recovery planned"));
+    }
+
+    #[test]
+    fn blame_folds_crash_write_offs_into_node_and_resource_rollups() {
+        let events = vec![settlement(1, 0, 2, &[]), crash(2, 0.75, None)];
+        let node_rows = blame(&events, BlameKey::Node);
+        let n2 = node_rows.iter().find(|(n, _)| n == "node#2").unwrap();
+        assert_eq!(n2.1.write_off, Money::from_dollars(0.75));
+        assert_eq!(n2.1.queries, 1, "settlements still counted");
+        let res_rows = blame(&events, BlameKey::Resource);
+        let wo = res_rows.iter().find(|(n, _)| n == "write-off").unwrap();
+        assert_eq!(wo.1.write_off, Money::from_dollars(0.75));
+        assert!(wo.1.total_cost() >= Money::from_dollars(0.75));
+        // Tenant rollups are unaffected: crashes are not attributable to
+        // a paying tenant.
+        let tenant_rows = blame(&events, BlameKey::Tenant);
+        assert!(tenant_rows.iter().all(|(_, r)| r.write_off.is_zero()));
     }
 }

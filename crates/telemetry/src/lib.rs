@@ -37,10 +37,12 @@ pub mod registry;
 pub mod sink;
 
 pub use event::{
-    LifecyclePhase, NodeLifecycleEvent, PlanCacheDelta, QuoteRoundEvent, SettlementEvent,
-    TraceEvent,
+    LifecyclePhase, NodeCrashEvent, NodeLifecycleEvent, NodeRecoverEvent, PlanCacheDelta,
+    QuoteRoundEvent, SettlementEvent, TraceEvent,
 };
-pub use explain::{blame, explain_retirement, node_timeline, structure_payers, BlameKey, BlameRow};
+pub use explain::{
+    blame, explain_crash, explain_retirement, node_timeline, structure_payers, BlameKey, BlameRow,
+};
 pub use registry::{MetricValue, MetricsRegistry};
 pub use sink::{NoopSink, Recorder, RingSink, TraceSink};
 

@@ -194,6 +194,112 @@ impl ArrivalProcess for DiurnalSinusoid {
     }
 }
 
+/// A flash-crowd overlay: time-warps an inner arrival process so that
+/// inside each surge window its arrivals land `boost`× denser.
+///
+/// The overlay treats the inner process's inter-arrival gaps as *work*
+/// consumed at speed 1 outside surge windows and speed `boost` inside
+/// them: a gap of `g` seconds spanning a surge burns through `boost`
+/// overlay-seconds of it per wall second, so the same underlying
+/// arrival sequence compresses inside the window and resumes its
+/// native cadence outside. The mapping is piecewise-linear, exact,
+/// strictly monotone, and a pure function of the inner process and the
+/// caller's `SimRng` — fleet determinism is preserved, and the inner
+/// process draws exactly the same random sequence it would undecorated.
+pub struct SurgeOverlay {
+    inner: Box<dyn ArrivalProcess>,
+    /// Sorted, non-overlapping `(start, end, boost)` windows in overlay
+    /// (output) time.
+    windows: Vec<(f64, f64, f64)>,
+    /// Last absolute arrival time emitted by the inner process.
+    inner_prev: f64,
+    /// Overlay clock (last emitted arrival time).
+    now: f64,
+}
+
+impl std::fmt::Debug for SurgeOverlay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SurgeOverlay")
+            .field("windows", &self.windows)
+            .field("inner_prev", &self.inner_prev)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SurgeOverlay {
+    /// Wraps `inner` with surge `windows` of `(start_secs, end_secs,
+    /// boost)` in output time.
+    ///
+    /// # Panics
+    /// Panics if any window is empty or non-finite, any boost is below
+    /// 1, or the windows are not sorted and disjoint.
+    #[must_use]
+    pub fn new(inner: Box<dyn ArrivalProcess>, windows: Vec<(f64, f64, f64)>) -> Self {
+        let mut prev_end = 0.0_f64;
+        for &(start, end, boost) in &windows {
+            assert!(
+                start.is_finite() && end.is_finite() && start >= 0.0 && start < end,
+                "surge window [{start}, {end}) must be non-empty and finite"
+            );
+            assert!(
+                boost.is_finite() && boost >= 1.0,
+                "surge boost {boost} must be at least 1"
+            );
+            assert!(
+                start >= prev_end,
+                "surge windows must be sorted and disjoint ({start} < {prev_end})"
+            );
+            prev_end = end;
+        }
+        SurgeOverlay {
+            inner,
+            windows,
+            inner_prev: 0.0,
+            now: 0.0,
+        }
+    }
+
+    /// Speed at overlay instant `t` and the next boundary where it
+    /// changes (`f64::INFINITY` past the last window).
+    fn speed_and_boundary(&self, t: f64) -> (f64, f64) {
+        for &(start, end, boost) in &self.windows {
+            if t < start {
+                return (1.0, start);
+            }
+            if t < end {
+                return (boost, end);
+            }
+        }
+        (1.0, f64::INFINITY)
+    }
+}
+
+impl ArrivalProcess for SurgeOverlay {
+    fn next_arrival(&mut self, rng: &mut SimRng) -> Option<SimTime> {
+        let next = self.inner.next_arrival(rng)?.as_secs();
+        // Inner gaps are defined on the inner clock; consume this one on
+        // the overlay clock, piecewise per speed region.
+        let mut gap = next - self.inner_prev;
+        self.inner_prev = next;
+        loop {
+            let (speed, boundary) = self.speed_and_boundary(self.now);
+            let consumable = (boundary - self.now) * speed;
+            if consumable >= gap {
+                self.now += gap / speed;
+                return Some(SimTime::from_secs(self.now));
+            }
+            gap -= consumable;
+            self.now = boundary;
+        }
+    }
+
+    fn mean_gap(&self) -> Option<SimDuration> {
+        // Surges are transient; the long-run mean is the inner one.
+        self.inner.mean_gap()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,5 +396,73 @@ mod tests {
     #[should_panic(expected = "storm_gap_secs")]
     fn mmpp_rejects_nonpositive_gaps() {
         let _ = MarkovModulated::new(1.0, 0.0, 10.0, 10.0);
+    }
+
+    #[test]
+    fn surge_compresses_exactly_by_boost() {
+        // Fixed 1 s gaps, one 4× surge over [10, 15): the 20 underlying
+        // seconds [0, 20) map to 10 s outside the window at speed 1 plus
+        // (20 − 10) / 4 = 2.5 s… walk the exact piecewise map instead.
+        let inner = Box::new(simcore::arrival::FixedInterval::new(
+            SimDuration::from_secs(1.0),
+        ));
+        let mut p = SurgeOverlay::new(inner, vec![(10.0, 15.0, 4.0)]);
+        let mut rng = SimRng::new(1);
+        let times: Vec<f64> = (0..40)
+            .map(|_| p.next_arrival(&mut rng).unwrap().as_secs())
+            .collect();
+        // Before the window the map is the identity.
+        assert_eq!(
+            &times[..10],
+            &(1..=10).map(f64::from).collect::<Vec<_>>()[..]
+        );
+        // Inside [10, 15) gaps shrink to 1/4 s: 20 underlying arrivals
+        // (t = 11..=30) fit the 5-second window.
+        assert!((times[10] - 10.25).abs() < 1e-12);
+        assert!((times[29] - 15.0).abs() < 1e-12);
+        // Past the window the cadence resumes at 1 s per arrival.
+        assert!((times[30] - 16.0).abs() < 1e-12);
+        assert!((times[39] - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surge_overlay_is_monotone_and_deterministic() {
+        let make = || {
+            SurgeOverlay::new(
+                Box::new(MarkovModulated::new(5.0, 0.1, 60.0, 20.0)),
+                vec![(30.0, 60.0, 3.0), (200.0, 220.0, 8.0)],
+            )
+        };
+        let mut a = make();
+        let mut b = make();
+        let ga = gaps(&mut a, 800, 9);
+        assert!(ga.iter().all(|&g| g >= 0.0));
+        assert_eq!(ga, gaps(&mut b, 800, 9));
+    }
+
+    #[test]
+    fn surge_with_no_windows_is_the_identity() {
+        let mut plain = MarkovModulated::new(5.0, 0.1, 60.0, 20.0);
+        let mut wrapped =
+            SurgeOverlay::new(Box::new(MarkovModulated::new(5.0, 0.1, 60.0, 20.0)), vec![]);
+        assert_eq!(gaps(&mut plain, 400, 21), gaps(&mut wrapped, 400, 21));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn surge_rejects_overlapping_windows() {
+        let _ = SurgeOverlay::new(
+            Box::new(MarkovModulated::new(5.0, 0.1, 60.0, 20.0)),
+            vec![(0.0, 10.0, 2.0), (5.0, 20.0, 2.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn surge_rejects_sub_unit_boost() {
+        let _ = SurgeOverlay::new(
+            Box::new(MarkovModulated::new(5.0, 0.1, 60.0, 20.0)),
+            vec![(0.0, 10.0, 0.5)],
+        );
     }
 }

@@ -30,7 +30,7 @@ pub mod query;
 pub mod templates;
 pub mod trace;
 
-pub use arrivals::{DiurnalSinusoid, MarkovModulated};
+pub use arrivals::{DiurnalSinusoid, MarkovModulated, SurgeOverlay};
 pub use generator::{WorkloadConfig, WorkloadGenerator};
 pub use query::{Query, QueryId, TableAccess};
 pub use templates::{paper_templates, ResolvedTemplate, TemplateId};

@@ -1,0 +1,315 @@
+//! Fault-injection plane — the acceptance properties of `fleet::faults`:
+//!
+//! 1. **Crash isolation** — once a node crashes, no routing strategy,
+//!    quote-pool size or completion path ever routes a query to it again
+//!    (proptest over the router × pool × completion matrix).
+//! 2. **Determinism** — fault-injected runs (crashes, recoveries,
+//!    degradations, surges, timeouts) are bit-identical across executor
+//!    shard counts, and traced runs are bit-identical to untraced ones.
+//! 3. **Ledger-replay reconciliation** — recovering a crashed node by
+//!    replaying its settlement journal into a fresh economy reproduces
+//!    the pre-crash balances *exactly*, for random crash instants
+//!    (proptest; zero drift on every component).
+//! 4. **Population floor** — a crashed node is gone *immediately*: the
+//!    elastic control plane's population-floor rule respawns at the next
+//!    review, never waiting out a drain grace the dead node can't serve.
+
+use cloudcache::fleet::{
+    run_fleet, CacheNode, ElasticAction, ElasticConfig, FaultOutcome, FaultPlan, FleetConfig,
+    FleetResult, FleetSim, NodePopulation, NodeSpec, RouterKind,
+};
+use cloudcache::pricing::PriceCatalog;
+use cloudcache::simcore::SimTime;
+use cloudcache::simulator::Scheme;
+use cloudcache::telemetry::TraceEvent;
+use proptest::prelude::*;
+
+/// A small faulted fleet: 8 fixed-interval tenants over 4 cells, 3 seed
+/// nodes per cell, 40 queries per tenant — so per-cell arrivals land on
+/// every half-second up to t=40 and every fault instant below the
+/// horizon fires.
+fn faulted_base(seed: u64) -> FleetConfig {
+    let mut config = FleetConfig::uniform(8, 3, 40, 1.0);
+    config.scale_factor = 10.0;
+    config.cells = 4;
+    config.seed = seed;
+    config
+}
+
+const HORIZON: f64 = 40.0;
+
+/// Everything a faulted run must reproduce exactly, fault ledger
+/// included.
+fn fault_fingerprint(r: &FleetResult) -> String {
+    format!(
+        "queries={} cost={} payments={} mean={:016x} builds={} node_seconds={:016x} faults={}",
+        r.queries,
+        r.total_operating_cost().as_nanos(),
+        r.payments.as_nanos(),
+        r.mean_response_secs().to_bits(),
+        r.investments,
+        r.node_seconds.to_bits(),
+        serde_json::to_string(&r.faults).expect("fault summary serializes"),
+    )
+}
+
+proptest! {
+    /// Whatever router, pool size and completion path serve the fleet,
+    /// a crashed node never wins another quote round and never settles
+    /// another query after its crash instant.
+    #[test]
+    fn no_query_is_routed_to_a_crashed_node(
+        victim in 0usize..3,
+        crash_at_halves in 10u32..60, // t in [5, 30)
+        router_pick in 0usize..3,
+        threads in 1usize..4,
+        batching in prop::bool::ANY,
+    ) {
+        let crash_at = f64::from(crash_at_halves) * 0.5;
+        let mut config = faulted_base(11)
+            .with_faults(FaultPlan::new(HORIZON).with_crash(victim, crash_at));
+        config.router = [RouterKind::RoundRobin, RouterKind::LeastOutstanding, RouterKind::CheapestQuote][router_pick];
+        config.quote_threads = threads;
+        config.quote_batching = batching;
+        let (result, trace) = FleetSim::new(config).run_traced();
+
+        let faults = result.faults.as_ref().expect("fault summary present");
+        prop_assert_eq!(faults.crashes, 4, "one crash per cell replica");
+        for event in &trace.events {
+            match event {
+                TraceEvent::QuoteRound(q) if q.at_secs >= crash_at => {
+                    prop_assert_ne!(q.winner, victim,
+                        "quote round at t={} picked crashed node", q.at_secs);
+                }
+                TraceEvent::Settlement(s) if s.at_secs >= crash_at => {
+                    prop_assert_ne!(s.node, victim,
+                        "settlement at t={} on crashed node", s.at_secs);
+                }
+                _ => {}
+            }
+        }
+        // Every query still gets served — survivors absorb the load.
+        prop_assert_eq!(result.queries, 8 * 40);
+    }
+
+    /// Fault-injected runs — crash + recovery + degradation + timeout +
+    /// flash crowd all at once — are bit-identical across 1/2/4/8
+    /// executor shards.
+    #[test]
+    fn faulted_runs_are_bit_identical_across_shards(
+        seed in 0u64..1_000,
+        victim in 0usize..3,
+        crash_at_halves in 10u32..40, // t in [5, 20)
+        recover in prop::bool::ANY,
+        surge in prop::bool::ANY,
+    ) {
+        let crash_at = f64::from(crash_at_halves) * 0.5;
+        let mut plan = FaultPlan::new(HORIZON)
+            .with_degrade((victim + 1) % 3, 5.0, 25.0, 8.0)
+            .with_timeout(0.1);
+        plan = if recover {
+            plan.with_crash_recover(victim, crash_at, 6.0)
+        } else {
+            plan.with_crash(victim, crash_at)
+        };
+        if surge {
+            plan = plan.with_surge(8.0, 10.0, 4.0);
+        }
+        let base = faulted_base(seed).with_faults(plan);
+        let reference = fault_fingerprint(&run_fleet(base.clone()));
+        for shards in [2usize, 4, 8] {
+            let mut config = base.clone();
+            config.shards = shards;
+            let replay = fault_fingerprint(&run_fleet(config));
+            prop_assert_eq!(&replay, &reference, "drift at shards={}", shards);
+        }
+    }
+
+    /// Replaying a crashed node's journal into a fresh economy reproduces
+    /// its books exactly — zero drift on queries, payments, profit, cache
+    /// hits, balance, regret and disk occupancy — for random crash and
+    /// recovery instants.
+    #[test]
+    fn ledger_replay_reconciles_exactly(
+        seed in 0u64..1_000,
+        victim in 0usize..3,
+        crash_at_halves in 10u32..50, // t in [5, 25)
+        recover_after_halves in 4u32..20, // Δ in [2, 10): crash + Δ < 35 < horizon
+    ) {
+        let crash_at = f64::from(crash_at_halves) * 0.5;
+        let recover_after = f64::from(recover_after_halves) * 0.5;
+        let config = faulted_base(seed).with_faults(
+            FaultPlan::new(HORIZON).with_crash_recover(victim, crash_at, recover_after),
+        );
+        let result = run_fleet(config);
+        let faults = result.faults.as_ref().expect("fault summary present");
+        prop_assert_eq!(faults.crashes, 4);
+        prop_assert_eq!(faults.recoveries, 4, "every cell recovers its replica");
+        prop_assert_eq!(faults.reconciled, faults.recoveries,
+            "replay drifted: {:?}",
+            faults.records.iter().filter_map(|r| match &r.event {
+                FaultOutcome::Recover(rec) if !rec.drift.is_zero() => Some(rec.drift.clone()),
+                _ => None,
+            }).collect::<Vec<_>>());
+        for record in &faults.records {
+            if let FaultOutcome::Recover(rec) = &record.event {
+                prop_assert!(rec.drift.is_zero());
+                prop_assert_eq!(rec.crashed, victim);
+                prop_assert!(rec.replacement >= 3, "replacement gets a fresh id");
+            }
+        }
+    }
+}
+
+/// A crashed node leaves `routable_count` (and the live set) at the
+/// instant of the crash — not after a drain grace it can no longer
+/// serve.
+#[test]
+fn crash_is_immediately_gone_from_the_population() {
+    let h_schema = std::sync::Arc::new(cloudcache::catalog::tpch::tpch_schema(
+        cloudcache::catalog::tpch::ScaleFactor(10.0),
+    ));
+    let econ = cloudcache::econ::EconConfig::default();
+    let rates = PriceCatalog::ec2_2009().rates;
+    let nodes: Vec<CacheNode> = (0..2)
+        .map(|i| CacheNode::new(i, &NodeSpec::new(Scheme::EconCheap), &h_schema, &econ))
+        .collect();
+    let mut pop = NodePopulation::new(nodes);
+    let at = SimTime::from_secs(10.0);
+    assert_eq!(pop.routable_count(at), 2);
+    let (id, run) = pop.crash(0, &rates, at);
+    assert_eq!(id, 0);
+    assert_eq!(run.queries, 0);
+    assert_eq!(pop.routable_count(at), 1, "crash removes immediately");
+    assert_eq!(pop.live().len(), 1);
+    assert_eq!(pop.live()[0].id(), 1);
+}
+
+/// Satellite regression: with the population floor at the seed size, a
+/// crash drops the cell below the floor and the elastic control plane
+/// respawns at the *next review* — it does not wait out `drain_grace`
+/// (set here far beyond the horizon, so any respawn proves the point).
+#[test]
+fn crashed_node_below_floor_respawns_at_next_review() {
+    let review = 4.0;
+    let crash_at = 10.0;
+    let mut config = faulted_base(7)
+        .with_faults(FaultPlan::new(HORIZON).with_crash(2, crash_at))
+        .with_elastic(ElasticConfig {
+            review_interval_secs: review,
+            ewma_alpha: 0.3,
+            scale_up_backlog: 1e12, // only the floor rule can spawn
+            scale_down_backlog: 0.0,
+            max_response_secs: 0.0,
+            min_nodes: 3,
+            max_nodes: 3,
+            cooldown_reviews: 4,
+            drain_grace_secs: 1_000.0,
+        });
+    config.shards = 2;
+    let result = run_fleet(config);
+    let elastic = result.elastic.as_ref().expect("elastic summary");
+    let faults = result.faults.as_ref().expect("fault summary");
+    assert_eq!(faults.crashes, 4);
+    assert_eq!(elastic.spawns, 4, "one floor respawn per cell");
+
+    let mut floor_spawns = 0;
+    for entry in &elastic.ledger {
+        if let ElasticAction::ScaleUp { .. } = entry.action {
+            assert_eq!(entry.rule, "population-floor");
+            assert!(
+                entry.at_secs > crash_at,
+                "respawn at t={} before the crash",
+                entry.at_secs
+            );
+            assert!(
+                entry.at_secs <= crash_at + 2.0 * review,
+                "respawn at t={} waited past the next reviews (drain-grace leak)",
+                entry.at_secs
+            );
+            floor_spawns += 1;
+        }
+    }
+    assert_eq!(floor_spawns, 4);
+}
+
+/// Degraded winners whose backlog exceeds the per-query timeout re-route
+/// to the next-best candidate; the run still serves everything.
+#[test]
+fn degraded_winner_times_out_and_reroutes() {
+    let config = faulted_base(3).with_faults(
+        FaultPlan::new(HORIZON)
+            .with_degrade(0, 5.0, 35.0, 20.0)
+            .with_timeout(0.05),
+    );
+    let (result, trace) = FleetSim::new(config).run_traced();
+    let faults = result.faults.as_ref().expect("fault summary");
+    assert!(
+        faults.timeouts > 0,
+        "a 20x slowdown over 30s must trip the 50ms timeout at least once"
+    );
+    assert_eq!(result.queries, 8 * 40, "re-routed queries still settle");
+    assert_eq!(
+        trace.registry.counter("fault.timeouts"),
+        faults.timeouts,
+        "registry and summary agree"
+    );
+}
+
+/// Flash crowds compress arrivals: the surged run finishes the same
+/// query budget strictly earlier, and the whole budget still settles.
+#[test]
+fn flash_crowd_compresses_the_horizon() {
+    let base = faulted_base(9);
+    let calm = run_fleet(base.clone());
+    let surged = run_fleet(base.with_faults(FaultPlan::new(HORIZON).with_surge(10.0, 20.0, 8.0)));
+    assert_eq!(surged.queries, calm.queries);
+    assert!(
+        surged.horizon_secs < calm.horizon_secs,
+        "surge must pull arrivals earlier ({} !< {})",
+        surged.horizon_secs,
+        calm.horizon_secs
+    );
+}
+
+/// The flight recorder stays an observer under faults: a traced faulted
+/// run is bit-identical to the untraced run, and the registry's fault
+/// metrics cross-foot with the merged summary.
+#[test]
+fn traced_faulted_run_matches_untraced_and_registry_crossfoots() {
+    let config = faulted_base(5).with_faults(
+        FaultPlan::new(HORIZON)
+            .with_crash_recover(1, 12.0, 8.0)
+            .with_degrade(0, 5.0, 20.0, 4.0)
+            .with_timeout(0.1)
+            .with_surge(25.0, 10.0, 3.0),
+    );
+    let untraced = run_fleet(config.clone());
+    let (traced, trace) = FleetSim::new(config).run_traced();
+    assert_eq!(fault_fingerprint(&traced), fault_fingerprint(&untraced));
+
+    let faults = traced.faults.as_ref().expect("fault summary");
+    assert_eq!(trace.registry.counter("fault.crashes"), faults.crashes);
+    assert_eq!(
+        trace.registry.counter("fault.recoveries"),
+        faults.recoveries
+    );
+    assert_eq!(
+        trace.registry.counter("fault.reconciled"),
+        faults.reconciled
+    );
+    assert_eq!(trace.registry.counter("fault.timeouts"), faults.timeouts);
+    assert_eq!(trace.registry.gauge("fault.write_off"), faults.write_off);
+    let crash_events = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::NodeCrash(_)))
+        .count() as u64;
+    let recover_events = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::NodeRecover(_)))
+        .count() as u64;
+    assert_eq!(crash_events, faults.crashes);
+    assert_eq!(recover_events, faults.recoveries);
+}
