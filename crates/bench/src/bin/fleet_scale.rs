@@ -12,7 +12,17 @@
 //!   machine's spare parallelism, so the `pool` column records what
 //!   actually ran);
 //! * **completion cross-check** — the per-node completion reference path
-//!   (`quote_batching = false`) at 1 and 8 quote threads.
+//!   (`quote_batching = false`) at 1 and 8 quote threads;
+//! * **pinning cross-check** — 8 quote threads with core pinning forced
+//!   on and forced off, regardless of the base setting, so every run
+//!   gates on affinity being a pure placement hint and the committed
+//!   record shows the pinning win (or documents its absence on hosts
+//!   where the executor clamps the pool to one thread).
+//!
+//! `FLEET_SCALE_PIN=off` (or `on`) overrides the default-on
+//! `pin_quote_workers` for every *other* cell — CI runs the grid both
+//! ways and diffs nothing, because the in-run invariance check already
+//! compares every aggregate bitwise.
 //!
 //! Every lever is wall-clock-only by construction: every economic
 //! aggregate must be *identical* down the whole table, and the run exits
@@ -65,6 +75,7 @@ struct Cell {
     quote_threads: usize,
     pool_threads: usize,
     batching: bool,
+    pinning: bool,
     sim: FleetSim,
     /// Measured queries/second of every rep, in run order. The committed
     /// record keeps the best *and* the min/median spread
@@ -87,11 +98,13 @@ fn prepare_cell(
     shards: usize,
     quote_threads: usize,
     batching: bool,
+    pinning: bool,
 ) -> Cell {
     let mut config = base.clone();
     config.shards = shards;
     config.quote_threads = quote_threads;
     config.quote_batching = batching;
+    config.pin_quote_workers = pinning;
     let sim = FleetSim::new(config);
     Cell {
         sweep,
@@ -101,9 +114,26 @@ fn prepare_cell(
         // from what actually runs.
         pool_threads: sim.quote_pool_threads(),
         batching,
+        pinning,
         sim,
         rep_qps: Vec::new(),
         result: None,
+    }
+}
+
+/// Base `pin_quote_workers` for every cell outside the pinning-sweep:
+/// `FLEET_SCALE_PIN=off|0` forces it off, `on|1` (and unset) on. CI runs
+/// the grid under both so the invariance gate exercises affinity both
+/// ways end to end.
+fn base_pinning() -> bool {
+    match std::env::var("FLEET_SCALE_PIN") {
+        Ok(v) if v.eq_ignore_ascii_case("off") || v == "0" => false,
+        Ok(v) if v.eq_ignore_ascii_case("on") || v == "1" || v.is_empty() => true,
+        Ok(v) => cli_usage_error(
+            &format!("FLEET_SCALE_PIN must be on or off, got {v:?}"),
+            USAGE,
+        ),
+        Err(_) => true,
     }
 }
 
@@ -119,9 +149,11 @@ fn main() {
         && tenants == 100
         && nodes == 8;
 
+    let pinning = base_pinning();
     let mut base = FleetConfig::uniform(tenants, nodes, queries_per_tenant, 1.0);
     base.scale_factor = sf;
     base.cells = 16;
+    base.pin_quote_workers = pinning;
 
     let parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -136,12 +168,13 @@ fn main() {
     );
     println!("================================================================");
     println!(
-        "{:>20} {:>7} {:>9} {:>5} {:>9} {:>12} {:>12} {:>12} {:>14} {:>12} {:>8} {:>8}",
+        "{:>20} {:>7} {:>9} {:>5} {:>9} {:>8} {:>12} {:>12} {:>12} {:>14} {:>12} {:>8} {:>8}",
         "sweep",
         "shards",
         "qthreads",
         "pool",
         "batching",
+        "pinning",
         "queries/s",
         "q/s min",
         "q/s median",
@@ -153,11 +186,18 @@ fn main() {
 
     let mut cells: Vec<Cell> = Vec::new();
     for shards in SHARD_GRID {
-        cells.push(prepare_cell(&base, "shard-sweep", shards, 1, true));
+        cells.push(prepare_cell(&base, "shard-sweep", shards, 1, true, pinning));
     }
     // Thread 1 of the quote sweep is the (shards 1, threads 1) cell above.
     for threads in &QUOTE_THREAD_GRID[1..] {
-        cells.push(prepare_cell(&base, "quote-thread-sweep", 1, *threads, true));
+        cells.push(prepare_cell(
+            &base,
+            "quote-thread-sweep",
+            1,
+            *threads,
+            true,
+            pinning,
+        ));
     }
     // The per-node completion reference path, sequential and pooled.
     for threads in [1, 8] {
@@ -167,9 +207,23 @@ fn main() {
             1,
             threads,
             false,
+            pinning,
         ));
     }
-    let reps = if default_cell { MEASURE_REPS } else { 1 };
+    // Affinity both ways at the widest pool, whatever the base setting:
+    // these two rows put pinning itself under the bitwise invariance
+    // gate and record its throughput effect side by side.
+    for pin in [true, false] {
+        cells.push(prepare_cell(&base, "pinning-sweep", 1, 8, true, pin));
+    }
+    // `FLEET_SCALE_REPS` forces the rep count at any cell — local A/B
+    // profiling needs best-of-N at reduced cells too. The record still
+    // only refreshes at the default cell.
+    let reps = std::env::var("FLEET_SCALE_REPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(if default_cell { MEASURE_REPS } else { 1 });
     for _rep in 0..reps {
         for cell in &mut cells {
             let started = std::time::Instant::now();
@@ -195,6 +249,7 @@ fn main() {
             .num_cell("quote_threads", cell.quote_threads, 9, false)
             .num_cell("pool_threads", cell.pool_threads, 5, false)
             .num_cell("batching", cell.batching, 9, false)
+            .num_cell("pinning", cell.pinning, 8, false)
             .f64_cell("qps", cell.spread().best, 12, 0, 0)
             .f64_cell("qps_min", cell.spread().min, 12, 0, 0)
             .f64_cell("qps_median", cell.spread().median, 12, 0, 0)
@@ -209,8 +264,8 @@ fn main() {
         {
             invariant = false;
             eprintln!(
-                "error: aggregates drifted at sweep={} shards={} quote_threads={} batching={}",
-                cell.sweep, cell.shards, cell.quote_threads, cell.batching
+                "error: aggregates drifted at sweep={} shards={} quote_threads={} batching={} pinning={}",
+                cell.sweep, cell.shards, cell.quote_threads, cell.batching, cell.pinning
             );
         }
     }
@@ -274,6 +329,7 @@ fn main() {
              \"parallelism\": {parallelism}, \
              \"qps_note\": \"best of {reps} interleaved runs per cell; qps_min/qps_median record the rep spread\", \
              \"registry_note\": \"traced-replay registry of the reference cell + fleet-global skeleton_cache.* counters (wall-clock-dependent, excluded from the invariance contract)\", \
+             \"pinning_note\": \"pinning-sweep rows measure affinity on vs off at 8 quote threads; pool.pinned_workers in the registry records how many pins actually took — 0 on hosts where the executor clamps the pool to one thread (no spare parallelism), in which case the rows document the absence of a pinning effect rather than a win\", \
              \"registry\": {registry_json}, \
              \"pr2_baseline_qps\": {PR2_BASELINE_QPS:.0}, \"speedup_vs_pr2\": {:.2}, \
              \"baseline_note\": \"pr2_baseline_qps: commit 925d16f (one full enumeration per \
@@ -287,7 +343,7 @@ fn main() {
 
     if invariant {
         println!(
-            "aggregates identical across shard counts, quote-thread counts and completion paths: OK"
+            "aggregates identical across shard counts, quote-thread counts, completion paths and pinning: OK"
         );
     } else {
         eprintln!("error: fleet aggregates varied with a wall-clock-only knob");

@@ -7,10 +7,15 @@
 //! newest, the working tree appended when dirty), the last step's
 //! delta, and regression flags. `fleet_scale` records additionally get
 //! their quote-thread sweep checked against the record's own 1-thread
-//! baseline — the threaded-quote regression staying fixed — and
-//! `fleet_faults` records get their fault-plane claims re-checked
-//! (every ledger replay reconciled, elastic-with-respawn still cheaper
-//! than static-with-crash).
+//! baseline — the threaded-quote regression staying fixed — plus the
+//! completion-path gate (the recorded batched default must be the
+//! fastest sweep row) and the pinning-invariance gate (pinned and
+//! unpinned rows must agree on every economic aggregate); `fleet_faults`
+//! records get their fault-plane claims re-checked (every ledger replay
+//! reconciled, elastic-with-respawn still cheaper than
+//! static-with-crash). The `pool.pinned_workers` /
+//! `plan_cache.victim_hits` registry counters are surfaced per record
+//! when present — historical records without them are simply silent.
 //!
 //! `--check` (CI mode) exits non-zero when any record is unreadable,
 //! the last step regresses beyond the tolerance, or sweep/fault-plane
@@ -18,7 +23,19 @@
 //!
 //! Usage: `cargo run --release -p bench --bin trend [-- --check]`
 
-use bench::trend::{bench_trend, record_files, REGRESSION_TOLERANCE};
+use bench::trend::{bench_trend, record_files, registry_counter, REGRESSION_TOLERANCE};
+
+/// New-in-PR-8 registry counters worth surfacing per record. Reads the
+/// working-tree record directly; keys absent from historical records
+/// simply print nothing.
+fn registry_notes(file: &str) -> Option<String> {
+    let doc: serde::Value = serde_json::from_str(&std::fs::read_to_string(file).ok()?).ok()?;
+    let notes: Vec<String> = ["pool.pinned_workers", "plan_cache.victim_hits"]
+        .iter()
+        .filter_map(|key| Some(format!("{key}={:.0}", registry_counter(&doc, key)?)))
+        .collect();
+    (!notes.is_empty()).then(|| notes.join(", "))
+}
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
@@ -71,6 +88,15 @@ fn main() {
                 trend.sweep_regressions.join("; ")
             ));
         }
+        if !trend.completion_regressions.is_empty() {
+            flags.push(format!(
+                "COMPLETION-PATH: {}",
+                trend.completion_regressions.join("; ")
+            ));
+        }
+        if !trend.pinning_regressions.is_empty() {
+            flags.push(format!("PINNING: {}", trend.pinning_regressions.join("; ")));
+        }
         if !trend.fault_regressions.is_empty() {
             flags.push(format!(
                 "FAULT-PLANE: {}",
@@ -91,6 +117,9 @@ fn main() {
                 flags.join(" | ")
             }
         );
+        if let Some(notes) = registry_notes(file) {
+            println!("{:<36} {:>28}", "", format!("({notes})"));
+        }
     }
 
     if failures > 0 {

@@ -108,6 +108,101 @@ pub fn quote_sweep_regressions(doc: &Value) -> Vec<String> {
         .collect()
 }
 
+/// Completion-path regression of a `fleet_scale` record: the recorded
+/// default completion path (batched, `batching: true`) must also be the
+/// fastest one. Any `batching: false` reference row beating the *best*
+/// batched row beyond the spread-widened noise band means the default
+/// ships the slower path — exactly the inversion the committed PR 7
+/// record carried (per-node 51.2k q/s over batched 50.4k). Records
+/// without a `batching` column (other benches) produce no flags.
+#[must_use]
+pub fn completion_path_regressions(doc: &Value) -> Vec<String> {
+    let Some(cells) = doc.get("cells").and_then(Value::as_seq) else {
+        return Vec::new();
+    };
+    let rel_spread = |cell: &Value| -> f64 { cell_spread(cell).unwrap_or(0.0) };
+    let batched: Vec<&Value> = cells
+        .iter()
+        .filter(|c| c.get("batching").and_then(Value::as_bool) == Some(true))
+        .collect();
+    let Some((best_batched, batched_spread)) = batched
+        .iter()
+        .filter_map(|c| Some((c.get("qps")?.as_f64()?, rel_spread(c))))
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+    else {
+        return Vec::new();
+    };
+    cells
+        .iter()
+        .filter(|c| c.get("batching").and_then(Value::as_bool) == Some(false))
+        .filter_map(|cell| {
+            let qps = cell.get("qps")?.as_f64()?;
+            let threads = cell.get("quote_threads")?.as_f64()?;
+            let tolerance = REGRESSION_TOLERANCE
+                .max(batched_spread)
+                .max(rel_spread(cell));
+            (qps > best_batched * (1.0 + tolerance)).then(|| {
+                format!(
+                    "per-node completion at quote_threads={threads:.0} measures {qps:.0} q/s, \
+                     beating the best batched row ({best_batched:.0} q/s) beyond the {:.1}% \
+                     noise band — the recorded default is not the fastest path",
+                    tolerance * 100.0
+                )
+            })
+        })
+        .collect()
+}
+
+/// Pinning-invariance regression of a `fleet_scale` record: core
+/// affinity is a placement hint, so a record carrying a `pinning` column
+/// must show bit-identical economic aggregates (`total_cost_usd`,
+/// `mean_response_s`, `builds`) between its pinned and unpinned rows.
+/// The live run gates this bitwise before writing; this check keeps the
+/// *committed* record honest between re-measurements. Historical records
+/// without the column (pre-pinning) produce no flags.
+#[must_use]
+pub fn pinning_invariance_regressions(doc: &Value) -> Vec<String> {
+    let Some(cells) = doc.get("cells").and_then(Value::as_seq) else {
+        return Vec::new();
+    };
+    let row = |pin: bool| -> Option<&Value> {
+        cells
+            .iter()
+            .find(|c| c.get("pinning").and_then(Value::as_bool) == Some(pin))
+    };
+    let (Some(on), Some(off)) = (row(true), row(false)) else {
+        return Vec::new();
+    };
+    ["total_cost_usd", "mean_response_s", "builds"]
+        .iter()
+        .filter_map(|key| {
+            let a = on.get(key)?.as_f64()?;
+            let b = off.get(key)?.as_f64()?;
+            (a.to_bits() != b.to_bits()).then(|| {
+                format!("{key} differs between pinned ({a}) and unpinned ({b}) rows — affinity must not affect results")
+            })
+        })
+        .collect()
+}
+
+/// A named counter from the record's committed registry snapshot
+/// (`config.registry.entries[]`), e.g. `pool.pinned_workers` or
+/// `plan_cache.victim_hits`. `None` when the record predates the key —
+/// absence is fine, historical records are not re-measured.
+#[must_use]
+pub fn registry_counter(doc: &Value, name: &str) -> Option<f64> {
+    doc.get("config")?
+        .get("registry")?
+        .get("entries")?
+        .as_seq()?
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some(name))?
+        .get("value")?
+        .get("Counter")?
+        .get("value")?
+        .as_f64()
+}
+
 /// Fault-plane regression rows of a `fleet_faults` record: the two
 /// claims the committed record pins, re-checked from the record itself
 /// so they cannot silently rot between re-measurements. (1) Every
@@ -212,6 +307,14 @@ pub struct BenchTrend {
     /// Offending `fleet_scale` quote-sweep rows in the newest content
     /// (empty for other benches and healthy records).
     pub sweep_regressions: Vec<String>,
+    /// `fleet_scale` rows showing the recorded default completion path
+    /// is not the fastest one (empty for other benches and healthy
+    /// records).
+    pub completion_regressions: Vec<String>,
+    /// `fleet_scale` pinned-vs-unpinned rows whose economic aggregates
+    /// differ — affinity leaked into results (empty for records without
+    /// a `pinning` column and for healthy records).
+    pub pinning_regressions: Vec<String>,
     /// Violated `fleet_faults` fault-plane claims in the newest content
     /// — unreconciled ledger replays or a crash scenario where the
     /// elastic fleet no longer beats the static one on cost (empty for
@@ -266,11 +369,15 @@ pub fn bench_trend(file: &str) -> BenchTrend {
     let working = std::fs::read_to_string(file);
     let mut error = None;
     let mut sweep_regressions = Vec::new();
+    let mut completion_regressions = Vec::new();
+    let mut pinning_regressions = Vec::new();
     let mut fault_regressions = Vec::new();
     match &working {
         Ok(content) => match serde_json::from_str::<Value>(content) {
             Ok(doc) => {
                 sweep_regressions = quote_sweep_regressions(&doc);
+                completion_regressions = completion_path_regressions(&doc);
+                pinning_regressions = pinning_invariance_regressions(&doc);
                 fault_regressions = fault_plane_regressions(&doc);
                 match headline_qps(&doc) {
                     Some(qps) => {
@@ -317,6 +424,8 @@ pub fn bench_trend(file: &str) -> BenchTrend {
         last_delta,
         tolerance,
         sweep_regressions,
+        completion_regressions,
+        pinning_regressions,
         fault_regressions,
         error,
     }
@@ -382,6 +491,75 @@ mod tests {
     fn non_fleet_records_have_no_sweep_regressions() {
         let doc = parse(r#"{"cells": [{"a": 0.1, "total_cost_usd": 3.2}]}"#);
         assert!(quote_sweep_regressions(&doc).is_empty());
+        assert!(completion_path_regressions(&doc).is_empty());
+        assert!(pinning_invariance_regressions(&doc).is_empty());
+    }
+
+    #[test]
+    fn completion_path_flags_per_node_beating_the_batched_default() {
+        // The PR 7 inversion: per-node 51,585 over best batched 50,414 is
+        // inside the rows' own rep spread, so it is noise, not a flag …
+        let committed = parse(
+            r#"{"cells": [
+                {"sweep": "shard-sweep", "shards": 1, "quote_threads": 1, "batching": true,
+                 "qps": 50414, "qps_min": 40472},
+                {"sweep": "per-node-completion", "shards": 1, "quote_threads": 8,
+                 "batching": false, "qps": 51585, "qps_min": 43077}
+            ]}"#,
+        );
+        assert!(completion_path_regressions(&committed).is_empty());
+        // … but a per-node row clearing the band means the recorded
+        // default ships the slower path.
+        let inverted = parse(
+            r#"{"cells": [
+                {"sweep": "shard-sweep", "shards": 1, "quote_threads": 1, "batching": true,
+                 "qps": 50000, "qps_min": 49000},
+                {"sweep": "per-node-completion", "shards": 1, "quote_threads": 1,
+                 "batching": false, "qps": 60000, "qps_min": 59000}
+            ]}"#,
+        );
+        let flags = completion_path_regressions(&inverted);
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert!(flags[0].contains("not the fastest path"), "{flags:?}");
+    }
+
+    #[test]
+    fn pinning_rows_must_agree_on_every_economic_aggregate() {
+        let healthy = parse(
+            r#"{"cells": [
+                {"sweep": "pinning-sweep", "pinning": true, "qps": 52000,
+                 "total_cost_usd": 1.2345, "mean_response_s": 0.017, "builds": 283},
+                {"sweep": "pinning-sweep", "pinning": false, "qps": 50000,
+                 "total_cost_usd": 1.2345, "mean_response_s": 0.017, "builds": 283}
+            ]}"#,
+        );
+        assert!(pinning_invariance_regressions(&healthy).is_empty());
+        let leaky = parse(
+            r#"{"cells": [
+                {"pinning": true, "total_cost_usd": 1.2345, "mean_response_s": 0.017, "builds": 283},
+                {"pinning": false, "total_cost_usd": 1.2399, "mean_response_s": 0.017, "builds": 284}
+            ]}"#,
+        );
+        let flags = pinning_invariance_regressions(&leaky);
+        assert_eq!(flags.len(), 2, "{flags:?}");
+        assert!(flags[0].contains("total_cost_usd"), "{flags:?}");
+        assert!(flags[1].contains("builds"), "{flags:?}");
+    }
+
+    #[test]
+    fn registry_counters_tolerate_historical_absence() {
+        let doc = parse(
+            r#"{"config": {"registry": {"entries": [
+                {"name": "pool.pinned_workers", "value": {"Counter": {"value": 7}}},
+                {"name": "fleet.payments", "value": {"Gauge": {"amount": 12}}}
+            ]}}}"#,
+        );
+        assert_eq!(registry_counter(&doc, "pool.pinned_workers"), Some(7.0));
+        // Absent key, non-counter kind, and pre-registry records all read
+        // as None rather than flagging.
+        assert_eq!(registry_counter(&doc, "plan_cache.victim_hits"), None);
+        assert_eq!(registry_counter(&doc, "fleet.payments"), None);
+        assert_eq!(registry_counter(&parse(r#"{"cells": []}"#), "x"), None);
     }
 
     #[test]
@@ -454,6 +632,8 @@ mod tests {
             tolerance: 0.05,
             regressed: true,
             sweep_regressions: Vec::new(),
+            completion_regressions: Vec::new(),
+            pinning_regressions: Vec::new(),
             fault_regressions: Vec::new(),
             error: None,
         };

@@ -1,13 +1,76 @@
 //! The materialised cache state.
 
-use catalog::ColumnId;
 use pricing::Money;
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 use crate::occupancy::Occupancy;
-use crate::structure::{IndexId, StructureKey};
+use crate::structure::StructureKey;
+
+/// Direct-mapped structure storage: slot `id` holds the structure with
+/// that dense id. Column ids, candidate-index ids and node ordinals are
+/// all small dense integers (bounded by the schema width, the candidate
+/// registry and the fleet's node options respectively), so a plain slot
+/// vector turns every planner probe — the quote round's hottest
+/// operation — into one bounds-checked load instead of a hash lookup.
+///
+/// Iteration order is ascending id (stable across runs, unlike a
+/// `RandomState` map). No `CacheState` consumer depends on iteration
+/// order anyway: `failed_structures` sorts its result and the remaining
+/// `iter` users are order-independent reductions.
+#[derive(Debug, Clone, Default)]
+struct DenseSlots {
+    slots: Vec<Option<CachedStructure>>,
+    live: usize,
+}
+
+impl DenseSlots {
+    #[inline]
+    fn get(&self, id: u32) -> Option<&CachedStructure> {
+        match self.slots.get(id as usize) {
+            Some(slot) => slot.as_ref(),
+            None => None,
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, id: u32) -> Option<&mut CachedStructure> {
+        match self.slots.get_mut(id as usize) {
+            Some(slot) => slot.as_mut(),
+            None => None,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, id: u32) -> bool {
+        self.get(id).is_some()
+    }
+
+    fn insert(&mut self, id: u32, s: CachedStructure) {
+        let at = id as usize;
+        if at >= self.slots.len() {
+            self.slots.resize_with(at + 1, || None);
+        }
+        debug_assert!(self.slots[at].is_none(), "caller checks for duplicates");
+        self.slots[at] = Some(s);
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: u32) -> Option<CachedStructure> {
+        let removed = self.slots.get_mut(id as usize).and_then(Option::take);
+        self.live -= usize::from(removed.is_some());
+        removed
+    }
+
+    fn values(&self) -> impl Iterator<Item = &CachedStructure> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.live
+    }
+}
 
 /// A structure currently built in the cache, with its economic bookkeeping.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,9 +133,9 @@ impl CachedStructure {
 /// operating expenditure. Extra nodes, columns and indexes are structures.
 #[derive(Debug, Clone, Default)]
 pub struct CacheState {
-    columns: HashMap<ColumnId, CachedStructure>,
-    indexes: HashMap<IndexId, CachedStructure>,
-    nodes: HashMap<u32, CachedStructure>,
+    columns: DenseSlots,
+    indexes: DenseSlots,
+    nodes: DenseSlots,
     occupancy: Occupancy,
     /// Settled portion of the planning epoch: bumped on every install and
     /// evict, and absorbs [`Self::pending`] entries as time passes them.
@@ -97,20 +160,21 @@ impl CacheState {
     }
 
     /// Looks up any structure by key.
+    #[inline]
     #[must_use]
     pub fn get(&self, key: StructureKey) -> Option<&CachedStructure> {
         match key {
-            StructureKey::Column(c) => self.columns.get(&c),
-            StructureKey::Index(i) => self.indexes.get(&i),
-            StructureKey::Node(n) => self.nodes.get(&n),
+            StructureKey::Column(c) => self.columns.get(c.0),
+            StructureKey::Index(i) => self.indexes.get(i.0),
+            StructureKey::Node(n) => self.nodes.get(n),
         }
     }
 
     fn get_mut(&mut self, key: StructureKey) -> Option<&mut CachedStructure> {
         match key {
-            StructureKey::Column(c) => self.columns.get_mut(&c),
-            StructureKey::Index(i) => self.indexes.get_mut(&i),
-            StructureKey::Node(n) => self.nodes.get_mut(&n),
+            StructureKey::Column(c) => self.columns.get_mut(c.0),
+            StructureKey::Index(i) => self.indexes.get_mut(i.0),
+            StructureKey::Node(n) => self.nodes.get_mut(n),
         }
     }
 
@@ -139,7 +203,7 @@ impl CacheState {
     #[must_use]
     pub fn next_node_ordinal(&self) -> u32 {
         (0..=self.nodes.len() as u32)
-            .find(|n| !self.nodes.contains_key(n))
+            .find(|&n| !self.nodes.contains(n))
             .expect("pigeonhole: <= len nodes occupy [0, len]")
     }
 
@@ -249,10 +313,10 @@ impl CacheState {
         }
         match key {
             StructureKey::Column(c) => {
-                self.columns.insert(c, s);
+                self.columns.insert(c.0, s);
             }
             StructureKey::Index(i) => {
-                self.indexes.insert(i, s);
+                self.indexes.insert(i.0, s);
             }
             StructureKey::Node(n) => {
                 self.nodes.insert(n, s);
@@ -265,9 +329,9 @@ impl CacheState {
     /// Returns the removed structure, or `None` if absent.
     pub fn evict(&mut self, key: StructureKey, now: SimTime) -> Option<CachedStructure> {
         let removed = match key {
-            StructureKey::Column(c) => self.columns.remove(&c),
-            StructureKey::Index(i) => self.indexes.remove(&i),
-            StructureKey::Node(n) => self.nodes.remove(&n),
+            StructureKey::Column(c) => self.columns.remove(c.0),
+            StructureKey::Index(i) => self.indexes.remove(i.0),
+            StructureKey::Node(n) => self.nodes.remove(n),
         };
         if let Some(ref s) = removed {
             if key.occupies_disk() {
@@ -469,6 +533,7 @@ impl CacheState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use catalog::ColumnId;
 
     fn t(s: f64) -> SimTime {
         SimTime::from_secs(s)

@@ -35,7 +35,7 @@ use crate::config::EconConfig;
 use crate::outcome::{QueryOutcome, SelectionCase};
 use crate::plancache::{PlanCache, PlanCacheStats};
 use crate::regret::RegretLedger;
-use crate::selection::select_plan_hot;
+use crate::selection::{select_payment_hot, select_plan_hot};
 
 /// The paper's self-tuned economy, owning the cloud account, the cache
 /// state and the regret ledger.
@@ -340,13 +340,21 @@ impl EconomyManager {
     /// shape at `budget_scale × backend price` with deadline
     /// `patience × backend time`.
     fn plan_query(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Planned {
-        self.plan_query_shared(ctx, query, now, None)
+        self.plan_query_with(ctx, query, now, None, |plans, opts| {
+            self.select_from(query, plans, opts)
+        })
     }
 
-    /// [`Self::plan_query`] with an optional shared lazy skeleton (the
-    /// fleet's quote rounds create one per query and share it across
-    /// every bidding node; it is built only if some node actually needs
-    /// it).
+    /// The planning engine behind both [`Self::plan_query`] and the quote
+    /// paths, with an optional shared lazy skeleton (the fleet's quote
+    /// rounds create one per query and share it across every bidding
+    /// node; it is built only if some node actually needs it) and a
+    /// caller-chosen selection: the serving path runs the full case
+    /// analysis ([`Self::select_from`]), while quotes run the payment-only
+    /// variant ([`Self::select_payment_from`]) that skips the chosen-plan
+    /// and regret clones. Memo state transitions (lookups, refreshes,
+    /// installs, LRU stamps, counters) are identical either way — the
+    /// `select` callback is pure.
     ///
     /// Planning factors into the cache-independent skeleton and the cheap
     /// per-node completion. A memo lookup whose fingerprint matches but
@@ -355,13 +363,14 @@ impl EconomyManager {
     /// memoizes it. With memoization disabled, planning runs the fused
     /// enumerator — the reference the bit-identity suites compare the
     /// split path against.
-    fn plan_query_shared(
+    fn plan_query_with<R>(
         &self,
         ctx: &PlannerContext<'_>,
         query: &Query,
         now: SimTime,
         shared: Option<&LazySkeleton<'_>>,
-    ) -> Planned {
+        select: impl Fn(&[QueryPlan], EnumerationOptions) -> R,
+    ) -> R {
         let opts = self.config.enumeration(self.arrival_rate());
         let estimator = ctx.estimator;
 
@@ -379,7 +388,7 @@ impl EconomyManager {
                 None => enumerate_plans_into(ctx, query, &self.cache, now, opts, &mut buf),
             }
             let plans = buf.take();
-            let planned = self.select_from(query, &plans, opts);
+            let planned = select(&plans, opts);
             buf.recycle(plans);
             return planned;
         }
@@ -396,7 +405,7 @@ impl EconomyManager {
                         estimator.maintenance(s, span)
                     });
                 }
-                let planned = self.select_from(query, &slot.plans, opts);
+                let planned = select(&slot.plans, opts);
                 pc.count_hit(refreshed);
                 return planned;
             }
@@ -432,7 +441,7 @@ impl EconomyManager {
             buf.recycle(old_plans);
             buf.recycle_missing_costs(old_costs);
             drop(buf);
-            let planned = self.select_from(query, &slot.plans, opts);
+            let planned = select(&slot.plans, opts);
             pc.count_completion();
             return planned;
         }
@@ -461,7 +470,7 @@ impl EconomyManager {
         // memoizing them lets refreshes re-derive first installments under
         // whatever amortisation horizon the arrival rate implies later.
         let missing_builds = buf.take_missing_costs();
-        let planned = self.select_from(query, &plans, opts);
+        let planned = select(&plans, opts);
 
         let settle_seq = self.cache.settle_seq();
         if let Some((old_plans, old_costs)) = pc.install_slot(
@@ -518,6 +527,31 @@ impl EconomyManager {
         }
     }
 
+    /// Payment-only [`Self::select_from`]: the same budget formation,
+    /// skyline partition and case analysis, but returning just the bid.
+    /// Quote paths never act on the chosen plan or the regret list, so
+    /// skipping their clones (a `QueryPlan` plus one missing-list `Vec`
+    /// per regret, per node, per query) keeps the quote round
+    /// allocation-free after warmup.
+    fn select_payment_from(&self, query: &Query, plans: &[QueryPlan]) -> Money {
+        let backend = &plans[0];
+        debug_assert_eq!(
+            backend.shape,
+            planner::plan::PlanShape::Backend,
+            "enumeration emits the backend plan first"
+        );
+        let budget = BudgetFunction::of_shape(
+            self.config.budget_shape,
+            backend.price.scale(query.budget_scale),
+            backend.exec_time * self.config.patience,
+        );
+        let mut scratch = self.sky_scratch.borrow_mut();
+        let SkyScratch { hot, order, sky } = &mut *scratch;
+        hot.fill(plans);
+        let _existing = skyline_partition_hot(hot, order, sky);
+        select_payment_hot(hot, sky, &budget, self.config.objective)
+    }
+
     /// Recomputes the lower bound on the earliest instant any cached
     /// structure's unpaid maintenance can cross its failure threshold.
     ///
@@ -554,7 +588,9 @@ impl EconomyManager {
     /// reuses the plan set its own bid enumerated.
     #[must_use]
     pub fn quote_query(&self, ctx: &PlannerContext<'_>, query: &Query, now: SimTime) -> Money {
-        self.plan_query(ctx, query, now).payment
+        self.plan_query_with(ctx, query, now, None, |plans, _| {
+            self.select_payment_from(query, plans)
+        })
     }
 
     /// [`Self::quote_query`] drawing the cache-independent
@@ -576,19 +612,25 @@ impl EconomyManager {
         skeleton: &LazySkeleton<'_>,
         now: SimTime,
     ) -> Money {
-        self.plan_query_shared(ctx, query, now, Some(skeleton))
-            .payment
+        self.plan_query_with(ctx, query, now, Some(skeleton), |plans, _| {
+            self.select_payment_from(query, plans)
+        })
     }
 
     /// Phase 1 of a batched quote round ([`QuoteBatch`]): serves the bid
     /// immediately when the memoized completion is current (exactly the
-    /// hit path of [`Self::plan_query_shared`], including the LRU stamp
+    /// hit path of [`Self::plan_query_with`], including the LRU stamp
     /// and the price refresh), or reports what completion work the node
     /// needs from the batch.
+    ///
+    /// `fingerprint` is the round's shared planning fingerprint — a pure
+    /// function of the query, derived once per round instead of once per
+    /// node and adopted into this manager's memo scratch verbatim.
     fn batch_classify(
         &self,
         ctx: &PlannerContext<'_>,
         query: &Query,
+        fingerprint: &[u64],
         now: SimTime,
     ) -> Result<Money, (BatchNeed, EnumerationOptions, u64)> {
         let opts = self.config.enumeration(self.arrival_rate());
@@ -597,7 +639,7 @@ impl EconomyManager {
         }
         let epoch = self.cache.epoch(now);
         let mut pc = self.plancache.borrow_mut();
-        pc.prepare_fingerprint(query);
+        pc.adopt_fingerprint(fingerprint);
         if let Some(slot) = pc.matching_slot(query.template.0) {
             if slot.completion_current(epoch, &opts) {
                 let refreshed = !slot.prices_current(&self.cache, now, &opts);
@@ -606,9 +648,9 @@ impl EconomyManager {
                         ctx.estimator.maintenance(s, span)
                     });
                 }
-                let planned = self.select_from(query, &slot.plans, opts);
+                let payment = self.select_payment_from(query, &slot.plans);
                 pc.count_hit(refreshed);
-                return Ok(planned.payment);
+                return Ok(payment);
             }
             return Err((BatchNeed::Completion, opts, epoch));
         }
@@ -619,7 +661,7 @@ impl EconomyManager {
     /// Phase 3 of a batched quote round: adopts the batch-completed plan
     /// set sitting in this manager's plan buffer — memoizing, selecting
     /// and recycling exactly as the sequential
-    /// [`Self::plan_query_shared`] would have after its own
+    /// [`Self::plan_query_with`] would have after its own
     /// `complete_plans_into` call — and returns the bid.
     fn batch_adopt(
         &self,
@@ -634,9 +676,9 @@ impl EconomyManager {
             BatchNeed::Unmemoized => {
                 let mut buf = self.planbuf.borrow_mut();
                 let plans = buf.take();
-                let planned = self.select_from(query, &plans, opts);
+                let payment = self.select_payment_from(query, &plans);
                 buf.recycle(plans);
-                planned.payment
+                payment
             }
             BatchNeed::Completion => {
                 let mut pc = self.plancache.borrow_mut();
@@ -658,15 +700,15 @@ impl EconomyManager {
                 buf.recycle(old_plans);
                 buf.recycle_missing_costs(old_costs);
                 drop(buf);
-                let planned = self.select_from(query, &slot.plans, opts);
+                let payment = self.select_payment_from(query, &slot.plans);
                 pc.count_completion();
-                planned.payment
+                payment
             }
             BatchNeed::Miss => {
                 let mut buf = self.planbuf.borrow_mut();
                 let plans = buf.take();
                 let missing_builds = buf.take_missing_costs();
-                let planned = self.select_from(query, &plans, opts);
+                let payment = self.select_payment_from(query, &plans);
                 let settle_seq = self.cache.settle_seq();
                 let mut pc = self.plancache.borrow_mut();
                 if let Some((old_plans, old_costs)) = pc.install_slot(
@@ -682,7 +724,7 @@ impl EconomyManager {
                     buf.recycle(old_plans);
                     buf.recycle_missing_costs(old_costs);
                 }
-                planned.payment
+                payment
             }
         }
     }
@@ -791,16 +833,18 @@ struct BatchMember {
 /// bit-identical whichever path a fleet uses; `tests/batch_completion.rs`
 /// pins it.
 ///
-/// The bulk scratch (completer lanes, member list, bid vector) is
-/// retained across rounds; the one steady-state allocation left is the
-/// small per-round vector of resolved member managers (its borrows
-/// cannot outlive the call), paid only on rounds that actually complete
-/// something.
+/// The bulk scratch (completer lanes, member list, bid vector, shared
+/// fingerprint) is retained across rounds, so quote rounds are
+/// allocation-free after warmup.
 #[derive(Debug, Default)]
 pub struct QuoteBatch {
     completer: BatchCompleter,
     members: Vec<BatchMember>,
     bids: Vec<Money>,
+    /// Round-shared planning fingerprint scratch: derived once per round
+    /// from the query and adopted by every classified node, instead of
+    /// each node re-deriving the identical word vector.
+    fingerprint: Vec<u64>,
 }
 
 impl QuoteBatch {
@@ -843,10 +887,11 @@ impl QuoteBatch {
         self.bids.clear();
         self.bids.resize(count, Money::ZERO);
         self.members.clear();
+        planner::planning_fingerprint(query, &mut self.fingerprint);
         for i in 0..count {
             match manager_of(i) {
                 None => self.bids[i] = fallback(i),
-                Some(m) => match m.batch_classify(ctx, query, now) {
+                Some(m) => match m.batch_classify(ctx, query, &self.fingerprint, now) {
                     Ok(bid) => self.bids[i] = bid,
                     Err((need, opts, epoch)) => self.members.push(BatchMember {
                         node: i,
@@ -860,27 +905,29 @@ impl QuoteBatch {
 
         if !self.members.is_empty() {
             let skel = Arc::clone(skeleton.get());
-            // Resolve each member's manager once — the gather sweep reads
-            // a view per (structure, node) pair, which must not re-enter
-            // the caller's lookup (often a dynamic dispatch) every probe.
-            let managers: Vec<&EconomyManager> = self
-                .members
-                .iter()
-                .map(|m| manager_of(m.node).expect("batch member manager vanished between phases"))
-                .collect();
+            // The node-major probe sweep binds each member's view once
+            // per node (not once per probe), so the round resolves
+            // managers straight through the caller's lookup instead of
+            // materialising a resolved vector — quote rounds are
+            // allocation-free after warmup.
             let members = &self.members;
             let completer = &mut self.completer;
+            let member_manager = |j: usize| {
+                manager_of(members[j].node).expect("batch member manager vanished between phases")
+            };
             completer.gather(
                 &skel,
                 members.len(),
                 |j| CacheView {
-                    cache: managers[j].cache(),
+                    cache: member_manager(j).cache(),
                     opts: members[j].opts,
                 },
                 now,
                 |s, span| ctx.estimator.maintenance(s, span),
             );
-            for ((j, member), m) in self.members.iter().enumerate().zip(&managers) {
+            for (j, member) in self.members.iter().enumerate() {
+                let m =
+                    manager_of(member.node).expect("batch member manager vanished between phases");
                 {
                     let mut buf = m.planbuf.borrow_mut();
                     self.completer.emit_into(&skel, j, &mut buf);

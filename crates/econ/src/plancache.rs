@@ -41,6 +41,19 @@
 //! case pinned in `tests/memoization.rs`. Replacement within a set is
 //! least-recently-used.
 //!
+//! Templates that keep *more* than two parameterisations live thrash
+//! even a 2-way set. Rather than widening every set for the worst
+//! template, a small **fully-associative victim cache** backs all sets
+//! adaptively: a displaced slot is admitted only once its template has
+//! accumulated more way-conflict evictions than the set has ways
+//! (persistent-thrash evidence, not a one-off collision), and a lookup
+//! that misses its set probes the victims before declaring a miss — a
+//! victim hit swaps the slot back into the set (displacing that set's
+//! LRU way into the victim cache) and counts in
+//! [`PlanCacheStats::victim_hits`]. The associativity a template
+//! *effectively* gets therefore grows with its observed live-instance
+//! count, bounded by [`VICTIM_CACHE_SLOTS`] shared across all templates.
+//!
 //! The contract — enforced by `tests/memoization.rs`,
 //! `tests/skeleton_split.rs` and the fleet routing tests — is that
 //! memoized results are **bit-identical** to fresh enumeration: same
@@ -60,6 +73,13 @@ use workload::Query;
 /// Associativity of each template set: two live instances of one
 /// template can be memoized side by side.
 pub(crate) const PLAN_CACHE_WAYS: usize = 2;
+
+/// Capacity of the fully-associative victim cache shared by all
+/// template sets (see the module docs): enough for a handful of
+/// persistently thrashing templates to keep their 3rd..nth live
+/// parameterisations memoized, small enough that the miss-path probe
+/// stays a short linear scan.
+pub(crate) const VICTIM_CACHE_SLOTS: usize = 8;
 
 /// One memoized template slot: the skeleton plus its latest completion.
 ///
@@ -124,19 +144,30 @@ pub struct PlanCacheStats {
     /// Installs that displaced a *live* way — both ways of the template's
     /// set were occupied, so a memoized instance was evicted to make
     /// room. A workload with persistent conflicts has more than
-    /// [`PLAN_CACHE_WAYS`] live instances per template and would benefit
-    /// from wider sets (the seeded adaptive-associativity work;
-    /// [`PlanCache::way_conflicts`] breaks this down per template).
+    /// [`PLAN_CACHE_WAYS`] live instances per template; once a template's
+    /// conflict count exceeds the set's way count, its displaced slots
+    /// are admitted to the victim cache ([`PlanCache::way_conflicts`]
+    /// breaks the signal down per template).
     pub conflicts: u64,
+    /// Set-miss lookups rescued by the victim cache: the fingerprint was
+    /// displaced from its set but still memoized, and was swapped back
+    /// in. Each one is a full enumeration (or at least a completion
+    /// re-run) avoided that a plain 2-way cache would have paid.
+    pub victim_hits: u64,
 }
 
-/// Per-manager memoized plan sets: a 2-way set of slots per template.
+/// Per-manager memoized plan sets: a 2-way set of slots per template,
+/// backed by a small fully-associative victim cache for persistently
+/// thrashing templates.
 #[derive(Debug, Default)]
 pub struct PlanCache {
     sets: Vec<[Option<Slot>; PLAN_CACHE_WAYS]>,
+    /// Fully-associative victim cache, keyed `(template, fingerprint)`.
+    /// At most [`VICTIM_CACHE_SLOTS`] entries; eviction is LRU by stamp.
+    victims: Vec<(usize, Slot)>,
     stats: PlanCacheStats,
     /// Way-conflict evictions per template (index = template id), the
-    /// per-set signal for adaptive associativity.
+    /// per-set admission evidence for the victim cache.
     template_conflicts: Vec<u64>,
     fingerprint_scratch: Vec<u64>,
     tick: u64,
@@ -173,17 +204,53 @@ impl PlanCache {
         planner::planning_fingerprint(query, &mut self.fingerprint_scratch);
     }
 
+    /// Adopts an already-derived planning fingerprint into the scratch —
+    /// the batched quote round derives the word vector once per round
+    /// (it is a pure function of the query) and every classified node
+    /// copies it instead of re-walking the query.
+    pub(crate) fn adopt_fingerprint(&mut self, fingerprint: &[u64]) {
+        self.fingerprint_scratch.clear();
+        self.fingerprint_scratch.extend_from_slice(fingerprint);
+    }
+
     /// The memoized slot for `template` whose fingerprint matches the
-    /// prepared scratch, refreshing its LRU stamp. The caller decides
-    /// whether the slot's *completion* is still valid (epoch + structural
-    /// switches) — the skeleton always is.
+    /// prepared scratch, refreshing its LRU stamp. A set miss probes the
+    /// victim cache; a victim hit swaps the slot back into the set (the
+    /// displaced live way, if any, takes the victim's place). The caller
+    /// decides whether the slot's *completion* is still valid (epoch +
+    /// structural switches) — the skeleton always is.
     pub(crate) fn matching_slot(&mut self, template: usize) -> Option<&mut Slot> {
         let fp = &self.fingerprint_scratch;
         let set = self.sets.get_mut(template)?;
-        let way = (0..PLAN_CACHE_WAYS)
-            .find(|&w| set[w].as_ref().is_some_and(|s| s.fingerprint == *fp))?;
+        let way =
+            (0..PLAN_CACHE_WAYS).find(|&w| set[w].as_ref().is_some_and(|s| s.fingerprint == *fp));
+        let way = match way {
+            Some(w) => w,
+            None => {
+                let v = self
+                    .victims
+                    .iter()
+                    .position(|(t, s)| *t == template && s.fingerprint == *fp)?;
+                let (_, slot) = self.victims.swap_remove(v);
+                self.stats.victim_hits += 1;
+                // Promote into an empty way if one exists, else swap with
+                // the LRU way — the victim cache holds the displaced
+                // instance so neither memoization is lost.
+                let w = (0..PLAN_CACHE_WAYS)
+                    .find(|&w| set[w].is_none())
+                    .unwrap_or_else(|| {
+                        (0..PLAN_CACHE_WAYS)
+                            .min_by_key(|&w| set[w].as_ref().map_or(0, |s| s.stamp))
+                            .expect("set has at least one way")
+                    });
+                if let Some(evicted) = set[w].replace(slot) {
+                    self.victims.push((template, evicted));
+                }
+                w
+            }
+        };
         self.tick += 1;
-        let slot = set[way].as_mut().expect("way just matched");
+        let slot = self.sets[template][way].as_mut().expect("way just matched");
         slot.stamp = self.tick;
         Some(slot)
     }
@@ -193,7 +260,8 @@ impl PlanCache {
     /// the LRU tick. Batched quote rounds classify every node first and
     /// adopt the batch-completed plan sets in a later phase; bumping the
     /// stamp twice per lookup would diverge from the sequential path's
-    /// replacement order.
+    /// replacement order. No victim probe here: the classify-phase match
+    /// already promoted any victim hit into the set.
     pub(crate) fn rematch_slot(&mut self, template: usize) -> Option<&mut Slot> {
         let fp = &self.fingerprint_scratch;
         let set = self.sets.get_mut(template)?;
@@ -202,8 +270,13 @@ impl PlanCache {
 
     /// Memoizes a fresh skeleton + completion for `template` under the
     /// prepared fingerprint, evicting the set's LRU way if both ways are
-    /// live. Returns the displaced slot's plans (if any) so the caller
-    /// can recycle their allocations.
+    /// live. A displaced slot whose template has shown *persistent*
+    /// thrash — more way-conflict evictions than the set has ways — is
+    /// admitted whole into the victim cache (evicting the victim LRU if
+    /// full) instead of being dismantled; the admission bar keeps one-off
+    /// collisions from churning the victims. Returns the displaced
+    /// slot's plans (if any, and not admitted) so the caller can recycle
+    /// their allocations.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn install_slot(
         &mut self,
@@ -229,16 +302,43 @@ impl PlanCache {
                     .expect("set has at least one way")
             });
         let (mut fingerprint, displaced) = match set[way].take() {
-            Some(old) => (old.fingerprint, Some((old.plans, old.missing_builds))),
+            Some(old) => {
+                self.stats.conflicts += 1;
+                if template >= self.template_conflicts.len() {
+                    self.template_conflicts.resize(template + 1, 0);
+                }
+                self.template_conflicts[template] += 1;
+                if self.template_conflicts[template] > PLAN_CACHE_WAYS as u64 {
+                    // Persistent thrash: keep the displaced slot whole.
+                    // When that overflows the victim pool, the evicted
+                    // LRU victim is dismantled for parts — so the
+                    // steady-state install still recycles one slot's
+                    // allocations instead of churning the allocator on
+                    // every displacement.
+                    let recycled = if self.victims.len() >= VICTIM_CACHE_SLOTS {
+                        let lru = self
+                            .victims
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, (_, s))| s.stamp)
+                            .map(|(i, _)| i)
+                            .expect("victim cache is non-empty when full");
+                        let (_, evicted) = self.victims.swap_remove(lru);
+                        (
+                            evicted.fingerprint,
+                            Some((evicted.plans, evicted.missing_builds)),
+                        )
+                    } else {
+                        (Vec::new(), None)
+                    };
+                    self.victims.push((template, old));
+                    recycled
+                } else {
+                    (old.fingerprint, Some((old.plans, old.missing_builds)))
+                }
+            }
             None => (Vec::new(), None),
         };
-        if displaced.is_some() {
-            self.stats.conflicts += 1;
-            if template >= self.template_conflicts.len() {
-                self.template_conflicts.resize(template + 1, 0);
-            }
-            self.template_conflicts[template] += 1;
-        }
         fingerprint.clear();
         fingerprint.extend_from_slice(&self.fingerprint_scratch);
         self.tick += 1;

@@ -121,6 +121,48 @@ pub fn select_plan_hot(
     objective: SelectionObjective,
 ) -> Selection {
     let v = HotRows { hot, rows };
+    let (case, selected, payment, profit) = decide(v, budget, objective);
+    let regrets = match case {
+        SelectionCase::A => regrets_case_a(v, selected),
+        SelectionCase::B | SelectionCase::C => regrets_case_bc(v, budget, selected),
+    };
+    Selection {
+        case,
+        selected,
+        payment,
+        profit,
+        regrets,
+    }
+}
+
+/// The decision half of [`select_plan_hot`]: same case analysis, same
+/// selected plan, same payment — but no regret list is materialised.
+/// Quote rounds only need the bid (`payment`), so the fleet's hot path
+/// calls this and skips the per-plan regret allocation entirely; the
+/// serving call still runs the full selection.
+#[must_use]
+pub fn select_payment_hot(
+    hot: &PlanHot,
+    rows: &[usize],
+    budget: &BudgetFunction,
+    objective: SelectionObjective,
+) -> Money {
+    let v = HotRows { hot, rows };
+    decide(v, budget, objective).2
+}
+
+/// The case analysis proper: which case applies, which plan is selected,
+/// what the user pays and what the cloud profits. Shared verbatim by the
+/// full selection and the payment-only quote path so the two can never
+/// diverge.
+///
+/// # Panics
+/// Panics if no existing plan is present among the rows.
+fn decide(
+    v: HotRows<'_>,
+    budget: &BudgetFunction,
+    objective: SelectionObjective,
+) -> (SelectionCase, usize, Money, Money) {
     assert!(
         (0..v.len()).any(|i| v.existing(i)),
         "P_exist must not be empty (the backend plan always exists)"
@@ -130,50 +172,15 @@ pub fn select_plan_hot(
     let n_affordable = (0..v.len()).filter(|&i| affordable(i)).count();
 
     if n_affordable == 0 {
-        return case_a(v);
+        return decide_case_a(v);
     }
     let case = if n_affordable == v.len() {
         SelectionCase::B
     } else {
         SelectionCase::C
     };
-    case_bc(v, budget, objective, case)
-}
 
-/// Case A: nothing affordable. The user picks (and pays the price of) the
-/// cheapest existing plan; eq. 1 regret for cheaper possible plans.
-fn case_a(v: HotRows<'_>) -> Selection {
-    let selected = (0..v.len())
-        .filter(|&i| v.existing(i))
-        .min_by(|&a, &b| v.price(a).cmp(&v.price(b)).then(v.time(a).cmp(&v.time(b))))
-        .expect("checked: P_exist non-empty");
-    let chosen_price = v.price(selected);
-    let regrets = (0..v.len())
-        .filter(|&i| i != selected && !v.existing(i) && v.price(i) <= chosen_price)
-        .map(|i| (i, chosen_price - v.price(i)))
-        .filter(|(_, r)| r.is_positive())
-        .collect();
-    Selection {
-        case: SelectionCase::A,
-        selected,
-        payment: chosen_price,
-        profit: Money::ZERO,
-        regrets,
-    }
-}
-
-/// Cases B and C: select among affordable *existing* plans by the
-/// objective; eq. 2 regret for affordable possible plans more expensive
-/// than the chosen one.
-fn case_bc(
-    v: HotRows<'_>,
-    budget: &BudgetFunction,
-    objective: SelectionObjective,
-    case: SelectionCase,
-) -> Selection {
-    let affordable = |i: usize| budget.affords(v.time(i), v.price(i));
     let candidates = (0..v.len()).filter(|&i| v.existing(i) && affordable(i));
-
     // If every affordable plan is possible-only (needs builds), the query
     // still has to run now: fall back to Case A semantics on P_exist.
     let Some(selected) =
@@ -189,23 +196,52 @@ fn case_bc(
                 .min_by(|&a, &b| v.time(a).cmp(&v.time(b)).then(v.price(a).cmp(&v.price(b)))),
         })
     else {
-        return case_a(v);
+        return decide_case_a(v);
     };
 
     let chosen_price = v.price(selected);
     let payment = budget.value_at(v.time(selected));
     let profit = payment - chosen_price;
     debug_assert!(!profit.is_negative(), "affordable ⇒ non-negative profit");
+    (case, selected, payment, profit)
+}
 
-    // Regret for every rejected possible plan (Section IV-C: "we compute
-    // and distribute regret of all plans"):
-    //  * plans at least as expensive as the chosen one, if affordable, use
-    //    eq. 2 — the profit `B_Q(t_j) − B_PQ(t_j)` the cloud passed up;
-    //  * cheaper plans use the eq. 1 value — the cost reduction
-    //    `B_PQ(t_i) − B_PQ(t_j)` the cloud failed to offer. This is what
-    //    lets a cheaper-but-unbuilt column set accumulate regret even
-    //    though the budget comfortably covers the backend.
-    let regrets = (0..v.len())
+/// Case A decision: nothing affordable — the user picks (and pays the
+/// price of) the cheapest existing plan.
+fn decide_case_a(v: HotRows<'_>) -> (SelectionCase, usize, Money, Money) {
+    let selected = (0..v.len())
+        .filter(|&i| v.existing(i))
+        .min_by(|&a, &b| v.price(a).cmp(&v.price(b)).then(v.time(a).cmp(&v.time(b))))
+        .expect("checked: P_exist non-empty");
+    (SelectionCase::A, selected, v.price(selected), Money::ZERO)
+}
+
+/// Case A regret: eq. 1 for possible plans cheaper than the chosen one.
+fn regrets_case_a(v: HotRows<'_>, selected: usize) -> Vec<(usize, Money)> {
+    let chosen_price = v.price(selected);
+    (0..v.len())
+        .filter(|&i| i != selected && !v.existing(i) && v.price(i) <= chosen_price)
+        .map(|i| (i, chosen_price - v.price(i)))
+        .filter(|(_, r)| r.is_positive())
+        .collect()
+}
+
+/// Cases B/C regret, for every rejected possible plan (Section IV-C: "we
+/// compute and distribute regret of all plans"):
+///  * plans at least as expensive as the chosen one, if affordable, use
+///    eq. 2 — the profit `B_Q(t_j) − B_PQ(t_j)` the cloud passed up;
+///  * cheaper plans use the eq. 1 value — the cost reduction
+///    `B_PQ(t_i) − B_PQ(t_j)` the cloud failed to offer. This is what
+///    lets a cheaper-but-unbuilt column set accumulate regret even
+///    though the budget comfortably covers the backend.
+fn regrets_case_bc(
+    v: HotRows<'_>,
+    budget: &BudgetFunction,
+    selected: usize,
+) -> Vec<(usize, Money)> {
+    let affordable = |i: usize| budget.affords(v.time(i), v.price(i));
+    let chosen_price = v.price(selected);
+    (0..v.len())
         .filter(|&i| i != selected && !v.existing(i))
         .filter_map(|i| {
             let r = if v.price(i) >= chosen_price {
@@ -219,15 +255,7 @@ fn case_bc(
             };
             r.is_positive().then_some((i, r))
         })
-        .collect();
-
-    Selection {
-        case,
-        selected,
-        payment,
-        profit,
-        regrets,
-    }
+        .collect()
 }
 
 #[cfg(test)]

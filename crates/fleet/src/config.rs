@@ -13,6 +13,11 @@ use crate::node::NodeSpec;
 use crate::router::RouterKind;
 use crate::tenant::{TenantId, TenantSpec};
 
+/// Serde default for switches that ship enabled.
+fn default_true() -> bool {
+    true
+}
+
 /// Full description of one fleet simulation.
 ///
 /// Tenants are partitioned into `cells` (tenant `id % cells`); each cell
@@ -49,6 +54,15 @@ pub struct FleetConfig {
     /// results either way; `false` selects the per-node reference path
     /// the `fleet_scale` self-check compares against).
     pub quote_batching: bool,
+    /// Pin quote-pool workers to cores (`sched_setaffinity`): each
+    /// worker is sticky on the same node chunk every round, so pinning
+    /// keeps those node states resident in one core's private cache. A
+    /// placement hint only — results are bit-identical with pinning on,
+    /// off, or unavailable (non-Linux, restrictive cpuset); the
+    /// `fleet_scale` sweep runs both settings through its invariance
+    /// check. Defaults on (including for older serialized configs).
+    #[serde(default = "default_true")]
+    pub pin_quote_workers: bool,
     /// Cost-model calibration.
     pub cost_params: CostParams,
     /// Resource prices.
@@ -113,6 +127,7 @@ impl FleetConfig {
             shards: 1,
             quote_threads: 1,
             quote_batching: true,
+            pin_quote_workers: true,
             cost_params: CostParams::default(),
             prices: PriceCatalog::ec2_2009(),
             econ,
@@ -285,6 +300,19 @@ mod tests {
         let mut c = FleetConfig::uniform(4, 2, 10, 1.0);
         c.quote_threads = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pin_flag_defaults_on_for_older_configs() {
+        use serde::{Deserialize, Serialize, Value};
+        let c = FleetConfig::uniform(2, 2, 5, 1.0);
+        let mut v = c.serialize();
+        match &mut v {
+            Value::Map(m) => m.retain(|(k, _)| k != "pin_quote_workers"),
+            other => panic!("config serializes as a map, got {other:?}"),
+        }
+        let back = FleetConfig::deserialize(&v).unwrap();
+        assert!(back.pin_quote_workers, "absent field means pinning on");
     }
 
     #[test]

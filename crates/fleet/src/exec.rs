@@ -368,7 +368,12 @@ impl FleetSim {
         let mut router = self.config.router.make(QuoteOptions {
             threads: self.quote_pool_threads(),
             batching: self.config.quote_batching,
-            skeletons: Some(Arc::clone(&self.skeletons)),
+            // A single-cell run has nothing to de-duplicate across cells:
+            // the within-round LazySkeleton sharing already builds each
+            // skeleton once, so the fleet-wide cache would only add a
+            // shard-lock probe per miss. Skip it.
+            skeletons: (self.config.cells > 1).then(|| Arc::clone(&self.skeletons)),
+            pinning: self.config.pin_quote_workers,
         });
         let ctx = PlannerContext {
             schema: &self.schema,
@@ -512,6 +517,13 @@ impl FleetSim {
             stats.cache_hits += u64::from(outcome.ran_in_cache);
         }
 
+        if let Some(registry) = registry.as_mut() {
+            // Placement telemetry, outside the invariance contract (like
+            // the skeleton-cache counters): how many quote workers this
+            // cell's router actually pinned to a core.
+            registry.counter_add("pool.pinned_workers", router.pinned_workers());
+        }
+
         let finish = population.finish(rates, horizon);
         let node_seconds = finish.node_seconds;
         let elastic = controller.map(|c| c.into_summary(&finish));
@@ -529,29 +541,34 @@ impl FleetSim {
 }
 
 /// Fleet-wide plan-cache counter totals over the live population
-/// (hits, misses, refreshes, completions). Monotone within a query step:
-/// nodes only leave the population during control-plane reviews, which
-/// run before the step's sampling starts.
-fn plan_cache_totals(nodes: &[CacheNode]) -> (u64, u64, u64, u64) {
-    let mut totals = (0u64, 0u64, 0u64, 0u64);
+/// (hits, misses, refreshes, completions, victim hits). Monotone within
+/// a query step: nodes only leave the population during control-plane
+/// reviews, which run before the step's sampling starts.
+fn plan_cache_totals(nodes: &[CacheNode]) -> (u64, u64, u64, u64, u64) {
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
     for node in nodes {
         if let Some(stats) = node.plan_cache_stats() {
             totals.0 += stats.hits;
             totals.1 += stats.misses;
             totals.2 += stats.refreshes;
             totals.3 += stats.completions;
+            totals.4 += stats.victim_hits;
         }
     }
     totals
 }
 
 /// Delta of two [`plan_cache_totals`] samples taken within one step.
-fn plan_cache_delta(before: (u64, u64, u64, u64), after: (u64, u64, u64, u64)) -> PlanCacheDelta {
+fn plan_cache_delta(
+    before: (u64, u64, u64, u64, u64),
+    after: (u64, u64, u64, u64, u64),
+) -> PlanCacheDelta {
     PlanCacheDelta {
         hits: after.0.saturating_sub(before.0),
         misses: after.1.saturating_sub(before.1),
         refreshes: after.2.saturating_sub(before.2),
         completions: after.3.saturating_sub(before.3),
+        victim_hits: after.4.saturating_sub(before.4),
     }
 }
 
@@ -671,6 +688,7 @@ fn record_settlement(
     registry.counter_add("plan_cache.misses", step_delta.misses);
     registry.counter_add("plan_cache.refreshes", step_delta.refreshes);
     registry.counter_add("plan_cache.completions", step_delta.completions);
+    registry.counter_add("plan_cache.victim_hits", step_delta.victim_hits);
     registry.observe("fleet.response_secs", outcome.response_time.as_secs());
 }
 

@@ -24,11 +24,85 @@
 //! pointer is cleared before `run` returns. This is the one place in
 //! the workspace that needs `unsafe`; everything else stays
 //! `deny(unsafe_code)`.
+//!
+//! ## Core pinning
+//!
+//! Pool workers are *sticky*: worker `w` runs chunk `w + 1` in every
+//! round, so each worker touches the same node states round after round.
+//! Pinning worker `w` to core `(w + 1) mod cores` (the leader keeps
+//! core 0's share by exclusion) keeps those states in one core's private
+//! cache instead of migrating with the scheduler. The pin is a raw
+//! `sched_setaffinity` syscall — the vendored tree carries no `libc`, so
+//! the two supported Linux ISAs issue it through inline asm and every
+//! other target compiles a no-op returning `false`. Pinning is purely a
+//! placement hint: round results are bit-identical with it on, off, or
+//! partially applied (the affinity mask never changes *what* runs, only
+//! *where*), and a failed pin (restrictive cpuset, exotic kernel) is
+//! silently tolerated — [`QuotePool::pinned_workers`] reports how many
+//! pins actually took, for telemetry.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Pins the calling thread to `cpu` via a raw `sched_setaffinity(2)`
+/// syscall (pid 0 = calling thread). Returns whether the kernel accepted
+/// the mask. No `libc` in the vendored tree, hence inline asm on the
+/// supported Linux ISAs and a `false`-returning no-op elsewhere.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+fn pin_current_thread(cpu: usize) -> bool {
+    let mut mask = [0u64; 16]; // 1024 CPUs, same cap as glibc's cpu_set_t
+    if cpu >= mask.len() * 64 {
+        return false;
+    }
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    let size = std::mem::size_of_val(&mask);
+    let ret: isize;
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: sched_setaffinity only reads `size` bytes of the live
+    // `mask` buffer; rcx/r11 are the registers the syscall instruction
+    // itself clobbers.
+    #[allow(unsafe_code)]
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => ret, // __NR_sched_setaffinity
+            in("rdi") 0usize,
+            in("rsi") size,
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack, readonly),
+        );
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: as above; aarch64 returns the result in x0.
+    #[allow(unsafe_code)]
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") 122isize, // __NR_sched_setaffinity
+            inlateout("x0") 0isize => ret,
+            in("x1") size,
+            in("x2") mask.as_ptr(),
+            options(nostack, readonly),
+        );
+    }
+    ret == 0
+}
+
+/// Non-Linux (or unsupported-ISA) fallback: pinning quietly does nothing.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
 
 /// Hands out the disjoint fixed-size chunks of a mutable slice across
 /// threads, each at most once — the shape a quote round needs to give
@@ -131,13 +205,17 @@ struct Shared {
 pub(crate) struct QuotePool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// How many workers successfully pinned themselves to a core.
+    pinned: Arc<AtomicU64>,
 }
 
 impl QuotePool {
     /// Spawns `workers` parked worker threads. Worker `w` calls each
     /// round's closure with chunk index `w + 1` (the round leader runs
-    /// chunk 0 itself).
-    pub(crate) fn new(workers: usize) -> Self {
+    /// chunk 0 itself); with `pin` set it first pins itself to core
+    /// `(w + 1) mod cores` (see the module docs). A pin the platform or
+    /// kernel refuses is tolerated; the worker just runs unpinned.
+    pub(crate) fn with_pinning(workers: usize, pin: bool) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 round: 0,
@@ -149,21 +227,37 @@ impl QuotePool {
             work: Condvar::new(),
             done: Condvar::new(),
         });
+        let pinned = Arc::new(AtomicU64::new(0));
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let handles = (0..workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared, w + 1))
+                let pinned = Arc::clone(&pinned);
+                std::thread::spawn(move || {
+                    if pin && pin_current_thread((w + 1) % cores) {
+                        pinned.fetch_add(1, Ordering::Relaxed);
+                    }
+                    worker_loop(&shared, w + 1);
+                })
             })
             .collect();
         QuotePool {
             shared,
             workers: handles,
+            pinned,
         }
     }
 
     /// Worker threads in the pool (chunk indexes 1..=workers).
     pub(crate) fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Workers whose core pin took effect (0 when pinning was off, on a
+    /// non-Linux target, or wherever the kernel refused the mask).
+    /// Telemetry only — results never depend on placement.
+    pub(crate) fn pinned_workers(&self) -> u64 {
+        self.pinned.load(Ordering::Relaxed)
     }
 
     /// Runs one round: every worker calls `job(its chunk index)`, the
@@ -299,7 +393,7 @@ mod tests {
 
     #[test]
     fn every_chunk_runs_exactly_once_per_round() {
-        let pool = QuotePool::new(3);
+        let pool = QuotePool::with_pinning(3, false);
         assert_eq!(pool.workers(), 3);
         for _ in 0..50 {
             let counts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
@@ -316,7 +410,7 @@ mod tests {
     fn rounds_see_fresh_borrows() {
         // Each round borrows a different stack-local — the lifetime-erase
         // protocol must confine every use to its own round.
-        let pool = QuotePool::new(2);
+        let pool = QuotePool::with_pinning(2, false);
         for round in 0..20usize {
             let sum = AtomicUsize::new(0);
             let local = [round; 3];
@@ -349,7 +443,7 @@ mod tests {
 
     #[test]
     fn worker_panics_are_caught_drained_and_reraised() {
-        let pool = QuotePool::new(2);
+        let pool = QuotePool::with_pinning(2, false);
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.run(&|chunk| {
                 assert!(chunk != 1, "boom in worker");
@@ -368,7 +462,7 @@ mod tests {
 
     #[test]
     fn leader_panic_drains_the_round_before_unwinding() {
-        let pool = QuotePool::new(3);
+        let pool = QuotePool::with_pinning(3, false);
         let worker_calls = AtomicUsize::new(0);
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.run(&|chunk| {
@@ -391,10 +485,41 @@ mod tests {
     }
 
     #[test]
+    fn pinned_pools_run_rounds_identically() {
+        // Whether the pins take is a platform/kernel question; what the
+        // pool *computes* must not depend on it.
+        let pinned = QuotePool::with_pinning(3, true);
+        let unpinned = QuotePool::with_pinning(3, false);
+        assert_eq!(unpinned.pinned_workers(), 0, "pinning off means zero pins");
+        for round in 0..20usize {
+            let sums = [AtomicUsize::new(0), AtomicUsize::new(0)];
+            for (which, pool) in [&pinned, &unpinned].into_iter().enumerate() {
+                pool.run(&|chunk| {
+                    sums[which].fetch_add(round * 10 + chunk, Ordering::SeqCst);
+                });
+            }
+            assert_eq!(
+                sums[0].load(Ordering::SeqCst),
+                sums[1].load(Ordering::SeqCst)
+            );
+        }
+        assert!(pinned.pinned_workers() <= 3, "at most one pin per worker");
+    }
+
+    #[test]
+    fn pin_current_thread_does_not_disturb_the_caller() {
+        // The syscall either takes or is refused; either way the thread
+        // keeps running and the answer is a plain bool.
+        let _took = pin_current_thread(0);
+        let absurd = pin_current_thread(1 << 20);
+        assert!(!absurd, "beyond-mask CPUs are rejected without a syscall");
+    }
+
+    #[test]
     fn oversized_chunk_indexes_are_callable() {
         // A pool larger than a round's chunk count simply calls the job
         // with indexes the job ignores.
-        let pool = QuotePool::new(4);
+        let pool = QuotePool::with_pinning(4, false);
         let hits = AtomicUsize::new(0);
         pool.run(&|chunk| {
             if chunk < 2 {

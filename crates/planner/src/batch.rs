@@ -20,13 +20,46 @@
 //! histories × node counts; the fleet's batched quote rounds
 //! (`econ::QuoteBatch`) ride on it.
 //!
+//! # Lane layout
+//!
+//! Gather runs in two sweeps over dense SoA lanes keyed
+//! `unique-structure × node` (nodes contiguous, so each structure's lane
+//! is one cache-resident stripe):
+//!
+//! 1. **Probe sweep** — the *union* of every variant's structures (plus
+//!    index key-fetch columns, presence-only) forms one probe table, so
+//!    each node's cache answers one probe per distinct structure instead
+//!    of one per `(variant, position)`. The table is a pure function of
+//!    the skeleton, precomputed in [`PlanSkeleton::build`]
+//!    ([`crate::skeleton::ProbeTable`]) — skeletons are memoized, so the
+//!    round pays nothing to deduplicate. The sweep runs node-major (one
+//!    view bind per node, that node's cache stays hot) and each probe
+//!    fills four lanes: `present`, `usable` (present *and* available),
+//!    and zero-masked `amort`/`maint` (the structure's amortisation due
+//!    and maintenance quote when usable, [`Money::ZERO`] otherwise —
+//!    mask-select, not branch).
+//! 2. **Accumulate sweep** — per variant, the existing-structure
+//!    aggregates are *unconditional* lane sums: because unusable slots
+//!    hold zeros, `exist_amort += amort_lane` / `maintenance +=
+//!    maint_lane` need no per-node branch, and the fixed-width inner
+//!    loops over the contiguous node stripes autovectorize. Only the
+//!    (rare) missing side — build costs, quote-table pushes — runs
+//!    masked, gated per node on the `usable` lane.
+//!
+//! The dedup is what lets a missing index's key-fetch coverage drop its
+//! per-node bookkeeping: a key column is covered iff the cache holds it
+//! (in any state, builds in flight included) *or* the variant itself
+//! uses it — the latter is node-independent, because a variant-used
+//! column is either present (covered) or goes missing and is built
+//! alongside the index (covered). `covered = in_variant ∨ present`
+//! replaces the scalar path's per-node missing-column set exactly.
+//!
 //! The gather/emit split (rather than one monolithic call) exists so the
 //! economy can interleave its per-manager `RefCell` borrows: gather needs
 //! only shared cache references, while each emission borrows that one
 //! node's [`PlanBuffer`].
 
 use cache::{CacheState, CachedStructure, StructureKey};
-use catalog::ColumnId;
 use pricing::Money;
 use simcore::{SimDuration, SimTime};
 
@@ -84,9 +117,20 @@ pub struct BatchCompleter {
     /// `(position into the variant's uses, build quote)` — ascending
     /// position, exactly the order the per-node completion walks.
     missing: Vec<Vec<(u32, Money)>>,
-    /// Per node: columns missing in the variant currently being gathered
-    /// (transient; key-fetch coverage of index builds reads it).
-    missing_cols: Vec<Vec<ColumnId>>,
+    /// Per `(probe-table entry × n + node)`: the cache holds the
+    /// structure in any state (builds in flight included) — the
+    /// `contains` the key-fetch coverage rule reads.
+    lane_present: Vec<bool>,
+    /// Per `(probe-table entry × n + node)`: present *and* available —
+    /// the mask splitting existing from missing accumulation.
+    lane_usable: Vec<bool>,
+    /// Per `(probe-table entry × n + node)`: amortisation due when
+    /// usable, zero otherwise (mask-select, so the exist sweep adds
+    /// unconditionally).
+    lane_amort: Vec<Money>,
+    /// Per `(probe-table entry × n + node)`: maintenance quote when
+    /// usable, zero otherwise.
+    lane_maint: Vec<Money>,
 }
 
 impl BatchCompleter {
@@ -172,71 +216,129 @@ impl BatchCompleter {
         if self.missing.len() < slots {
             self.missing.resize_with(slots, Vec::new);
         }
-        if self.missing_cols.len() < count {
-            self.missing_cols.resize_with(count, Vec::new);
+
+        // Probe sweep: one cache probe per (distinct structure, node)
+        // over the skeleton's precomputed probe table, filling the
+        // presence/usable masks and the zero-masked amortisation/
+        // maintenance lanes. Node-major — one view bind per node, so
+        // each node's cache answers its probes back to back — but the
+        // lanes stay structure-major (nodes contiguous per structure),
+        // the layout the accumulate sweep streams.
+        let probe = &skel.probe;
+        let lanes = probe.keys.len() * count;
+        self.lane_present.clear();
+        self.lane_present.resize(lanes, false);
+        self.lane_usable.clear();
+        self.lane_usable.resize(lanes, false);
+        self.lane_amort.clear();
+        self.lane_amort.resize(lanes, Money::ZERO);
+        self.lane_maint.clear();
+        self.lane_maint.resize(lanes, Money::ZERO);
+        for i in 0..count {
+            let v = view(i);
+            let maint_window = self.opts[i].maint_window;
+            for (u, &key) in probe.keys.iter().enumerate() {
+                if let Some(s) = v.cache.get(key) {
+                    let at = u * count + i;
+                    self.lane_present[at] = true;
+                    let usable = s.is_available(now);
+                    self.lane_usable[at] = usable;
+                    if usable && probe.priced[u] {
+                        self.lane_amort[at] = s.amortization_due();
+                        let span = now.saturating_since(s.maint_paid_until).min(maint_window);
+                        self.lane_maint[at] = price(s, span);
+                    }
+                }
+            }
         }
 
         for (vi, variant) in skel.variants.iter().enumerate() {
+            let base = vi * count;
             for i in 0..count {
-                let slot = vi * count + i;
-                self.active[slot] = !variant.uses_indexes || self.opts[i].allow_indexes;
-                self.missing[slot].clear();
-                self.missing_cols[i].clear();
+                self.active[base + i] = !variant.uses_indexes || self.opts[i].allow_indexes;
+                self.missing[base + i].clear();
             }
-            // The dense sweep: one pass over the variant's structure
-            // list, all nodes probed per structure. Columns precede
-            // indexes in `uses`, so by the time an index build's key
-            // coverage is resolved, every node's missing-column set for
-            // this variant is already complete — the same order the
-            // per-node completion relies on.
-            for (pos, &key) in variant.uses.iter().enumerate() {
+
+            // Existing-structure accumulation, branch-free: unusable
+            // slots hold zero lanes, so the adds run unconditionally
+            // over the contiguous node stripes. Inactive slots (variant
+            // excluded by the node's options) accumulate too — their
+            // aggregates are never emitted — keeping the inner loops
+            // mask-free.
+            for &u in probe.uses_probe(vi) {
+                let lane = u as usize * count;
+                let amort = &self.lane_amort[lane..lane + count];
+                let maint = &self.lane_maint[lane..lane + count];
+                let ea = &mut self.exist_amort[base..base + count];
+                let ma = &mut self.maintenance[base..base + count];
                 for i in 0..count {
-                    let slot = vi * count + i;
-                    if !self.active[slot] {
-                        continue;
-                    }
-                    let v = view(i);
-                    match v.cache.get(key) {
-                        Some(s) if s.is_available(now) => {
-                            self.exist_amort[slot] += s.amortization_due();
-                            let span = now
-                                .saturating_since(s.maint_paid_until)
-                                .min(self.opts[i].maint_window);
-                            self.maintenance[slot] += price(s, span);
+                    ea[i] += amort[i];
+                    ma[i] += maint[i];
+                }
+            }
+
+            // Missing side, masked per node on the usable lane: build
+            // cost and max build time accumulate, the first installment
+            // under the node's horizon accrues, and the `(position,
+            // quote)` pair joins the slot's quote table — in ascending
+            // position, the exact order the per-node completion walks.
+            for (pos, &u) in probe.uses_probe(vi).iter().enumerate() {
+                let lane = u as usize * count;
+                if self.lane_usable[lane..lane + count].iter().all(|&ok| ok) {
+                    continue;
+                }
+                match &variant.builds[pos] {
+                    BuildShape::Column { cost, time } => {
+                        for i in 0..count {
+                            let slot = base + i;
+                            if self.lane_usable[lane + i] || !self.active[slot] {
+                                continue;
+                            }
+                            self.build_cost[slot] += *cost;
+                            if *time > self.build_time[slot] {
+                                self.build_time[slot] = *time;
+                            }
+                            self.missing_amort[slot] += cost.amortize_over(self.opts[i].amortize_n);
+                            self.missing[slot].push((pos as u32, *cost));
                         }
-                        _ => {
-                            let (cost, time) = match &variant.builds[pos] {
-                                BuildShape::Column { cost, time } => (*cost, *time),
-                                BuildShape::Index {
-                                    sort_cost,
-                                    sort_time,
-                                    keys,
-                                } => {
-                                    let mut cost = *sort_cost;
-                                    let mut fetch_time = SimDuration::ZERO;
-                                    for kf in keys {
-                                        let covered =
-                                            v.cache.contains(StructureKey::Column(kf.column))
-                                                || self.missing_cols[i].contains(&kf.column);
-                                        if !covered {
-                                            cost += kf.cost;
-                                            if kf.time > fetch_time {
-                                                fetch_time = kf.time;
-                                            }
-                                        }
+                    }
+                    BuildShape::Index {
+                        sort_cost,
+                        sort_time,
+                        keys,
+                    } => {
+                        // A key column is covered iff the cache holds it
+                        // (any state) or the variant itself uses it: a
+                        // variant-used column is either present or goes
+                        // missing and is built alongside the index. Both
+                        // the probe index and the node-independent
+                        // `in_variant` half are precomputed in the
+                        // skeleton's probe table.
+                        let resolved = probe.key_probe(vi, pos);
+                        for i in 0..count {
+                            let slot = base + i;
+                            if self.lane_usable[lane + i] || !self.active[slot] {
+                                continue;
+                            }
+                            let mut cost = *sort_cost;
+                            let mut fetch_time = SimDuration::ZERO;
+                            for (kf, &(in_variant, ku)) in keys.iter().zip(resolved) {
+                                let covered =
+                                    in_variant || self.lane_present[ku as usize * count + i];
+                                if !covered {
+                                    cost += kf.cost;
+                                    if kf.time > fetch_time {
+                                        fetch_time = kf.time;
                                     }
-                                    (cost, fetch_time + *sort_time)
                                 }
-                            };
+                            }
+                            let time = fetch_time + *sort_time;
                             self.build_cost[slot] += cost;
                             if time > self.build_time[slot] {
                                 self.build_time[slot] = time;
                             }
                             self.missing_amort[slot] += cost.amortize_over(self.opts[i].amortize_n);
                             self.missing[slot].push((pos as u32, cost));
-                            if let StructureKey::Column(c) = key {
-                                self.missing_cols[i].push(c);
-                            }
                         }
                     }
                 }

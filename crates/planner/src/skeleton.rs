@@ -161,6 +161,99 @@ pub struct VariantSkeleton {
     pub cells: ExecCells,
 }
 
+/// The deduplicated cache-probe table of a skeleton: the union of every
+/// variant's `uses` plus index key-fetch columns, with per-variant
+/// position maps back into it.
+///
+/// A pure function of the variants, computed once in
+/// [`PlanSkeleton::build`] — skeletons are memoized (the shared
+/// [`SkeletonCache`], the economy's plan memo), so batched completion
+/// rounds ([`planner::batch`](crate::batch)) read the table for free
+/// instead of re-deduplicating every round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProbeTable {
+    /// Distinct structures, first-seen order: each is probed once per
+    /// node per gather, however many variants reference it.
+    pub keys: Vec<StructureKey>,
+    /// Per entry of `keys`: whether some variant *uses* the structure
+    /// (amortisation/maintenance lanes needed) or it is referenced only
+    /// for key-fetch presence.
+    pub priced: Vec<bool>,
+    /// Flat per-variant maps of `uses` position → index into `keys`;
+    /// variant `vi` owns `uses_map[uses_off[vi]..uses_off[vi + 1]]`.
+    uses_map: Vec<u32>,
+    /// Variant offsets into `uses_map` (and, position-wise, `key_off`).
+    uses_off: Vec<u32>,
+    /// Flat key-fetch resolutions `(in_variant, index into keys)` of
+    /// every index build, in variant-then-position order. `in_variant`
+    /// is the node-independent half of the coverage rule: a variant-used
+    /// key column is either present or built alongside the index, so it
+    /// is never fetched standalone.
+    key_map: Vec<(bool, u32)>,
+    /// Per global `uses` position (`uses_off[vi] + pos`): offsets into
+    /// `key_map` — an empty span for column builds.
+    key_off: Vec<u32>,
+}
+
+impl ProbeTable {
+    /// Variant `vi`'s `uses` position → probe-table index map.
+    #[must_use]
+    pub fn uses_probe(&self, vi: usize) -> &[u32] {
+        &self.uses_map[self.uses_off[vi] as usize..self.uses_off[vi + 1] as usize]
+    }
+
+    /// Variant `vi`'s position-`pos` index build, resolved per key
+    /// column to `(in_variant, probe-table index)` — empty for column
+    /// builds.
+    #[must_use]
+    pub fn key_probe(&self, vi: usize, pos: usize) -> &[(bool, u32)] {
+        let g = self.uses_off[vi] as usize + pos;
+        &self.key_map[self.key_off[g] as usize..self.key_off[g + 1] as usize]
+    }
+
+    fn build(variants: &[VariantSkeleton]) -> ProbeTable {
+        let mut t = ProbeTable::default();
+        t.uses_off.push(0);
+        t.key_off.push(0);
+        for variant in variants {
+            for &key in &variant.uses {
+                let u = match t.keys.iter().position(|&k| k == key) {
+                    Some(u) => {
+                        t.priced[u] = true;
+                        u
+                    }
+                    None => {
+                        t.keys.push(key);
+                        t.priced.push(true);
+                        t.keys.len() - 1
+                    }
+                };
+                t.uses_map.push(u as u32);
+            }
+            t.uses_off.push(t.uses_map.len() as u32);
+            for build in &variant.builds {
+                if let BuildShape::Index { keys, .. } = build {
+                    for kf in keys {
+                        let col = StructureKey::Column(kf.column);
+                        let in_variant = variant.uses.contains(&col);
+                        let u = match t.keys.iter().position(|&k| k == col) {
+                            Some(u) => u,
+                            None => {
+                                t.keys.push(col);
+                                t.priced.push(false);
+                                t.keys.len() - 1
+                            }
+                        };
+                        t.key_map.push((in_variant, u as u32));
+                    }
+                }
+                t.key_off.push(t.key_map.len() as u32);
+            }
+        }
+        t
+    }
+}
+
 /// Everything about a query's plan set that does not depend on any node's
 /// cache state — computed once per query, shared across every node that
 /// bids on it.
@@ -179,6 +272,8 @@ pub struct PlanSkeleton {
     /// Index variants: scan-only first, then the best-index variant when
     /// one exists.
     pub variants: Vec<VariantSkeleton>,
+    /// The variants' deduplicated probe table, for batched completion.
+    pub probe: ProbeTable,
 }
 
 /// A [`PlanSkeleton`] built on first use and shared from then on.
@@ -373,12 +468,13 @@ impl SkeletonCache {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Arc::clone(hit);
                 }
+                // Branch-free one-slot probe: unconditionally replace the
+                // bucket with this hash and admit iff the old occupant
+                // already was it — same semantics as test-then-store
+                // (re-storing an equal hash is a no-op), one load + one
+                // store, no data-dependent branch on the miss path.
                 let slot = (hash as usize) & (SKELETON_SEEN_SLOTS - 1);
-                let admitted = guard.seen[slot] == hash;
-                if !admitted {
-                    guard.seen[slot] = hash;
-                }
-                admitted
+                std::mem::replace(&mut guard.seen[slot], hash) == hash
             };
             self.misses.fetch_add(1, Ordering::Relaxed);
             let built = Arc::new(PlanSkeleton::build(ctx, query));
@@ -419,6 +515,7 @@ impl PlanSkeleton {
             variants.push(build_variant(ctx, query, &picks));
         }
 
+        let probe = ProbeTable::build(&variants);
         PlanSkeleton {
             backend_time: backend_est.time,
             backend_cost,
@@ -426,6 +523,7 @@ impl PlanSkeleton {
             node_build_cost,
             node_build_time,
             variants,
+            probe,
         }
     }
 }

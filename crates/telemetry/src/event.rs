@@ -24,13 +24,18 @@ pub struct PlanCacheDelta {
     pub refreshes: u64,
     /// Shared skeletons completed against per-node cache state.
     pub completions: u64,
+    /// Set-miss lookups rescued by the memo's victim cache. Defaults to
+    /// zero so traces recorded before the victim cache existed still
+    /// replay.
+    #[serde(default)]
+    pub victim_hits: u64,
 }
 
 impl PlanCacheDelta {
     /// True when the step touched the plan cache at all.
     #[must_use]
     pub fn any(&self) -> bool {
-        self.hits + self.misses + self.refreshes + self.completions > 0
+        self.hits + self.misses + self.refreshes + self.completions + self.victim_hits > 0
     }
 }
 

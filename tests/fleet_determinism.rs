@@ -210,23 +210,28 @@ fn persistent_pool_winner_matches_sequential_across_rounds() {
             .collect()
     };
 
-    // (threads, batching): sequential batched is the reference; pools of
-    // 2/4/8 workers and the per-node completion path must all agree.
+    // (threads, batching, pinning): sequential batched is the reference;
+    // pools of 2/4/8 workers, the per-node completion path, and
+    // core-pinned pools must all agree — pinning is a placement hint, so
+    // the winner sequence cannot move with it (or with whether the pins
+    // actually took on this machine).
     let configs = [
-        (1usize, true),
-        (2, true),
-        (4, true),
-        (8, true),
-        (1, false),
-        (8, false),
+        (1usize, true, false),
+        (2, true, false),
+        (4, true, true),
+        (8, true, false),
+        (8, true, true),
+        (1, false, false),
+        (8, false, true),
     ];
     let mut routers: Vec<CheapestQuote> = configs
         .iter()
-        .map(|&(threads, batching)| {
+        .map(|&(threads, batching, pinning)| {
             CheapestQuote::with_options(QuoteOptions {
                 threads,
                 batching,
                 skeletons: None,
+                pinning,
             })
         })
         .collect();

@@ -104,6 +104,7 @@ proptest! {
             threads,
             batching,
             skeletons: None,
+            pinning: threads % 2 == 0, // placement hint; results invariant
         });
         let mut rr = RoundRobin::default();
         let mut lo = LeastOutstanding;

@@ -100,6 +100,15 @@ impl Value {
         }
     }
 
+    /// The boolean, if `self` is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string slice, if `self` is a string.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {
@@ -160,6 +169,22 @@ pub fn __map_field<T: Deserialize>(
     match map.iter().find(|(k, _)| k == key) {
         Some((_, v)) => T::deserialize(v).map_err(|e| Error::custom(format!("{ty}.{key}: {e}"))),
         None => Err(Error::custom(format!("{ty}: missing field `{key}`"))),
+    }
+}
+
+/// [`__map_field`] with a fallback for absent keys — the facade's
+/// `#[serde(default)]` / `#[serde(default = "path")]`. A key that *is*
+/// present must still deserialize.
+#[doc(hidden)]
+pub fn __map_field_or<T: Deserialize>(
+    map: &[(String, Value)],
+    key: &str,
+    ty: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::deserialize(v).map_err(|e| Error::custom(format!("{ty}.{key}: {e}"))),
+        None => Ok(default()),
     }
 }
 

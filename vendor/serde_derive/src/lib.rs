@@ -6,13 +6,28 @@
 //! derives on: non-generic structs with named fields, tuple structs, unit
 //! structs, and enums whose variants are unit, tuple or struct-like.
 //! Enums use serde's externally-tagged representation.
+//!
+//! The one field attribute supported is `#[serde(default)]` /
+//! `#[serde(default = "path")]` on named fields: an absent key
+//! deserializes to `Default::default()` (or `path()`) instead of
+//! erroring, which is how evolving record formats (bench JSON, trace
+//! deltas) stay readable across revisions. Serialization always writes
+//! every field.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field and its absent-key behavior: `None` = required,
+/// `Some(None)` = `#[serde(default)]`, `Some(Some(path))` =
+/// `#[serde(default = "path")]`.
+struct Field {
+    name: String,
+    default: Option<Option<String>>,
+}
 
 /// Parsed shape of a struct body or an enum variant's payload.
 enum Shape {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -26,7 +41,7 @@ struct Item {
     kind: Kind,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -34,7 +49,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("generated Serialize impl must parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -105,14 +120,38 @@ fn parse_struct_body(tokens: &[TokenTree], i: &mut usize) -> Shape {
     }
 }
 
-/// Field names of a `{ a: T, b: U }` body. Commas inside `<...>` generic
-/// arguments are not separators, so angle-bracket depth is tracked.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Fields of a `{ a: T, b: U }` body, with any `#[serde(default...)]`
+/// attribute captured. Commas inside `<...>` generic arguments are not
+/// separators, so angle-bracket depth is tracked.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        // Attributes and visibility before the field name; `#[serde(...)]`
+        // is inspected, everything else (doc comments, `pub`) skipped.
+        let mut default: Option<Option<String>> = None;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if let Some(d) = parse_serde_default(g) {
+                            default = Some(d);
+                        }
+                    }
+                    i += 2; // '#' + bracket group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1; // pub(crate) etc.
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
         if i >= tokens.len() {
             break;
         }
@@ -138,9 +177,46 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
+}
+
+/// Reads a `[serde(...)]` attribute group: `Some(None)` for
+/// `#[serde(default)]`, `Some(Some(path))` for
+/// `#[serde(default = "path")]`, `None` for any other attribute. Other
+/// serde options are rejected loudly — silently ignoring one would
+/// change a format without anyone noticing.
+fn parse_serde_default(group: &proc_macro::Group) -> Option<Option<String>> {
+    let outer: Vec<TokenTree> = group.stream().into_iter().collect();
+    match outer.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match outer.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("malformed serde attribute: {other:?}"),
+    };
+    let tokens: Vec<TokenTree> = inner.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        other => panic!("vendored serde_derive only supports serde(default...), found {other:?}"),
+    }
+    match tokens.get(1) {
+        None => Some(None),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match tokens.get(2) {
+            Some(TokenTree::Literal(lit)) => {
+                let s = lit.to_string();
+                let path = s
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .unwrap_or_else(|| panic!("serde(default = ...) expects a string literal"));
+                Some(Some(path.to_string()))
+            }
+            other => panic!("serde(default = ...) expects a string literal, found {other:?}"),
+        },
+        other => panic!("unsupported serde(default...) form: {other:?}"),
+    }
 }
 
 /// Number of fields of a `(T, U, ...)` body.
@@ -252,7 +328,11 @@ fn gen_serialize(item: &Item) -> String {
                         )
                     }
                     Shape::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let map = ser_named_body(fields, "", "");
                         format!(
                             "{name}::{vname} {{ {binds} }} => \
@@ -273,10 +353,11 @@ fn gen_serialize(item: &Item) -> String {
 /// `Value::Map` literal for named fields. `prefix` is `self.` for struct
 /// fields or empty for match-bound variant fields; binding references are
 /// already `&T` in the variant case, so take a reference only when needed.
-fn ser_named_body(fields: &[String], prefix: &str, _suffix: &str) -> String {
+fn ser_named_body(fields: &[Field], prefix: &str, _suffix: &str) -> String {
     let pushes: Vec<String> = fields
         .iter()
         .map(|f| {
+            let f = &f.name;
             let access = if prefix.is_empty() {
                 f.clone() // match binding: already a reference
             } else {
@@ -297,10 +378,7 @@ fn gen_deserialize(item: &Item) -> String {
     let body = match &item.kind {
         Kind::Struct(Shape::Unit) => format!("Ok({name})"),
         Kind::Struct(Shape::Named(fields)) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__map_field(__m, \"{f}\", \"{name}\")?,"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| de_named_field(f, name)).collect();
             format!(
                 "let __m = ::serde::__expect_map(__v, \"{name}\")?; \
                  Ok({name} {{ {} }})",
@@ -343,15 +421,9 @@ fn gen_deserialize(item: &Item) -> String {
                         )
                     }
                     Shape::Named(fields) => {
-                        let inits: Vec<String> = fields
-                            .iter()
-                            .map(|f| {
-                                format!(
-                                    "{f}: ::serde::__map_field(__m, \"{f}\", \
-                                     \"{name}::{vname}\")?,"
-                                )
-                            })
-                            .collect();
+                        let ty = format!("{name}::{vname}");
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| de_named_field(f, &ty)).collect();
                         format!(
                             "\"{vname}\" => {{ let __p = ::serde::__payload(__payload, \
                              \"{name}::{vname}\")?; \
@@ -374,4 +446,21 @@ fn gen_deserialize(item: &Item) -> String {
         "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
          fn deserialize(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }} }}"
     )
+}
+
+/// One named field's deserialization initializer, honoring its
+/// absent-key behavior. A `default = "path"` path resolves in the scope
+/// of the deriving item, same as real serde.
+fn de_named_field(f: &Field, ty: &str) -> String {
+    let name = &f.name;
+    match &f.default {
+        None => format!("{name}: ::serde::__map_field(__m, \"{name}\", \"{ty}\")?,"),
+        Some(None) => format!(
+            "{name}: ::serde::__map_field_or(__m, \"{name}\", \"{ty}\", \
+             ::std::default::Default::default)?,"
+        ),
+        Some(Some(path)) => {
+            format!("{name}: ::serde::__map_field_or(__m, \"{name}\", \"{ty}\", {path})?,")
+        }
+    }
 }
