@@ -203,15 +203,22 @@ pub fn registry_counter(doc: &Value, name: &str) -> Option<f64> {
         .as_f64()
 }
 
-/// Fault-plane regression rows of a `fleet_faults` record: the two
-/// claims the committed record pins, re-checked from the record itself
-/// so they cannot silently rot between re-measurements. (1) Every
-/// recovery in every cell reconciled exactly — `reconciled` equals
-/// `recoveries` — because a drifting ledger replay is a correctness
-/// bug, not noise. (2) In the crash scenario the elastic fleet beats
-/// the static fleet on total operating cost: surviving the crash via
-/// the population floor must not cost extra. Returns one human-readable
-/// description per violated claim; empty for records of other benches.
+/// Fault-plane regression rows of a `fleet_faults` record: the claims
+/// the committed record pins, re-checked from the record itself so they
+/// cannot silently rot between re-measurements. (1) Every recovery in
+/// every cell reconciled exactly — `reconciled` equals `recoveries` —
+/// because a drifting ledger replay is a correctness bug, not noise.
+/// (2) In the crash scenario the elastic fleet beats the static fleet
+/// on total operating cost: surviving the crash via the population
+/// floor must not cost extra. (3) In the cascade pair, capital-
+/// preserving evacuation salvages real capital and its ledgered loss —
+/// write-off *plus* the full eq. 12 transfer bill — stays below the
+/// pure write-off of the identical cascade (salvage-beats-write-off
+/// ordering). (4) The evacuating elastic fleet also wins on loss-
+/// adjusted total cost (operating + builds + capital destroyed).
+/// Records that predate the cascade rows produce no cascade flags.
+/// Returns one human-readable description per violated claim; empty
+/// for records of other benches.
 #[must_use]
 pub fn fault_plane_regressions(doc: &Value) -> Vec<String> {
     if doc.get("bench").and_then(Value::as_str) != Some("fleet_faults") {
@@ -236,23 +243,62 @@ pub fn fault_plane_regressions(doc: &Value) -> Vec<String> {
             ));
         }
     }
-    let crash_cost = |mode: &str| {
+    let cell_value = |scenario: &str, mode: &str, key: &str| {
         cells.iter().find_map(|cell| {
-            if cell.get("scenario").and_then(Value::as_str) == Some("crash")
+            if cell.get("scenario").and_then(Value::as_str) == Some(scenario)
                 && cell.get("mode").and_then(Value::as_str) == Some(mode)
             {
-                cell.get("total_cost_usd").and_then(Value::as_f64)
+                cell.get(key).and_then(Value::as_f64)
             } else {
                 None
             }
         })
     };
-    if let (Some(st), Some(el)) = (crash_cost("static"), crash_cost("elastic")) {
+    if let (Some(st), Some(el)) = (
+        cell_value("crash", "static", "total_cost_usd"),
+        cell_value("crash", "elastic", "total_cost_usd"),
+    ) {
         if el >= st {
             flags.push(format!(
                 "crash scenario: elastic-with-respawn at ${el:.4} no longer beats \
                  static-with-crash (${st:.4})"
             ));
+        }
+    }
+    // The evacuation claims, gated only when the record carries the
+    // cascade pair (historical records predate it).
+    let evac = |key: &str| cell_value("cascade-evacuate", "elastic", key);
+    let casc = |key: &str| cell_value("cascade", "elastic", key);
+    if let (Some(ewo), Some(sal), Some(tr), Some(cwo)) = (
+        evac("write_off_usd"),
+        evac("salvaged_usd"),
+        evac("transfer_usd"),
+        casc("write_off_usd"),
+    ) {
+        if sal <= 0.0 {
+            flags.push(format!(
+                "cascade-evacuate/elastic: evacuation salvaged nothing (${sal:.4})"
+            ));
+        }
+        if ewo + tr >= cwo {
+            flags.push(format!(
+                "cascade scenario: evacuation loss ${ewo:.4} + ${tr:.4} transfers no longer \
+                 beats the pure write-off (${cwo:.4})"
+            ));
+        }
+        if let (Some(ecost), Some(ccost), Some(cwo2)) = (
+            evac("total_cost_usd"),
+            casc("total_cost_usd"),
+            casc("write_off_usd"),
+        ) {
+            if ecost + ewo >= ccost + cwo2 {
+                flags.push(format!(
+                    "cascade scenario: elastic-with-evacuation loss-adjusted cost \
+                     ${:.4} no longer beats elastic-with-write-off (${:.4})",
+                    ecost + ewo,
+                    ccost + cwo2
+                ));
+            }
         }
     }
     flags
@@ -346,6 +392,25 @@ impl BenchTrend {
     }
 }
 
+/// Judges the last step of a headline trend, returning the tolerance it
+/// was held to and whether it counts as a regression.
+///
+/// Either endpoint's own measured noise can explain a step down, so the
+/// tolerance is [`REGRESSION_TOLERANCE`] widened to the larger of the
+/// two endpoints' recorded rep spreads. A step beyond even that is
+/// still forgiven when the new best lands inside the previous record's
+/// own delivery envelope: the committed record's worst rep
+/// (`prev * (1 - spread_prev)`) is throughput the runner demonstrably
+/// produced while measuring that very record, so a new best above that
+/// floor (less the blanket tolerance) is cross-session runner drift,
+/// not a code regression. A genuine collapse clears both bars.
+fn headline_step(prev: f64, cur: f64, spread_prev: f64, spread_cur: f64) -> (f64, bool) {
+    let tolerance = REGRESSION_TOLERANCE.max(spread_prev).max(spread_cur);
+    let delta = if prev > 0.0 { (cur - prev) / prev } else { 0.0 };
+    let prev_floor = prev * (1.0 - spread_prev) * (1.0 - REGRESSION_TOLERANCE);
+    (tolerance, delta < -tolerance && cur < prev_floor)
+}
+
 /// Assembles the trend of one record file from its git history plus the
 /// working-tree content.
 #[must_use]
@@ -407,19 +472,19 @@ pub fn bench_trend(file: &str) -> BenchTrend {
     } else {
         0.0
     };
-    // Either endpoint's own measured noise can explain a step down, so
-    // the check is held to the wider of the two spreads (floored at the
-    // blanket tolerance).
-    let tolerance = if spreads.len() >= 2 {
-        REGRESSION_TOLERANCE
-            .max(spreads[spreads.len() - 2])
-            .max(spreads[spreads.len() - 1])
+    let (tolerance, regressed) = if points.len() >= 2 {
+        headline_step(
+            points[points.len() - 2],
+            points[points.len() - 1],
+            spreads[spreads.len() - 2],
+            spreads[spreads.len() - 1],
+        )
     } else {
-        REGRESSION_TOLERANCE
+        (REGRESSION_TOLERANCE, false)
     };
     BenchTrend {
         file: file.to_string(),
-        regressed: last_delta < -tolerance,
+        regressed,
         points,
         last_delta,
         tolerance,
@@ -590,6 +655,50 @@ mod tests {
     }
 
     #[test]
+    fn fault_plane_flags_salvage_ordering_inversion() {
+        // Evacuation that salvages nothing AND whose loss line exceeds
+        // the pure write-off trips both cascade gates.
+        let doc = parse(
+            r#"{"bench": "fleet_faults", "cells": [
+                {"scenario": "cascade", "mode": "elastic", "total_cost_usd": 10.0,
+                 "write_off_usd": 0.20},
+                {"scenario": "cascade-evacuate", "mode": "elastic", "total_cost_usd": 10.1,
+                 "write_off_usd": 0.18, "salvaged_usd": 0.0, "transfer_usd": 0.05}
+            ]}"#,
+        );
+        let flags = fault_plane_regressions(&doc);
+        assert_eq!(flags.len(), 3, "{flags:?}");
+        assert!(flags[0].contains("salvaged nothing"), "{flags:?}");
+        assert!(
+            flags[1].contains("no longer beats the pure write-off"),
+            "{flags:?}"
+        );
+        assert!(flags[2].contains("loss-adjusted cost"), "{flags:?}");
+    }
+
+    #[test]
+    fn fault_plane_accepts_healthy_cascade_pair_and_legacy_records() {
+        let healthy = parse(
+            r#"{"bench": "fleet_faults", "cells": [
+                {"scenario": "cascade", "mode": "elastic", "total_cost_usd": 10.0,
+                 "write_off_usd": 0.20},
+                {"scenario": "cascade-evacuate", "mode": "elastic", "total_cost_usd": 10.01,
+                 "write_off_usd": 0.03, "salvaged_usd": 0.02, "transfer_usd": 0.15}
+            ]}"#,
+        );
+        assert!(fault_plane_regressions(&healthy).is_empty());
+        // A record from before the cascade rows existed is never held to
+        // the evacuation claims.
+        let legacy = parse(
+            r#"{"bench": "fleet_faults", "cells": [
+                {"scenario": "crash", "mode": "static", "total_cost_usd": 18.0},
+                {"scenario": "crash", "mode": "elastic", "total_cost_usd": 11.8}
+            ]}"#,
+        );
+        assert!(fault_plane_regressions(&legacy).is_empty());
+    }
+
+    #[test]
     fn healthy_fault_records_and_other_benches_pass() {
         let healthy = parse(
             r#"{"bench": "fleet_faults", "cells": [
@@ -649,6 +758,30 @@ mod tests {
             ..trend
         };
         assert_eq!(healthy.regression_message(), None);
+    }
+
+    #[test]
+    fn headline_step_forgives_drops_inside_the_previous_envelope() {
+        // Previous record: best 50000 with a 10% rep spread, so its own
+        // worst rep was 45000. A new best of 43000 is a -14% step —
+        // beyond the 10% tolerance — but above the envelope floor
+        // (45000 * 0.95 = 42750), so it reads as runner drift.
+        let (tolerance, regressed) = headline_step(50000.0, 43000.0, 0.10, 0.08);
+        assert!((tolerance - 0.10).abs() < 1e-12, "tolerance {tolerance}");
+        assert!(!regressed, "drop inside the previous envelope flagged");
+
+        // Below the floor, the same spread no longer excuses the step.
+        let (_, regressed) = headline_step(50000.0, 42000.0, 0.10, 0.08);
+        assert!(regressed, "drop beyond the previous envelope forgiven");
+    }
+
+    #[test]
+    fn headline_step_without_spreads_reduces_to_the_blanket_tolerance() {
+        let (tolerance, regressed) = headline_step(50000.0, 47600.0, 0.0, 0.0);
+        assert!((tolerance - REGRESSION_TOLERANCE).abs() < 1e-12);
+        assert!(!regressed, "-4.8% flagged under a 5% tolerance");
+        let (_, regressed) = headline_step(50000.0, 47000.0, 0.0, 0.0);
+        assert!(regressed, "-6.0% with no recorded spread forgiven");
     }
 
     #[test]

@@ -443,6 +443,14 @@ impl ElasticController {
         }
     }
 
+    /// The next scheduled review instant. Population-floor respawns
+    /// land at reviews, so the executor's total-outage wait advances
+    /// queries to this instant when no node is routable.
+    #[must_use]
+    pub fn next_review_at(&self) -> SimTime {
+        SimTime::from_secs(self.next_review)
+    }
+
     /// Runs every review due at or before `now` (the current arrival
     /// instant). Call once per arrival, before accrual and routing, so
     /// decisions take effect from the exact review instant.

@@ -1,0 +1,347 @@
+//! Capital-preserving evacuation: pricing and ranking for moving a dying
+//! node's structures to survivors instead of writing them off.
+//!
+//! The paper already prices moving a column between configurations —
+//! eq. 12 charges exactly the wire cost of the bytes — yet the fault
+//! plane's first cut (PR 7) ledgered a crashed node's entire invested
+//! capital as a loss. This module closes the gap: when a node enters a
+//! planned-crash **warning window** or begins a **drain**, its cached
+//! structures are ranked by regret- and payment-weighted value per byte,
+//! their transfer to each survivor is priced at eq. 12's column-move
+//! cost, and only the structures whose expected surplus exceeds that
+//! cost migrate. The move settles through the economy — the receiver
+//! withdraws the transfer price as investment capital, the victim's
+//! residual write-off shrinks by the moved capital — so salvaged
+//! capital + transfer spend + residual write-off reconcile *exactly*
+//! against the pre-fault invested capital (the same zero-drift contract
+//! crash-recover replay keeps).
+//!
+//! The module also hosts the router's [`RetryPolicy`]: deadline-budgeted
+//! retry for queries routed at degraded or mid-crash nodes, with
+//! deterministic backoff charged against the query's remaining budget
+//! headroom and graceful downgrade to the backend plan when the budget
+//! can no longer cover a retry.
+
+use cache::StructureKey;
+use econ::EconomyManager;
+use planner::Estimator;
+use pricing::Money;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// When and whether the fault plane evacuates structures off dying nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvacuateSpec {
+    /// How many seconds before a *planned* crash the evacuation fires
+    /// (the warning window). Clamped so the warning never lands before
+    /// half the crash instant; 0 disables pre-crash evacuation.
+    pub warning_secs: f64,
+    /// Also evacuate nodes the elastic control plane begins draining —
+    /// voluntary retirement salvages capital the same way.
+    pub on_drain: bool,
+}
+
+impl EvacuateSpec {
+    /// Validates the spec (named-field error messages).
+    ///
+    /// # Errors
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.warning_secs.is_finite() || self.warning_secs < 0.0 {
+            return Err(format!(
+                "evacuation.warning_secs {} must be non-negative",
+                self.warning_secs
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Deadline-budgeted retry for queries routed at degraded nodes.
+///
+/// Each retry costs deterministic backoff wall-clock *and* shrinks the
+/// query's willingness-to-pay headroom over the backend price: attempt
+/// `k` multiplies the headroom by `(1 − budget_decay)`. As the headroom
+/// collapses toward the backend price, the economy's own case analysis
+/// stops selecting cache plans the budget can no longer cover — the
+/// graceful downgrade to the backend plan falls out of `B_Q(t)` rather
+/// than a special code path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total routing attempts allowed per query (≥ 1; 1 means no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, seconds (≥ 0).
+    pub backoff_secs: f64,
+    /// Multiplier applied to the backoff on each further retry (≥ 1).
+    pub backoff_factor: f64,
+    /// Fraction of the query's remaining budget headroom consumed by
+    /// each retry, in (0, 1]. 1 collapses the budget to the backend
+    /// price after one retry.
+    pub budget_decay: f64,
+}
+
+impl RetryPolicy {
+    /// Validates the policy (named-field error messages).
+    ///
+    /// # Errors
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts < 1 {
+            return Err("retry.max_attempts must be at least 1".into());
+        }
+        if !self.backoff_secs.is_finite() || self.backoff_secs < 0.0 {
+            return Err(format!(
+                "retry.backoff_secs {} must be non-negative",
+                self.backoff_secs
+            ));
+        }
+        if !self.backoff_factor.is_finite() || self.backoff_factor < 1.0 {
+            return Err(format!(
+                "retry.backoff_factor {} must be at least 1",
+                self.backoff_factor
+            ));
+        }
+        if !self.budget_decay.is_finite() || self.budget_decay <= 0.0 || self.budget_decay > 1.0 {
+            return Err(format!(
+                "retry.budget_decay {} must be in (0, 1]",
+                self.budget_decay
+            ));
+        }
+        Ok(())
+    }
+
+    /// Backoff charged before retry `attempt` (1-based: the first retry
+    /// is attempt 1), seconds. Deterministic geometric schedule.
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u32) -> f64 {
+        self.backoff_secs * self.backoff_factor.powi(attempt.saturating_sub(1) as i32)
+    }
+
+    /// The query's budget scale after one retry's decay: the headroom
+    /// over the backend price (`scale − 1`) shrinks by `budget_decay`.
+    /// Never drops below 1 (the backend price itself).
+    #[must_use]
+    pub fn decayed_budget_scale(&self, scale: f64) -> f64 {
+        1.0 + (scale - 1.0).max(0.0) * (1.0 - self.budget_decay)
+    }
+}
+
+/// One structure the evacuation planner priced for migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvacuationCandidate {
+    /// The structure to move.
+    pub key: StructureKey,
+    /// Its cached size (the bytes eq. 12 prices).
+    pub size_bytes: u64,
+    /// Capital originally invested in the structure (its build cost).
+    pub invested: Money,
+    /// Eq. 12 wire cost of moving those bytes to a survivor.
+    pub transfer: Money,
+    /// Wire time of the move (the receiver's availability delay).
+    pub transfer_time: SimDuration,
+    /// Expected surplus of moving vs writing off: the salvageable
+    /// capital (`invested − transfer`) plus the demand signal (accrued
+    /// regret and the amortized share already paid back by queries).
+    /// Only structures with positive value migrate.
+    pub value: Money,
+}
+
+/// Ranks `candidates` by value per byte, descending (exact `i128`
+/// cross-multiplication — no float rounding), ties broken by ascending
+/// structure key so the order is total and deterministic.
+pub fn rank_candidates(candidates: &mut [EvacuationCandidate]) {
+    candidates.sort_by(|a, b| {
+        let lhs = a.value.as_nanos() * i128::from(b.size_bytes.max(1));
+        let rhs = b.value.as_nanos() * i128::from(a.size_bytes.max(1));
+        rhs.cmp(&lhs).then_with(|| a.key.cmp(&b.key))
+    });
+}
+
+/// Prices every migratable structure on `economy` at `now` and returns
+/// the ones worth moving, ranked best-first (see [`rank_candidates`]).
+///
+/// A structure is migratable when it occupies disk (extra CPU nodes
+/// cannot be shipped) and its build has completed (`available_at ≤ now`
+/// — a mid-transfer structure has no bytes to move yet). Its value is
+///
+/// ```text
+/// value = (invested − transfer)            // salvageable capital
+///       + regret_of(key)                   // demand the node turned away
+///       + (invested − unamortized)         // capital queries already paid back
+/// ```
+///
+/// and only candidates with `value > 0` **and positive salvage**
+/// (`transfer < invested`) are returned. A structure nobody used and
+/// nobody missed is cheaper to write off than to ship; a structure
+/// whose wire cost exceeds its build cost is cheaper to *rebuild* on a
+/// survivor than to ship, so moving it can never improve the loss line.
+#[must_use]
+pub fn evacuation_candidates(
+    economy: &EconomyManager,
+    estimator: &Estimator,
+    now: SimTime,
+) -> Vec<EvacuationCandidate> {
+    let rates = &estimator.prices().rates;
+    let mut out: Vec<EvacuationCandidate> = economy
+        .cache()
+        .iter()
+        .filter(|s| s.key.occupies_disk() && s.available_at <= now)
+        .filter_map(|s| {
+            let transfer = rates.transfer_cost(s.size_bytes);
+            let salvage = s.build_cost - transfer;
+            let demand = economy.regret().regret_of(s.key) + (s.build_cost - s.unamortized);
+            let value = salvage + demand;
+            (salvage.is_positive() && value.is_positive()).then(|| EvacuationCandidate {
+                key: s.key,
+                size_bytes: s.size_bytes,
+                invested: s.build_cost,
+                transfer,
+                transfer_time: estimator.network().transfer_time(s.size_bytes),
+                value,
+            })
+        })
+        .collect();
+    rank_candidates(&mut out);
+    out
+}
+
+/// One structure actually moved off a dying node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvacuatedMove {
+    /// The moved structure, displayed (`column:…` / `index:…`).
+    pub key: String,
+    /// Bytes shipped.
+    pub bytes: u64,
+    /// Capital the structure carried on the victim's books.
+    pub invested: Money,
+    /// Eq. 12 wire cost the receiver paid.
+    pub transfer: Money,
+    /// Receiving node id.
+    pub to: usize,
+}
+
+/// The settlement of one node's evacuation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvacuateRecord {
+    /// The evacuated node's id.
+    pub node: usize,
+    /// Why the evacuation fired: `"warning"` (planned-crash window) or
+    /// `"drain"` (voluntary retirement).
+    pub reason: String,
+    /// Structures moved to survivors.
+    pub structures_moved: u64,
+    /// Capital preserved: moved invested capital minus transfer spend.
+    pub salvaged: Money,
+    /// Total eq. 12 wire cost paid by receivers.
+    pub transfer_spend: Money,
+    /// Every move, in execution order (ranked best value-per-byte first).
+    pub moves: Vec<EvacuatedMove>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalog::ColumnId;
+
+    fn cand(col: u32, bytes: u64, value_nanos: i128) -> EvacuationCandidate {
+        EvacuationCandidate {
+            key: StructureKey::Column(ColumnId(col)),
+            size_bytes: bytes,
+            invested: Money::ZERO,
+            transfer: Money::ZERO,
+            transfer_time: SimDuration::ZERO,
+            value: Money::from_nanos(value_nanos),
+        }
+    }
+
+    #[test]
+    fn ranking_is_value_per_byte_descending_with_key_ties() {
+        // 100/10 = 10 per byte; 50/10 = 5; 90/9 = 10 (ties col 0 by key).
+        let mut cands = vec![cand(2, 10, 50), cand(1, 9, 90), cand(0, 10, 100)];
+        rank_candidates(&mut cands);
+        let order: Vec<u64> = cands.iter().map(|c| c.size_bytes).collect();
+        assert_eq!(order, vec![10, 9, 10]);
+        // The two 10-per-byte candidates tie exactly; ascending key wins.
+        let first = match cands[0].key {
+            StructureKey::Column(c) => c.0,
+            _ => unreachable!(),
+        };
+        assert_eq!(first, 0);
+    }
+
+    #[test]
+    fn retry_policy_validates_by_name() {
+        let ok = RetryPolicy {
+            max_attempts: 3,
+            backoff_secs: 2.0,
+            backoff_factor: 2.0,
+            budget_decay: 0.5,
+        };
+        assert!(ok.validate().is_ok());
+
+        let mut p = ok;
+        p.max_attempts = 0;
+        assert!(p.validate().unwrap_err().contains("max_attempts"));
+
+        let mut p = ok;
+        p.backoff_secs = -1.0;
+        assert!(p.validate().unwrap_err().contains("backoff_secs"));
+
+        let mut p = ok;
+        p.backoff_factor = 0.5;
+        assert!(p.validate().unwrap_err().contains("backoff_factor"));
+
+        let mut p = ok;
+        p.budget_decay = 0.0;
+        assert!(p.validate().unwrap_err().contains("budget_decay"));
+        p.budget_decay = 1.5;
+        assert!(p.validate().unwrap_err().contains("budget_decay"));
+    }
+
+    #[test]
+    fn backoff_schedule_is_geometric() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            backoff_secs: 2.0,
+            backoff_factor: 3.0,
+            budget_decay: 0.5,
+        };
+        assert_eq!(p.backoff_for(1), 2.0);
+        assert_eq!(p.backoff_for(2), 6.0);
+        assert_eq!(p.backoff_for(3), 18.0);
+    }
+
+    #[test]
+    fn budget_decay_collapses_headroom_toward_backend_price() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            backoff_secs: 1.0,
+            backoff_factor: 1.0,
+            budget_decay: 0.5,
+        };
+        let s1 = p.decayed_budget_scale(2.0);
+        assert!((s1 - 1.5).abs() < 1e-12);
+        let s2 = p.decayed_budget_scale(s1);
+        assert!((s2 - 1.25).abs() < 1e-12);
+        // Headroom never goes below the backend price itself.
+        assert_eq!(p.decayed_budget_scale(1.0), 1.0);
+        assert_eq!(p.decayed_budget_scale(0.5), 1.0);
+    }
+
+    #[test]
+    fn evacuate_spec_validates() {
+        assert!(EvacuateSpec {
+            warning_secs: 60.0,
+            on_drain: true
+        }
+        .validate()
+        .is_ok());
+        assert!(EvacuateSpec {
+            warning_secs: f64::NAN,
+            on_drain: false
+        }
+        .validate()
+        .unwrap_err()
+        .contains("warning_secs"));
+    }
+}

@@ -33,8 +33,9 @@ use simulator::RunResult;
 use workload::paper_templates;
 
 use telemetry::{
-    LifecyclePhase, MetricsRegistry, NodeCrashEvent, NodeLifecycleEvent, NodeRecoverEvent,
-    NoopSink, PlanCacheDelta, QuoteRoundEvent, Recorder, SettlementEvent, TraceEvent, TraceSink,
+    LifecyclePhase, MetricsRegistry, NodeCrashEvent, NodeEvacuateEvent, NodeLifecycleEvent,
+    NodeRecoverEvent, NoopSink, PlanCacheDelta, QueryRetryEvent, QuoteRoundEvent, Recorder,
+    SettlementEvent, TraceEvent, TraceSink,
 };
 
 use crate::config::FleetConfig;
@@ -358,6 +359,7 @@ impl FleetSim {
                 self.config.econ.clone(),
                 Arc::clone(&self.schema),
                 cell,
+                self.config.seed,
             )
         });
         let mut controller = self
@@ -406,6 +408,58 @@ impl FleetSim {
             if let Some(controller) = &mut controller {
                 controller.run_due_reviews(&mut population, &ctx, now);
             }
+            if let Some(inj) = injector.as_mut() {
+                // Capital-preserving evacuation of control-plane drains:
+                // newly draining nodes migrate their profitable
+                // structures before retirement instead of scrapping them.
+                inj.sweep_draining(&mut population, &ctx, now);
+            }
+            // Total-outage wait: a correlated crash can momentarily
+            // leave no routable node (the survivors already retired,
+            // the population-floor respawns still booting). The query
+            // queues until capacity returns — its effective serve
+            // instant advances through the control-plane actions due in
+            // the window (reviews and fault events run at their exact
+            // instants), and the wait folds into its end-to-end latency
+            // sample exactly like retry backoff.
+            let arrived = now;
+            let mut now = now;
+            while population.routable_count(now) == 0 {
+                let mut next: Option<f64> = population
+                    .live()
+                    .iter()
+                    .filter(|n| n.drain_since().is_none() && now.as_secs() < n.ready_at().as_secs())
+                    .map(|n| n.ready_at().as_secs())
+                    .min_by(f64::total_cmp);
+                if let Some(controller) = &controller {
+                    let review = controller.next_review_at().as_secs();
+                    next = Some(next.map_or(review, |t| t.min(review)));
+                }
+                if let Some(at) = injector.as_ref().and_then(|i| i.next_event_at()) {
+                    let at = at.as_secs();
+                    next = Some(next.map_or(at, |t| t.min(at)));
+                }
+                let Some(next) = next.filter(|t| *t > now.as_secs()) else {
+                    panic!("no routable node and no pending control-plane action to restore one");
+                };
+                now = SimTime::from_secs(next);
+                if let Some(inj) = injector.as_mut() {
+                    while let Some(fault_at) = inj.next_due(now) {
+                        if let Some(controller) = &mut controller {
+                            controller.run_due_reviews(&mut population, &ctx, fault_at);
+                        }
+                        inj.process_next(&mut population, &ctx, rates);
+                    }
+                }
+                if let Some(controller) = &mut controller {
+                    controller.run_due_reviews(&mut population, &ctx, now);
+                }
+                if let Some(inj) = injector.as_mut() {
+                    inj.sweep_draining(&mut population, &ctx, now);
+                }
+            }
+            let outage_wait = now.saturating_since(arrived).as_secs();
+            horizon = horizon.max(now);
             if let Some(registry) = registry.as_mut() {
                 if let Some(controller) = &controller {
                     let ledger = controller.ledger();
@@ -436,21 +490,82 @@ impl FleetSim {
             let mut chosen = router.route(population.live_mut(), &ctx, &query, now);
             // Per-query timeout fallback: a degraded winner whose backlog
             // already exceeds the timeout is suppressed for one more
-            // round and the query re-routes to the next-best candidate.
-            // Pure simulation state drives the decision, so traced and
-            // untraced runs take the identical path.
+            // round and the query re-routes to the next-best candidate —
+            // once (legacy), or under the plan's deadline-budgeted
+            // [`RetryPolicy`] with deterministic backoff charged against
+            // the query's remaining budget headroom. Pure simulation
+            // state drives every decision, so traced and untraced runs
+            // take the identical path.
+            let mut retry_wait = 0.0_f64;
+            let mut retried_query: Option<workload::Query> = None;
             if let Some(inj) = injector.as_mut() {
                 let timeout = inj.timeout_secs();
-                if timeout > 0.0 && population.routable_count(now) > 1 {
-                    let winner = &population.live()[chosen];
-                    if winner.degrade_slowdown(now) > 1.0 && winner.outstanding(now) >= timeout {
-                        population.live_mut()[chosen].suppress_route();
-                        let rerouted = router.route(population.live_mut(), &ctx, &query, now);
-                        population.live_mut()[chosen].unsuppress_route();
-                        chosen = rerouted;
-                        inj.note_timeout();
-                        if let Some(registry) = registry.as_mut() {
-                            registry.counter_add("fault.timeouts", 1);
+                if timeout > 0.0 {
+                    if let Some(policy) = inj.retry().copied() {
+                        let mut suppressed: Vec<usize> = Vec::new();
+                        let mut scale = query.budget_scale;
+                        let mut attempt = 1u32;
+                        // Retry while the winner is degraded past the
+                        // timeout, attempts remain, an alternative node
+                        // exists, and the budget still has headroom to
+                        // pay for a retry. When the headroom is gone the
+                        // decayed budget itself downgrades the plan: a
+                        // `B_Q(t)` pinned at the backend price makes the
+                        // economy serve the backend plan organically.
+                        while attempt < policy.max_attempts
+                            && population.routable_count(now) > 1
+                            && scale - 1.0 > 1e-9
+                        {
+                            let winner = &population.live()[chosen];
+                            if !(winner.degrade_slowdown(now) > 1.0
+                                && winner.outstanding(now) >= timeout)
+                            {
+                                break;
+                            }
+                            let backoff = policy.backoff_for(attempt);
+                            retry_wait += backoff;
+                            scale = policy.decayed_budget_scale(scale);
+                            let from_node = winner.id();
+                            population.live_mut()[chosen].suppress_route();
+                            suppressed.push(chosen);
+                            let mut decayed = query.clone();
+                            decayed.budget_scale = scale;
+                            chosen = router.route(population.live_mut(), &ctx, &decayed, now);
+                            inj.note_retry();
+                            if let Some(registry) = registry.as_mut() {
+                                registry.counter_add("fault.retries", 1);
+                                registry.observe("fault.retry_backoff", backoff);
+                                sink.emit(TraceEvent::QueryRetry(QueryRetryEvent {
+                                    cell,
+                                    at_secs: now.as_secs(),
+                                    tenant: tenant.0,
+                                    template: query.template.0,
+                                    query: query.id.0,
+                                    from_node,
+                                    to_node: population.live()[chosen].id(),
+                                    attempt,
+                                    backoff_secs: backoff,
+                                    budget_scale: scale,
+                                }));
+                            }
+                            retried_query = Some(decayed);
+                            attempt += 1;
+                        }
+                        for idx in suppressed {
+                            population.live_mut()[idx].unsuppress_route();
+                        }
+                    } else if population.routable_count(now) > 1 {
+                        let winner = &population.live()[chosen];
+                        if winner.degrade_slowdown(now) > 1.0 && winner.outstanding(now) >= timeout
+                        {
+                            population.live_mut()[chosen].suppress_route();
+                            let rerouted = router.route(population.live_mut(), &ctx, &query, now);
+                            population.live_mut()[chosen].unsuppress_route();
+                            chosen = rerouted;
+                            inj.note_timeout();
+                            if let Some(registry) = registry.as_mut() {
+                                registry.counter_add("fault.timeouts", 1);
+                            }
                         }
                     }
                 }
@@ -473,11 +588,23 @@ impl FleetSim {
             } else {
                 None
             };
-            let outcome = population.live_mut()[chosen].serve(&ctx, &query, now);
+            // Retried queries serve with their decayed budget and fold
+            // the accumulated backoff into the delivered latency exactly
+            // once — the response histogram records a single end-to-end
+            // sample per query, never one per timed-out attempt.
+            let eff_query = retried_query.as_ref().unwrap_or(&query);
+            let outcome = population.live_mut()[chosen].serve_delayed(
+                &ctx,
+                eff_query,
+                now,
+                outage_wait + retry_wait,
+            );
             if let Some(inj) = injector.as_mut() {
                 // Journal the serve for nodes awaiting replay-recovery
-                // (one hash probe for everyone else).
-                inj.note_served(population.live()[chosen].id(), now, &query);
+                // (one hash probe for everyone else). The *effective*
+                // query is journaled, so recovery replay reproduces the
+                // decayed-budget economics bit for bit.
+                inj.note_served(population.live()[chosen].id(), now, eff_query);
             }
             if let Some(registry) = registry.as_mut() {
                 let after_serve = plan_cache_totals(population.live());
@@ -627,6 +754,7 @@ fn emit_fault(sink: &mut dyn TraceSink, registry: &mut MetricsRegistry, record: 
     match &record.event {
         FaultOutcome::Crash(c) => {
             registry.counter_add("fault.crashes", 1);
+            registry.counter_add("fault.cascade_crashes", u64::from(c.cascade_depth > 0));
             registry.gauge_add("fault.write_off", c.write_off);
             if c.requeued_secs > 0.0 {
                 registry.observe("fault.requeue_secs", c.requeued_secs);
@@ -641,10 +769,32 @@ fn emit_fault(sink: &mut dyn TraceSink, registry: &mut MetricsRegistry, record: 
                 profit: c.profit,
                 operating: c.operating,
                 write_off: c.write_off,
+                salvaged: c.salvaged,
+                transfer_spend: c.transfer_spend,
+                cascade_depth: c.cascade_depth,
                 disk_bytes: c.disk_bytes,
                 requeued_secs: c.requeued_secs,
                 requeued_to: c.requeued_to,
                 recover_planned: c.recover_planned,
+            }));
+        }
+        FaultOutcome::Evacuate(e) => {
+            registry.counter_add("fault.evacuations", 1);
+            registry.counter_add("fault.structures_moved", e.structures_moved);
+            registry.gauge_add("fault.salvaged", e.salvaged);
+            registry.gauge_add("fault.transfer_spend", e.transfer_spend);
+            let mut receivers: Vec<usize> = e.moves.iter().map(|m| m.to).collect();
+            receivers.sort_unstable();
+            receivers.dedup();
+            sink.emit(TraceEvent::NodeEvacuate(NodeEvacuateEvent {
+                cell: record.cell,
+                at_secs: record.at_secs,
+                node: e.node,
+                reason: e.reason.clone(),
+                structures_moved: e.structures_moved,
+                salvaged: e.salvaged,
+                transfer_spend: e.transfer_spend,
+                receivers,
             }));
         }
         FaultOutcome::Recover(r) => {

@@ -27,9 +27,20 @@
 //! * **Degradations** slow a node's delivered responses by a multiplier
 //!   inside a window; with a timeout configured, quote rounds that pick
 //!   a degraded node whose backlog exceeds the timeout re-route to the
-//!   next-best candidate.
+//!   next-best candidate — or, with a [`RetryPolicy`] configured, run a
+//!   deadline-budgeted retry loop with deterministic backoff charged
+//!   against the query's remaining budget headroom.
 //! * **Surges** (flash crowds) compress the arrival processes inside
 //!   windows via `workload::SurgeOverlay`.
+//! * **Fault groups** ([`FaultGroup`]) crash several nodes at one
+//!   instant, rack-failure style; a [`CascadeSpec`] lets every crash
+//!   raise per-survivor follow-on crash probability from the run's
+//!   deterministic RNG, so cascades stay a pure function of config.
+//! * **Evacuation** ([`crate::evacuate::EvacuateSpec`]): inside a
+//!   planned-crash warning window (or on drain), profitable structures
+//!   migrate to survivors at eq. 12's column-move price instead of being
+//!   written off — salvaged capital + transfer spend + residual
+//!   write-off reconcile exactly against the pre-fault invested capital.
 //!
 //! **Determinism stays the contract.** Faults are part of the config:
 //! injection instants are simulated time, every decision is a pure
@@ -41,19 +52,27 @@
 //! Injection instants are processed when the first arrival at or after
 //! them is served; instants past the run's last arrival never fire.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
+use cache::StructureKey;
 use catalog::Schema;
 use planner::PlannerContext;
 use pricing::{Money, ResourceRates};
 use serde::{Deserialize, Serialize};
-use simcore::SimTime;
+use simcore::{SimRng, SimTime};
 use simulator::make_policy;
 use workload::Query;
 
 use crate::elastic::NodePopulation;
+use crate::evacuate::{
+    evacuation_candidates, EvacuateRecord, EvacuateSpec, EvacuatedMove, RetryPolicy,
+};
 use crate::node::{CacheNode, NodeSpec};
+
+/// Stream-domain separator folded into the run seed for cascade draws, so
+/// the fault plane's RNG never collides with workload or tenant streams.
+const CASCADE_STREAM_SALT: u64 = 0xFA17_CA5C_ADE0_0001;
 
 /// One scheduled node crash.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,6 +84,66 @@ pub struct CrashSpec {
     /// When set, a replacement node is reconstructed by ledger replay
     /// this many seconds after the crash.
     pub recover_after_secs: Option<f64>,
+}
+
+/// One rack-style correlated crash: several seed nodes lost at one
+/// instant (compiled to per-node crash events sharing it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultGroup {
+    /// Seed node ids lost together (non-empty, unique within the group).
+    pub nodes: Vec<usize>,
+    /// Simulated instant of the group crash, seconds.
+    pub at_secs: f64,
+    /// When set, every member is reconstructed by ledger replay this
+    /// many seconds after the crash.
+    pub recover_after_secs: Option<f64>,
+}
+
+/// Correlated follow-on crashes: every crash raises each survivor's
+/// probability of crashing `delay_secs` later, drawn from the run's
+/// deterministic RNG — a cascade is a pure function of the config.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CascadeSpec {
+    /// Per-survivor follow-on crash probability after a depth-0 crash,
+    /// in `[0, 1]`.
+    pub probability: f64,
+    /// Multiplier applied to the probability per cascade depth, in
+    /// `(0, 1]` — depth `d` crashes propagate at `probability × decay^d`.
+    pub decay: f64,
+    /// Seconds between a crash and the follow-on crashes it triggers
+    /// (> 0, so a cascade never re-enters the same instant).
+    pub delay_secs: f64,
+    /// Maximum cascade depth (≥ 1): depth-`max_depth` crashes trigger no
+    /// further follow-ons.
+    pub max_depth: u32,
+}
+
+impl CascadeSpec {
+    /// Validates the spec (named-field error messages).
+    ///
+    /// # Errors
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.probability.is_finite() || !(0.0..=1.0).contains(&self.probability) {
+            return Err(format!(
+                "cascade.probability {} must be in [0, 1]",
+                self.probability
+            ));
+        }
+        if !self.decay.is_finite() || self.decay <= 0.0 || self.decay > 1.0 {
+            return Err(format!("cascade.decay {} must be in (0, 1]", self.decay));
+        }
+        if !self.delay_secs.is_finite() || self.delay_secs <= 0.0 {
+            return Err(format!(
+                "cascade.delay_secs {} must be positive",
+                self.delay_secs
+            ));
+        }
+        if self.max_depth < 1 {
+            return Err("cascade.max_depth must be at least 1".into());
+        }
+        Ok(())
+    }
 }
 
 /// One scheduled degradation window.
@@ -95,8 +174,23 @@ pub struct SurgeSpec {
 /// faulted run stays a pure function of its config.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
-    /// Scheduled crashes (at most one per seed node).
+    /// Scheduled crashes (at most one per seed node, counting groups).
     pub crashes: Vec<CrashSpec>,
+    /// Rack-style correlated crashes (share the one-crash-per-node rule
+    /// with `crashes`).
+    #[serde(default)]
+    pub groups: Vec<FaultGroup>,
+    /// Deterministic follow-on crash propagation layered on every crash.
+    #[serde(default)]
+    pub cascade: Option<CascadeSpec>,
+    /// Capital-preserving evacuation of dying nodes (warning windows
+    /// before planned crashes, optionally on drain).
+    #[serde(default)]
+    pub evacuation: Option<EvacuateSpec>,
+    /// Deadline-budgeted retry for queries routed at degraded winners
+    /// (replaces the single timeout re-route when set).
+    #[serde(default)]
+    pub retry: Option<RetryPolicy>,
     /// Scheduled degradation windows.
     pub degradations: Vec<DegradeSpec>,
     /// Flash-crowd surge windows.
@@ -121,12 +215,78 @@ impl FaultPlan {
     pub fn new(horizon_secs: f64) -> Self {
         FaultPlan {
             crashes: Vec::new(),
+            groups: Vec::new(),
+            cascade: None,
+            evacuation: None,
+            retry: None,
             degradations: Vec::new(),
             surges: Vec::new(),
             requeue_penalty: 1.0,
             timeout_secs: 0.0,
             horizon_secs,
         }
+    }
+
+    /// Builder style: crash every node in `nodes` together at `at_secs`
+    /// (rack failure), no recovery.
+    #[must_use]
+    pub fn with_group(mut self, nodes: Vec<usize>, at_secs: f64) -> Self {
+        self.groups.push(FaultGroup {
+            nodes,
+            at_secs,
+            recover_after_secs: None,
+        });
+        self
+    }
+
+    /// Builder style: deterministic follow-on crash propagation — every
+    /// crash gives each survivor a `probability × decay^depth` chance of
+    /// crashing `delay_secs` later, to at most `max_depth` generations.
+    #[must_use]
+    pub fn with_cascade(
+        mut self,
+        probability: f64,
+        decay: f64,
+        delay_secs: f64,
+        max_depth: u32,
+    ) -> Self {
+        self.cascade = Some(CascadeSpec {
+            probability,
+            decay,
+            delay_secs,
+            max_depth,
+        });
+        self
+    }
+
+    /// Builder style: evacuate profitable structures off dying nodes,
+    /// starting `warning_secs` before each planned crash (and on drain
+    /// when `on_drain`).
+    #[must_use]
+    pub fn with_evacuation(mut self, warning_secs: f64, on_drain: bool) -> Self {
+        self.evacuation = Some(EvacuateSpec {
+            warning_secs,
+            on_drain,
+        });
+        self
+    }
+
+    /// Builder style: deadline-budgeted retry for degraded winners.
+    #[must_use]
+    pub fn with_retry(
+        mut self,
+        max_attempts: u32,
+        backoff_secs: f64,
+        backoff_factor: f64,
+        budget_decay: f64,
+    ) -> Self {
+        self.retry = Some(RetryPolicy {
+            max_attempts,
+            backoff_secs,
+            backoff_factor,
+            budget_decay,
+        });
+        self
     }
 
     /// Builder style: crash `node` at `at_secs`, no recovery.
@@ -245,8 +405,53 @@ impl FaultPlan {
                 ));
             }
         }
+        for (i, g) in self.groups.iter().enumerate() {
+            if g.nodes.is_empty() {
+                return Err(format!("groups[{i}].nodes must not be empty"));
+            }
+            if !g.at_secs.is_finite() || g.at_secs <= 0.0 || g.at_secs >= self.horizon_secs {
+                return Err(format!(
+                    "groups[{i}].at_secs {} must be within (0, horizon_secs)",
+                    g.at_secs
+                ));
+            }
+            if let Some(after) = g.recover_after_secs {
+                if !after.is_finite() || after <= 0.0 {
+                    return Err(format!(
+                        "groups[{i}].recover_after_secs {after} must be positive"
+                    ));
+                }
+                if g.at_secs + after >= self.horizon_secs {
+                    return Err(format!(
+                        "groups[{i}]: recovery at {} falls outside horizon_secs",
+                        g.at_secs + after
+                    ));
+                }
+            }
+            for &node in &g.nodes {
+                if node >= n_seed_nodes {
+                    return Err(format!(
+                        "groups[{i}].nodes: {node} is not a seed node (fleet has {n_seed_nodes})"
+                    ));
+                }
+                if !crashed.insert(node) {
+                    return Err(format!(
+                        "groups[{i}].nodes: node {node} already crashes (one crash per node)"
+                    ));
+                }
+            }
+        }
         if crashed.len() >= n_seed_nodes {
             return Err("crashes must leave at least one seed node alive".into());
+        }
+        if let Some(c) = &self.cascade {
+            c.validate()?;
+        }
+        if let Some(e) = &self.evacuation {
+            e.validate()?;
+        }
+        if let Some(r) = &self.retry {
+            r.validate()?;
         }
         for (i, d) in self.degradations.iter().enumerate() {
             if d.node >= n_seed_nodes {
@@ -376,8 +581,22 @@ pub struct CrashRecord {
     /// Operating cost settled at the crash instant — eq. 11 uptime and
     /// the eq. 13 disk byte-seconds integral, charged up to the instant.
     pub operating: Money,
-    /// Invested build capital (structures + boot) written off as a loss.
+    /// Invested build capital (structures + boot) written off as a loss
+    /// — net of any capital evacuation moved to survivors first.
     pub write_off: Money,
+    /// Capital evacuation preserved before this crash: moved invested
+    /// capital minus the transfer spend (zero when nothing moved).
+    #[serde(default)]
+    pub salvaged: Money,
+    /// Eq. 12 wire cost receivers paid for this node's evacuated
+    /// structures. `write_off + salvaged + transfer_spend` equals the
+    /// node's pre-fault invested capital exactly.
+    #[serde(default)]
+    pub transfer_spend: Money,
+    /// Cascade generation: 0 for planned crashes, `d + 1` for crashes
+    /// triggered by a depth-`d` crash.
+    #[serde(default)]
+    pub cascade_depth: u32,
     /// Cache disk occupied when the node died (bytes).
     pub disk_bytes: u64,
     /// Seconds of in-flight backlog re-queued (post-penalty).
@@ -448,6 +667,8 @@ pub enum FaultOutcome {
     Crash(CrashRecord),
     /// A crashed node was reconstructed by ledger replay.
     Recover(RecoverRecord),
+    /// A dying node's profitable structures migrated to survivors.
+    Evacuate(EvacuateRecord),
 }
 
 /// One ledgered fault event.
@@ -473,10 +694,31 @@ pub struct FaultSummary {
     pub reconciled: u64,
     /// Degraded-winner timeouts that re-routed a query.
     pub timeouts: u64,
-    /// Build capital written off across all crashes.
+    /// Build capital written off across all crashes (net of salvage).
     pub write_off: Money,
     /// Backlog seconds re-queued across all crashes (post-penalty).
     pub requeued_secs: f64,
+    /// Evacuations executed (warning windows + drains with ≥ 1 move).
+    #[serde(default)]
+    pub evacuations: u64,
+    /// Structures migrated to survivors across all evacuations.
+    #[serde(default)]
+    pub structures_moved: u64,
+    /// Capital preserved by evacuation (moved invested − transfer spend).
+    #[serde(default)]
+    pub salvaged: Money,
+    /// Eq. 12 wire cost receivers paid across all evacuations.
+    #[serde(default)]
+    pub transfer_spend: Money,
+    /// Deadline-budgeted retries the router executed.
+    #[serde(default)]
+    pub retries: u64,
+    /// Crashes triggered by cascade propagation (depth ≥ 1).
+    #[serde(default)]
+    pub cascade_crashes: u64,
+    /// Deepest cascade generation reached (0 when no cascade fired).
+    #[serde(default)]
+    pub max_cascade_depth: u32,
     /// Every fault event, ascending `(cell, at_secs)` (cells fold in
     /// ascending order).
     pub records: Vec<FaultRecord>,
@@ -492,6 +734,13 @@ impl FaultSummary {
         self.timeouts += other.timeouts;
         self.write_off += other.write_off;
         self.requeued_secs += other.requeued_secs;
+        self.evacuations += other.evacuations;
+        self.structures_moved += other.structures_moved;
+        self.salvaged += other.salvaged;
+        self.transfer_spend += other.transfer_spend;
+        self.retries += other.retries;
+        self.cascade_crashes += other.cascade_crashes;
+        self.max_cascade_depth = self.max_cascade_depth.max(other.max_cascade_depth);
         self.records.extend(other.records.iter().cloned());
     }
 }
@@ -507,15 +756,33 @@ struct CrashSnapshot {
     disk_bytes: u64,
 }
 
+/// One replayable entry in a doomed node's settlement journal. Serves
+/// and evacuation releases replay through the same deterministic policy
+/// methods, so a recovered node reproduces the crashed node's economics
+/// bit for bit even when evacuation moved structures out first.
+enum JournalEntry {
+    /// The node served `query` at the instant.
+    Serve(SimTime, Query),
+    /// Evacuation released this structure at the instant.
+    Release(SimTime, StructureKey),
+}
+
 /// A compiled fault event awaiting its instant.
 struct FaultEvent {
     at: f64,
-    /// Crashes order before recoveries on instant ties (rank 0 vs 1),
-    /// then by node id — a total, deterministic order.
+    /// Evacuations order before crashes, crashes before recoveries on
+    /// instant ties (rank 0 / 1 / 2), then by node id — a total,
+    /// deterministic order.
     rank: u8,
     node: usize,
     recover_after: Option<f64>,
+    /// Cascade generation (0 for planned events).
+    depth: u32,
 }
+
+const RANK_EVACUATE: u8 = 0;
+const RANK_CRASH: u8 = 1;
+const RANK_RECOVER: u8 = 2;
 
 /// One cell's fault-injection engine: the compiled event list, the
 /// served-query journals of doomed nodes, and the fault ledger.
@@ -523,12 +790,26 @@ pub struct FaultInjector {
     cell: usize,
     timeout_secs: f64,
     requeue_penalty: f64,
+    cascade: Option<CascadeSpec>,
+    evacuation: Option<EvacuateSpec>,
+    retry: Option<RetryPolicy>,
+    /// Cascade draws: forked per cell from the run seed, consumed in the
+    /// deterministic event order — a pure function of the config.
+    rng: SimRng,
     events: Vec<FaultEvent>,
     next: usize,
-    /// Served-query journals, keyed by seed node id; only nodes with a
+    /// Nodes with a pending crash event (planned or cascade-scheduled):
+    /// never evacuation receivers, never cascade re-targets.
+    doomed: BTreeSet<usize>,
+    /// Nodes already evacuated (a node evacuates at most once).
+    evacuated: BTreeSet<usize>,
+    /// Capital moved off each evacuated node pending its crash
+    /// settlement: `(moved invested, transfer spend)`.
+    salvage_pending: HashMap<usize, (Money, Money)>,
+    /// Settlement journals, keyed by seed node id; only nodes with a
     /// scheduled recovery are journaled (keys are pre-seeded so the hot
     /// path is one hash probe).
-    journals: HashMap<usize, Vec<(SimTime, Query)>>,
+    journals: HashMap<usize, Vec<JournalEntry>>,
     snapshots: HashMap<usize, CrashSnapshot>,
     specs: Vec<NodeSpec>,
     econ: econ::EconConfig,
@@ -539,12 +820,21 @@ pub struct FaultInjector {
     timeouts: u64,
     write_off: Money,
     requeued_secs: f64,
+    evacuations: u64,
+    structures_moved: u64,
+    salvaged: Money,
+    transfer_spend: Money,
+    retries: u64,
+    cascade_crashes: u64,
+    max_cascade_depth: u32,
     records: Vec<FaultRecord>,
 }
 
 impl FaultInjector {
     /// Compiles a validated plan for one cell of a fleet whose seed
-    /// nodes are `specs`.
+    /// nodes are `specs`. `seed` is the run seed — cascade draws fork a
+    /// per-cell stream off it, keeping faulted runs pure functions of
+    /// their config.
     #[must_use]
     pub fn new(
         plan: &FaultPlan,
@@ -552,24 +842,53 @@ impl FaultInjector {
         econ: econ::EconConfig,
         schema: Arc<Schema>,
         cell: usize,
+        seed: u64,
     ) -> Self {
         let mut events = Vec::new();
         let mut journals = HashMap::new();
-        for c in &plan.crashes {
+        let mut doomed = BTreeSet::new();
+        let planned: Vec<(usize, f64, Option<f64>)> = plan
+            .crashes
+            .iter()
+            .map(|c| (c.node, c.at_secs, c.recover_after_secs))
+            .chain(plan.groups.iter().flat_map(|g| {
+                g.nodes
+                    .iter()
+                    .map(move |&n| (n, g.at_secs, g.recover_after_secs))
+            }))
+            .collect();
+        for (node, at_secs, recover_after_secs) in planned {
             events.push(FaultEvent {
-                at: c.at_secs,
-                rank: 0,
-                node: c.node,
-                recover_after: c.recover_after_secs,
+                at: at_secs,
+                rank: RANK_CRASH,
+                node,
+                recover_after: recover_after_secs,
+                depth: 0,
             });
-            if let Some(after) = c.recover_after_secs {
+            doomed.insert(node);
+            if let Some(after) = recover_after_secs {
                 events.push(FaultEvent {
-                    at: c.at_secs + after,
-                    rank: 1,
-                    node: c.node,
+                    at: at_secs + after,
+                    rank: RANK_RECOVER,
+                    node,
                     recover_after: None,
+                    depth: 0,
                 });
-                journals.insert(c.node, Vec::new());
+                journals.insert(node, Vec::new());
+            }
+            if let Some(evac) = &plan.evacuation {
+                if evac.warning_secs > 0.0 {
+                    // Never warn before half the crash instant — a plan
+                    // whose warning window swallows the whole run would
+                    // evacuate a node that has built nothing yet.
+                    events.push(FaultEvent {
+                        at: (at_secs - evac.warning_secs).max(at_secs * 0.5),
+                        rank: RANK_EVACUATE,
+                        node,
+                        recover_after: None,
+                        depth: 0,
+                    });
+                }
             }
         }
         events.sort_by(|a, b| {
@@ -577,12 +896,20 @@ impl FaultInjector {
                 .then(a.rank.cmp(&b.rank))
                 .then(a.node.cmp(&b.node))
         });
+        let mut root = SimRng::new(seed ^ CASCADE_STREAM_SALT);
         FaultInjector {
             cell,
             timeout_secs: plan.timeout_secs,
             requeue_penalty: plan.requeue_penalty,
+            cascade: plan.cascade,
+            evacuation: plan.evacuation,
+            retry: plan.retry,
+            rng: root.fork(cell as u64),
             events,
             next: 0,
+            doomed,
+            evacuated: BTreeSet::new(),
+            salvage_pending: HashMap::new(),
             journals,
             snapshots: HashMap::new(),
             specs: specs.to_vec(),
@@ -594,6 +921,13 @@ impl FaultInjector {
             timeouts: 0,
             write_off: Money::ZERO,
             requeued_secs: 0.0,
+            evacuations: 0,
+            structures_moved: 0,
+            salvaged: Money::ZERO,
+            transfer_spend: Money::ZERO,
+            retries: 0,
+            cascade_crashes: 0,
+            max_cascade_depth: 0,
             records: Vec::new(),
         }
     }
@@ -602,6 +936,20 @@ impl FaultInjector {
     #[must_use]
     pub fn timeout_secs(&self) -> f64 {
         self.timeout_secs
+    }
+
+    /// The deadline-budgeted retry policy, when the plan configured one.
+    #[must_use]
+    pub fn retry(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
+    }
+
+    /// The instant of the next unprocessed event, due or not (a
+    /// scheduled recovery can end a total outage — the executor's
+    /// outage wait advances queries to it).
+    #[must_use]
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.events.get(self.next).map(|e| SimTime::from_secs(e.at))
     }
 
     /// The instant of the next unprocessed event due at or before `now`.
@@ -618,13 +966,18 @@ impl FaultInjector {
     /// nodes that are not doomed.
     pub fn note_served(&mut self, node: usize, now: SimTime, query: &Query) {
         if let Some(journal) = self.journals.get_mut(&node) {
-            journal.push((now, query.clone()));
+            journal.push(JournalEntry::Serve(now, query.clone()));
         }
     }
 
     /// Counts one degraded-winner timeout re-route.
     pub fn note_timeout(&mut self) {
         self.timeouts += 1;
+    }
+
+    /// Counts one deadline-budgeted retry.
+    pub fn note_retry(&mut self) {
+        self.retries += 1;
     }
 
     /// Processes the next due event (callers loop on [`Self::next_due`]).
@@ -642,15 +995,158 @@ impl FaultInjector {
         let at = SimTime::from_secs(event.at);
         let node = event.node;
         let recover_after = event.recover_after;
-        if event.rank == 0 {
-            self.crash(pop, rates, node, at, recover_after.is_some());
-        } else {
-            self.recover(pop, ctx, node, at);
+        let depth = event.depth;
+        match event.rank {
+            RANK_EVACUATE => self.evacuate(pop, ctx, node, at, "warning"),
+            RANK_CRASH => self.crash(pop, rates, node, at, recover_after.is_some(), depth),
+            _ => self.recover(pop, ctx, node, at),
         }
     }
 
-    /// Crashes seed node `node` at `at`: settle, write off, re-queue.
-    /// A node the control plane already retired is a deterministic no-op.
+    /// Evacuates any nodes the elastic control plane has begun draining
+    /// (voluntary retirement salvages capital the same way a planned
+    /// crash's warning window does). Call after controller reviews; a
+    /// deterministic no-op unless the plan enables drain evacuation.
+    pub fn sweep_draining(
+        &mut self,
+        pop: &mut NodePopulation,
+        ctx: &PlannerContext<'_>,
+        now: SimTime,
+    ) {
+        if !self.evacuation.is_some_and(|e| e.on_drain) {
+            return;
+        }
+        let mut draining: Vec<usize> = pop
+            .live()
+            .iter()
+            .filter(|n| n.drain_since().is_some() && !self.evacuated.contains(&n.id()))
+            .map(CacheNode::id)
+            .collect();
+        draining.sort_unstable();
+        for node in draining {
+            self.evacuate(pop, ctx, node, now, "drain");
+        }
+    }
+
+    /// Moves the profitable structures of dying node `node` to survivors
+    /// at eq. 12's column-move price. Ranked best value-per-byte first;
+    /// each structure goes to the lowest-id routable survivor that can
+    /// afford the transfer and does not already hold it. A node
+    /// evacuates at most once; nodes without an economy (or already
+    /// retired) are deterministic no-ops.
+    ///
+    /// The victim deliberately *stays in rotation* after a `"warning"`
+    /// evacuation — draining it would make the elastic control plane
+    /// spawn replacements that become fodder for cascade follow-ons, so
+    /// the evacuated and written-off runs would no longer see the same
+    /// fault energy — but its **investment scan is frozen**: a build
+    /// started inside the warning window dies unamortized at the crash,
+    /// so without the freeze the victim immediately rebuilds the hot
+    /// structures it just shipped out and the rebuilt capital lands in
+    /// the write-off anyway.
+    fn evacuate(
+        &mut self,
+        pop: &mut NodePopulation,
+        ctx: &PlannerContext<'_>,
+        node: usize,
+        at: SimTime,
+        reason: &str,
+    ) {
+        if !self.evacuated.insert(node) {
+            return;
+        }
+        let Some(vidx) = pop.live().iter().position(|n| n.id() == node) else {
+            return;
+        };
+        if reason == "warning" {
+            if let Some(m) = pop.live_mut()[vidx].economy_mut() {
+                m.freeze_investment();
+            }
+        }
+        let candidates = match pop.live()[vidx].economy() {
+            Some(m) => evacuation_candidates(m, ctx.estimator, at),
+            None => return,
+        };
+        let mut moves = Vec::new();
+        let mut moved_invested = Money::ZERO;
+        let mut moved_transfer = Money::ZERO;
+        for cand in candidates {
+            // Lowest-id routable survivor that can take the structure:
+            // not dying itself, economy-backed, absent the key, solvent
+            // enough to withdraw the transfer price as investment.
+            let receiver = pop
+                .live()
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| {
+                    n.id() != node
+                        && n.routable(at)
+                        && !self.doomed.contains(&n.id())
+                        && n.economy().is_some_and(|m| {
+                            !m.cache().contains(cand.key) && m.account().can_afford(cand.transfer)
+                        })
+                })
+                .min_by_key(|(_, n)| n.id());
+            let Some((ridx, _)) = receiver else { continue };
+            let to = pop.live()[ridx].id();
+            let removed = pop.live_mut()[vidx]
+                .economy_mut()
+                .and_then(|m| m.evacuate_release(cand.key, at));
+            if removed.is_none() {
+                continue;
+            }
+            let received = pop.live_mut()[ridx].economy_mut().is_some_and(|m| {
+                m.evacuate_receive(
+                    cand.key,
+                    cand.size_bytes,
+                    cand.transfer,
+                    cand.transfer_time,
+                    at,
+                    ctx.estimator,
+                )
+            });
+            debug_assert!(received, "receiver eligibility was checked before release");
+            pop.live_mut()[ridx].book_transfer(cand.transfer);
+            if let Some(journal) = self.journals.get_mut(&node) {
+                journal.push(JournalEntry::Release(at, cand.key));
+            }
+            moved_invested += cand.invested;
+            moved_transfer += cand.transfer;
+            moves.push(EvacuatedMove {
+                key: cand.key.to_string(),
+                bytes: cand.size_bytes,
+                invested: cand.invested,
+                transfer: cand.transfer,
+                to,
+            });
+        }
+        if moves.is_empty() {
+            return;
+        }
+        let salvaged = moved_invested - moved_transfer;
+        self.evacuations += 1;
+        self.structures_moved += moves.len() as u64;
+        self.salvaged += salvaged;
+        self.transfer_spend += moved_transfer;
+        self.salvage_pending
+            .insert(node, (moved_invested, moved_transfer));
+        self.records.push(FaultRecord {
+            cell: self.cell,
+            at_secs: at.as_secs(),
+            event: FaultOutcome::Evacuate(EvacuateRecord {
+                node,
+                reason: reason.to_string(),
+                structures_moved: moves.len() as u64,
+                salvaged,
+                transfer_spend: moved_transfer,
+                moves,
+            }),
+        });
+    }
+
+    /// Crashes node `node` at `at`: settle, write off (net of salvage),
+    /// re-queue, and schedule cascade follow-ons. A node the control
+    /// plane already retired is a deterministic no-op.
     fn crash(
         &mut self,
         pop: &mut NodePopulation,
@@ -658,11 +1154,14 @@ impl FaultInjector {
         node: usize,
         at: SimTime,
         recover_planned: bool,
+        depth: u32,
     ) {
+        self.doomed.remove(&node);
         let Some(idx) = pop.live().iter().position(|n| n.id() == node) else {
             // Already drained and retired by the elastic control plane —
             // nothing left to crash (and nothing to recover later).
             self.journals.remove(&node);
+            self.salvage_pending.remove(&node);
             return;
         };
         let live = &pop.live()[idx];
@@ -681,7 +1180,15 @@ impl FaultInjector {
 
         let (id, run) = pop.crash(idx, rates, at);
         debug_assert_eq!(id, node);
-        let write_off = run.build_spend;
+        // Evacuation already moved part of the invested capital to
+        // survivors; only the residual is lost. The identity
+        // `write_off + salvaged + transfer_spend == build_spend` (the
+        // pre-fault invested capital) holds exactly, in nanodollars.
+        let (moved_invested, moved_transfer) = self
+            .salvage_pending
+            .remove(&node)
+            .unwrap_or((Money::ZERO, Money::ZERO));
+        let write_off = run.build_spend - moved_invested;
         if recover_planned {
             self.snapshots.insert(
                 node,
@@ -704,6 +1211,9 @@ impl FaultInjector {
             profit: run.profit,
             operating: run.operating.total(),
             write_off,
+            salvaged: moved_invested - moved_transfer,
+            transfer_spend: moved_transfer,
+            cascade_depth: depth,
             disk_bytes: run.final_disk_bytes,
             requeued_secs: 0.0,
             requeued_to: None,
@@ -729,11 +1239,71 @@ impl FaultInjector {
         }
         self.crashes += 1;
         self.write_off += write_off;
+        if depth > 0 {
+            self.cascade_crashes += 1;
+            self.max_cascade_depth = self.max_cascade_depth.max(depth);
+        }
         self.records.push(FaultRecord {
             cell: self.cell,
             at_secs: at.as_secs(),
             event: FaultOutcome::Crash(record),
         });
+        self.schedule_cascade(pop, at, depth);
+    }
+
+    /// Draws follow-on crashes for the survivors of a depth-`depth`
+    /// crash. Survivors are visited in ascending node-id order and the
+    /// RNG is consumed once per eligible survivor, so the cascade is a
+    /// pure function of the config; at least one non-doomed node is
+    /// always left standing, and cascade crashes get no recovery (nobody
+    /// planned for them) and no warning window (nobody saw them coming).
+    fn schedule_cascade(&mut self, pop: &NodePopulation, at: SimTime, depth: u32) {
+        let Some(cascade) = self.cascade else { return };
+        if depth >= cascade.max_depth {
+            return;
+        }
+        let p = cascade.probability * cascade.decay.powi(depth as i32);
+        if p <= 0.0 {
+            return;
+        }
+        let mut survivors: Vec<usize> = pop.live().iter().map(CacheNode::id).collect();
+        survivors.sort_unstable();
+        let mut standing = survivors
+            .iter()
+            .filter(|id| !self.doomed.contains(id))
+            .count();
+        let follow_at = at.as_secs() + cascade.delay_secs;
+        for id in survivors {
+            if standing <= 1 {
+                break;
+            }
+            if self.doomed.contains(&id) {
+                continue;
+            }
+            if !self.rng.gen_bool(p) {
+                continue;
+            }
+            let event = FaultEvent {
+                at: follow_at,
+                rank: RANK_CRASH,
+                node: id,
+                recover_after: None,
+                depth: depth + 1,
+            };
+            let pos = self.events[self.next..]
+                .iter()
+                .position(|e| {
+                    follow_at
+                        .total_cmp(&e.at)
+                        .then(RANK_CRASH.cmp(&e.rank))
+                        .then(id.cmp(&e.node))
+                        .is_lt()
+                })
+                .map_or(self.events.len(), |p| self.next + p);
+            self.events.insert(pos, event);
+            self.doomed.insert(id);
+            standing -= 1;
+        }
     }
 
     /// Reconstructs crashed node `node` at `at` by replaying its journal
@@ -755,18 +1325,32 @@ impl FaultInjector {
         let mut payments = Money::ZERO;
         let mut profit = Money::ZERO;
         let mut cache_hits = 0u64;
-        for (t, q) in &journal {
-            let o = policy.process_query(ctx, q, *t);
-            payments += o.payment;
-            profit += o.profit;
-            cache_hits += u64::from(o.ran_in_cache);
+        let mut replayed = 0u64;
+        for entry in &journal {
+            match entry {
+                JournalEntry::Serve(t, q) => {
+                    let o = policy.process_query(ctx, q, *t);
+                    payments += o.payment;
+                    profit += o.profit;
+                    cache_hits += u64::from(o.ran_in_cache);
+                    replayed += 1;
+                }
+                // Evacuation releases replay through the same method the
+                // live node used, so the replayed cache and regret ledger
+                // land exactly where the snapshot left them.
+                JournalEntry::Release(t, key) => {
+                    if let Some(m) = policy.economy_mut() {
+                        let _ = m.evacuate_release(*key, *t);
+                    }
+                }
+            }
         }
         let (balance, regret) = policy
             .economy()
             .map(|m| (m.account().balance(), m.regret().total()))
             .unwrap_or((Money::ZERO, Money::ZERO));
         let drift = ReconcileDrift {
-            queries: journal.len() as i64 - snapshot.queries as i64,
+            queries: replayed as i64 - snapshot.queries as i64,
             payments: payments - snapshot.payments,
             profit: profit - snapshot.profit,
             cache_hits: cache_hits as i64 - snapshot.cache_hits as i64,
@@ -796,7 +1380,7 @@ impl FaultInjector {
                 replacement,
                 boot_cost,
                 ready_at_secs: ready_at.as_secs(),
-                replayed_queries: journal.len() as u64,
+                replayed_queries: replayed,
                 drift,
             }),
         });
@@ -819,6 +1403,13 @@ impl FaultInjector {
             timeouts: self.timeouts,
             write_off: self.write_off,
             requeued_secs: self.requeued_secs,
+            evacuations: self.evacuations,
+            structures_moved: self.structures_moved,
+            salvaged: self.salvaged,
+            transfer_spend: self.transfer_spend,
+            retries: self.retries,
+            cascade_crashes: self.cascade_crashes,
+            max_cascade_depth: self.max_cascade_depth,
             records: self.records,
         }
     }
@@ -988,6 +1579,9 @@ mod tests {
                 profit: Money::from_dollars(0.1),
                 operating: Money::from_dollars(0.5),
                 write_off: Money::from_dollars(0.2),
+                salvaged: Money::from_dollars(0.05),
+                transfer_spend: Money::from_dollars(0.01),
+                cascade_depth: 1,
                 disk_bytes: 1024,
                 requeued_secs: 0.5,
                 requeued_to: Some(1),
@@ -1001,6 +1595,13 @@ mod tests {
             timeouts: 2,
             write_off: Money::from_dollars(0.2),
             requeued_secs: 0.5,
+            evacuations: 1,
+            structures_moved: 3,
+            salvaged: Money::from_dollars(0.05),
+            transfer_spend: Money::from_dollars(0.01),
+            retries: 4,
+            cascade_crashes: 1,
+            max_cascade_depth: 1,
             records: vec![record(0)],
         };
         let b = FaultSummary {
@@ -1010,6 +1611,13 @@ mod tests {
             timeouts: 0,
             write_off: Money::from_dollars(0.3),
             requeued_secs: 0.25,
+            evacuations: 2,
+            structures_moved: 1,
+            salvaged: Money::from_dollars(0.02),
+            transfer_spend: Money::from_dollars(0.005),
+            retries: 1,
+            cascade_crashes: 2,
+            max_cascade_depth: 2,
             records: vec![record(1)],
         };
         a.merge(&b);
@@ -1019,6 +1627,13 @@ mod tests {
         assert_eq!(a.timeouts, 2);
         assert_eq!(a.write_off, Money::from_dollars(0.5));
         assert!((a.requeued_secs - 0.75).abs() < 1e-12);
+        assert_eq!(a.evacuations, 3);
+        assert_eq!(a.structures_moved, 4);
+        assert_eq!(a.salvaged, Money::from_dollars(0.07));
+        assert_eq!(a.transfer_spend, Money::from_dollars(0.015));
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.cascade_crashes, 3);
+        assert_eq!(a.max_cascade_depth, 2, "depth merges via max, not sum");
         let cells: Vec<usize> = a.records.iter().map(|r| r.cell).collect();
         assert_eq!(cells, vec![0, 1]);
     }
@@ -1032,22 +1647,149 @@ mod tests {
             timeouts: 3,
             write_off: Money::from_dollars(0.125),
             requeued_secs: 1.5,
-            records: vec![FaultRecord {
-                cell: 2,
-                at_secs: 30.0,
-                event: FaultOutcome::Recover(RecoverRecord {
-                    crashed: 1,
-                    replacement: 4,
-                    boot_cost: Money::from_dollars(0.01),
-                    ready_at_secs: 32.5,
-                    replayed_queries: 17,
-                    drift: ReconcileDrift::default(),
-                }),
-            }],
+            evacuations: 1,
+            structures_moved: 2,
+            salvaged: Money::from_dollars(0.04),
+            transfer_spend: Money::from_dollars(0.002),
+            retries: 6,
+            cascade_crashes: 1,
+            max_cascade_depth: 1,
+            records: vec![
+                FaultRecord {
+                    cell: 2,
+                    at_secs: 28.0,
+                    event: FaultOutcome::Evacuate(EvacuateRecord {
+                        node: 1,
+                        reason: "warning".into(),
+                        structures_moved: 2,
+                        salvaged: Money::from_dollars(0.04),
+                        transfer_spend: Money::from_dollars(0.002),
+                        moves: vec![EvacuatedMove {
+                            key: "column:3".into(),
+                            bytes: 4096,
+                            invested: Money::from_dollars(0.03),
+                            transfer: Money::from_dollars(0.001),
+                            to: 0,
+                        }],
+                    }),
+                },
+                FaultRecord {
+                    cell: 2,
+                    at_secs: 30.0,
+                    event: FaultOutcome::Recover(RecoverRecord {
+                        crashed: 1,
+                        replacement: 4,
+                        boot_cost: Money::from_dollars(0.01),
+                        ready_at_secs: 32.5,
+                        replayed_queries: 17,
+                        drift: ReconcileDrift::default(),
+                    }),
+                },
+            ],
         };
         let json = serde_json::to_string(&summary).unwrap();
         let back: FaultSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn old_summaries_without_salvage_fields_still_deserialize() {
+        // A PR-7-era summary predates the evacuation/cascade fields;
+        // serde defaults must fill them so committed benches stay
+        // readable.
+        let json = r#"{"crashes":1,"recoveries":0,"reconciled":0,"timeouts":0,
+            "write_off":250,"requeued_secs":0.5,"records":[]}"#;
+        let back: FaultSummary = serde_json::from_str(json).unwrap();
+        assert_eq!(back.salvaged, Money::ZERO);
+        assert_eq!(back.retries, 0);
+        assert_eq!(back.max_cascade_depth, 0);
+    }
+
+    #[test]
+    fn group_and_cascade_fields_are_validated_by_name() {
+        let err = plan().with_group(vec![], 10.0).validate(3).unwrap_err();
+        assert!(err.contains("groups[0].nodes"), "{err}");
+
+        let err = plan().with_group(vec![0, 5], 10.0).validate(3).unwrap_err();
+        assert!(err.contains("groups[0].nodes: 5"), "{err}");
+
+        let err = plan().with_group(vec![0, 0], 10.0).validate(3).unwrap_err();
+        assert!(err.contains("already crashes"), "{err}");
+
+        let err = plan()
+            .with_crash(1, 20.0)
+            .with_group(vec![1, 2], 10.0)
+            .validate(4)
+            .unwrap_err();
+        assert!(err.contains("already crashes"), "{err}");
+
+        let err = plan()
+            .with_group(vec![0, 1, 2], 10.0)
+            .validate(3)
+            .unwrap_err();
+        assert!(err.contains("at least one seed node"), "{err}");
+
+        let err = plan()
+            .with_cascade(1.5, 0.5, 30.0, 2)
+            .validate(3)
+            .unwrap_err();
+        assert!(err.contains("cascade.probability"), "{err}");
+
+        let err = plan()
+            .with_cascade(0.5, 0.0, 30.0, 2)
+            .validate(3)
+            .unwrap_err();
+        assert!(err.contains("cascade.decay"), "{err}");
+
+        let err = plan()
+            .with_cascade(0.5, 0.5, 0.0, 2)
+            .validate(3)
+            .unwrap_err();
+        assert!(err.contains("cascade.delay_secs"), "{err}");
+
+        let err = plan()
+            .with_cascade(0.5, 0.5, 30.0, 0)
+            .validate(3)
+            .unwrap_err();
+        assert!(err.contains("cascade.max_depth"), "{err}");
+
+        let err = plan().with_evacuation(-1.0, true).validate(3).unwrap_err();
+        assert!(err.contains("evacuation.warning_secs"), "{err}");
+
+        let err = plan().with_retry(0, 1.0, 2.0, 0.5).validate(3).unwrap_err();
+        assert!(err.contains("retry.max_attempts"), "{err}");
+
+        assert!(plan()
+            .with_group(vec![0, 1], 10.0)
+            .with_cascade(0.5, 0.5, 30.0, 2)
+            .with_evacuation(5.0, true)
+            .with_retry(3, 1.0, 2.0, 0.5)
+            .validate(3)
+            .is_ok());
+    }
+
+    #[test]
+    fn warning_events_compile_before_their_crashes() {
+        let p = plan()
+            .with_crash(0, 40.0)
+            .with_group(vec![1], 8.0)
+            .with_evacuation(10.0, false);
+        let schema =
+            std::sync::Arc::new(catalog::tpch::tpch_schema(catalog::tpch::ScaleFactor(1.0)));
+        let specs = vec![
+            NodeSpec::new(simulator::Scheme::EconCheap),
+            NodeSpec::new(simulator::Scheme::EconCheap),
+            NodeSpec::new(simulator::Scheme::EconCheap),
+        ];
+        let inj = FaultInjector::new(&p, &specs, econ::EconConfig::default(), schema, 0, 7);
+        let order: Vec<(f64, u8, usize)> =
+            inj.events.iter().map(|e| (e.at, e.rank, e.node)).collect();
+        // Node 1's warning clamps to half its crash instant (8 − 10 < 4);
+        // node 0 warns the full 10 s ahead.
+        assert_eq!(
+            order,
+            vec![(4.0, 0, 1), (8.0, 1, 1), (30.0, 0, 0), (40.0, 1, 0)]
+        );
     }
 
     #[test]
@@ -1063,12 +1805,12 @@ mod tests {
             NodeSpec::new(simulator::Scheme::EconCheap),
             NodeSpec::new(simulator::Scheme::EconCheap),
         ];
-        let inj = FaultInjector::new(&p, &specs, econ::EconConfig::default(), schema, 0);
+        let inj = FaultInjector::new(&p, &specs, econ::EconConfig::default(), schema, 0, 42);
         let order: Vec<(f64, u8, usize)> =
             inj.events.iter().map(|e| (e.at, e.rank, e.node)).collect();
         assert_eq!(
             order,
-            vec![(10.0, 0, 0), (10.0, 0, 1), (15.0, 0, 2), (15.0, 1, 1)]
+            vec![(10.0, 1, 0), (10.0, 1, 1), (15.0, 1, 2), (15.0, 2, 1)]
         );
         assert_eq!(inj.next_due(SimTime::from_secs(9.0)), None);
         assert_eq!(

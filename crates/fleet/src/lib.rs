@@ -49,6 +49,7 @@
 
 pub mod config;
 pub mod elastic;
+pub mod evacuate;
 pub mod exec;
 pub mod faults;
 pub mod node;
@@ -62,10 +63,14 @@ pub use elastic::{
     ElasticAction, ElasticConfig, ElasticController, ElasticSummary, LedgerEntry, NodePopulation,
     PressureSignals,
 };
+pub use evacuate::{
+    evacuation_candidates, EvacuateRecord, EvacuateSpec, EvacuatedMove, EvacuationCandidate,
+    RetryPolicy,
+};
 pub use exec::{effective_quote_threads, run_fleet, FleetSim, FleetTrace};
 pub use faults::{
-    CrashPhase, CrashRecord, CrashSpec, DegradeSpec, FaultInjector, FaultOutcome, FaultPlan,
-    FaultRecord, FaultSummary, ReconcileDrift, RecoverRecord, SurgeSpec,
+    CascadeSpec, CrashPhase, CrashRecord, CrashSpec, DegradeSpec, FaultGroup, FaultInjector,
+    FaultOutcome, FaultPlan, FaultRecord, FaultSummary, ReconcileDrift, RecoverRecord, SurgeSpec,
 };
 pub use node::{CacheNode, NodeSpec};
 pub use result::{FleetResult, NodeStats, TenantStats};

@@ -257,6 +257,21 @@ impl CacheNode {
         self.policy.economy()
     }
 
+    /// Mutable access to the node's economy manager — the evacuation
+    /// path settles structure transfers directly against it. `None` for
+    /// non-economic schemes.
+    pub fn economy_mut(&mut self) -> Option<&mut econ::EconomyManager> {
+        self.policy.economy_mut()
+    }
+
+    /// Books the eq. 12 wire cost of a received evacuated structure as
+    /// this node's build spend — the transfer is investment capital
+    /// exactly like a from-scratch build, so crash write-offs and the
+    /// fleet's build-spend aggregate both see it.
+    pub fn book_transfer(&mut self, cost: Money) {
+        self.acc.book_build(cost);
+    }
+
     /// This node's plan-cache counters, when it runs an economic scheme.
     /// The flight recorder diffs the fleet-wide sum of these around each
     /// routing/serving step to attribute memoization activity per query.
@@ -303,6 +318,22 @@ impl CacheNode {
         query: &Query,
         now: SimTime,
     ) -> PolicyOutcome {
+        self.serve_delayed(ctx, query, now, 0.0)
+    }
+
+    /// Serves one routed query whose routing took `delay_secs` of
+    /// retry/backoff wall-clock before this node won it. The delay is
+    /// folded into the delivered response time *once*, so the response
+    /// histogram records a single end-to-end latency per query — timed-out
+    /// attempts never contribute a separate sample. The books are those
+    /// of the serving node alone; backoff costs time, not money.
+    pub fn serve_delayed(
+        &mut self,
+        ctx: &PlannerContext<'_>,
+        query: &Query,
+        now: SimTime,
+        delay_secs: f64,
+    ) -> PolicyOutcome {
         debug_assert!(
             self.routable(now),
             "draining/booting nodes must not serve queries"
@@ -315,6 +346,9 @@ impl CacheNode {
         let slowdown = self.degrade_slowdown(now);
         if slowdown > 1.0 {
             outcome.response_time = outcome.response_time * slowdown;
+        }
+        if delay_secs > 0.0 {
+            outcome.response_time += SimDuration::from_secs(delay_secs);
         }
         self.acc.record(&outcome, now);
         self.backlog_until = self.backlog_until.max(now) + outcome.response_time;

@@ -127,6 +127,10 @@ impl CachePolicy for EconPolicy {
         Some(&self.manager)
     }
 
+    fn economy_mut(&mut self) -> Option<&mut EconomyManager> {
+        Some(&mut self.manager)
+    }
+
     fn disk_used(&self) -> u64 {
         self.manager.cache().disk_used()
     }

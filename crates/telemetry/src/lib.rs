@@ -37,8 +37,8 @@ pub mod registry;
 pub mod sink;
 
 pub use event::{
-    LifecyclePhase, NodeCrashEvent, NodeLifecycleEvent, NodeRecoverEvent, PlanCacheDelta,
-    QuoteRoundEvent, SettlementEvent, TraceEvent,
+    LifecyclePhase, NodeCrashEvent, NodeEvacuateEvent, NodeLifecycleEvent, NodeRecoverEvent,
+    PlanCacheDelta, QueryRetryEvent, QuoteRoundEvent, SettlementEvent, TraceEvent,
 };
 pub use explain::{
     blame, explain_crash, explain_retirement, node_timeline, structure_payers, BlameKey, BlameRow,

@@ -18,11 +18,12 @@ use cloudcache::fleet::{
     run_fleet, CacheNode, ElasticAction, ElasticConfig, FaultOutcome, FaultPlan, FleetConfig,
     FleetResult, FleetSim, NodePopulation, NodeSpec, RouterKind,
 };
-use cloudcache::pricing::PriceCatalog;
+use cloudcache::pricing::{Money, PriceCatalog};
 use cloudcache::simcore::SimTime;
-use cloudcache::simulator::Scheme;
+use cloudcache::simulator::{ArrivalKind, Scheme};
 use cloudcache::telemetry::TraceEvent;
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 /// A small faulted fleet: 8 fixed-interval tenants over 4 cells, 3 seed
 /// nodes per cell, 40 queries per tenant — so per-cell arrivals land on
@@ -158,6 +159,68 @@ proptest! {
                 prop_assert!(rec.replacement >= 3, "replacement gets a fresh id");
             }
         }
+    }
+
+    /// Capital conservation under evacuation — for random crash instants,
+    /// warning windows and fault groups, every crashed node's ledger
+    /// reconstructs its invested build capital *exactly* in nanodollars:
+    /// `write_off + salvaged + transfer_spend == build_spend`, summed
+    /// over cells, with zero drift.
+    #[test]
+    fn evacuation_conserves_invested_capital_exactly(
+        seed in 0u64..1_000,
+        victim in 0usize..3,
+        crash_at_halves in 30u32..70, // t in [15, 35): cache is warm
+        warn_halves in 2u32..20,      // warning window in [1, 10)
+        grouped in prop::bool::ANY,
+    ) {
+        let crash_at = f64::from(crash_at_halves) * 0.5;
+        let warning = f64::from(warn_halves) * 0.5;
+        let mut plan = FaultPlan::new(HORIZON).with_evacuation(warning, false);
+        plan = if grouped {
+            plan.with_group(vec![victim, (victim + 1) % 3], crash_at)
+        } else {
+            plan.with_crash(victim, crash_at)
+        };
+        let result = run_fleet(faulted_base(seed).with_faults(plan));
+        let faults = result.faults.as_ref().expect("fault summary present");
+        prop_assert_eq!(faults.crashes, if grouped { 8 } else { 4 });
+
+        // Fold each crashed node's ledger: loss + salvage + wire cost.
+        let mut reconstructed: BTreeMap<usize, Money> = BTreeMap::new();
+        let mut crash_salvaged = Money::ZERO;
+        let mut crash_transfer = Money::ZERO;
+        for record in &faults.records {
+            if let FaultOutcome::Crash(c) = &record.event {
+                *reconstructed.entry(c.node).or_insert(Money::ZERO) +=
+                    c.write_off + c.salvaged + c.transfer_spend;
+                crash_salvaged += c.salvaged;
+                crash_transfer += c.transfer_spend;
+            }
+        }
+        // The reconstruction equals the victim's folded build spending —
+        // the pre-fault invested capital — to the nanodollar.
+        for (node, invested) in &reconstructed {
+            let stats = result
+                .nodes
+                .iter()
+                .find(|n| n.node == *node)
+                .expect("crashed node keeps its stats row");
+            prop_assert_eq!(
+                *invested,
+                stats.build_spend,
+                "capital drift on node {}: reconstructed {} vs invested {}",
+                node,
+                invested,
+                stats.build_spend
+            );
+        }
+        // Every evacuated dollar lands on exactly one crash ledger:
+        // summary totals (accumulated at evacuation time) cross-foot
+        // with the per-crash attribution (accumulated at crash time).
+        prop_assert_eq!(faults.salvaged, crash_salvaged);
+        prop_assert_eq!(faults.transfer_spend, crash_transfer);
+        prop_assert_eq!(result.queries, 8 * 40, "survivors absorb the load");
     }
 }
 
@@ -312,4 +375,235 @@ fn traced_faulted_run_matches_untraced_and_registry_crossfoots() {
         .count() as u64;
     assert_eq!(crash_events, faults.crashes);
     assert_eq!(recover_events, faults.recoveries);
+}
+
+/// A certain cascade (p = 1, no decay) after a seed crash fells exactly
+/// one survivor per cell — propagation stops at the population floor of
+/// one standing node — and the follow-on crash is ledgered at depth 1,
+/// one propagation delay after its trigger.
+#[test]
+fn certain_cascade_fells_survivors_down_to_one_standing_node() {
+    let config = faulted_base(21).with_faults(
+        FaultPlan::new(HORIZON)
+            .with_crash(0, 10.0)
+            .with_cascade(1.0, 1.0, 2.0, 1),
+    );
+    let result = run_fleet(config);
+    let faults = result.faults.as_ref().expect("fault summary");
+    assert_eq!(
+        faults.crashes, 8,
+        "seed crash + exactly one follow-on per cell"
+    );
+    assert_eq!(faults.cascade_crashes, 4);
+    assert_eq!(faults.max_cascade_depth, 1);
+    let mut followons = 0;
+    for record in &faults.records {
+        if let FaultOutcome::Crash(c) = &record.event {
+            if c.cascade_depth > 0 {
+                assert_eq!(c.cascade_depth, 1);
+                assert_eq!(c.node, 1, "lowest-id survivor draws first");
+                assert!(
+                    (record.at_secs - 12.0).abs() < 1e-9,
+                    "follow-on fires one delay after the trigger, got t={}",
+                    record.at_secs
+                );
+                followons += 1;
+            }
+        }
+    }
+    assert_eq!(followons, 4);
+    assert_eq!(
+        result.queries,
+        8 * 40,
+        "the one standing node still serves the whole budget"
+    );
+}
+
+/// Cascade draws are a pure function of the config seed: same seed,
+/// same follow-on crashes; the probability dial changes the outcome
+/// deterministically (p = 0 never propagates).
+#[test]
+fn cascade_draws_derive_only_from_the_config_seed() {
+    let plan = |p: f64| {
+        faulted_base(33).with_faults(
+            FaultPlan::new(HORIZON)
+                .with_crash(2, 8.0)
+                .with_cascade(p, 0.5, 3.0, 3),
+        )
+    };
+    let a = run_fleet(plan(0.7));
+    let b = run_fleet(plan(0.7));
+    assert_eq!(fault_fingerprint(&a), fault_fingerprint(&b));
+    let never = run_fleet(plan(0.0));
+    let nf = never.faults.as_ref().expect("fault summary");
+    assert_eq!(nf.cascade_crashes, 0);
+    assert_eq!(nf.crashes, 4, "p = 0 leaves only the seed crash");
+}
+
+/// Satellite: the evacuation economics beat the write-off economics.
+/// With a warning window, the doomed node's profitable structures move
+/// to survivors at eq. 12's wire price; the ledgered loss shrinks by
+/// exactly the capital that kept working.
+#[test]
+fn warning_evacuation_salvages_capital_and_shrinks_the_write_off() {
+    let base = faulted_base(17);
+    // Node 0 is the fleet's structure-heavy economy node under the
+    // uniform scheme mix — the victim with capital worth rescuing.
+    let crash_only = run_fleet(
+        base.clone()
+            .with_faults(FaultPlan::new(HORIZON).with_crash(0, 25.0)),
+    );
+    let evacuated = run_fleet(
+        base.with_faults(
+            FaultPlan::new(HORIZON)
+                .with_crash(0, 25.0)
+                .with_evacuation(10.0, false),
+        ),
+    );
+    let fo = crash_only.faults.as_ref().expect("fault summary");
+    let fe = evacuated.faults.as_ref().expect("fault summary");
+    assert!(
+        fe.salvaged.is_positive(),
+        "a warm node at t=25 holds structures worth moving (salvaged={})",
+        fe.salvaged
+    );
+    assert!(fe.evacuations > 0 && fe.structures_moved > 0);
+    assert!(
+        fe.write_off < fo.write_off,
+        "salvage must shrink the ledgered loss ({} !< {})",
+        fe.write_off,
+        fo.write_off
+    );
+    // Salvage is net of the eq. 12 wire cost the receivers paid — both
+    // sides of the move are ledgered.
+    assert!(fe.transfer_spend.is_positive());
+}
+
+/// Deadline-budgeted retry: a degraded winner past the per-query
+/// timeout triggers bounded, budget-decayed retries instead of a single
+/// blind re-route — and the response histogram records exactly one
+/// end-to-end sample per query, never one per timed-out attempt.
+#[test]
+fn budgeted_retry_reroutes_and_records_one_latency_sample_per_query() {
+    let config = faulted_base(3).with_faults(
+        FaultPlan::new(HORIZON)
+            .with_degrade(0, 5.0, 35.0, 20.0)
+            .with_timeout(0.05)
+            .with_retry(3, 0.02, 2.0, 0.5),
+    );
+    let (result, trace) = FleetSim::new(config).run_traced();
+    let faults = result.faults.as_ref().expect("fault summary");
+    assert!(
+        faults.retries > 0,
+        "a 20x slowdown over 30s must trip the retry policy"
+    );
+    assert_eq!(
+        faults.timeouts, 0,
+        "the retry policy replaces the blind timeout re-route"
+    );
+    assert_eq!(result.queries, 8 * 40, "every retried query still settles");
+    assert_eq!(
+        result.response.count(),
+        result.queries,
+        "one end-to-end latency sample per query across retries"
+    );
+    assert_eq!(trace.registry.counter("fault.retries"), faults.retries);
+    let retry_events = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::QueryRetry(_)))
+        .count() as u64;
+    assert_eq!(retry_events, faults.retries);
+}
+
+/// Satellite: the fault plane layers on stochastic arrival processes —
+/// MMPP storm/calm switching and the diurnal sinusoid — and stays
+/// bit-identical across executor shard counts, quote-pool sizes and
+/// completion paths.
+#[test]
+fn faulted_mmpp_and_diurnal_runs_are_bit_identical_across_shards() {
+    let arrivals = [
+        ArrivalKind::Mmpp {
+            calm_gap_secs: 1.5,
+            storm_gap_secs: 0.3,
+            calm_sojourn_secs: 8.0,
+            storm_sojourn_secs: 4.0,
+        },
+        ArrivalKind::Diurnal {
+            mean_gap_secs: 1.0,
+            amplitude: 0.8,
+            period_secs: 20.0,
+            phase: -std::f64::consts::FRAC_PI_2,
+        },
+    ];
+    for arrival in arrivals {
+        let base = faulted_base(13).with_arrivals(arrival).with_faults(
+            FaultPlan::new(HORIZON)
+                .with_crash(0, 14.0)
+                .with_cascade(0.6, 0.5, 3.0, 2)
+                .with_evacuation(6.0, true)
+                .with_retry(3, 0.05, 2.0, 0.5)
+                .with_degrade(2, 5.0, 30.0, 10.0)
+                .with_timeout(0.05),
+        );
+        let reference = fault_fingerprint(&run_fleet(base.clone()));
+        for (shards, threads, batching) in [(2usize, 1usize, false), (4, 3, true), (8, 2, false)] {
+            let mut config = base.clone();
+            config.shards = shards;
+            config.quote_threads = threads;
+            config.quote_batching = batching;
+            let replay = fault_fingerprint(&run_fleet(config));
+            assert_eq!(
+                replay, reference,
+                "drift at shards={shards} threads={threads} batching={batching} ({arrival:?})"
+            );
+        }
+    }
+}
+
+/// The flight recorder stays an observer under the full graceful-
+/// degradation stack — cascade, evacuation, budgeted retry — and every
+/// new registry metric cross-foots with the merged fault summary.
+#[test]
+fn traced_cascade_evacuate_retry_run_matches_untraced_and_crossfoots() {
+    let config = faulted_base(5).with_faults(
+        FaultPlan::new(HORIZON)
+            .with_crash(0, 14.0)
+            .with_cascade(1.0, 1.0, 3.0, 1)
+            .with_evacuation(6.0, true)
+            .with_retry(3, 0.05, 2.0, 0.5)
+            .with_degrade(2, 5.0, 30.0, 10.0)
+            .with_timeout(0.05),
+    );
+    let untraced = run_fleet(config.clone());
+    let (traced, trace) = FleetSim::new(config).run_traced();
+    assert_eq!(fault_fingerprint(&traced), fault_fingerprint(&untraced));
+
+    let faults = traced.faults.as_ref().expect("fault summary");
+    assert!(faults.evacuations > 0, "warning window must trigger moves");
+    assert!(faults.cascade_crashes > 0, "certain cascade must propagate");
+    assert_eq!(
+        trace.registry.counter("fault.evacuations"),
+        faults.evacuations
+    );
+    assert_eq!(
+        trace.registry.counter("fault.structures_moved"),
+        faults.structures_moved
+    );
+    assert_eq!(trace.registry.gauge("fault.salvaged"), faults.salvaged);
+    assert_eq!(
+        trace.registry.gauge("fault.transfer_spend"),
+        faults.transfer_spend
+    );
+    assert_eq!(trace.registry.counter("fault.retries"), faults.retries);
+    assert_eq!(
+        trace.registry.counter("fault.cascade_crashes"),
+        faults.cascade_crashes
+    );
+    let evacuate_events = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::NodeEvacuate(_)))
+        .count() as u64;
+    assert_eq!(evacuate_events, faults.evacuations);
 }
