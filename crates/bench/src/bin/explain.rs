@@ -23,21 +23,36 @@
 //!   structure *S* (settlements whose winning plans used it);
 //! * `timeline <node> [path]` — every lifecycle transition recorded for
 //!   node *N*;
+//! * `slo [path]` — the per-tenant SLO ledger: p50/p99 against targets,
+//!   error-budget burn, exact spend against caps, breach narration, and
+//!   any drift alarms the e-process detector raises over the trace;
+//! * `top [path]` — the cadenced vitals frames as a time series (backlog,
+//!   pressure, node cash, hit rates, population counts, write-offs);
+//! * `metrics [path]` — the registry plus vitals rendered as
+//!   OpenMetrics-style text;
 //! * `selfcheck` — the CI gate: runs the recording config twice (no-op
 //!   sink vs recorder), demands bit-identical aggregates, then answers a
 //!   retirement query and cross-foots the blame rollups against the
 //!   run's own economic aggregates. Non-zero exit on any mismatch or
 //!   unanswerable query.
+//! * `health` — the health-plane CI gate: snapshot-on and snapshot-off
+//!   runs must be bit-identical, the SLO ledger must cross-foot with the
+//!   run's own aggregates, the vitals cadence must land on the grid, and
+//!   the OpenMetrics render must be well-formed.
 //!
 //! Usage: `cargo run --release -p bench --bin explain -- <subcommand> …`
+//!
+//! Unknown subcommands, malformed arguments and trailing arguments all
+//! exit 2 with the usage text — a misremembered query must fail loudly,
+//! not silently answer something else.
 
 use bench::fleet_fingerprint;
-use fleet::{ElasticConfig, FaultPlan, FleetConfig, FleetSim};
+use fleet::{narrate_breaches, ElasticConfig, FaultPlan, FleetConfig, FleetSim, TenantSloSpec};
 use pricing::Money;
 use simulator::ArrivalKind;
 use telemetry::{
-    blame, explain_crash, explain_retirement, node_timeline, BlameKey, BlameRow, LifecyclePhase,
-    Trace, TraceEvent,
+    blame, detect_alarms, explain_crash, explain_retirement, node_timeline, render_openmetrics,
+    Baselines, BlameKey, BlameRow, LifecyclePhase, Trace, TraceEvent,
 };
 
 const USAGE: &str = "usage: explain <subcommand>\n\
@@ -47,7 +62,11 @@ const USAGE: &str = "usage: explain <subcommand>\n\
        blame     <tenant|template|structure|node|resource> [path]\n\
        structure <name> [path]                               who paid for structure <name>\n\
        timeline  <node> [path]                               lifecycle transitions of node N\n\
+       slo       [path]                                      per-tenant SLO ledger + drift alarms\n\
+       top       [path]                                      cadenced vitals frames over time\n\
+       metrics   [path]                                      OpenMetrics-style text export\n\
        selfcheck                                             traced-vs-noop bit-identity + smoke queries\n\
+       health                                                snapshot-on/off bit-identity + SLO cross-foot\n\
        (default trace path: results/fleet_trace.json)";
 
 const DEFAULT_TRACE: &str = "results/fleet_trace.json";
@@ -73,17 +92,27 @@ fn recording_config() -> FleetConfig {
     config.scale_factor = 50.0;
     config.cells = 2;
     let config = config.with_faults(FaultPlan::new(20_000.0).with_crash_recover(3, 30.0, 60.0));
-    config.with_elastic(ElasticConfig {
-        review_interval_secs: 5.0,
-        ewma_alpha: 0.3,
-        scale_up_backlog: 4.0,
-        scale_down_backlog: 0.25,
-        max_response_secs: 0.0,
-        min_nodes: 1,
-        max_nodes: 4,
-        cooldown_reviews: 4,
-        drain_grace_secs: 60.0,
-    })
+    config
+        .with_elastic(ElasticConfig {
+            review_interval_secs: 5.0,
+            ewma_alpha: 0.3,
+            scale_up_backlog: 4.0,
+            scale_down_backlog: 0.25,
+            max_response_secs: 0.0,
+            min_nodes: 1,
+            max_nodes: 4,
+            cooldown_reviews: 4,
+            drain_grace_secs: 60.0,
+        })
+        // The health plane rides along: a 60 s vitals cadence (the run
+        // spans hours of simulated time) and a uniform SLO contract
+        // tight enough that the storm phases burn real error budget —
+        // so `explain slo` always has breaches and burn to narrate.
+        .with_health(60.0)
+        .with_slo(TenantSloSpec {
+            p99_target_secs: 5.0,
+            spend_cap: Some(Money::from_dollars(0.4)),
+        })
 }
 
 fn usage_exit() -> ! {
@@ -111,6 +140,8 @@ fn record(path: &str) {
             .to_string(),
         events: trace.events,
         registry: trace.registry,
+        slo: Some(result.slo.clone()),
+        health: result.health.clone(),
     };
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
@@ -186,6 +217,300 @@ fn retire(node: usize, trace: &Trace) {
             std::process::exit(1);
         }
     }
+}
+
+/// The last simulated instant the trace knows about: the later of the
+/// final settlement and the final vitals frame.
+fn trace_horizon(trace: &Trace) -> f64 {
+    let settled = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Settlement(s) => Some(s.at_secs),
+            _ => None,
+        })
+        .fold(0.0_f64, f64::max);
+    let framed = trace
+        .health
+        .as_ref()
+        .and_then(|h| h.frames.last())
+        .map_or(0.0, |f| f.at_secs);
+    settled.max(framed)
+}
+
+fn slo_report(trace: &Trace) {
+    let Some(ledger) = &trace.slo else {
+        eprintln!("error: trace carries no SLO ledger (re-record with `explain record`)");
+        std::process::exit(1);
+    };
+    println!(
+        "{:>7} {:>8} {:>6} {:>9} {:>9} {:>9} {:>7} {:>7} {:>11} {:>9} {:>6}",
+        "tenant",
+        "queries",
+        "hit%",
+        "p50(s)",
+        "p99(s)",
+        "target",
+        "misses",
+        "burn",
+        "spend($)",
+        "cap($)",
+        "flags"
+    );
+    for r in &ledger.tenants {
+        let hit_pct = if r.admitted == 0 {
+            0.0
+        } else {
+            100.0 * r.cache_hits as f64 / r.admitted as f64
+        };
+        let target = r
+            .slo
+            .map_or("-".to_string(), |s| format!("{:.3}", s.p99_target_secs));
+        let cap = r
+            .slo
+            .and_then(|s| s.spend_cap)
+            .map_or("-".to_string(), |c| format!("{:.4}", c.as_dollars()));
+        let burn = if r.slo.is_some() {
+            format!("{:.2}", r.burn_rate())
+        } else {
+            "-".to_string()
+        };
+        let mut flags = String::new();
+        if r.p99_breached() {
+            flags.push('P');
+        }
+        if r.spend_cap_breached() {
+            flags.push('$');
+        }
+        println!(
+            "{:>7} {:>8} {:>6.1} {:>9.4} {:>9.4} {:>9} {:>7} {:>7} {:>11.6} {:>9} {:>6}",
+            r.tenant,
+            r.admitted,
+            hit_pct,
+            r.response.p50().unwrap_or(0.0),
+            r.response.p99().unwrap_or(0.0),
+            target,
+            r.deadline_misses,
+            burn,
+            r.spend.as_dollars(),
+            cap,
+            flags
+        );
+    }
+    println!(
+        "({} queries admitted, {} tenants breaching; flags: P = p99 error budget, $ = spend cap)",
+        ledger.total_admitted(),
+        ledger.breaches().len()
+    );
+    for line in narrate_breaches(ledger) {
+        println!("  {line}");
+    }
+    let alarms = detect_alarms(
+        trace.health.as_ref(),
+        ledger,
+        trace_horizon(trace),
+        &Baselines::default(),
+    );
+    if alarms.is_empty() {
+        println!("drift alarms: none");
+    } else {
+        println!("drift alarms ({}):", alarms.len());
+        for a in &alarms {
+            println!(
+                "  t={:>8.1}s log(e)={:.2} {}",
+                a.at_secs, a.log_e_value, a.message
+            );
+        }
+    }
+}
+
+fn top_report(trace: &Trace) {
+    let Some(series) = &trace.health else {
+        eprintln!(
+            "error: trace carries no vitals frames (record with a health-enabled config \
+             via `explain record`)"
+        );
+        std::process::exit(1);
+    };
+    println!(
+        "{:>9} {:>8} {:>6} {:>10} {:>9} {:>11} {:>5} {:>5} {:>5} {:>8} {:>7} {:>7} {:>11}",
+        "t(s)",
+        "queries",
+        "hit%",
+        "backlog(s)",
+        "pressure",
+        "cash($)",
+        "live",
+        "rout",
+        "drain",
+        "plan-hit%",
+        "spawns",
+        "retires",
+        "writeoff($)"
+    );
+    for f in &series.frames {
+        let plan_total = f.plan_hits + f.plan_misses;
+        let plan_pct = if plan_total == 0 {
+            0.0
+        } else {
+            100.0 * f.plan_hits as f64 / plan_total as f64
+        };
+        println!(
+            "{:>9.1} {:>8} {:>6.1} {:>10.3} {:>9.3} {:>11.4} {:>5} {:>5} {:>5} {:>8.1} {:>7} {:>7} {:>11.6}",
+            f.at_secs,
+            f.queries,
+            100.0 * f.hit_rate(),
+            f.backlog_secs,
+            f.pressure_ewma,
+            f.node_cash.as_dollars(),
+            f.live_nodes,
+            f.routable_nodes,
+            f.draining_nodes,
+            plan_pct,
+            f.spawns,
+            f.retires,
+            f.write_off.as_dollars()
+        );
+    }
+    println!(
+        "({} frames at {:.1}s cadence)",
+        series.frames.len(),
+        series.interval_secs
+    );
+}
+
+fn metrics_report(trace: &Trace) {
+    print!(
+        "{}",
+        render_openmetrics(&trace.registry, trace.health.as_ref())
+    );
+}
+
+/// The health-plane CI gate (the `trend --check` prerequisite): the
+/// vitals scraper and SLO ledger must never perturb the simulation.
+fn health_check() {
+    // 1. Snapshot-on vs snapshot-off bit-identity: the fingerprint
+    //    excludes the health series itself, so any difference means the
+    //    scraper leaked into the simulation.
+    let on = FleetSim::new(recording_config()).run();
+    let mut off_config = recording_config();
+    off_config.health = None;
+    for tenant in &mut off_config.tenants {
+        tenant.slo = None;
+    }
+    let off = FleetSim::new(off_config).run();
+    if fleet_fingerprint(&on) != fleet_fingerprint(&off) {
+        eprintln!("error: snapshot-on run is not bit-identical to snapshot-off run");
+        eprintln!("  on:  {}", fleet_fingerprint(&on));
+        eprintln!("  off: {}", fleet_fingerprint(&off));
+        std::process::exit(1);
+    }
+    println!("snapshot-on run bit-identical to snapshot-off run: OK");
+
+    // 2. The SLO ledger must cross-foot with the run's own aggregates —
+    //    same queries, same cache hits, same dollars, tenant by tenant.
+    if on.slo.total_admitted() != on.queries {
+        eprintln!(
+            "error: SLO ledger admits {} queries, run served {}",
+            on.slo.total_admitted(),
+            on.queries
+        );
+        std::process::exit(1);
+    }
+    let ledger_spend: Money = on.slo.tenants.iter().map(|r| r.spend).sum();
+    if ledger_spend != on.payments {
+        eprintln!(
+            "error: SLO ledger spend {ledger_spend} disagrees with run payments {}",
+            on.payments
+        );
+        std::process::exit(1);
+    }
+    let ledger_hits: u64 = on.slo.tenants.iter().map(|r| r.cache_hits).sum();
+    if ledger_hits != on.cache_hits {
+        eprintln!(
+            "error: SLO ledger counts {ledger_hits} cache hits, run counted {}",
+            on.cache_hits
+        );
+        std::process::exit(1);
+    }
+    for (stats, record) in on.tenants.iter().zip(&on.slo.tenants) {
+        if stats.tenant.0 != record.tenant
+            || stats.queries != record.admitted
+            || stats.payments != record.spend
+            || stats.cache_hits != record.cache_hits
+        {
+            eprintln!(
+                "error: tenant {} SLO record disagrees with TenantStats",
+                record.tenant
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "SLO ledger cross-foots with FleetResult ({} queries, {} over {} tenants): OK",
+        on.queries,
+        on.payments,
+        on.slo.tenants.len()
+    );
+
+    // 3. Vitals frames must exist and land exactly on the cadence grid.
+    let series = on.health.as_ref().unwrap_or_else(|| {
+        eprintln!("error: health-enabled run produced no vitals series");
+        std::process::exit(1);
+    });
+    if series.frames.is_empty() {
+        eprintln!("error: vitals series is empty");
+        std::process::exit(1);
+    }
+    for (i, frame) in series.frames.iter().enumerate() {
+        #[allow(clippy::cast_precision_loss)]
+        let expected = (i + 1) as f64 * series.interval_secs;
+        if frame.at_secs.to_bits() != expected.to_bits() {
+            eprintln!(
+                "error: frame {i} sampled at {}s, expected the {expected}s grid instant",
+                frame.at_secs
+            );
+            std::process::exit(1);
+        }
+    }
+    let last = series.frames.last().expect("non-empty");
+    if last.queries > on.queries {
+        eprintln!("error: cumulative frame counters ran past the run total");
+        std::process::exit(1);
+    }
+    println!(
+        "vitals cadence on-grid ({} frames every {:.0}s, last at t={:.0}s): OK",
+        series.frames.len(),
+        series.interval_secs,
+        last.at_secs
+    );
+
+    // 4. The OpenMetrics render must be well-formed enough to scrape:
+    //    non-empty, EOF-terminated, and carrying the vitals gauges.
+    let (_, fleet_trace) = FleetSim::new(recording_config()).run_traced();
+    let text = render_openmetrics(&fleet_trace.registry, on.health.as_ref());
+    if !text.ends_with("# EOF\n") || !text.contains("fleet_vitals_frames_total") {
+        eprintln!("error: OpenMetrics render is malformed");
+        std::process::exit(1);
+    }
+    println!(
+        "OpenMetrics render well-formed ({} lines): OK",
+        text.lines().count()
+    );
+
+    // 5. The drift detector must run clean over the reference trace —
+    //    the e-process is for real drift, not for the healthy baseline.
+    let alarms = detect_alarms(
+        on.health.as_ref(),
+        &on.slo,
+        on.horizon_secs,
+        &Baselines::default(),
+    );
+    println!(
+        "drift detector over reference run: {} alarm(s)",
+        alarms.len()
+    );
+    println!("explain health: OK");
 }
 
 fn selfcheck() {
@@ -334,6 +659,15 @@ fn selfcheck() {
     println!("explain selfcheck: OK");
 }
 
+/// Rejects trailing arguments a subcommand does not take: a mistyped
+/// query must die with usage, not silently ignore the extra operand.
+fn require_max_args(args: &[String], max: usize) {
+    if args.len() > max {
+        eprintln!("error: unexpected argument `{}`", args[max]);
+        usage_exit();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(sub) = args.first() else {
@@ -341,10 +675,12 @@ fn main() {
     };
     match sub.as_str() {
         "record" => {
+            require_max_args(&args, 2);
             let path = args.get(1).map_or(DEFAULT_TRACE, String::as_str);
             record(path);
         }
         "retire" | "crash" | "timeline" => {
+            require_max_args(&args, 3);
             let Some(node) = args.get(1).and_then(|s| s.parse::<usize>().ok()) else {
                 usage_exit();
             };
@@ -377,6 +713,7 @@ fn main() {
             }
         }
         "blame" => {
+            require_max_args(&args, 3);
             let Some(key) = args.get(1).and_then(|s| BlameKey::parse(s)) else {
                 usage_exit();
             };
@@ -390,6 +727,7 @@ fn main() {
             print_rows(&rows);
         }
         "structure" => {
+            require_max_args(&args, 3);
             let Some(name) = args.get(1) else {
                 usage_exit();
             };
@@ -414,7 +752,26 @@ fn main() {
             }
             print_rows(&rows);
         }
-        "selfcheck" => selfcheck(),
+        "slo" | "top" | "metrics" => {
+            require_max_args(&args, 2);
+            let path = args.get(1).map_or(DEFAULT_TRACE, String::as_str);
+            let trace = load_trace(path);
+            if sub == "slo" {
+                slo_report(&trace);
+            } else if sub == "top" {
+                top_report(&trace);
+            } else {
+                metrics_report(&trace);
+            }
+        }
+        "selfcheck" => {
+            require_max_args(&args, 1);
+            selfcheck();
+        }
+        "health" => {
+            require_max_args(&args, 1);
+            health_check();
+        }
         _ => usage_exit(),
     }
 }

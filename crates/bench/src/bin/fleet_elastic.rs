@@ -28,6 +28,12 @@
 //! neither elasticity nor observability may cost the fleet its
 //! invariance contract.
 //!
+//! Every cell runs with the health plane attached — a uniform
+//! observational SLO contract (10 s p99 target, $1 spend cap) and a 60 s
+//! vitals cadence — and the committed rows carry the per-tenant SLO
+//! rollup: worst-tenant p99, fleet deadline-miss rate, and spend-cap
+//! breach count.
+//!
 //! At the default cell the run writes `BENCH_fleet_elastic.json`
 //! (best-of-reps q/s plus min/median spreads per cell, the merged
 //! traced-replay metrics registry and the fleet-wide skeleton-cache
@@ -40,7 +46,10 @@ use bench::{
     cli_arg, cli_usage_error, fleet_fingerprint, scale_args, write_bench_json, write_csv, Row,
     RowSet,
 };
-use fleet::{ElasticConfig, FleetConfig, FleetResult, FleetSim};
+use fleet::{
+    spend_cap_breaches, worst_p99, ElasticConfig, FleetConfig, FleetResult, FleetSim, TenantSloSpec,
+};
+use pricing::Money;
 use simulator::ArrivalKind;
 use telemetry::MetricsRegistry;
 
@@ -129,6 +138,14 @@ fn main() {
             .with_arrivals(scenario_arrival(scenario));
         config.scale_factor = sf;
         config.cells = 16;
+        // The health plane rides every cell: a uniform observational SLO
+        // contract (the ledger is always on; the spec only marks the
+        // targets) and a 60 s vitals cadence. The invariance replays
+        // below therefore double as the snapshot-on determinism gate.
+        config = config.with_health(60.0).with_slo(TenantSloSpec {
+            p99_target_secs: 10.0,
+            spend_cap: Some(Money::from_dollars(1.0)),
+        });
         if elastic {
             config = config.with_elastic(elastic_config(nodes));
         }
@@ -173,7 +190,7 @@ fn main() {
     }
 
     println!(
-        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>14} {:>12} {:>12} {:>8} {:>8} {:>7} {:>7} {:>6} {:>12} {:>7}",
+        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>14} {:>12} {:>12} {:>8} {:>8} {:>7} {:>7} {:>6} {:>12} {:>7} {:>10} {:>7} {:>7}",
         "scenario",
         "mode",
         "queries/s",
@@ -188,7 +205,10 @@ fn main() {
         "retires",
         "peak",
         "node-secs",
-        "ledger"
+        "ledger",
+        "worst p99",
+        "miss%",
+        "capbrk"
     );
     let mut set = RowSet::new();
     for cell in &cells {
@@ -210,7 +230,7 @@ fn main() {
             .f64_cell("mean_response_s", r.mean_response_secs(), 12, 3, 6)
             .f64_cell(
                 "p99_response_s",
-                r.response_hist.quantile(0.99).unwrap_or(0.0),
+                r.response_hist.p99().unwrap_or(0.0),
                 12,
                 3,
                 6,
@@ -224,7 +244,32 @@ fn main() {
             // fleet's full-population uptime is exactly what elasticity
             // is measured against.
             .f64_cell("node_seconds", r.node_seconds, 12, 0, 1)
-            .num_cell("ledger_entries", e.map_or(0, |e| e.ledger.len()), 7, false);
+            .num_cell("ledger_entries", e.map_or(0, |e| e.ledger.len()), 7, false)
+            // The per-tenant SLO rollup: the worst tenant's measured
+            // p99, the fleet-wide deadline-miss rate against the 10 s
+            // target, and how many tenants blew their spend cap.
+            .f64_cell(
+                "slo_worst_p99_s",
+                worst_p99(&r.slo).map_or(0.0, |(_, p99)| p99),
+                10,
+                3,
+                6,
+            )
+            .pct_cell(
+                "slo_miss_rate",
+                {
+                    let admitted = r.slo.total_admitted();
+                    let misses: u64 = r.slo.tenants.iter().map(|t| t.deadline_misses).sum();
+                    if admitted == 0 {
+                        0.0
+                    } else {
+                        misses as f64 / admitted as f64
+                    }
+                },
+                6,
+                4,
+            )
+            .num_cell("slo_cap_breaches", spend_cap_breaches(&r.slo), 7, false);
         println!("{}", set.push(row));
     }
 

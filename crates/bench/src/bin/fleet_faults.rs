@@ -69,10 +69,12 @@ use bench::{
     RowSet,
 };
 use fleet::{
-    ElasticAction, ElasticConfig, FaultOutcome, FaultPlan, FleetConfig, FleetResult, FleetSim,
+    spend_cap_breaches, worst_p99, ElasticAction, ElasticConfig, FaultOutcome, FaultPlan,
+    FleetConfig, FleetResult, FleetSim, TenantSloSpec,
 };
+use pricing::Money;
 use simulator::ArrivalKind;
-use telemetry::MetricsRegistry;
+use telemetry::{detect_alarms, Baselines, MetricsRegistry};
 
 const USAGE: &str = "{bin} [scale_factor] [queries_per_tenant] [tenants] [nodes]\n       \
                      defaults: scale_factor 50, queries_per_tenant 100, tenants 64, nodes 8";
@@ -83,6 +85,13 @@ const USAGE: &str = "{bin} [scale_factor] [queries_per_tenant] [tenants] [nodes]
 /// crash genuinely drops a cell below it, and the fault plane always
 /// has a survivor to re-route onto.
 const INTERVAL_SECS: f64 = 60.0;
+
+/// The uniform observational SLO contract: every tenant targets this
+/// p99. Sized between the fault-free grid's tail (which must hold its
+/// 1% error budget) and the degraded node's 6x-slowed responses (which
+/// must burn it hard enough for the e-process drift detector to fire —
+/// the alarm fixture the committed record pins).
+const SLO_P99_TARGET_SECS: f64 = 6.0;
 
 /// Measurement repetitions per cell at the record-writing default cell.
 /// Five interleaved reps: the best-of-reps headline recovers the
@@ -211,6 +220,14 @@ fn main() {
         let mut config = FleetConfig::uniform(tenants, nodes, queries_per_tenant, INTERVAL_SECS);
         config.scale_factor = sf;
         config.cells = 8;
+        // The health plane rides every cell: the SLO target is set so
+        // the fault-free grid holds its p99 error budget while the
+        // degradation scenarios genuinely burn it — the drift-alarm
+        // fixture the committed record pins.
+        config = config.with_health(INTERVAL_SECS).with_slo(TenantSloSpec {
+            p99_target_secs: SLO_P99_TARGET_SECS,
+            spend_cap: Some(Money::from_dollars(1.0)),
+        });
         if let Some(arrival) = scenario_arrivals(scenario) {
             config = config.with_arrivals(arrival);
         }
@@ -271,7 +288,7 @@ fn main() {
     }
 
     println!(
-        "{:>16} {:>8} {:>10} {:>10} {:>14} {:>12} {:>8} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>8} {:>12} {:>7} {:>7} {:>12}",
+        "{:>16} {:>8} {:>10} {:>10} {:>14} {:>12} {:>8} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>8} {:>12} {:>7} {:>7} {:>12} {:>10} {:>7} {:>7} {:>7}",
         "scenario",
         "mode",
         "queries/s",
@@ -290,7 +307,11 @@ fn main() {
         "requeued(s)",
         "spawns",
         "retires",
-        "node-secs"
+        "node-secs",
+        "worst p99",
+        "miss%",
+        "capbrk",
+        "alarms"
     );
     let mut set = RowSet::new();
     for cell in &cells {
@@ -355,7 +376,43 @@ fn main() {
             // shrink the static fleet's uptime too (a dead node stops
             // billing), so the elastic win is measured against the
             // static fleet's own post-crash bill.
-            .f64_cell("node_seconds", r.node_seconds, 12, 0, 1);
+            .f64_cell("node_seconds", r.node_seconds, 12, 0, 1)
+            // The per-tenant SLO rollup plus the e-process drift-alarm
+            // count over the cell's own vitals and ledger.
+            .f64_cell(
+                "slo_worst_p99_s",
+                worst_p99(&r.slo).map_or(0.0, |(_, p99)| p99),
+                10,
+                3,
+                6,
+            )
+            .pct_cell(
+                "slo_miss_rate",
+                {
+                    let admitted = r.slo.total_admitted();
+                    let misses: u64 = r.slo.tenants.iter().map(|t| t.deadline_misses).sum();
+                    if admitted == 0 {
+                        0.0
+                    } else {
+                        misses as f64 / admitted as f64
+                    }
+                },
+                6,
+                4,
+            )
+            .num_cell("slo_cap_breaches", spend_cap_breaches(&r.slo), 7, false)
+            .num_cell(
+                "drift_alarms",
+                detect_alarms(
+                    r.health.as_ref(),
+                    &r.slo,
+                    r.horizon_secs,
+                    &Baselines::default(),
+                )
+                .len(),
+                7,
+                false,
+            );
         println!("{}", set.push(row));
     }
 
@@ -566,6 +623,43 @@ fn main() {
                 cell.scenario,
                 cell.mode,
                 cell.result().queries
+            );
+        }
+    }
+
+    // ── The drift-alarm fixture ─────────────────────────────────────
+    // The e-process detector must discriminate: the fault-free grid
+    // stays silent, the 6x degradation burns enough p99 budget to cross
+    // the e-value threshold. Gated at the default cell only — reduced
+    // scales reshape the response distribution under the fixed target.
+    let alarm_count = |scenario: &str, mode: &str| {
+        let r = find(scenario, mode).result();
+        detect_alarms(
+            r.health.as_ref(),
+            &r.slo,
+            r.horizon_secs,
+            &Baselines::default(),
+        )
+        .len()
+    };
+    if default_cell {
+        for mode in ["static", "elastic"] {
+            let spurious = alarm_count("none", mode);
+            if spurious != 0 {
+                failed = true;
+                eprintln!("error: none/{mode} raised {spurious} drift alarm(s) on a healthy run");
+            }
+        }
+        let fired = alarm_count("degraded", "elastic");
+        if fired == 0 {
+            failed = true;
+            eprintln!(
+                "error: degraded/elastic raised no drift alarm — the 6x degradation must burn \
+                 the p99 budget past the e-value threshold"
+            );
+        } else {
+            println!(
+                "drift-alarm fixture: none silent, degraded/elastic raised {fired} alarm(s): OK"
             );
         }
     }

@@ -17,7 +17,11 @@
 //!   on and forced off, regardless of the base setting, so every run
 //!   gates on affinity being a pure placement hint and the committed
 //!   record shows the pinning win (or documents its absence on hosts
-//!   where the executor clamps the pool to one thread).
+//!   where the executor clamps the pool to one thread);
+//! * **health cross-check** — the reference settings with the vitals
+//!   scraper (30 s cadence) and per-tenant SLO ledger attached: the
+//!   same bitwise gate becomes the snapshot-on/off identity contract,
+//!   and the row's q/s against the baseline bounds snapshot overhead.
 //!
 //! `FLEET_SCALE_PIN=off` (or `on`) overrides the default-on
 //! `pin_quote_workers` for every *other* cell — CI runs the grid both
@@ -44,7 +48,8 @@ use bench::{
     cli_arg, cli_usage_error, fleet_fingerprint, scale_args, write_bench_json, write_csv, Row,
     RowSet,
 };
-use fleet::{FleetConfig, FleetResult, FleetSim};
+use fleet::{FleetConfig, FleetResult, FleetSim, TenantSloSpec};
+use pricing::Money;
 
 const SHARD_GRID: [usize; 4] = [1, 2, 4, 8];
 const QUOTE_THREAD_GRID: [usize; 4] = [1, 2, 4, 8];
@@ -216,6 +221,26 @@ fn main() {
     for pin in [true, false] {
         cells.push(prepare_cell(&base, "pinning-sweep", 1, 8, true, pin));
     }
+    // Health-sweep: the vitals scraper and SLO ledger attached at the
+    // reference settings. The row flows through the same bitwise
+    // invariance gate as everything else — which *is* the
+    // snapshot-on/off bit-identity contract (`fleet_fingerprint`
+    // excludes the health series; the economics may not move) — and its
+    // q/s next to the baseline row bounds the snapshot overhead.
+    {
+        let health_base = base.clone().with_health(30.0).with_slo(TenantSloSpec {
+            p99_target_secs: 10.0,
+            spend_cap: Some(Money::from_dollars(1.0)),
+        });
+        cells.push(prepare_cell(
+            &health_base,
+            "health-sweep",
+            1,
+            1,
+            true,
+            pinning,
+        ));
+    }
     // `FLEET_SCALE_REPS` forces the rep count at any cell — local A/B
     // profiling needs best-of-N at reduced cells too. The record still
     // only refreshes at the default cell.
@@ -305,6 +330,17 @@ fn main() {
         }
     }
 
+    // Snapshot overhead: the health-sweep row against the identical
+    // baseline cell. Reported at every scale; the committed record is
+    // what `trend --check` holds to the tolerance.
+    if let Some(health_cell) = cells.iter().find(|c| c.sweep == "health-sweep") {
+        let qps = health_cell.spread().best;
+        println!(
+            "health-sweep: {qps:.0} q/s with 30s vitals cadence vs {baseline_qps:.0} baseline ({:+.1}%)",
+            (qps - baseline_qps) / baseline_qps * 100.0
+        );
+    }
+
     write_csv("fleet_scale", &set.csv_header(), set.csv_rows());
     // Only the default acceptance cell refreshes the committed record;
     // reduced-scale runs (CI) must not clobber it.
@@ -330,6 +366,7 @@ fn main() {
              \"qps_note\": \"best of {reps} interleaved runs per cell; qps_min/qps_median record the rep spread\", \
              \"registry_note\": \"traced-replay registry of the reference cell + fleet-global skeleton_cache.* counters (wall-clock-dependent, excluded from the invariance contract)\", \
              \"pinning_note\": \"pinning-sweep rows measure affinity on vs off at 8 quote threads; pool.pinned_workers in the registry records how many pins actually took — 0 on hosts where the executor clamps the pool to one thread (no spare parallelism), in which case the rows document the absence of a pinning effect rather than a win\", \
+             \"health_note\": \"the health-sweep row runs the reference settings with a 30s vitals cadence and per-tenant SLO ledger attached; its cost/queries/mean must be bit-identical to the baseline row (the snapshot-on/off identity gate) and its q/s bounds the snapshot overhead\", \
              \"registry\": {registry_json}, \
              \"pr2_baseline_qps\": {PR2_BASELINE_QPS:.0}, \"speedup_vs_pr2\": {:.2}, \
              \"baseline_note\": \"pr2_baseline_qps: commit 925d16f (one full enumeration per \

@@ -9,11 +9,15 @@
 //! their quote-thread sweep checked against the record's own 1-thread
 //! baseline — the threaded-quote regression staying fixed — plus the
 //! completion-path gate (the recorded batched default must be the
-//! fastest sweep row) and the pinning-invariance gate (pinned and
-//! unpinned rows must agree on every economic aggregate); `fleet_faults`
+//! fastest sweep row), the pinning-invariance gate (pinned and
+//! unpinned rows must agree on every economic aggregate), and the
+//! health-plane gate (the vitals-snapshots-on row must agree bitwise
+//! with the snapshots-off baseline and keep its throughput — the
+//! health plane is a pure observer off the hot path); `fleet_faults`
 //! records get their fault-plane claims re-checked (every ledger replay
 //! reconciled, elastic-with-respawn still cheaper than
-//! static-with-crash). The `pool.pinned_workers` /
+//! static-with-crash, drift alarms silent on fault-free cells and
+//! firing on the degraded one). The `pool.pinned_workers` /
 //! `plan_cache.victim_hits` registry counters are surfaced per record
 //! when present — historical records without them are simply silent.
 //!
@@ -96,6 +100,12 @@ fn main() {
         }
         if !trend.pinning_regressions.is_empty() {
             flags.push(format!("PINNING: {}", trend.pinning_regressions.join("; ")));
+        }
+        if !trend.health_regressions.is_empty() {
+            flags.push(format!(
+                "HEALTH-PLANE: {}",
+                trend.health_regressions.join("; ")
+            ));
         }
         if !trend.fault_regressions.is_empty() {
             flags.push(format!(

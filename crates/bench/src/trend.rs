@@ -9,10 +9,14 @@
 //! `trend --check` (CI) exits non-zero when the working-tree record
 //! regresses against the last committed one, when the committed
 //! `fleet_scale` quote-thread sweep contains rows below its own
-//! sequential baseline, or when a committed `fleet_faults` record
-//! violates its fault-plane claims (a ledger replay that no longer
-//! reconciles, or an elastic fleet that no longer beats the static one
-//! on cost through a crash).
+//! sequential baseline, when its health-sweep row shows the vitals
+//! snapshots perturbing the run (aggregates drifting bitwise from the
+//! snapshots-off baseline, or throughput leaking), or when a committed
+//! `fleet_faults` record violates its fault-plane claims (a ledger
+//! replay that no longer reconciles, an elastic fleet that no longer
+//! beats the static one on cost through a crash, or a drift-alarm
+//! fixture that cries wolf on fault-free cells or goes blind on the
+//! degraded one).
 
 use serde::Value;
 
@@ -185,6 +189,68 @@ pub fn pinning_invariance_regressions(doc: &Value) -> Vec<String> {
         .collect()
 }
 
+/// Health-plane regression rows of a `fleet_scale` record: the vitals
+/// scraper and SLO ledger are pure observers, so a record carrying a
+/// `health-sweep` row must show bit-identical economic aggregates
+/// between that row (snapshots on) and the sequential baseline
+/// (snapshots off), and the row's throughput must stay inside the
+/// noise band of the baseline — the snapshot path stays off the hot
+/// path or it is a regression. The live run gates the bit-identity
+/// before writing; this check keeps the *committed* record honest
+/// between re-measurements. Historical records without the row
+/// (pre-health-plane) produce no flags.
+#[must_use]
+pub fn health_sweep_regressions(doc: &Value) -> Vec<String> {
+    let Some(cells) = doc.get("cells").and_then(Value::as_seq) else {
+        return Vec::new();
+    };
+    let Some(health) = cells
+        .iter()
+        .find(|c| c.get("sweep").and_then(Value::as_str) == Some("health-sweep"))
+    else {
+        return Vec::new();
+    };
+    let baseline = cells.iter().find(|cell| {
+        let shards = cell.get("shards").and_then(Value::as_f64);
+        let threads = cell.get("quote_threads").and_then(Value::as_f64);
+        let sweep = cell.get("sweep").and_then(Value::as_str);
+        shards == Some(1.0) && threads == Some(1.0) && sweep != Some("health-sweep")
+    });
+    let Some(baseline) = baseline else {
+        return Vec::new();
+    };
+    let mut flags: Vec<String> = ["total_cost_usd", "mean_response_s", "builds"]
+        .iter()
+        .filter_map(|key| {
+            let on = health.get(key)?.as_f64()?;
+            let off = baseline.get(key)?.as_f64()?;
+            (on.to_bits() != off.to_bits()).then(|| {
+                format!(
+                    "{key} differs between snapshots-on ({on}) and snapshots-off ({off}) rows — \
+                     the health plane must be a pure observer"
+                )
+            })
+        })
+        .collect();
+    if let (Some(on_qps), Some(off_qps)) = (
+        health.get("qps").and_then(Value::as_f64),
+        baseline.get("qps").and_then(Value::as_f64),
+    ) {
+        let tolerance = REGRESSION_TOLERANCE
+            .max(cell_spread(health).unwrap_or(0.0))
+            .max(cell_spread(baseline).unwrap_or(0.0));
+        if on_qps < off_qps * (1.0 - tolerance) {
+            flags.push(format!(
+                "health-sweep at {on_qps:.0} q/s falls below the snapshots-off baseline \
+                 ({off_qps:.0} q/s) beyond the {:.1}% noise band — snapshots leaked onto \
+                 the hot path",
+                tolerance * 100.0
+            ));
+        }
+    }
+    flags
+}
+
 /// A named counter from the record's committed registry snapshot
 /// (`config.registry.entries[]`), e.g. `pool.pinned_workers` or
 /// `plan_cache.victim_hits`. `None` when the record predates the key —
@@ -301,6 +367,31 @@ pub fn fault_plane_regressions(doc: &Value) -> Vec<String> {
             }
         }
     }
+    // The drift-alarm fixture, gated only when the record carries the
+    // `drift_alarms` column (historical records predate the health
+    // plane): fault-free cells must stay alarm-silent — a detector that
+    // cries wolf on a healthy fleet is useless — and the 6x degraded
+    // elastic cell must burn the p99 budget past the e-value threshold.
+    let alarm = |scenario: &str, mode: &str| cell_value(scenario, mode, "drift_alarms");
+    if let (Some(none_static), Some(none_elastic), Some(degraded_elastic)) = (
+        alarm("none", "static"),
+        alarm("none", "elastic"),
+        alarm("degraded", "elastic"),
+    ) {
+        if none_static > 0.0 || none_elastic > 0.0 {
+            flags.push(format!(
+                "none scenario: fault-free run raised {:.0} drift alarm(s) — the detector \
+                 cries wolf",
+                none_static.max(none_elastic)
+            ));
+        }
+        if degraded_elastic < 1.0 {
+            flags.push(
+                "degraded/elastic: 6x degradation raised no drift alarm — the detector is blind"
+                    .to_string(),
+            );
+        }
+    }
     flags
 }
 
@@ -361,6 +452,11 @@ pub struct BenchTrend {
     /// differ — affinity leaked into results (empty for records without
     /// a `pinning` column and for healthy records).
     pub pinning_regressions: Vec<String>,
+    /// `fleet_scale` health-sweep violations — the snapshots-on row
+    /// disagreeing with the snapshots-off baseline on economic
+    /// aggregates, or its throughput falling out of the noise band
+    /// (empty for records without the row and for healthy records).
+    pub health_regressions: Vec<String>,
     /// Violated `fleet_faults` fault-plane claims in the newest content
     /// — unreconciled ledger replays or a crash scenario where the
     /// elastic fleet no longer beats the static one on cost (empty for
@@ -436,6 +532,7 @@ pub fn bench_trend(file: &str) -> BenchTrend {
     let mut sweep_regressions = Vec::new();
     let mut completion_regressions = Vec::new();
     let mut pinning_regressions = Vec::new();
+    let mut health_regressions = Vec::new();
     let mut fault_regressions = Vec::new();
     match &working {
         Ok(content) => match serde_json::from_str::<Value>(content) {
@@ -443,6 +540,7 @@ pub fn bench_trend(file: &str) -> BenchTrend {
                 sweep_regressions = quote_sweep_regressions(&doc);
                 completion_regressions = completion_path_regressions(&doc);
                 pinning_regressions = pinning_invariance_regressions(&doc);
+                health_regressions = health_sweep_regressions(&doc);
                 fault_regressions = fault_plane_regressions(&doc);
                 match headline_qps(&doc) {
                     Some(qps) => {
@@ -491,6 +589,7 @@ pub fn bench_trend(file: &str) -> BenchTrend {
         sweep_regressions,
         completion_regressions,
         pinning_regressions,
+        health_regressions,
         fault_regressions,
         error,
     }
@@ -558,6 +657,7 @@ mod tests {
         assert!(quote_sweep_regressions(&doc).is_empty());
         assert!(completion_path_regressions(&doc).is_empty());
         assert!(pinning_invariance_regressions(&doc).is_empty());
+        assert!(health_sweep_regressions(&doc).is_empty());
     }
 
     #[test]
@@ -609,6 +709,72 @@ mod tests {
         assert_eq!(flags.len(), 2, "{flags:?}");
         assert!(flags[0].contains("total_cost_usd"), "{flags:?}");
         assert!(flags[1].contains("builds"), "{flags:?}");
+    }
+
+    #[test]
+    fn health_sweep_rows_must_match_the_baseline_bitwise() {
+        let healthy = parse(
+            r#"{"cells": [
+                {"sweep": "shard-sweep", "shards": 1, "quote_threads": 1, "qps": 50000,
+                 "total_cost_usd": 1.2345, "mean_response_s": 0.017, "builds": 283},
+                {"sweep": "health-sweep", "shards": 1, "quote_threads": 1, "qps": 49000,
+                 "total_cost_usd": 1.2345, "mean_response_s": 0.017, "builds": 283}
+            ]}"#,
+        );
+        assert!(health_sweep_regressions(&healthy).is_empty());
+        // Aggregates drifting or throughput collapsing on the
+        // snapshots-on row both flag.
+        let leaky = parse(
+            r#"{"cells": [
+                {"sweep": "shard-sweep", "shards": 1, "quote_threads": 1, "qps": 50000,
+                 "total_cost_usd": 1.2345, "mean_response_s": 0.017, "builds": 283},
+                {"sweep": "health-sweep", "shards": 1, "quote_threads": 1, "qps": 30000,
+                 "total_cost_usd": 1.2399, "mean_response_s": 0.017, "builds": 283}
+            ]}"#,
+        );
+        let flags = health_sweep_regressions(&leaky);
+        assert_eq!(flags.len(), 2, "{flags:?}");
+        assert!(flags[0].contains("total_cost_usd"), "{flags:?}");
+        assert!(flags[1].contains("hot path"), "{flags:?}");
+        // Records from before the health plane carry no row and are
+        // never held to the claim.
+        let legacy = parse(
+            r#"{"cells": [{"sweep": "shard-sweep", "shards": 1, "quote_threads": 1,
+                 "qps": 50000, "total_cost_usd": 1.2345}]}"#,
+        );
+        assert!(health_sweep_regressions(&legacy).is_empty());
+    }
+
+    #[test]
+    fn fault_plane_checks_the_drift_alarm_fixture() {
+        // A wolf-crying detector (alarms on `none`) and a blind one (no
+        // alarm on degraded) both flag; a healthy fixture passes.
+        let broken = parse(
+            r#"{"bench": "fleet_faults", "cells": [
+                {"scenario": "none", "mode": "static", "drift_alarms": 2},
+                {"scenario": "none", "mode": "elastic", "drift_alarms": 0},
+                {"scenario": "degraded", "mode": "elastic", "drift_alarms": 0}
+            ]}"#,
+        );
+        let flags = fault_plane_regressions(&broken);
+        assert_eq!(flags.len(), 2, "{flags:?}");
+        assert!(flags[0].contains("cries wolf"), "{flags:?}");
+        assert!(flags[1].contains("blind"), "{flags:?}");
+        let healthy = parse(
+            r#"{"bench": "fleet_faults", "cells": [
+                {"scenario": "none", "mode": "static", "drift_alarms": 0},
+                {"scenario": "none", "mode": "elastic", "drift_alarms": 0},
+                {"scenario": "degraded", "mode": "elastic", "drift_alarms": 56}
+            ]}"#,
+        );
+        assert!(fault_plane_regressions(&healthy).is_empty());
+        // Records predating the column are never held to the claim.
+        let legacy = parse(
+            r#"{"bench": "fleet_faults", "cells": [
+                {"scenario": "none", "mode": "static", "total_cost_usd": 18.0}
+            ]}"#,
+        );
+        assert!(fault_plane_regressions(&legacy).is_empty());
     }
 
     #[test]
@@ -743,6 +909,7 @@ mod tests {
             sweep_regressions: Vec::new(),
             completion_regressions: Vec::new(),
             pinning_regressions: Vec::new(),
+            health_regressions: Vec::new(),
             fault_regressions: Vec::new(),
             error: None,
         };

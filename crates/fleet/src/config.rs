@@ -5,6 +5,7 @@ use planner::CostParams;
 use pricing::{Money, PriceCatalog};
 use serde::{Deserialize, Serialize};
 use simulator::{ArrivalKind, Scheme};
+use telemetry::{HealthConfig, TenantSloSpec};
 use workload::WorkloadConfig;
 
 use crate::elastic::ElasticConfig;
@@ -82,6 +83,13 @@ pub struct FleetConfig {
     /// tenant's arrivals (see [`crate::faults`]). Faults are config, so
     /// faulted runs stay bit-replayable and shard-invariant.
     pub faults: Option<FaultPlan>,
+    /// Health-plane snapshot cadence; `None` (the default, including
+    /// for older serialized configs) takes no vitals snapshots. Purely
+    /// observational: a snapshot-on run is bit-identical to the same
+    /// run with snapshots off (see `crate::exec` — the scraper only
+    /// reads state, on a simulated-time cadence).
+    #[serde(default)]
+    pub health: Option<HealthConfig>,
     /// Master seed; per-tenant seeds derive from `(seed, tenant id)`.
     pub seed: u64,
 }
@@ -105,6 +113,7 @@ impl FleetConfig {
                 workload: WorkloadConfig::default(),
                 arrival: ArrivalKind::Fixed { interval_secs },
                 queries: queries_per_tenant,
+                slo: None,
             })
             .collect();
         let nodes = (0..n_nodes)
@@ -134,6 +143,7 @@ impl FleetConfig {
             candidate_indexes: 65,
             elastic: None,
             faults: None,
+            health: None,
             seed: 0xF1EE_7CA5,
         }
     }
@@ -149,6 +159,27 @@ impl FleetConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Builder style: snapshot fleet vitals every `interval_secs` of
+    /// simulated time.
+    #[must_use]
+    pub fn with_health(mut self, interval_secs: f64) -> Self {
+        self.health = Some(HealthConfig {
+            snapshot_interval_secs: interval_secs,
+        });
+        self
+    }
+
+    /// Builder style: give every tenant the same service-level
+    /// objective — the SLO ledger then tracks deadline misses and spend
+    /// caps for the whole population.
+    #[must_use]
+    pub fn with_slo(mut self, slo: TenantSloSpec) -> Self {
+        for t in &mut self.tenants {
+            t.slo = Some(slo);
+        }
         self
     }
 
@@ -229,6 +260,10 @@ impl FleetConfig {
             t.workload
                 .validate()
                 .map_err(|(f, r)| format!("tenant {} workload.{f}: {r}", t.id.0))?;
+            if let Some(slo) = &t.slo {
+                slo.validate()
+                    .map_err(|m| format!("tenant {} slo: {m}", t.id.0))?;
+            }
         }
         self.cost_params
             .validate()
@@ -241,6 +276,9 @@ impl FleetConfig {
             faults
                 .validate(self.nodes.len())
                 .map_err(|m| format!("faults: {m}"))?;
+        }
+        if let Some(health) = &self.health {
+            health.validate().map_err(|m| format!("health: {m}"))?;
         }
         Ok(())
     }
@@ -313,6 +351,62 @@ mod tests {
         }
         let back = FleetConfig::deserialize(&v).unwrap();
         assert!(back.pin_quote_workers, "absent field means pinning on");
+    }
+
+    #[test]
+    fn health_and_slo_default_absent_for_older_configs() {
+        use serde::{Deserialize, Serialize, Value};
+        let c = FleetConfig::uniform(2, 2, 5, 1.0);
+        let mut v = c.serialize();
+        match &mut v {
+            Value::Map(m) => {
+                m.retain(|(k, _)| k != "health");
+                for (k, tenants) in m.iter_mut() {
+                    if k != "tenants" {
+                        continue;
+                    }
+                    let Value::Seq(seq) = tenants else {
+                        panic!("tenants serialize as a sequence")
+                    };
+                    for t in seq {
+                        match t {
+                            Value::Map(tm) => tm.retain(|(k, _)| k != "slo"),
+                            other => panic!("tenant serializes as a map, got {other:?}"),
+                        }
+                    }
+                }
+            }
+            other => panic!("config serializes as a map, got {other:?}"),
+        }
+        let back = FleetConfig::deserialize(&v).unwrap();
+        assert!(back.health.is_none(), "absent health means no snapshots");
+        assert!(back.tenants.iter().all(|t| t.slo.is_none()));
+    }
+
+    #[test]
+    fn with_health_and_with_slo_validate() {
+        let spec = telemetry::TenantSloSpec {
+            p99_target_secs: 8.0,
+            spend_cap: Some(Money::from_dollars(0.05)),
+        };
+        let c = FleetConfig::uniform(4, 2, 10, 1.0)
+            .with_health(5.0)
+            .with_slo(spec);
+        assert!(c.validate().is_ok());
+        assert!(c.tenants.iter().all(|t| t.slo == Some(spec)));
+
+        let mut bad = c.clone();
+        bad.health = Some(HealthConfig {
+            snapshot_interval_secs: -1.0,
+        });
+        assert!(bad.validate().is_err());
+
+        let mut bad = c;
+        bad.tenants[0].slo = Some(telemetry::TenantSloSpec {
+            p99_target_secs: 0.0,
+            spend_cap: None,
+        });
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -710,6 +710,26 @@ impl ElasticController {
         &self.ledger
     }
 
+    /// The controller's current backlog EWMA — its scaling pressure
+    /// signal, sampled by the health plane's vitals snapshots (0 before
+    /// the first review).
+    #[must_use]
+    pub fn pressure_ewma(&self) -> f64 {
+        self.backlog_ewma.unwrap_or(0.0)
+    }
+
+    /// Nodes spawned so far (vitals snapshots sample this mid-run).
+    #[must_use]
+    pub fn spawns_so_far(&self) -> u64 {
+        self.spawns
+    }
+
+    /// Nodes retired so far (vitals snapshots sample this mid-run).
+    #[must_use]
+    pub fn retires_so_far(&self) -> u64 {
+        self.retires
+    }
+
     /// Consumes the controller into the cell's summary; the population's
     /// [`PopulationFinish`] supplies the uptime integral.
     #[must_use]

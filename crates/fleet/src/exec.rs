@@ -32,10 +32,12 @@ use simcore::{NetworkModel, SimTime};
 use simulator::RunResult;
 use workload::paper_templates;
 
+use pricing::Money;
 use telemetry::{
-    LifecyclePhase, MetricsRegistry, NodeCrashEvent, NodeEvacuateEvent, NodeLifecycleEvent,
-    NodeRecoverEvent, NoopSink, PlanCacheDelta, QueryRetryEvent, QuoteRoundEvent, Recorder,
-    SettlementEvent, TraceEvent, TraceSink,
+    HealthSeries, LifecyclePhase, MetricsRegistry, NodeCrashEvent, NodeEvacuateEvent,
+    NodeLifecycleEvent, NodeRecoverEvent, NoopSink, PlanCacheDelta, QueryRetryEvent,
+    QuoteRoundEvent, Recorder, SettlementEvent, SloLedger, TenantSloRecord, TraceEvent, TraceSink,
+    VitalsFrame,
 };
 
 use crate::config::FleetConfig;
@@ -92,6 +94,11 @@ struct CellResult {
     /// The cell's metrics registry — populated only on traced runs
     /// (`None` under the no-op sink, keeping the hot path allocation-free).
     registry: Option<MetricsRegistry>,
+    /// Per-tenant SLO ledger — always computed, so traced and untraced
+    /// runs stay bit-identical.
+    slo: SloLedger,
+    /// Cadenced vitals snapshots, when the config asked for them.
+    health: Option<HealthSeries>,
 }
 
 /// What a traced run recorded alongside its [`FleetResult`]: the full
@@ -269,6 +276,8 @@ impl FleetSim {
             piece.node_seconds = partial.node_seconds;
             piece.elastic = partial.elastic.clone();
             piece.faults = partial.faults.clone();
+            piece.slo = partial.slo.clone();
+            piece.health = partial.health.clone();
             for &(node_idx, ref run) in &partial.nodes {
                 piece.queries += run.queries;
                 piece.response.merge(&run.response);
@@ -327,6 +336,14 @@ impl FleetSim {
         let mut tenant_stats: Vec<TenantStats> = streams
             .iter()
             .map(|s| TenantStats::new(s.spec().id))
+            .collect();
+        // The SLO ledger rides alongside `tenant_stats`, slot for slot.
+        // It is unconditionally maintained — one histogram record plus a
+        // few counter bumps per query — because the telemetry invariant
+        // (`run_traced() == run()`) compares full `FleetResult`s.
+        let mut slo_records: Vec<TenantSloRecord> = streams
+            .iter()
+            .map(|s| TenantSloRecord::new(s.spec().id.0, s.spec().slo))
             .collect();
         // O(1) tenant → stats-slot lookup for the hot loop below.
         let slot_of: std::collections::HashMap<crate::tenant::TenantId, usize> = tenant_stats
@@ -389,6 +406,15 @@ impl FleetSim {
         let mut registry = sink.enabled().then(MetricsRegistry::new);
         let mut ledger_seen = 0usize;
         let mut fault_seen = 0usize;
+        // Vitals scraper state: the series plus the next tick ordinal.
+        // Tick instants are `k × interval` by multiplication (never by
+        // accumulation), so every cell lands frames on the exact same
+        // grid and the cross-cell merge can align them index-wise.
+        let mut health = self
+            .config
+            .health
+            .as_ref()
+            .map(|h| (HealthSeries::new(h.snapshot_interval_secs), 1u64));
 
         let mut horizon = SimTime::ZERO;
         for (now, tenant, query) in merged {
@@ -477,6 +503,25 @@ impl FleetSim {
                 }
             }
             population.accrue(now);
+            // The cadenced scraper: emit every frame whose tick instant
+            // has passed. Ticks sample the *current* (post-accrue) state
+            // — a deterministic function of the arrival sequence, so
+            // frames are bit-identical at any shard count.
+            if let Some((series, next_tick)) = health.as_mut() {
+                #[allow(clippy::cast_precision_loss)]
+                while (*next_tick as f64) * series.interval_secs <= now.as_secs() {
+                    #[allow(clippy::cast_precision_loss)]
+                    let at = (*next_tick as f64) * series.interval_secs;
+                    series.frames.push(capture_vitals(
+                        at,
+                        &population,
+                        controller.as_ref(),
+                        injector.as_ref(),
+                        &slo_records,
+                    ));
+                    *next_tick += 1;
+                }
+            }
             // Plan-cache totals only move inside route/serve below (the
             // population is fixed for the rest of the step), so diffing
             // them around each phase attributes memoization activity to
@@ -532,6 +577,7 @@ impl FleetSim {
                             decayed.budget_scale = scale;
                             chosen = router.route(population.live_mut(), &ctx, &decayed, now);
                             inj.note_retry();
+                            slo_records[slot_of[&tenant]].retries += 1;
                             if let Some(registry) = registry.as_mut() {
                                 registry.counter_add("fault.retries", 1);
                                 registry.observe("fault.retry_backoff", backoff);
@@ -563,6 +609,7 @@ impl FleetSim {
                             population.live_mut()[chosen].unsuppress_route();
                             chosen = rerouted;
                             inj.note_timeout();
+                            slo_records[slot_of[&tenant]].timeouts += 1;
                             if let Some(registry) = registry.as_mut() {
                                 registry.counter_add("fault.timeouts", 1);
                             }
@@ -642,6 +689,15 @@ impl FleetSim {
             stats.response.record(outcome.response_time.as_secs());
             stats.payments += outcome.payment;
             stats.cache_hits += u64::from(outcome.ran_in_cache);
+            let slo = &mut slo_records[slot_of[&tenant]];
+            slo.record_served(
+                outcome.response_time.as_secs(),
+                outcome.payment,
+                outcome.ran_in_cache,
+            );
+            if outage_wait > 0.0 {
+                slo.fault_delays += 1;
+            }
         }
 
         if let Some(registry) = registry.as_mut() {
@@ -663,7 +719,59 @@ impl FleetSim {
             elastic,
             faults,
             registry,
+            slo: SloLedger::from_records(slo_records),
+            health: health.map(|(series, _)| series),
         }
+    }
+}
+
+/// Samples one [`VitalsFrame`] from the cell's live state. Every field
+/// is a pure function of the simulation state at the sampling call, so
+/// frames are deterministic across shard counts and identical between
+/// traced and untraced runs.
+fn capture_vitals(
+    at_secs: f64,
+    population: &NodePopulation,
+    controller: Option<&ElasticController>,
+    injector: Option<&FaultInjector>,
+    slo_records: &[TenantSloRecord],
+) -> VitalsFrame {
+    let t = SimTime::from_secs(at_secs);
+    let live = population.live();
+    let plan = plan_cache_totals(live);
+    let mut backlog_secs = 0.0;
+    let mut node_cash = Money::ZERO;
+    let mut routable_nodes = 0u64;
+    let mut draining_nodes = 0u64;
+    for node in live {
+        if node.routable(t) {
+            routable_nodes += 1;
+            backlog_secs += node.outstanding(t);
+        }
+        if node.drain_since().is_some() {
+            draining_nodes += 1;
+        }
+        if let Some(economy) = node.economy() {
+            node_cash += economy.account().balance();
+        }
+    }
+    VitalsFrame {
+        at_secs,
+        queries: slo_records.iter().map(|r| r.admitted).sum(),
+        cache_hits: slo_records.iter().map(|r| r.cache_hits).sum(),
+        deadline_misses: slo_records.iter().map(|r| r.deadline_misses).sum(),
+        backlog_secs,
+        pressure_ewma: controller.map_or(0.0, ElasticController::pressure_ewma),
+        node_cash,
+        live_nodes: live.len() as u64,
+        routable_nodes,
+        draining_nodes,
+        plan_hits: plan.0,
+        plan_misses: plan.1,
+        victim_hits: plan.4,
+        spawns: controller.map_or(0, ElasticController::spawns_so_far),
+        retires: controller.map_or(0, ElasticController::retires_so_far),
+        write_off: injector.map_or(Money::ZERO, FaultInjector::write_off_so_far),
     }
 }
 

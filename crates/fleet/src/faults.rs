@@ -1393,6 +1393,13 @@ impl FaultInjector {
         &self.records
     }
 
+    /// Capital written off so far, net of salvage (the health plane's
+    /// vitals snapshots sample this mid-run).
+    #[must_use]
+    pub fn write_off_so_far(&self) -> Money {
+        self.write_off
+    }
+
     /// Consumes the injector into the cell's summary.
     #[must_use]
     pub fn into_summary(self) -> FaultSummary {

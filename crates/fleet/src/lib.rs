@@ -34,6 +34,9 @@
 //!   8-core run is bit-identical to a 1-core run).
 //! * [`result`] — mergeable rollups: [`FleetResult`] with per-tenant and
 //!   per-node accounting.
+//! * [`slo`] — reporting glue over the per-tenant SLO ledger the executor
+//!   maintains (the ledger types live in `telemetry::health`): worst-
+//!   tenant pickers and breach narration for `explain slo`.
 //!
 //! Start with [`FleetConfig::uniform`] and [`run_fleet`], or the
 //! `fleet_market` example.
@@ -56,6 +59,7 @@ pub mod node;
 mod pool;
 pub mod result;
 pub mod router;
+pub mod slo;
 pub mod tenant;
 
 pub use config::FleetConfig;
@@ -75,4 +79,8 @@ pub use faults::{
 pub use node::{CacheNode, NodeSpec};
 pub use result::{FleetResult, NodeStats, TenantStats};
 pub use router::{CheapestQuote, LeastOutstanding, QuoteOptions, RoundRobin, Router, RouterKind};
+pub use slo::{
+    narrate_breaches, spend_cap_breaches, worst_burn_rate, worst_p99, SloLedger, TenantSloRecord,
+    TenantSloSpec, P99_MISS_BUDGET,
+};
 pub use tenant::{MergedStream, TenantId, TenantSpec, TenantStream};

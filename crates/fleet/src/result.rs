@@ -11,6 +11,7 @@ use metrics::{CostBreakdown, LogHistogram, StreamingStats};
 use pricing::Money;
 use serde::{Deserialize, Serialize};
 use simulator::RunResult;
+use telemetry::{HealthSeries, SloLedger};
 
 use crate::elastic::ElasticSummary;
 use crate::faults::FaultSummary;
@@ -180,6 +181,16 @@ pub struct FleetResult {
     /// Fault-plane activity (crashes, recoveries, write-offs, re-queues);
     /// `None` for fault-free runs.
     pub faults: Option<FaultSummary>,
+    /// Per-tenant SLO ledger (always computed — one histogram record
+    /// plus counter bumps per query — so traced and untraced runs stay
+    /// bit-identical). Defaults empty for older serialized results.
+    #[serde(default)]
+    pub slo: SloLedger,
+    /// Cadenced vitals snapshots; `None` when the run had no health
+    /// config. Excluded from `bench::fleet_fingerprint`, which is what
+    /// lets snapshot-on and snapshot-off runs compare bit-identical.
+    #[serde(default)]
+    pub health: Option<HealthSeries>,
 }
 
 impl FleetResult {
@@ -206,6 +217,8 @@ impl FleetResult {
             nodes: Vec::new(),
             elastic: None,
             faults: None,
+            slo: SloLedger::new(),
+            health: None,
         }
     }
 
@@ -253,6 +266,13 @@ impl FleetResult {
                 .get_or_insert_with(FaultSummary::default)
                 .merge(theirs);
         }
+        self.slo.merge(&other.slo);
+        if let Some(theirs) = &other.health {
+            match &mut self.health {
+                Some(mine) => mine.merge(theirs),
+                None => self.health = Some(theirs.clone()),
+            }
+        }
     }
 
     /// Total operating cost of the fleet (execution + infrastructure +
@@ -286,7 +306,7 @@ impl FleetResult {
             self.router,
             self.total_operating_cost().as_dollars(),
             self.mean_response_secs(),
-            self.response_hist.quantile(0.99).unwrap_or(0.0),
+            self.response_hist.p99().unwrap_or(0.0),
             self.hit_rate() * 100.0,
             self.investments,
             self.payments.as_dollars(),

@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use simcore::arrival::ArrivalProcess;
 use simcore::{EventQueue, SimRng, SimTime};
 use simulator::{make_arrivals, ArrivalKind};
+use telemetry::TenantSloSpec;
 use workload::{Query, SurgeOverlay, WorkloadConfig, WorkloadGenerator};
 
 /// Identity of one tenant in the fleet.
@@ -38,6 +39,12 @@ pub struct TenantSpec {
     pub arrival: ArrivalKind,
     /// Queries this tenant submits over the run.
     pub queries: u64,
+    /// The tenant's service-level objective (p99 response target, spend
+    /// cap); `None` for tenants without a contract. Purely
+    /// observational: the SLO ledger tracks it, nothing routes on it.
+    /// Defaults absent so older serialized configs still load.
+    #[serde(default)]
+    pub slo: Option<TenantSloSpec>,
 }
 
 impl TenantSpec {
@@ -194,6 +201,7 @@ mod tests {
                 interval_secs: interval,
             },
             queries,
+            slo: None,
         }
     }
 

@@ -122,6 +122,48 @@ impl LogHistogram {
         self.quantile(0.5)
     }
 
+    /// Count-weighted p50 — [`Self::quantile`] at 0.5. `None` when
+    /// empty; with a single sample every percentile reports that
+    /// sample's bucket midpoint (see `quantile`'s ceil-target rule).
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Count-weighted p99 — [`Self::quantile`] at 0.99. Same edge
+    /// behavior as [`Self::p50`]: `None` when empty, the lone bucket
+    /// midpoint for a single sample.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Count-weighted p99.9 — [`Self::quantile`] at 0.999. Same edge
+    /// behavior as [`Self::p50`].
+    #[must_use]
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
+    /// How many observations fell in buckets whose entire range lies at
+    /// or above `threshold` (underflow never counts). Bucket-granular by
+    /// construction: observations in the bucket *containing* the
+    /// threshold are not counted, so the answer is a lower bound on
+    /// `#{x ≥ threshold}` with error bounded by one bucket's count.
+    #[must_use]
+    pub fn count_at_or_above(&self, threshold: f64) -> u64 {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "bad threshold {threshold}"
+        );
+        let Some(cut) = self.bucket_of(threshold) else {
+            // Threshold below range: every in-range observation counts.
+            return self.total - self.underflow;
+        };
+        // Whole buckets strictly above the one holding the threshold.
+        self.counts[cut + 1..].iter().sum()
+    }
+
     /// Merges another histogram with identical geometry.
     ///
     /// # Panics
@@ -213,6 +255,53 @@ mod tests {
         // top bucket's midpoint, not an edge beyond it.
         assert!(top < 10.0 * 10f64.powf(0.1), "top {top}");
         assert_eq!(h.quantile(0.0).unwrap().to_bits(), top.to_bits());
+    }
+
+    #[test]
+    fn named_percentiles_delegate_to_quantile() {
+        let mut h = LogHistogram::new(0.01, 1000.0, 40);
+        for i in 1..=1000 {
+            h.record(f64::from(i) / 10.0);
+        }
+        assert_eq!(
+            h.p50().unwrap().to_bits(),
+            h.quantile(0.50).unwrap().to_bits()
+        );
+        assert_eq!(
+            h.p99().unwrap().to_bits(),
+            h.quantile(0.99).unwrap().to_bits()
+        );
+        assert_eq!(
+            h.p999().unwrap().to_bits(),
+            h.quantile(0.999).unwrap().to_bits()
+        );
+        assert!(h.p50() < h.p99() && h.p99() <= h.p999());
+    }
+
+    #[test]
+    fn named_percentiles_share_quantile_edge_behavior() {
+        let empty = LogHistogram::latency();
+        assert!(empty.p50().is_none() && empty.p99().is_none() && empty.p999().is_none());
+        let mut one = LogHistogram::latency();
+        one.record(2.0);
+        // A single sample pins every named percentile to the same bucket
+        // midpoint.
+        let p50 = one.p50().unwrap();
+        assert_eq!(p50.to_bits(), one.p99().unwrap().to_bits());
+        assert_eq!(p50.to_bits(), one.p999().unwrap().to_bits());
+    }
+
+    #[test]
+    fn count_at_or_above_is_bucket_granular() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 10);
+        h.record(0.1); // underflow — never counted
+        h.record(2.0);
+        h.record(50.0);
+        h.record(500.0);
+        assert_eq!(h.count_at_or_above(0.001), 3, "below range counts all");
+        assert_eq!(h.count_at_or_above(10.0), 2);
+        assert_eq!(h.count_at_or_above(100.0), 1);
+        assert_eq!(h.count_at_or_above(1e9), 0, "above the top bucket");
     }
 
     #[test]

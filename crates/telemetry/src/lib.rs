@@ -33,6 +33,7 @@
 
 pub mod event;
 pub mod explain;
+pub mod health;
 pub mod registry;
 pub mod sink;
 
@@ -42,6 +43,10 @@ pub use event::{
 };
 pub use explain::{
     blame, explain_crash, explain_retirement, node_timeline, structure_payers, BlameKey, BlameRow,
+};
+pub use health::{
+    detect_alarms, render_openmetrics, Alarm, AlarmKind, Baselines, HealthConfig, HealthSeries,
+    SloLedger, TenantSloRecord, TenantSloSpec, VitalsFrame, P99_MISS_BUDGET,
 };
 pub use registry::{MetricValue, MetricsRegistry};
 pub use sink::{NoopSink, Recorder, RingSink, TraceSink};
@@ -60,4 +65,12 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// Registry snapshot merged across shards in ascending cell order.
     pub registry: MetricsRegistry,
+    /// Per-tenant SLO ledger of the recorded run; `None` in traces
+    /// recorded before the health plane existed (serde default).
+    #[serde(default)]
+    pub slo: Option<SloLedger>,
+    /// Cadenced vitals frames of the recorded run; `None` when the run
+    /// had no health config or the trace predates the health plane.
+    #[serde(default)]
+    pub health: Option<HealthSeries>,
 }

@@ -10,10 +10,17 @@
 //! 2. **Pure observation** (integration): a traced fleet run is
 //!    bit-identical to the no-op-sink run, and its event stream and
 //!    registry are themselves invariant under the executor shard count.
+//! 3. **Snapshot/merge commutation** (property-based): serializing a
+//!    registry to its JSON snapshot and back is transparent to `merge`
+//!    — scraping shard partials and folding the snapshots equals
+//!    snapshotting the fold.
+//! 4. **SLO ledger algebra** (property-based): [`SloLedger::merge`] is
+//!    associative and shard-count invariant, so per-tenant SLO records
+//!    folded from any cell partitioning produce the same ledger.
 
 use cloudcache::fleet::{FleetConfig, FleetSim, RouterKind};
 use cloudcache::pricing::Money;
-use cloudcache::telemetry::MetricsRegistry;
+use cloudcache::telemetry::{MetricsRegistry, SloLedger, TenantSloRecord, TenantSloSpec};
 use proptest::prelude::*;
 
 /// Fixed name pools, one per metric kind — a name must keep one kind for
@@ -101,6 +108,111 @@ proptest! {
             let mut folded = MetricsRegistry::new();
             for partial in &partials {
                 folded.merge(partial);
+            }
+            prop_assert_eq!(&folded, &reference, "shards = {}", shards);
+        }
+    }
+
+    /// Snapshot/merge commutation: the registry's JSON snapshot is a
+    /// faithful image, so scraping each shard partial and merging the
+    /// deserialized snapshots equals snapshotting the live fold — the
+    /// exporter can run on partials or on the fold without changing a
+    /// bit.
+    #[test]
+    fn registry_snapshot_then_merge_equals_merge_then_snapshot(
+        a in prop::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..60),
+        b in prop::collection::vec((0u8..3, 0u8..4, 0u64..1_000_000), 0..60),
+    ) {
+        let roundtrip = |r: &MetricsRegistry| -> MetricsRegistry {
+            serde_json::from_str(&serde_json::to_string(r).expect("serialize"))
+                .expect("deserialize")
+        };
+        let (ra, rb) = (build(&a), build(&b));
+        prop_assert_eq!(
+            merged(&roundtrip(&ra), &roundtrip(&rb)),
+            roundtrip(&merged(&ra, &rb))
+        );
+    }
+}
+
+/// Deterministic per-tenant SLO spec: even tenants carry one (with a
+/// cap), odd tenants run unspecced — partials of one run can never
+/// disagree on a spec, it is config.
+fn spec_for(tenant: u32) -> Option<TenantSloSpec> {
+    tenant.is_multiple_of(2).then(|| TenantSloSpec {
+        p99_target_secs: 1.0 + f64::from(tenant),
+        spend_cap: Some(Money::from_dollars(0.25)),
+    })
+}
+
+/// One ledger operation: `(tenant, kind, magnitude)` — kind 0 serves a
+/// query (response time, payment and hit flag derived from the
+/// magnitude), kinds 1–3 bump the timeout / retry / fault-delay
+/// counters.
+type SloOp = (u8, u8, u64);
+
+fn ledger(ops: &[SloOp]) -> SloLedger {
+    let mut records: std::collections::BTreeMap<u32, TenantSloRecord> =
+        std::collections::BTreeMap::new();
+    for &(tenant, kind, value) in ops {
+        let t = u32::from(tenant);
+        let r = records
+            .entry(t)
+            .or_insert_with(|| TenantSloRecord::new(t, spec_for(t)));
+        match kind % 4 {
+            0 => r.record_served(
+                (value % 2_000) as f64 / 100.0,
+                Money::from_nanos(i128::from(value % 1_000_000)),
+                value % 2 == 0,
+            ),
+            1 => r.timeouts += 1,
+            2 => r.retries += 1,
+            _ => r.fault_delays += 1,
+        }
+    }
+    SloLedger::from_records(records.into_values().collect())
+}
+
+fn ledger_merged(a: &SloLedger, b: &SloLedger) -> SloLedger {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    /// Ledger merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), spend
+    /// in exact money and histograms bucket-for-bucket.
+    #[test]
+    fn slo_ledger_merge_is_associative(
+        a in prop::collection::vec((0u8..6, 0u8..4, 0u64..1_000_000), 0..40),
+        b in prop::collection::vec((0u8..6, 0u8..4, 0u64..1_000_000), 0..40),
+        c in prop::collection::vec((0u8..6, 0u8..4, 0u64..1_000_000), 0..40),
+    ) {
+        let (la, lb, lc) = (ledger(&a), ledger(&b), ledger(&c));
+        prop_assert_eq!(
+            ledger_merged(&ledger_merged(&la, &lb), &lc),
+            ledger_merged(&la, &ledger_merged(&lb, &lc))
+        );
+    }
+
+    /// Shard-count invariance: striding one serve stream across k
+    /// shard-local ledgers and folding in ascending shard order
+    /// reproduces the 1-shard ledger bit-for-bit — the contract that
+    /// makes the fleet's SLO report independent of its cell
+    /// partitioning.
+    #[test]
+    fn slo_ledger_merge_is_shard_count_invariant(
+        ops in prop::collection::vec((0u8..6, 0u8..4, 0u64..1_000_000), 0..120),
+    ) {
+        let reference = ledger(&ops);
+        for shards in [2usize, 4, 8] {
+            let mut streams = vec![Vec::new(); shards];
+            for (i, op) in ops.iter().enumerate() {
+                streams[i % shards].push(*op);
+            }
+            let mut folded = SloLedger::new();
+            for stream in &streams {
+                folded.merge(&ledger(stream));
             }
             prop_assert_eq!(&folded, &reference, "shards = {}", shards);
         }
